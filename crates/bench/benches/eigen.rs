@@ -1,0 +1,44 @@
+//! Symmetric eigendecomposition of ground-set kernels — the dominant cost of
+//! one LkP instance (the `(k+n)×(k+n)` spectral factorization of Eq. 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lkp_linalg::{eigen::SymmetricEigen, Matrix};
+use std::hint::black_box;
+
+fn psd(n: usize) -> Matrix {
+    let v = Matrix::from_fn(n, n, |r, c| (((r * 7 + c * 13) % 17) as f64) * 0.2 - 1.0);
+    let mut g = v.gram();
+    for i in 0..n {
+        g[(i, i)] += 0.5;
+    }
+    g
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_eigen");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[6usize, 10, 16, 32, 64] {
+        let a = psd(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SymmetricEigen::new(black_box(&a)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut chol = c.benchmark_group("cholesky_logdet");
+    chol.sample_size(30);
+    chol.warm_up_time(std::time::Duration::from_millis(300));
+    chol.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[5usize, 10, 20] {
+        let a = psd(n);
+        chol.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| lkp_linalg::cholesky::log_det_spd(black_box(&a)).unwrap())
+        });
+    }
+    chol.finish();
+}
+
+criterion_group!(benches, bench_eigen);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Per-instance k-DPP machinery: normalization, log-probability and the full
+//! gradient (Eq. 12) — the inner loop of LkP training, at the paper's
+//! k = n = 5 and neighbouring shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lkp_dpp::{grad, DppKernel, KDpp};
+use lkp_linalg::Matrix;
+use std::hint::black_box;
+
+fn kernel(m: usize) -> DppKernel {
+    let v = Matrix::from_fn(m, m, |r, c| (((r * 5 + c * 3) % 13) as f64) * 0.25 - 1.2);
+    let mut g = v.gram();
+    for i in 0..m {
+        g[(i, i)] += 0.4;
+    }
+    DppKernel::new(g).unwrap()
+}
+
+fn bench_kdpp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdpp");
+    group.sample_size(40);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &k in &[3usize, 5, 8] {
+        let m = 2 * k;
+        let kern = kernel(m);
+        let target: Vec<usize> = (0..k).collect();
+        group.bench_with_input(BenchmarkId::new("log_prob", k), &k, |b, _| {
+            b.iter(|| {
+                let kdpp = KDpp::new(black_box(kern.clone()), k).unwrap();
+                kdpp.log_prob(black_box(&target)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grad_log_prob", k), &k, |b, _| {
+            b.iter(|| {
+                let kdpp = KDpp::new(black_box(kern.clone()), k).unwrap();
+                grad::grad_log_prob(&kdpp, black_box(&target)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kdpp);
+criterion_main!(benches);

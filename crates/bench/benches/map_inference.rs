@@ -1,0 +1,41 @@
+//! Greedy MAP inference: the Chen et al. fast incremental algorithm against
+//! the naive determinant-recomputation greedy — the serving-time ablation
+//! (LkP moves diversity into training; MAP diversifies at serving time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lkp_dpp::{map, DppKernel};
+use lkp_linalg::Matrix;
+use std::hint::black_box;
+
+fn kernel(m: usize) -> DppKernel {
+    // 24 × m factor: gram() = VᵀV is m × m with rank 24.
+    let v = Matrix::from_fn(24, m, |r, c| (((r * 11 + c * 7) % 19) as f64) * 0.15 - 1.3);
+    let mut g = v.gram();
+    for i in 0..m {
+        g[(i, i)] += 0.3;
+    }
+    DppKernel::new(g).unwrap()
+}
+
+fn bench_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_map");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &m in &[50usize, 100, 200] {
+        let kern = kernel(m);
+        group.bench_with_input(BenchmarkId::new("fast", m), &m, |b, _| {
+            b.iter(|| map::greedy_map(black_box(&kern), black_box(10)).unwrap())
+        });
+    }
+    for &m in &[50usize, 100] {
+        let kern = kernel(m);
+        group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, _| {
+            b.iter(|| map::greedy_map_naive(black_box(&kern), black_box(10)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_map);
+criterion_main!(benches);

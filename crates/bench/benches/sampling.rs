@@ -1,0 +1,40 @@
+//! Exact DPP and k-DPP sampling throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lkp_dpp::{sampling, DppKernel, KDpp};
+use lkp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn kernel(m: usize) -> DppKernel {
+    let v = Matrix::from_fn(m, m, |r, c| (((r * 3 + c * 11) % 23) as f64) * 0.12 - 1.2);
+    let mut g = v.gram();
+    for i in 0..m {
+        g[(i, i)] += 0.4;
+    }
+    DppKernel::new(g).unwrap()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &m in &[20usize, 50, 100] {
+        let kern = kernel(m);
+        let kdpp = KDpp::new(kern.clone(), 10.min(m / 2)).unwrap();
+        group.bench_with_input(BenchmarkId::new("kdpp", m), &m, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sampling::sample_kdpp(black_box(&kdpp), &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dpp", m), &m, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| sampling::sample_dpp(black_box(&kern), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

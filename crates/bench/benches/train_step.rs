@@ -1,0 +1,90 @@
+//! End-to-end per-instance training cost of each criterion on MF — the
+//! overhead LkP pays for set-level ranking (one eigendecomposition + two
+//! determinant gradients per instance) against BPR's two dot products.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkp_core::baselines::{Bpr, S2SRank, SetRank};
+use lkp_core::objective::{LkpKind, LkpObjective};
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig, Objective};
+use lkp_data::{GroundSetInstance, SyntheticConfig};
+use lkp_models::Recommender;
+use lkp_nn::AdamConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_train_step(c: &mut Criterion) {
+    let data = lkp_data::synthetic::generate(&SyntheticConfig {
+        n_users: 80,
+        n_items: 200,
+        n_categories: 12,
+        mean_interactions: 20.0,
+        ..Default::default()
+    });
+    let kernel = train_diversity_kernel(
+        &data,
+        &DiversityKernelConfig { epochs: 3, pairs_per_epoch: 64, dim: 8, ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut model = lkp_models::MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        32,
+        AdamConfig::default(),
+        &mut rng,
+    );
+    let set_inst =
+        GroundSetInstance { user: 3, positives: vec![0, 5, 9, 14, 20], negatives: vec![50, 61, 72, 83, 94] };
+    let pair_inst = GroundSetInstance { user: 3, positives: vec![0], negatives: vec![50] };
+    let list_inst = GroundSetInstance { user: 3, positives: vec![0], negatives: vec![50, 61, 72, 83, 94] };
+
+    let mut group = c.benchmark_group("train_step_mf");
+    group.sample_size(40);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+
+    let mut lkp_ps = LkpObjective::new(LkpKind::PositiveOnly, kernel.clone());
+    group.bench_function("lkp_ps_k5", |b| {
+        b.iter(|| {
+            let loss = lkp_ps.apply(&mut model, black_box(&set_inst));
+            model.step();
+            loss
+        })
+    });
+    let mut lkp_nps = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+    group.bench_function("lkp_nps_k5", |b| {
+        b.iter(|| {
+            let loss = lkp_nps.apply(&mut model, black_box(&set_inst));
+            model.step();
+            loss
+        })
+    });
+    group.bench_function("bpr", |b| {
+        let mut obj = Bpr;
+        b.iter(|| {
+            let loss = obj.apply(&mut model, black_box(&pair_inst));
+            model.step();
+            loss
+        })
+    });
+    group.bench_function("setrank_n5", |b| {
+        let mut obj = SetRank;
+        b.iter(|| {
+            let loss = obj.apply(&mut model, black_box(&list_inst));
+            model.step();
+            loss
+        })
+    });
+    group.bench_function("s2srank_k5n5", |b| {
+        let mut obj = S2SRank::default();
+        b.iter(|| {
+            let loss = obj.apply(&mut model, black_box(&set_inst));
+            model.step();
+            loss
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 3 — LkP-PS performance at different negative counts `n` (k = 5)
+//! on the Beauty preset, Top-5 and Top-20 metrics.
+//!
+//! The paper's shape: metrics rise smoothly to a peak at a moderate n
+//! (≈ 4-5) and then fall off — too few negatives give an insufficient
+//! set-level comparison, too many drown the correlation signal.
+
+use lkp_bench::{ExpArgs, Method};
+use lkp_core::LkpVariant;
+use lkp_data::SyntheticPreset;
+
+fn main() {
+    let mut args = ExpArgs::parse();
+    let data = args.dataset(SyntheticPreset::Beauty);
+    let kernel = args.diversity_kernel(&data);
+
+    println!("== Fig. 3 (LkP-PS) on Beauty: sweep n in 1..=6, k = {} ==", args.k);
+    println!(
+        "{:>3} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "n", "Nd@5", "CC@5", "F@5", "Nd@20", "CC@20", "F@20"
+    );
+    for n in 1..=6usize {
+        args.n = n;
+        let mut model = args.gcn(&data);
+        let out =
+            lkp_bench::run_method(&args, &data, &kernel, &mut model, Method::Lkp(LkpVariant::Ps));
+        let m5 = out.metrics.at(5).expect("cutoff 5");
+        let m20 = out.metrics.at(20).expect("cutoff 20");
+        println!(
+            "{n:>3} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            m5.ndcg, m5.category_coverage, m5.f_score, m20.ndcg, m20.category_coverage, m20.f_score
+        );
+    }
+}

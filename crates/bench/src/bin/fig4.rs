@@ -1,0 +1,81 @@
+//! Figure 4 — k-DPP probability distributions by target count across
+//! training epochs on the Anime preset (LkP-PS and LkP-NPS).
+//!
+//! For 100 sampled training instances (k = n = 5 ground sets), all
+//! C(10,5) = 252 size-5 subsets are grouped by how many targets they
+//! contain; the mean normalized probability of each group is reported at a
+//! set of snapshot epochs. Before training every subset sits at
+//! 1/252 ≈ 0.004; with training, groups with more targets rise and the
+//! all-negative group falls — the paper's "relevance ranking
+//! interpretation". NPS widens the gap faster than PS.
+
+use lkp_bench::ExpArgs;
+use lkp_core::objective::{LkpKind, LkpObjective};
+use lkp_core::probes::target_count_profile;
+use lkp_core::Trainer;
+use lkp_data::{InstanceSampler, SyntheticPreset, TargetSelection};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let data = args.dataset(SyntheticPreset::Anime);
+    let kernel = args.diversity_kernel(&data);
+
+    // Snapshot epochs: the paper uses {0, 30, 100, 200}; scale them down
+    // proportionally when --epochs is smaller.
+    let snapshots: Vec<usize> = if args.epochs >= 200 {
+        vec![0, 30, 100, 200]
+    } else {
+        vec![0, args.epochs / 6, args.epochs / 2, args.epochs]
+    };
+
+    // Fixed probe instances (the same 100 ground sets at every snapshot).
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF16);
+    let sampler = InstanceSampler::new(args.k, args.k, TargetSelection::Sequential);
+    let mut probe = sampler.epoch_instances(&data, &mut rng);
+    probe.truncate(100);
+    let uniform = 1.0 / lkp_dpp::binomial(2 * args.k, args.k);
+    println!(
+        "uniform baseline: 1/C({},{}) = {:.4}",
+        2 * args.k,
+        args.k,
+        uniform
+    );
+
+    for kind in [LkpKind::PositiveOnly, LkpKind::NegativeAware] {
+        let label = match kind {
+            LkpKind::PositiveOnly => "LkP-PS",
+            LkpKind::NegativeAware => "LkP-NPS",
+        };
+        println!("== Fig. 4 ({label}) on Anime: mean k-DPP probability by target count ==");
+        print!("{:>6}", "epoch");
+        for t in 0..=args.k {
+            print!(" {:>9}", format!("targets={t}"));
+        }
+        println!();
+
+        let mut model = args.gcn(&data);
+        let mut obj = LkpObjective::new(kind, kernel.clone());
+        let mut cfg = args.train_config(TargetSelection::Sequential);
+        cfg.eval_every = 0; // pure training: probes do the measuring
+        cfg.patience = 0;
+        let trainer = Trainer::new(cfg);
+        let kernel_probe = kernel.clone();
+        let snap = snapshots.clone();
+        trainer.fit_with_callback(&mut model, &mut obj, &data, |epoch, m| {
+            if snap.contains(&epoch) {
+                let profile = target_count_profile(m, &kernel_probe, &probe);
+                print!("{epoch:>6}");
+                for p in &profile {
+                    print!(" {:>9.4}", p);
+                }
+                println!();
+            }
+        });
+        println!();
+    }
+    println!("shape to check against the paper: the `targets=5` column starts near the");
+    println!("uniform value and grows with epochs; `targets=0` decays; ordering across");
+    println!("columns becomes monotone in the target count; NPS gap wider than PS.");
+}

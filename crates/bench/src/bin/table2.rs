@@ -1,0 +1,120 @@
+//! Table II — the six LkP variants against BPR/BCE/SetRank/S2SRank, all
+//! deployed on the GCN backbone, three datasets, k = n = 5.
+//!
+//! For each dataset the binary prints the paper's 12-metric rows plus the
+//! `max vs. max` / `max vs. min` improvement summary, and a shape-check
+//! section that states which of the paper's qualitative findings reproduced
+//! (LkP beats baselines on F; S beats R on accuracy; R beats S on CC; NPS ≥
+//! PS overall; E variants lead CC but trail accuracy).
+
+use lkp_bench::{print_table_header, print_table_row, ExpArgs, Method, CUTOFFS, PRESETS};
+use lkp_core::LkpVariant;
+use lkp_eval::MetricSet;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let methods: Vec<Method> = LkpVariant::ALL
+        .iter()
+        .map(|&v| Method::Lkp(v))
+        .chain([Method::Bpr, Method::Bce, Method::SetRank, Method::S2SRank])
+        .collect();
+
+    for preset in PRESETS {
+        println!("== Table II [{}] (GCN backbone, k=n={}) ==", preset.name(), args.k);
+        let data = args.dataset(preset);
+        let kernel = args.diversity_kernel(&data);
+        print_table_header();
+        let mut rows: Vec<(Method, MetricSet)> = Vec::new();
+        for &method in &methods {
+            let mut model = args.gcn(&data);
+            let out = lkp_bench::run_method(&args, &data, &kernel, &mut model, method);
+            print_table_row(method.name(), &out.metrics);
+            rows.push((method, out.metrics));
+        }
+        summarize(&rows);
+        println!();
+    }
+}
+
+fn summarize(rows: &[(Method, MetricSet)]) {
+    let f10 = |m: &MetricSet| m.at(10).unwrap().f_score;
+    let nd10 = |m: &MetricSet| m.at(10).unwrap().ndcg;
+    let cc10 = |m: &MetricSet| m.at(10).unwrap().category_coverage;
+
+    let is_lkp = |m: Method| matches!(m, Method::Lkp(_));
+    let best_lkp_f = rows
+        .iter()
+        .filter(|(m, _)| is_lkp(*m))
+        .map(|(_, s)| f10(s))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let best_base_f = rows
+        .iter()
+        .filter(|(m, _)| !is_lkp(*m))
+        .map(|(_, s)| f10(s))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let worst_base_f = rows
+        .iter()
+        .filter(|(m, _)| !is_lkp(*m))
+        .map(|(_, s)| f10(s))
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "F@10: best LkP {:.4} | max-vs-max {:+.2}% | max-vs-min {:+.2}%",
+        best_lkp_f,
+        lkp_bench::improvement_pct(best_lkp_f, best_base_f),
+        lkp_bench::improvement_pct(best_lkp_f, worst_base_f),
+    );
+
+    let get = |v: LkpVariant| rows.iter().find(|(m, _)| *m == Method::Lkp(v)).map(|(_, s)| s);
+    if let (Some(ps), Some(pr), Some(nps), Some(pse)) =
+        (get(LkpVariant::Ps), get(LkpVariant::Pr), get(LkpVariant::Nps), get(LkpVariant::Pse))
+    {
+        println!("shape checks (paper's qualitative findings):");
+        println!(
+            "  S>R on accuracy (Nd@10):      {} ({:.4} vs {:.4})",
+            mark(nd10(ps) >= nd10(pr)),
+            nd10(ps),
+            nd10(pr)
+        );
+        println!(
+            "  R>=S on diversity (CC@10):    {} ({:.4} vs {:.4})",
+            mark(cc10(pr) >= cc10(ps) * 0.98),
+            cc10(pr),
+            cc10(ps)
+        );
+        println!(
+            "  NPS>=PS on F@10:              {} ({:.4} vs {:.4})",
+            mark(f10(nps) >= f10(ps) * 0.98),
+            f10(nps),
+            f10(ps)
+        );
+        println!(
+            "  E leads CC@10 over PS:        {} ({:.4} vs {:.4})",
+            mark(cc10(pse) >= cc10(ps) * 0.98),
+            cc10(pse),
+            cc10(ps)
+        );
+        println!(
+            "  LkP best F@10 beats baselines:{} ({:.4} vs {:.4})",
+            mark(best_lkp_f >= best_base_f),
+            best_lkp_f,
+            best_base_f
+        );
+    }
+    for &c in &CUTOFFS {
+        let best = rows
+            .iter()
+            .max_by(|a, b| {
+                a.1.at(c).unwrap().f_score.partial_cmp(&b.1.at(c).unwrap().f_score).unwrap()
+            })
+            .unwrap();
+        println!("  winner on F@{c}: {}", best.0.name());
+    }
+}
+
+fn mark(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "miss"
+    }
+}

@@ -1,0 +1,58 @@
+//! Table III — LkP-PS / LkP-NPS against the ranking baselines (BPR, SetRank,
+//! S2SRank) on the **basic MF** backbone, three datasets.
+
+use lkp_bench::{print_table_header, print_table_row, ExpArgs, Method, PRESETS};
+use lkp_core::LkpVariant;
+use lkp_eval::MetricSet;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let methods = [
+        Method::Lkp(LkpVariant::Ps),
+        Method::Lkp(LkpVariant::Nps),
+        Method::Bpr,
+        Method::SetRank,
+        Method::S2SRank,
+    ];
+
+    for preset in PRESETS {
+        println!("== Table III [{}] (MF backbone, k=n={}) ==", preset.name(), args.k);
+        let data = args.dataset(preset);
+        let kernel = args.diversity_kernel(&data);
+        print_table_header();
+        let mut rows: Vec<(Method, MetricSet)> = Vec::new();
+        for &method in &methods {
+            let mut model = args.mf(&data);
+            let out = lkp_bench::run_method(&args, &data, &kernel, &mut model, method);
+            let label = match method {
+                Method::Lkp(v) => format!("LkP{}-MF", v.name()),
+                other => format!("{}-MF", other.name()),
+            };
+            print_table_row(&label, &out.metrics);
+            rows.push((method, out.metrics));
+        }
+        let f10 = |m: &MetricSet| m.at(10).unwrap().f_score;
+        let lkp_best = rows
+            .iter()
+            .filter(|(m, _)| matches!(m, Method::Lkp(_)))
+            .map(|(_, s)| f10(s))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let base_best = rows
+            .iter()
+            .filter(|(m, _)| !matches!(m, Method::Lkp(_)))
+            .map(|(_, s)| f10(s))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let base_worst = rows
+            .iter()
+            .filter(|(m, _)| !matches!(m, Method::Lkp(_)))
+            .map(|(_, s)| f10(s))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "F@10: LkP best {:.4} | max-vs-max {:+.2}% | max-vs-min {:+.2}% (paper: ~+4-5% / ~+9-15%)",
+            lkp_best,
+            lkp_bench::improvement_pct(lkp_best, base_best),
+            lkp_bench::improvement_pct(lkp_best, base_worst),
+        );
+        println!();
+    }
+}

@@ -1,0 +1,377 @@
+//! Shared experiment harness for the paper's tables and figures.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure; this library
+//! holds the pieces they share: CLI parsing, dataset construction, model
+//! factories, the method grid, and the train-and-evaluate pipeline.
+//!
+//! All experiments run on the synthetic presets calibrated to the paper's
+//! Table I (see `lkp-data::synthetic` and DESIGN.md §2); `--scale` trades
+//! fidelity for wall-clock time. The *shapes* being validated (which method
+//! wins, rough improvement factors, S-vs-R and P-vs-NP orderings) are stable
+//! across scales; absolute metric values are not expected to match the paper
+//! since both the data and the hardware differ.
+
+use lkp_core::baselines::{Bce, Bpr, S2SRank, SetRank, StandardDppObjective};
+use lkp_core::objective::{LkpObjective, LkpRbfObjective};
+use lkp_core::{
+    train_diversity_kernel, DiversityKernelConfig, LkpVariant, TrainConfig, TrainReport, Trainer,
+};
+use lkp_data::{Dataset, SyntheticPreset, TargetSelection};
+use lkp_dpp::LowRankKernel;
+use lkp_eval::MetricSet;
+use lkp_models::{Gcmc, Gcn, ItemEmbeddings, MatrixFactorization, NeuMf, Recommender};
+use lkp_nn::AdamConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Metric cutoffs used in every table (the paper's N ∈ {5, 10, 20}).
+pub const CUTOFFS: [usize; 3] = [5, 10, 20];
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Dataset scale relative to the paper's Table I sizes.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// Embedding dimension (64 in the paper; smaller by default here).
+    pub dim: usize,
+    /// Ground-set k (paper default 5).
+    pub k: usize,
+    /// Ground-set n (paper default 5).
+    pub n: usize,
+    /// Evaluation threads.
+    pub threads: usize,
+    /// Verbose epoch logging.
+    pub verbose: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            scale: 0.01,
+            seed: 17,
+            epochs: 100,
+            dim: 32,
+            k: 5,
+            n: 5,
+            threads: 4,
+            verbose: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `--key value` style flags from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = ExpArgs::default();
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            let value = argv.get(i + 1).cloned();
+            let take = |name: &str| -> Option<String> {
+                if flag == name {
+                    value.clone()
+                } else {
+                    None
+                }
+            };
+            if let Some(v) = take("--scale") {
+                args.scale = v.parse().expect("--scale expects a float");
+                i += 2;
+            } else if let Some(v) = take("--seed") {
+                args.seed = v.parse().expect("--seed expects an integer");
+                i += 2;
+            } else if let Some(v) = take("--epochs") {
+                args.epochs = v.parse().expect("--epochs expects an integer");
+                i += 2;
+            } else if let Some(v) = take("--dim") {
+                args.dim = v.parse().expect("--dim expects an integer");
+                i += 2;
+            } else if let Some(v) = take("--k") {
+                args.k = v.parse().expect("--k expects an integer");
+                i += 2;
+            } else if let Some(v) = take("--n") {
+                args.n = v.parse().expect("--n expects an integer");
+                i += 2;
+            } else if let Some(v) = take("--threads") {
+                args.threads = v.parse().expect("--threads expects an integer");
+                i += 2;
+            } else if flag == "--verbose" {
+                args.verbose = true;
+                i += 1;
+            } else if flag == "--help" {
+                eprintln!(
+                    "flags: --scale F --seed N --epochs N --dim N --k N --n N --threads N --verbose"
+                );
+                std::process::exit(0);
+            } else {
+                eprintln!("unknown flag {flag}; try --help");
+                std::process::exit(2);
+            }
+        }
+        args
+    }
+
+    /// Generates a preset dataset at the configured scale.
+    pub fn dataset(&self, preset: SyntheticPreset) -> Dataset {
+        preset.generate(self.scale, self.seed)
+    }
+
+    /// Pre-trains the diversity kernel for a dataset.
+    pub fn diversity_kernel(&self, data: &Dataset) -> LowRankKernel {
+        train_diversity_kernel(
+            data,
+            &DiversityKernelConfig {
+                dim: 16,
+                set_size: self.k.max(3),
+                pairs_per_epoch: (data.n_users() * 2).clamp(64, 1024),
+                epochs: 12,
+                seed: self.seed ^ 0xD1FF,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The trainer configuration for a given instance-construction mode.
+    pub fn train_config(&self, mode: TargetSelection) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            batch_size: 64,
+            k: self.k,
+            n: self.n,
+            mode,
+            eval_every: 10,
+            patience: 4,
+            eval_cutoff: 10,
+            eval_threads: self.threads,
+            seed: self.seed ^ 0x7EA1,
+            verbose: self.verbose,
+        }
+    }
+
+    fn adam(&self) -> AdamConfig {
+        AdamConfig { lr: 0.01, ..Default::default() }
+    }
+
+    /// Builds an MF backbone.
+    pub fn mf(&self, data: &Dataset) -> MatrixFactorization {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x3F);
+        MatrixFactorization::new(data.n_users(), data.n_items(), self.dim, self.adam(), &mut rng)
+    }
+
+    /// Builds a GCN backbone over the dataset's train graph.
+    pub fn gcn(&self, data: &Dataset) -> Gcn {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6C);
+        Gcn::new(
+            data.n_users(),
+            data.n_items(),
+            &data.train_edges(),
+            self.dim,
+            2,
+            self.adam(),
+            &mut rng,
+        )
+    }
+
+    /// Builds a NeuMF backbone.
+    pub fn neumf(&self, data: &Dataset) -> NeuMf {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9A);
+        NeuMf::new(data.n_users(), data.n_items(), self.dim, self.adam(), &mut rng)
+    }
+
+    /// Builds a GCMC backbone over the dataset's train graph.
+    pub fn gcmc(&self, data: &Dataset) -> Gcmc {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC3);
+        Gcmc::new(
+            data.n_users(),
+            data.n_items(),
+            &data.train_edges(),
+            self.dim.min(16),
+            self.adam(),
+            &mut rng,
+        )
+    }
+}
+
+/// The criteria that appear in the paper's comparison tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// One of the six LkP variants.
+    Lkp(LkpVariant),
+    /// Bayesian personalized ranking.
+    Bpr,
+    /// Binary cross-entropy.
+    Bce,
+    /// SetRank (Wang et al. 2020).
+    SetRank,
+    /// Set2SetRank (Chen et al. 2021).
+    S2SRank,
+    /// Standard-DPP normalization ablation (Section IV-B2).
+    StdDpp,
+}
+
+impl Method {
+    /// Row label as printed in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Lkp(v) => v.name(),
+            Method::Bpr => "BPR",
+            Method::Bce => "BCE",
+            Method::SetRank => "SetRank",
+            Method::S2SRank => "S2SRank",
+            Method::StdDpp => "StdDPP",
+        }
+    }
+
+    /// The instance-construction mode the method trains with.
+    pub fn mode(self) -> TargetSelection {
+        match self {
+            Method::Lkp(v) => v.target_selection(),
+            // Baselines have no ordering notion; Sequential matches how the
+            // paper feeds them (every observed item once per epoch).
+            _ => TargetSelection::Sequential,
+        }
+    }
+}
+
+/// Result of one train-and-evaluate run.
+pub struct RunOutcome {
+    /// Test-split metrics at [`CUTOFFS`].
+    pub metrics: MetricSet,
+    /// The training report (epochs, validation history).
+    pub report: TrainReport,
+}
+
+/// Trains `method` on `model` and evaluates on the test split.
+///
+/// This is the generic path used for MF and GCN backbones (every method in
+/// Tables II/III); NeuMF/GCMC reworks use [`run_on_model`] directly with
+/// pre-built objectives.
+pub fn run_method<M>(
+    args: &ExpArgs,
+    data: &Dataset,
+    kernel: &LowRankKernel,
+    model: &mut M,
+    method: Method,
+) -> RunOutcome
+where
+    M: Recommender + ItemEmbeddings + Clone + Sync,
+{
+    let trainer = Trainer::new(args.train_config(method.mode()));
+    let report = match method {
+        Method::Lkp(v) if v.uses_embedding_kernel() => {
+            let mut obj = LkpRbfObjective::new(v.kind(), 1.0);
+            trainer.fit(model, &mut obj, data)
+        }
+        Method::Lkp(v) => {
+            let mut obj = LkpObjective::new(v.kind(), kernel.clone());
+            trainer.fit(model, &mut obj, data)
+        }
+        Method::Bpr => trainer.fit(model, &mut Bpr, data),
+        Method::Bce => trainer.fit(model, &mut Bce, data),
+        Method::SetRank => trainer.fit(model, &mut SetRank, data),
+        Method::S2SRank => trainer.fit(model, &mut S2SRank::default(), data),
+        Method::StdDpp => {
+            let mut obj = StandardDppObjective::new(kernel.clone());
+            trainer.fit(model, &mut obj, data)
+        }
+    };
+    let metrics = lkp_eval::evaluate_parallel(model, data, &CUTOFFS, args.threads);
+    RunOutcome { metrics, report }
+}
+
+/// Trains a pre-built objective on a model lacking `ItemEmbeddings`
+/// (NeuMF, GCMC) and evaluates on the test split.
+pub fn run_on_model<M, O>(
+    args: &ExpArgs,
+    data: &Dataset,
+    model: &mut M,
+    objective: &mut O,
+    mode: TargetSelection,
+) -> RunOutcome
+where
+    M: Recommender + Clone + Sync,
+    O: lkp_core::Objective<M>,
+{
+    let trainer = Trainer::new(args.train_config(mode));
+    let report = trainer.fit(model, objective, data);
+    let metrics = lkp_eval::evaluate_parallel(model, data, &CUTOFFS, args.threads);
+    RunOutcome { metrics, report }
+}
+
+/// Prints the 13-column header used by Tables II–IV.
+pub fn print_table_header() {
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Method", "Re@5", "Re@10", "Re@20", "Nd@5", "Nd@10", "Nd@20", "CC@5", "CC@10", "CC@20",
+        "F@5", "F@10", "F@20"
+    );
+}
+
+/// Prints one metric row in the table layout.
+pub fn print_table_row(label: &str, metrics: &MetricSet) {
+    let mut cols = Vec::with_capacity(12);
+    for get in [
+        |m: &lkp_eval::Metrics| m.recall,
+        |m: &lkp_eval::Metrics| m.ndcg,
+        |m: &lkp_eval::Metrics| m.category_coverage,
+        |m: &lkp_eval::Metrics| m.f_score,
+    ] {
+        for &c in &CUTOFFS {
+            cols.push(format!("{:>6.4}", get(metrics.at(c).expect("cutoff present"))));
+        }
+    }
+    println!("{label:<14} {}", cols.join(" "));
+}
+
+/// Percentage improvement of `ours` over `baseline`.
+pub fn improvement_pct(ours: f64, baseline: f64) -> f64 {
+    if baseline.abs() < 1e-12 {
+        0.0
+    } else {
+        (ours - baseline) / baseline * 100.0
+    }
+}
+
+/// The three presets in Table I/II/III/IV row order.
+pub const PRESETS: [SyntheticPreset; 3] =
+    [SyntheticPreset::Beauty, SyntheticPreset::MovieLens, SyntheticPreset::Anime];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_names_are_unique() {
+        let mut names: Vec<&str> = LkpVariant::ALL.iter().map(|v| Method::Lkp(*v).name()).collect();
+        names.extend([Method::Bpr, Method::Bce, Method::SetRank, Method::S2SRank, Method::StdDpp].map(Method::name));
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn improvement_pct_math() {
+        assert!((improvement_pct(1.2, 1.0) - 20.0).abs() < 1e-12);
+        assert_eq!(improvement_pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn smoke_tiny_experiment_end_to_end() {
+        // A miniature Table III cell: train LkP-PS and BPR on MF and make
+        // sure the pipeline produces sane metrics.
+        let args = ExpArgs { scale: 0.003, epochs: 3, dim: 8, k: 3, n: 3, ..Default::default() };
+        let data = args.dataset(SyntheticPreset::MovieLens);
+        let kernel = args.diversity_kernel(&data);
+        let mut mf = args.mf(&data);
+        let out = run_method(&args, &data, &kernel, &mut mf, Method::Lkp(LkpVariant::Ps));
+        let m = out.metrics.at(10).unwrap();
+        assert!(m.ndcg >= 0.0 && m.ndcg <= 1.0);
+        assert!(out.report.epochs_run >= 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Baseline optimization criteria (paper Section IV-A2) and the
+//! standard-DPP ablation.
+//!
+//! All baselines implement the same [`Objective`] trait as LkP, consume the
+//! same ground-set instances, and are compared under identical instance
+//! budgets (the paper's fairness setup). Formulations:
+//!
+//! * **BPR** (Rendle et al.) — pairwise `−log σ(ŷ_pos − ŷ_neg)`; shape (1,1).
+//! * **BCE** (He et al.) — pointwise binary cross-entropy over one positive
+//!   and `n` negatives; shape (1, n).
+//! * **SetRank** (Wang et al., AAAI 2020) — top-1 permutation probability:
+//!   the observed item must outrank a *set* of unobserved items,
+//!   `−log( e^{ŷ_pos} / (e^{ŷ_pos} + Σ_j e^{ŷ_negj}) )`; shape (1, n).
+//! * **Set2SetRank** (Chen et al., SIGIR 2021) — set-to-set comparison:
+//!   all item-to-item pairs between the positive and negative sets under a
+//!   BPR-style criterion, plus a set-level margin between the weakest
+//!   positive and the strongest negative; shape (k, n).
+//! * **StandardDppObjective** — the ablation the paper discusses in
+//!   Section IV-B2: the same kernel machinery but normalized over *all*
+//!   subset sizes (`det(L+I)`), which destroys the fixed-cardinality ranking
+//!   interpretation and is reported to underperform even BPR.
+
+use crate::objective::{quality, Objective};
+use crate::KERNEL_JITTER;
+use lkp_data::GroundSetInstance;
+use lkp_dpp::{grad, DppKernel, LowRankKernel};
+use lkp_linalg::ops::{log_sigmoid, log_sum_exp, sigmoid};
+use lkp_models::Recommender;
+
+/// Bayesian Personalized Ranking.
+pub struct Bpr;
+
+impl<M: Recommender> Objective<M> for Bpr {
+    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+        debug_assert_eq!(instance.k(), 1);
+        debug_assert_eq!(instance.n(), 1);
+        let items = instance.ground_set();
+        let s = model.score_items(instance.user, &items);
+        let x = s[0] - s[1];
+        let loss = -log_sigmoid(x);
+        // d(−log σ(x))/dx = σ(x) − 1.
+        let d = sigmoid(x) - 1.0;
+        model.accumulate_score_grads(instance.user, &items, &[d, -d]);
+        loss
+    }
+
+    fn instance_shape(&self, _k: usize, _n: usize) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "BPR"
+    }
+}
+
+/// Pointwise binary cross-entropy.
+pub struct Bce;
+
+impl<M: Recommender> Objective<M> for Bce {
+    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+        debug_assert_eq!(instance.k(), 1);
+        let items = instance.ground_set();
+        let s = model.score_items(instance.user, &items);
+        let mut loss = 0.0;
+        let mut ds = vec![0.0; items.len()];
+        // Positive at index 0.
+        loss += -log_sigmoid(s[0]);
+        ds[0] = sigmoid(s[0]) - 1.0;
+        for (i, &sn) in s.iter().enumerate().skip(1) {
+            loss += -log_sigmoid(-sn);
+            ds[i] = sigmoid(sn);
+        }
+        model.accumulate_score_grads(instance.user, &items, &ds);
+        loss
+    }
+
+    fn instance_shape(&self, _k: usize, n: usize) -> (usize, usize) {
+        (1, n)
+    }
+
+    fn name(&self) -> &'static str {
+        "BCE"
+    }
+}
+
+/// SetRank: top-1 permutation probability of the observed item against a set
+/// of unobserved items.
+pub struct SetRank;
+
+impl<M: Recommender> Objective<M> for SetRank {
+    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+        debug_assert_eq!(instance.k(), 1);
+        let items = instance.ground_set();
+        let s = model.score_items(instance.user, &items);
+        // loss = logsumexp(s) − s_pos ; ds_i = softmax_i − 1{i = pos}.
+        let lse = log_sum_exp(&s);
+        let loss = lse - s[0];
+        let mut ds: Vec<f64> = s.iter().map(|&si| (si - lse).exp()).collect();
+        ds[0] -= 1.0;
+        model.accumulate_score_grads(instance.user, &items, &ds);
+        loss
+    }
+
+    fn instance_shape(&self, _k: usize, n: usize) -> (usize, usize) {
+        (1, n)
+    }
+
+    fn name(&self) -> &'static str {
+        "SetRank"
+    }
+}
+
+/// Set2SetRank: item-to-item comparisons between the sets plus a set-level
+/// distance term between the hardest pair.
+pub struct S2SRank {
+    /// Weight of the set-level margin term (1.0 in our experiments).
+    pub set_margin_weight: f64,
+}
+
+impl Default for S2SRank {
+    fn default() -> Self {
+        S2SRank { set_margin_weight: 1.0 }
+    }
+}
+
+impl<M: Recommender> Objective<M> for S2SRank {
+    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+        let k = instance.k();
+        let n = instance.n();
+        let items = instance.ground_set();
+        let s = model.score_items(instance.user, &items);
+        let mut ds = vec![0.0; items.len()];
+        let mut loss = 0.0;
+        // Item-to-item: every (positive, negative) pair.
+        let pair_w = 1.0 / (k * n) as f64;
+        for i in 0..k {
+            for j in k..(k + n) {
+                let x = s[i] - s[j];
+                loss += -log_sigmoid(x) * pair_w;
+                let d = (sigmoid(x) - 1.0) * pair_w;
+                ds[i] += d;
+                ds[j] -= d;
+            }
+        }
+        // Set-level: weakest positive vs strongest negative.
+        let (i_min, _) = s[..k]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .expect("k >= 1");
+        let (j_max_rel, _) = s[k..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .expect("n >= 1");
+        let j_max = k + j_max_rel;
+        let x = s[i_min] - s[j_max];
+        loss += -log_sigmoid(x) * self.set_margin_weight;
+        let d = (sigmoid(x) - 1.0) * self.set_margin_weight;
+        ds[i_min] += d;
+        ds[j_max] -= d;
+
+        model.accumulate_score_grads(instance.user, &items, &ds);
+        loss
+    }
+
+    fn name(&self) -> &'static str {
+        "S2SRank"
+    }
+}
+
+/// Standard-DPP ablation: maximizes `log det(L_{S⁺}) − log det(L + I)`
+/// (paper Eq. 1 normalization) instead of the k-DPP normalizer, so the
+/// target subset competes against subsets of *every* cardinality.
+pub struct StandardDppObjective {
+    kernel: LowRankKernel,
+}
+
+impl StandardDppObjective {
+    /// Creates the ablation objective around a pre-learned diversity kernel.
+    pub fn new(kernel: LowRankKernel) -> Self {
+        StandardDppObjective { kernel: kernel.normalized() }
+    }
+}
+
+impl<M: Recommender> Objective<M> for StandardDppObjective {
+    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+        let ground = instance.ground_set();
+        let m = ground.len();
+        let k = instance.k();
+        let scores = model.score_items(instance.user, &ground);
+        let q = quality(&scores);
+        let mut k_sub = self.kernel.submatrix(&ground).expect("items in range");
+        for i in 0..m {
+            k_sub[(i, i)] += KERNEL_JITTER;
+        }
+        let Ok(kernel) = DppKernel::from_quality_diversity(&q, &k_sub) else {
+            return 0.0;
+        };
+        let target: Vec<usize> = (0..k).collect();
+        let Ok(log_p) = kernel.standard_dpp_log_prob(&target) else {
+            return 0.0;
+        };
+        if !log_p.is_finite() {
+            return 0.0;
+        }
+        // ∇ log det(L_S) − ∇ log det(L+I); the latter is V diag(1/(λ+1)) Vᵀ.
+        let Ok(mut g) = grad::grad_log_det_subset(kernel.matrix(), &target) else {
+            return 0.0;
+        };
+        let Ok(eig) = kernel.eigen() else {
+            return 0.0;
+        };
+        let gz = eig.reconstruct_with(|_, l| 1.0 / (l.max(0.0) + 1.0));
+        g.add_scaled(-1.0, &gz).expect("same shape");
+        g.scale(-1.0); // now ∂loss/∂L for loss = −log P.
+        let dq = grad::chain_to_quality(&g, &q, &k_sub);
+        let dscores: Vec<f64> = dq.iter().zip(&q).map(|(&dqi, &qi)| dqi * qi).collect();
+        if dscores.iter().any(|d| !d.is_finite()) {
+            return 0.0;
+        }
+        model.accumulate_score_grads(instance.user, &ground, &dscores);
+        -log_p
+    }
+
+    fn name(&self) -> &'static str {
+        "StdDPP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkp_linalg::Matrix;
+    use lkp_nn::AdamConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mf() -> lkp_models::MatrixFactorization {
+        let mut rng = StdRng::seed_from_u64(12);
+        lkp_models::MatrixFactorization::new(
+            3,
+            12,
+            8,
+            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            &mut rng,
+        )
+    }
+
+    fn pair_instance() -> GroundSetInstance {
+        GroundSetInstance { user: 0, positives: vec![2], negatives: vec![7] }
+    }
+
+    #[test]
+    fn bpr_opens_the_pairwise_gap() {
+        let mut model = mf();
+        let mut obj = Bpr;
+        let inst = pair_instance();
+        let before = model.score_items(0, &[2, 7]);
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..100 {
+            let loss = obj.apply(&mut model, &inst);
+            model.step();
+            last_loss = loss;
+        }
+        let after = model.score_items(0, &[2, 7]);
+        assert!(after[0] - after[1] > before[0] - before[1] + 1.0);
+        assert!(last_loss < 0.3, "BPR loss converged to {last_loss}");
+    }
+
+    #[test]
+    fn bpr_gradient_matches_finite_difference() {
+        // With scores (a, b): loss = −logσ(a−b); check dloss/da numerically.
+        let a = 0.3_f64;
+        let b = 0.7_f64;
+        let analytic = sigmoid(a - b) - 1.0;
+        let h = 1e-6;
+        let f = |a: f64| -log_sigmoid(a - b);
+        let fd = (f(a + h) - f(a - h)) / (2.0 * h);
+        assert!((fd - analytic).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bce_pushes_positive_up_and_negatives_down() {
+        let mut model = mf();
+        let mut obj = Bce;
+        let inst = GroundSetInstance { user: 1, positives: vec![0], negatives: vec![5, 6, 7] };
+        for _ in 0..150 {
+            obj.apply(&mut model, &inst);
+            model.step();
+        }
+        let s = model.score_items(1, &inst.ground_set());
+        assert!(s[0] > 1.0, "positive score {}", s[0]);
+        for &sn in &s[1..] {
+            assert!(sn < -1.0, "negative score {sn}");
+        }
+    }
+
+    #[test]
+    fn setrank_softmax_gradient_sums_to_zero() {
+        let mut model = mf();
+        let mut obj = SetRank;
+        let inst = GroundSetInstance { user: 0, positives: vec![1], negatives: vec![4, 5, 6, 8] };
+        // The softmax−onehot gradient sums to zero: total score mass is
+        // conserved. Verify via the loss trend instead of internals: loss
+        // must decrease.
+        let first = obj.apply(&mut model, &inst);
+        model.step();
+        let mut last = first;
+        for _ in 0..80 {
+            last = obj.apply(&mut model, &inst);
+            model.step();
+        }
+        assert!(last < first * 0.5, "SetRank loss {first} -> {last}");
+    }
+
+    #[test]
+    fn s2srank_separates_the_sets() {
+        let mut model = mf();
+        let mut obj = S2SRank::default();
+        let inst = GroundSetInstance { user: 2, positives: vec![0, 1, 2], negatives: vec![6, 7, 8] };
+        for _ in 0..150 {
+            obj.apply(&mut model, &inst);
+            model.step();
+        }
+        let s = model.score_items(2, &inst.ground_set());
+        let pos_min = s[..3].iter().cloned().fold(f64::INFINITY, f64::min);
+        let neg_max = s[3..].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(pos_min > neg_max, "sets not separated: {s:?}");
+    }
+
+    #[test]
+    fn standard_dpp_objective_still_learns_relevance() {
+        let v = Matrix::from_fn(12, 4, |r, c| (((r * 3 + c * 5) % 7) as f64) * 0.3 - 0.8);
+        let mut model = mf();
+        let mut obj = StandardDppObjective::new(LowRankKernel::new(v));
+        let inst = GroundSetInstance { user: 0, positives: vec![0, 1, 2], negatives: vec![6, 7, 8] };
+        let before: f64 = model.score_items(0, &inst.positives).iter().sum();
+        for _ in 0..100 {
+            obj.apply(&mut model, &inst);
+            model.step();
+        }
+        let after: f64 = model.score_items(0, &inst.positives).iter().sum();
+        assert!(after > before, "positive mass should rise: {before} -> {after}");
+    }
+
+    #[test]
+    fn instance_shapes_are_as_documented() {
+        let bpr: &dyn Objective<lkp_models::MatrixFactorization> = &Bpr;
+        assert_eq!(bpr.instance_shape(5, 5), (1, 1));
+        let bce: &dyn Objective<lkp_models::MatrixFactorization> = &Bce;
+        assert_eq!(bce.instance_shape(5, 4), (1, 4));
+        let sr: &dyn Objective<lkp_models::MatrixFactorization> = &SetRank;
+        assert_eq!(sr.instance_shape(5, 4), (1, 4));
+        let s2s: &dyn Objective<lkp_models::MatrixFactorization> = &S2SRank::default();
+        assert_eq!(s2s.instance_shape(5, 4), (5, 4));
+    }
+}

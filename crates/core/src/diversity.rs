@@ -1,0 +1,242 @@
+//! Pre-training of the diversity kernel (paper Eq. 3).
+//!
+//! The kernel `K = V·Vᵀ` is learned by ascending
+//!
+//! ```text
+//! J = Σ_{(T⁺,T⁻)} log det(K_{T⁺}) − log det(K_{T⁻})
+//! ```
+//!
+//! over pairs of category-diverse observed sets `T⁺` and contaminated sets
+//! `T⁻` (see `lkp-data::diverse`). After training, a set spanning more
+//! categories has a larger determinant — which is exactly the property the
+//! k-DPP comparison of Section III-B2 needs from `K`. The kernel "is not
+//! related to users" and is frozen during LkP optimization.
+
+use lkp_data::{diverse, Dataset};
+use lkp_dpp::LowRankKernel;
+use lkp_nn::optim::{AdamConfig, AdamState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for diversity-kernel pre-training.
+#[derive(Debug, Clone)]
+pub struct DiversityKernelConfig {
+    /// Low-rank dimension `d` of `V ∈ R^{M×d}`.
+    pub dim: usize,
+    /// Size of each `T⁺` / `T⁻` set.
+    pub set_size: usize,
+    /// Pairs sampled per epoch.
+    pub pairs_per_epoch: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Jitter ε in `log det(K_T + εI)`.
+    pub eps: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DiversityKernelConfig {
+    fn default() -> Self {
+        DiversityKernelConfig {
+            dim: 16,
+            set_size: 5,
+            pairs_per_epoch: 256,
+            epochs: 30,
+            lr: 0.05,
+            eps: 1e-2,
+            seed: 7,
+        }
+    }
+}
+
+/// Trains the low-rank diversity kernel on a dataset.
+///
+/// Returns the kernel in raw (unnormalized) form; [`LowRankKernel::normalized`]
+/// is applied by the LkP objective so `K_ii = 1`.
+pub fn train_diversity_kernel(data: &Dataset, config: &DiversityKernelConfig) -> LowRankKernel {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let m = data.n_items();
+    let v = lkp_nn::init::normal_matrix(m, config.dim, 0.3, &mut rng);
+    let mut kernel = LowRankKernel::new(v);
+    let adam_cfg = AdamConfig { lr: config.lr, weight_decay: 1e-6, ..Default::default() };
+    let mut adam = AdamState::new(m, config.dim, adam_cfg);
+
+    for _ in 0..config.epochs {
+        let pairs = diverse::sample_pairs(data, config.set_size, config.pairs_per_epoch, &mut rng);
+        for pair in pairs {
+            // Ascend J: descend −J, i.e. gradient −∂logdet(T⁺) + ∂logdet(T⁻).
+            apply_set_grad(&mut kernel, &mut adam, &pair.positive, config.eps, -1.0);
+            apply_set_grad(&mut kernel, &mut adam, &pair.negative, config.eps, 1.0);
+        }
+    }
+    kernel
+}
+
+fn apply_set_grad(
+    kernel: &mut LowRankKernel,
+    adam: &mut AdamState,
+    set: &[usize],
+    eps: f64,
+    sign: f64,
+) {
+    let Ok(g) = kernel.grad_log_det(set, eps) else {
+        return; // numerically degenerate set — skip
+    };
+    for (a, &item) in set.iter().enumerate() {
+        let row: Vec<f64> = g.row(a).iter().map(|&x| sign * x).collect();
+        adam.step_row(kernel.factor_mut(), item, &row);
+    }
+}
+
+/// Mean `log det(K_T + εI)` gap between diverse and contaminated sets —
+/// the quantity Eq. 3 maximizes; exposed for tests and diagnostics.
+pub fn mean_logdet_gap(
+    kernel: &LowRankKernel,
+    data: &Dataset,
+    set_size: usize,
+    samples: usize,
+    eps: f64,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = diverse::sample_pairs(data, set_size, samples, &mut rng);
+    let mut gap = 0.0;
+    let mut count = 0;
+    for pair in pairs {
+        let (Ok(p), Ok(n)) = (
+            kernel.log_det_jittered(&pair.positive, eps),
+            kernel.log_det_jittered(&pair.negative, eps),
+        ) else {
+            continue;
+        };
+        gap += p - n;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        gap / count as f64
+    }
+}
+
+/// Diversity-ranking diagnostic: mean `log det` of the *normalized* kernel
+/// over category-diverse vs. category-monotonous size-k sets of observed
+/// items. A trained kernel must rank the diverse sets higher — this is the
+/// "diversity ranking interpretation" of Section III-B2.
+pub fn diverse_vs_monotonous_gap(
+    kernel: &LowRankKernel,
+    data: &Dataset,
+    set_size: usize,
+    samples: usize,
+    seed: u64,
+) -> (f64, f64) {
+    use rand::Rng;
+    let norm = kernel.normalized();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut diverse_sum = 0.0;
+    let mut diverse_n = 0usize;
+    let mut mono_sum = 0.0;
+    let mut mono_n = 0usize;
+    let mut attempts = 0;
+    while (diverse_n < samples || mono_n < samples) && attempts < samples * 200 {
+        attempts += 1;
+        let user = rng.random_range(0..data.n_users());
+        let train = data.user_items(user, lkp_data::Split::Train);
+        if train.len() < set_size {
+            continue;
+        }
+        // Random size-k subset of the user's items.
+        let mut pool = train.to_vec();
+        for i in (1..pool.len()).rev() {
+            pool.swap(i, rng.random_range(0..=i));
+        }
+        let set: Vec<usize> = pool[..set_size].to_vec();
+        let coverage = data.category_coverage(&set);
+        let Ok(ld) = norm.log_det_jittered(&set, crate::KERNEL_JITTER) else {
+            continue;
+        };
+        if coverage >= set_size.min(3) && diverse_n < samples {
+            diverse_sum += ld;
+            diverse_n += 1;
+        } else if coverage <= 2 && mono_n < samples {
+            mono_sum += ld;
+            mono_n += 1;
+        }
+    }
+    (
+        if diverse_n > 0 { diverse_sum / diverse_n as f64 } else { f64::NAN },
+        if mono_n > 0 { mono_sum / mono_n as f64 } else { f64::NAN },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkp_data::SyntheticConfig;
+
+    fn data() -> Dataset {
+        lkp_data::synthetic::generate(&SyntheticConfig {
+            n_users: 60,
+            n_items: 120,
+            n_categories: 10,
+            mean_interactions: 22.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn training_increases_the_logdet_gap() {
+        let data = data();
+        let config = DiversityKernelConfig {
+            epochs: 8,
+            pairs_per_epoch: 64,
+            dim: 8,
+            ..Default::default()
+        };
+        // Untrained kernel: gap near zero.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let v0 = lkp_nn::init::normal_matrix(data.n_items(), config.dim, 0.3, &mut rng);
+        let untrained = LowRankKernel::new(v0);
+        let gap_before =
+            mean_logdet_gap(&untrained, &data, config.set_size, 100, config.eps, 99);
+
+        let trained = train_diversity_kernel(&data, &config);
+        let gap_after = mean_logdet_gap(&trained, &data, config.set_size, 100, config.eps, 99);
+        assert!(
+            gap_after > gap_before + 0.5,
+            "gap did not open: {gap_before} -> {gap_after}"
+        );
+    }
+
+    #[test]
+    fn trained_kernel_ranks_diverse_sets_higher() {
+        let data = data();
+        let config = DiversityKernelConfig {
+            epochs: 10,
+            pairs_per_epoch: 96,
+            dim: 8,
+            ..Default::default()
+        };
+        let trained = train_diversity_kernel(&data, &config);
+        let (diverse, mono) = diverse_vs_monotonous_gap(&trained, &data, 4, 60, 5);
+        assert!(
+            diverse > mono,
+            "diverse sets ({diverse}) should out-determinant monotonous ones ({mono})"
+        );
+    }
+
+    #[test]
+    fn kernel_has_full_item_coverage_and_finite_entries() {
+        let data = data();
+        let config = DiversityKernelConfig { epochs: 2, pairs_per_epoch: 32, ..Default::default() };
+        let k = train_diversity_kernel(&data, &config);
+        assert_eq!(k.num_items(), data.n_items());
+        for r in 0..k.num_items() {
+            for &x in k.factor().row(r) {
+                assert!(x.is_finite());
+            }
+        }
+    }
+}

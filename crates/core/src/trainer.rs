@@ -1,0 +1,353 @@
+//! The epoch/mini-batch training loop shared by every criterion.
+
+use crate::objective::Objective;
+use lkp_data::{Dataset, InstanceSampler, TargetSelection};
+use lkp_models::Recommender;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Training-loop configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Instances per optimizer step.
+    pub batch_size: usize,
+    /// Ground-set target cardinality `k` (objectives may override).
+    pub k: usize,
+    /// Ground-set negative count `n` (objectives may override).
+    pub n: usize,
+    /// Target construction (S vs R).
+    pub mode: TargetSelection,
+    /// Validate every this many epochs (0 disables validation entirely).
+    pub eval_every: usize,
+    /// Early-stopping patience: stop after this many non-improving
+    /// validations (0 disables early stopping).
+    pub patience: usize,
+    /// Validation metric cutoff (NDCG@cutoff).
+    pub eval_cutoff: usize,
+    /// Evaluation threads.
+    pub eval_threads: usize,
+    /// Seed for instance sampling.
+    pub seed: u64,
+    /// Print per-epoch progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            k: 5,
+            n: 5,
+            mode: TargetSelection::Sequential,
+            eval_every: 5,
+            patience: 3,
+            eval_cutoff: 10,
+            eval_threads: 4,
+            seed: 17,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone)]
+pub struct EpochStat {
+    /// 1-based epoch index.
+    pub epoch: usize,
+    /// Mean per-instance loss.
+    pub mean_loss: f64,
+    /// Validation NDCG@cutoff, when this epoch was evaluated.
+    pub val_ndcg: Option<f64>,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Epochs actually run (≤ configured maximum under early stopping).
+    pub epochs_run: usize,
+    /// Epoch with the best validation metric (0 if never evaluated).
+    pub best_epoch: usize,
+    /// Best validation NDCG@cutoff observed.
+    pub best_val_ndcg: f64,
+    /// Per-epoch history.
+    pub history: Vec<EpochStat>,
+}
+
+/// The training loop.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Loop configuration.
+    pub config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Trains `model` with `objective` on `data`.
+    ///
+    /// When validation is enabled (`eval_every > 0`), the model state with
+    /// the best validation score is checkpointed and **restored** at the end
+    /// — the paper reports "the best results of each model by tuning … on a
+    /// validation set", not the last epoch's state.
+    pub fn fit<M, O>(&self, model: &mut M, objective: &mut O, data: &Dataset) -> TrainReport
+    where
+        M: Recommender + Clone + Sync,
+        O: Objective<M>,
+    {
+        self.fit_with_callback(model, objective, data, |_, _| {})
+    }
+
+    /// Trains with a per-epoch callback `f(epoch, model)`.
+    ///
+    /// The callback fires once with `epoch = 0` before any update (the
+    /// paper's Fig. 4 reads the probability profile at epoch 0) and then
+    /// after every completed epoch. Best-validation checkpointing behaves as
+    /// in [`Trainer::fit`].
+    pub fn fit_with_callback<M, O, F>(
+        &self,
+        model: &mut M,
+        objective: &mut O,
+        data: &Dataset,
+        mut callback: F,
+    ) -> TrainReport
+    where
+        M: Recommender + Clone + Sync,
+        O: Objective<M>,
+        F: FnMut(usize, &M),
+    {
+        let cfg = &self.config;
+        let (k, n) = objective.instance_shape(cfg.k, cfg.n);
+        let sampler = InstanceSampler::new(k, n, cfg.mode);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_epoch = 0usize;
+        let mut bad_evals = 0usize;
+        let mut epochs_run = 0usize;
+        let mut best_state: Option<M> = None;
+
+        callback(0, model);
+
+        for epoch in 1..=cfg.epochs {
+            epochs_run = epoch;
+            model.begin_epoch();
+            let mut instances = sampler.epoch_instances(data, &mut rng);
+            shuffle(&mut instances, &mut rng);
+
+            let mut loss_sum = 0.0;
+            let mut count = 0usize;
+            for batch in instances.chunks(cfg.batch_size.max(1)) {
+                for inst in batch {
+                    loss_sum += objective.apply(model, inst);
+                    count += 1;
+                }
+                model.step();
+            }
+            let mean_loss = if count > 0 { loss_sum / count as f64 } else { 0.0 };
+
+            let mut val_ndcg = None;
+            if cfg.eval_every > 0 && epoch % cfg.eval_every == 0 {
+                let metrics = lkp_eval::evaluate_parallel_on(
+                    model,
+                    data,
+                    &[cfg.eval_cutoff],
+                    lkp_data::Split::Validation,
+                    cfg.eval_threads,
+                );
+                let ndcg = metrics.at(cfg.eval_cutoff).map(|m| m.ndcg).unwrap_or(0.0);
+                val_ndcg = Some(ndcg);
+                if ndcg > best_val + 1e-6 {
+                    best_val = ndcg;
+                    best_epoch = epoch;
+                    bad_evals = 0;
+                    best_state = Some(model.clone());
+                } else {
+                    bad_evals += 1;
+                }
+            }
+            if cfg.verbose {
+                match val_ndcg {
+                    Some(v) => eprintln!(
+                        "[{}] epoch {epoch:>3}: loss {mean_loss:.4}  val-ndcg@{} {v:.4}",
+                        objective.name(),
+                        cfg.eval_cutoff
+                    ),
+                    None => eprintln!("[{}] epoch {epoch:>3}: loss {mean_loss:.4}", objective.name()),
+                }
+            }
+            history.push(EpochStat { epoch, mean_loss, val_ndcg });
+            callback(epoch, model);
+
+            if cfg.patience > 0 && bad_evals >= cfg.patience {
+                break;
+            }
+        }
+
+        if let Some(best) = best_state {
+            *model = best;
+        }
+
+        TrainReport {
+            epochs_run,
+            best_epoch,
+            best_val_ndcg: if best_val.is_finite() { best_val } else { 0.0 },
+            history,
+        }
+    }
+}
+
+fn shuffle<T, R: rand::Rng + ?Sized>(v: &mut [T], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.random_range(0..=i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Bpr;
+    use crate::diversity::{train_diversity_kernel, DiversityKernelConfig};
+    use crate::objective::{LkpKind, LkpObjective};
+    use lkp_data::SyntheticConfig;
+    use lkp_models::MatrixFactorization;
+    use lkp_nn::AdamConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> Dataset {
+        lkp_data::synthetic::generate(&SyntheticConfig {
+            n_users: 50,
+            n_items: 100,
+            n_categories: 8,
+            mean_interactions: 20.0,
+            ..Default::default()
+        })
+    }
+
+    fn mf(data: &Dataset) -> MatrixFactorization {
+        let mut rng = StdRng::seed_from_u64(1);
+        MatrixFactorization::new(
+            data.n_users(),
+            data.n_items(),
+            16,
+            AdamConfig { lr: 0.02, ..Default::default() },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn bpr_training_improves_validation_ndcg() {
+        let data = data();
+        let mut model = mf(&data);
+        let untrained = lkp_eval::evaluate_parallel_on(
+            &model,
+            &data,
+            &[10],
+            lkp_data::Split::Validation,
+            2,
+        )
+        .at(10)
+        .unwrap()
+        .ndcg;
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 15,
+            eval_every: 5,
+            patience: 0,
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &mut Bpr, &data);
+        assert!(
+            report.best_val_ndcg > untrained + 0.02,
+            "no learning: {untrained} -> {}",
+            report.best_val_ndcg
+        );
+        assert_eq!(report.epochs_run, 15);
+    }
+
+    #[test]
+    fn lkp_training_improves_validation_ndcg_and_loss_decreases() {
+        let data = data();
+        let kernel = train_diversity_kernel(
+            &data,
+            &DiversityKernelConfig { epochs: 4, pairs_per_epoch: 48, dim: 8, ..Default::default() },
+        );
+        let mut model = mf(&data);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 10,
+            eval_every: 5,
+            patience: 0,
+            k: 4,
+            n: 4,
+            ..Default::default()
+        });
+        let mut obj = LkpObjective::new(LkpKind::NegativeAware, kernel);
+        let report = trainer.fit(&mut model, &mut obj, &data);
+        let first_loss = report.history.first().unwrap().mean_loss;
+        let last_loss = report.history.last().unwrap().mean_loss;
+        assert!(last_loss < first_loss, "loss {first_loss} -> {last_loss}");
+        assert!(report.best_val_ndcg > 0.0);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_max_epochs() {
+        let data = data();
+        let mut model = mf(&data);
+        // Zero learning rate: validation can never improve, so patience
+        // triggers after the first eval + patience further evals.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut frozen = MatrixFactorization::new(
+            data.n_users(),
+            data.n_items(),
+            8,
+            AdamConfig { lr: 0.0, ..Default::default() },
+            &mut rng,
+        );
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 50,
+            eval_every: 1,
+            patience: 2,
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut frozen, &mut Bpr, &data);
+        assert!(report.epochs_run <= 5, "ran {} epochs", report.epochs_run);
+        let _ = &mut model;
+    }
+
+    #[test]
+    fn callback_fires_at_epoch_zero_and_after_each_epoch() {
+        let data = data();
+        let mut model = mf(&data);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            eval_every: 0,
+            patience: 0,
+            ..Default::default()
+        });
+        let mut seen = Vec::new();
+        trainer.fit_with_callback(&mut model, &mut Bpr, &data, |e, _| seen.push(e));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn objective_shape_override_is_respected() {
+        // BPR forces (1,1) instances regardless of config.
+        let data = data();
+        let mut model = mf(&data);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            k: 5,
+            n: 5,
+            eval_every: 0,
+            ..Default::default()
+        });
+        // Success here just means no panic inside instance assembly: BPR's
+        // debug_asserts verify the (1,1) shape on every instance.
+        trainer.fit(&mut model, &mut Bpr, &data);
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's six LkP variant names (Table II) decomposed into settings.
+//!
+//! * `P` / `NP` — positive-only (Eq. 7) vs negative-aware (Eq. 10) objective.
+//! * `R` / `S` — random vs sequential (sliding-window) target construction.
+//! * `E` — diversity factor from trainable item embeddings (RBF) instead of
+//!   the pre-learned kernel. Only the S combinations are evaluated with E in
+//!   the paper, "as S mode is more suitable for LkP".
+
+use crate::objective::LkpKind;
+use lkp_data::TargetSelection;
+
+/// One of the paper's six LkP variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LkpVariant {
+    /// Positive-only, random targets.
+    Pr,
+    /// Positive-only, sequential targets.
+    Ps,
+    /// Negative-aware, random targets.
+    Npr,
+    /// Negative-aware, sequential targets.
+    Nps,
+    /// Positive-only, sequential targets, embedding (RBF) diversity kernel.
+    Pse,
+    /// Negative-aware, sequential targets, embedding (RBF) diversity kernel.
+    Npse,
+}
+
+impl LkpVariant {
+    /// All six variants in Table II's row order.
+    pub const ALL: [LkpVariant; 6] = [
+        LkpVariant::Pr,
+        LkpVariant::Ps,
+        LkpVariant::Npr,
+        LkpVariant::Nps,
+        LkpVariant::Pse,
+        LkpVariant::Npse,
+    ];
+
+    /// The objective formulation (P vs NP).
+    pub fn kind(self) -> LkpKind {
+        match self {
+            LkpVariant::Pr | LkpVariant::Ps | LkpVariant::Pse => LkpKind::PositiveOnly,
+            LkpVariant::Npr | LkpVariant::Nps | LkpVariant::Npse => LkpKind::NegativeAware,
+        }
+    }
+
+    /// The instance construction (R vs S).
+    pub fn target_selection(self) -> TargetSelection {
+        match self {
+            LkpVariant::Pr | LkpVariant::Npr => TargetSelection::Random,
+            _ => TargetSelection::Sequential,
+        }
+    }
+
+    /// Whether the diversity factor is the trainable-embedding RBF kernel.
+    pub fn uses_embedding_kernel(self) -> bool {
+        matches!(self, LkpVariant::Pse | LkpVariant::Npse)
+    }
+
+    /// The paper's row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            LkpVariant::Pr => "PR",
+            LkpVariant::Ps => "PS",
+            LkpVariant::Npr => "NPR",
+            LkpVariant::Nps => "NPS",
+            LkpVariant::Pse => "PSE",
+            LkpVariant::Npse => "NPSE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_matches_names() {
+        assert_eq!(LkpVariant::Pr.kind(), LkpKind::PositiveOnly);
+        assert_eq!(LkpVariant::Npse.kind(), LkpKind::NegativeAware);
+        assert_eq!(LkpVariant::Pr.target_selection(), TargetSelection::Random);
+        assert_eq!(LkpVariant::Ps.target_selection(), TargetSelection::Sequential);
+        assert!(!LkpVariant::Nps.uses_embedding_kernel());
+        assert!(LkpVariant::Pse.uses_embedding_kernel());
+    }
+
+    #[test]
+    fn all_variants_have_distinct_names() {
+        let names: Vec<&str> = LkpVariant::ALL.iter().map(|v| v.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn e_variants_are_sequential_only() {
+        for v in LkpVariant::ALL {
+            if v.uses_embedding_kernel() {
+                assert_eq!(v.target_selection(), TargetSelection::Sequential);
+            }
+        }
+    }
+}

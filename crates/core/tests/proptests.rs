@@ -1,0 +1,101 @@
+//! Property-based tests for the LkP criterion itself: gradient correctness
+//! and probabilistic invariants over random scores and kernels.
+
+use lkp_core::objective::{lkp_core_apply_for_tests, LkpKind};
+use lkp_dpp::LowRankKernel;
+use lkp_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Random normalized low-rank diversity kernel over `m` items.
+fn kernel_strategy(m: usize, d: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0..1.0_f64, m * d).prop_map(move |data| {
+        let v = Matrix::from_vec(m, d, data);
+        LowRankKernel::new(v).normalized().full_matrix()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ps_loss_is_nonnegative_and_finite(
+        scores in proptest::collection::vec(-3.0..3.0_f64, 6),
+        ksub in kernel_strategy(6, 4),
+    ) {
+        // -log P of a probability is >= 0.
+        if let Some((loss, ds, _)) = lkp_core_apply_for_tests(LkpKind::PositiveOnly, &scores, &ksub, 3) {
+            prop_assert!(loss >= -1e-9, "negative loss {loss}");
+            prop_assert!(loss.is_finite());
+            prop_assert!(ds.iter().all(|d| d.is_finite()));
+        }
+    }
+
+    #[test]
+    fn nps_loss_dominates_ps_loss(
+        scores in proptest::collection::vec(-3.0..3.0_f64, 6),
+        ksub in kernel_strategy(6, 4),
+    ) {
+        let ps = lkp_core_apply_for_tests(LkpKind::PositiveOnly, &scores, &ksub, 3);
+        let nps = lkp_core_apply_for_tests(LkpKind::NegativeAware, &scores, &ksub, 3);
+        if let (Some((ps_loss, _, _)), Some((nps_loss, _, _))) = (ps, nps) {
+            prop_assert!(nps_loss >= ps_loss - 1e-9, "exclusion term went negative");
+        }
+    }
+
+    #[test]
+    fn ps_gradient_matches_finite_difference(
+        scores in proptest::collection::vec(-2.0..2.0_f64, 6),
+        ksub in kernel_strategy(6, 4),
+        dim in 0usize..6,
+    ) {
+        let Some((_, ds, _)) = lkp_core_apply_for_tests(LkpKind::PositiveOnly, &scores, &ksub, 3) else {
+            return Ok(());
+        };
+        let h = 1e-6;
+        let mut plus = scores.clone();
+        plus[dim] += h;
+        let mut minus = scores.clone();
+        minus[dim] -= h;
+        let (lp, _, _) = lkp_core_apply_for_tests(LkpKind::PositiveOnly, &plus, &ksub, 3).unwrap();
+        let (lm, _, _) = lkp_core_apply_for_tests(LkpKind::PositiveOnly, &minus, &ksub, 3).unwrap();
+        let fd = (lp - lm) / (2.0 * h);
+        prop_assert!((fd - ds[dim]).abs() < 1e-4, "dim {dim}: fd {fd} vs {}", ds[dim]);
+    }
+
+    #[test]
+    fn raising_all_positive_scores_reduces_ps_loss(
+        scores in proptest::collection::vec(-1.0..1.0_f64, 6),
+        ksub in kernel_strategy(6, 4),
+        bump in 0.1..1.0_f64,
+    ) {
+        // Monotonicity of the set-level objective in the targets' scores.
+        let Some((before, _, _)) = lkp_core_apply_for_tests(LkpKind::PositiveOnly, &scores, &ksub, 3) else {
+            return Ok(());
+        };
+        let mut raised = scores.clone();
+        for s in raised.iter_mut().take(3) {
+            *s += bump;
+        }
+        let Some((after, _, _)) = lkp_core_apply_for_tests(LkpKind::PositiveOnly, &raised, &ksub, 3) else {
+            return Ok(());
+        };
+        prop_assert!(after <= before + 1e-9, "loss rose from {before} to {after}");
+    }
+
+    #[test]
+    fn gradient_pushes_positives_up_at_symmetric_scores(
+        ksub in kernel_strategy(8, 5),
+    ) {
+        // With all-equal scores, descending the gradient must raise targets
+        // relative to negatives (averaged — individual items can differ due
+        // to the diversity kernel).
+        let scores = vec![0.0; 8];
+        let Some((_, ds, _)) = lkp_core_apply_for_tests(LkpKind::PositiveOnly, &scores, &ksub, 4) else {
+            return Ok(());
+        };
+        let pos: f64 = ds[..4].iter().sum();
+        let neg: f64 = ds[4..].iter().sum();
+        prop_assert!(pos < 0.0, "positive-set gradient {pos} not descending");
+        prop_assert!(neg > 0.0, "negative-set gradient {neg} not ascending");
+    }
+}

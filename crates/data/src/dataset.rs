@@ -1,0 +1,312 @@
+//! The in-memory implicit-feedback dataset.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which of the three per-user interaction partitions to address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// 70% of each user's interactions (chronological order preserved).
+    Train,
+    /// 10% held out for hyperparameter selection / early stopping.
+    Validation,
+    /// 20% held out as ranking ground truth.
+    Test,
+}
+
+/// An implicit-feedback dataset with item categories and a per-user
+/// train/validation/test split.
+///
+/// Items and users are dense `usize` ids. Train interactions preserve the
+/// order in which they occurred, which the S-mode instance sampler relies on.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    n_users: usize,
+    n_items: usize,
+    n_categories: usize,
+    item_category: Vec<usize>,
+    train: Vec<Vec<usize>>,
+    validation: Vec<Vec<usize>>,
+    test: Vec<Vec<usize>>,
+    /// All observed items per user (train ∪ validation ∪ test), sorted, for
+    /// O(log) membership tests during negative sampling.
+    observed_sorted: Vec<Vec<usize>>,
+}
+
+impl Dataset {
+    /// Builds a dataset from per-user chronological interaction lists and an
+    /// item→category map, applying the paper's random 70/10/20 split.
+    ///
+    /// Duplicated items within a user's list are dropped (implicit feedback
+    /// is binary). Users keep their chronological order within the train
+    /// partition even though the partition membership is random, matching
+    /// "randomly select 20% … for testing" while the sliding-window sampler
+    /// still sees items "in the order they occurred".
+    pub fn from_interactions<R: Rng + ?Sized>(
+        interactions: Vec<Vec<usize>>,
+        item_category: Vec<usize>,
+        n_categories: usize,
+        rng: &mut R,
+    ) -> Self {
+        let n_users = interactions.len();
+        let n_items = item_category.len();
+        for cats in &item_category {
+            assert!(*cats < n_categories, "item category out of range");
+        }
+        let mut train = Vec::with_capacity(n_users);
+        let mut validation = Vec::with_capacity(n_users);
+        let mut test = Vec::with_capacity(n_users);
+        let mut observed_sorted = Vec::with_capacity(n_users);
+        for items in interactions {
+            // Deduplicate, preserving first-occurrence order.
+            let mut seen = vec![];
+            let mut uniq = Vec::with_capacity(items.len());
+            for i in items {
+                assert!(i < n_items, "interaction references unknown item {i}");
+                if !seen.contains(&i) {
+                    seen.push(i);
+                    uniq.push(i);
+                }
+            }
+            let n = uniq.len();
+            // Random partition of positions: 20% test, 10% validation, rest train.
+            let mut positions: Vec<usize> = (0..n).collect();
+            positions.shuffle(rng);
+            let n_test = (n as f64 * 0.2).round() as usize;
+            let n_val = (n as f64 * 0.1).round() as usize;
+            let mut is_test = vec![false; n];
+            let mut is_val = vec![false; n];
+            for &p in positions.iter().take(n_test) {
+                is_test[p] = true;
+            }
+            for &p in positions.iter().skip(n_test).take(n_val) {
+                is_val[p] = true;
+            }
+            let mut tr = Vec::with_capacity(n - n_test - n_val);
+            let mut va = Vec::with_capacity(n_val);
+            let mut te = Vec::with_capacity(n_test);
+            for (pos, &item) in uniq.iter().enumerate() {
+                if is_test[pos] {
+                    te.push(item);
+                } else if is_val[pos] {
+                    va.push(item);
+                } else {
+                    tr.push(item);
+                }
+            }
+            let mut all = uniq.clone();
+            all.sort_unstable();
+            train.push(tr);
+            validation.push(va);
+            test.push(te);
+            observed_sorted.push(all);
+        }
+        Dataset { n_users, n_items, n_categories, item_category, train, validation, test, observed_sorted }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of item categories.
+    pub fn n_categories(&self) -> usize {
+        self.n_categories
+    }
+
+    /// Category of an item.
+    pub fn category(&self, item: usize) -> usize {
+        self.item_category[item]
+    }
+
+    /// Borrow the full item→category map.
+    pub fn item_categories(&self) -> &[usize] {
+        &self.item_category
+    }
+
+    /// A user's interactions in the given split (train is chronological).
+    pub fn user_items(&self, user: usize, split: Split) -> &[usize] {
+        match split {
+            Split::Train => &self.train[user],
+            Split::Validation => &self.validation[user],
+            Split::Test => &self.test[user],
+        }
+    }
+
+    /// Whether `item` was observed by `user` in *any* split.
+    pub fn is_observed(&self, user: usize, item: usize) -> bool {
+        self.observed_sorted[user].binary_search(&item).is_ok()
+    }
+
+    /// Whether `item` is in the user's train or validation split — the
+    /// exclusion set when ranking for test-time evaluation.
+    pub fn is_seen_before_test(&self, user: usize, item: usize) -> bool {
+        self.train[user].contains(&item) || self.validation[user].contains(&item)
+    }
+
+    /// Total interaction count across all splits.
+    pub fn n_interactions(&self) -> usize {
+        self.observed_sorted.iter().map(|v| v.len()).sum()
+    }
+
+    /// All `(user, item)` train edges — the graph GCN/GCMC propagate over.
+    pub fn train_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for (u, items) in self.train.iter().enumerate() {
+            for &i in items {
+                edges.push((u, i));
+            }
+        }
+        edges
+    }
+
+    /// Samples an item the user has never interacted with (uniformly).
+    ///
+    /// Panics if the user has observed every item (cannot happen for real
+    /// configurations; guarded in debug builds).
+    pub fn sample_negative<R: Rng + ?Sized>(&self, user: usize, rng: &mut R) -> usize {
+        debug_assert!(
+            self.observed_sorted[user].len() < self.n_items,
+            "user {user} observed the whole catalog"
+        );
+        loop {
+            let item = rng.random_range(0..self.n_items);
+            if !self.is_observed(user, item) {
+                return item;
+            }
+        }
+    }
+
+    /// Samples `n` distinct unobserved items for the user.
+    pub fn sample_negatives<R: Rng + ?Sized>(
+        &self,
+        user: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let cand = self.sample_negative(user, rng);
+            if !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct categories covered by a set of items.
+    pub fn category_coverage(&self, items: &[usize]) -> usize {
+        let mut seen = vec![false; self.n_categories];
+        let mut count = 0;
+        for &i in items {
+            let c = self.item_category[i];
+            if !seen[c] {
+                seen[c] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 3 users over 10 items in 3 categories.
+        let interactions = vec![
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            vec![2, 3, 9, 8],
+            vec![0, 5, 9, 1, 2, 6],
+        ];
+        let cats = vec![0, 0, 1, 1, 1, 2, 2, 2, 0, 1];
+        Dataset::from_interactions(interactions, cats, 3, &mut rng)
+    }
+
+    #[test]
+    fn split_partitions_each_user() {
+        let d = tiny_dataset();
+        for u in 0..d.n_users() {
+            let tr = d.user_items(u, Split::Train);
+            let va = d.user_items(u, Split::Validation);
+            let te = d.user_items(u, Split::Test);
+            let total = tr.len() + va.len() + te.len();
+            let mut all: Vec<usize> = tr.iter().chain(va).chain(te).copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), total, "splits overlap for user {u}");
+            // Every item in a split is observed.
+            for &i in &all {
+                assert!(d.is_observed(u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn split_ratios_are_approximately_70_10_20() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let interactions = vec![(0..100).collect::<Vec<_>>()];
+        let cats = vec![0; 100];
+        let d = Dataset::from_interactions(interactions, cats, 1, &mut rng);
+        assert_eq!(d.user_items(0, Split::Test).len(), 20);
+        assert_eq!(d.user_items(0, Split::Validation).len(), 10);
+        assert_eq!(d.user_items(0, Split::Train).len(), 70);
+    }
+
+    #[test]
+    fn train_preserves_chronological_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let items: Vec<usize> = (0..50).collect();
+        let d = Dataset::from_interactions(vec![items], vec![0; 50], 1, &mut rng);
+        let tr = d.user_items(0, Split::Train);
+        assert!(tr.windows(2).all(|w| w[0] < w[1]), "order scrambled: {tr:?}");
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dataset::from_interactions(vec![vec![1, 1, 2, 1, 2]], vec![0; 3], 1, &mut rng);
+        assert_eq!(d.n_interactions(), 2);
+    }
+
+    #[test]
+    fn negative_sampling_avoids_observed() {
+        let d = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let neg = d.sample_negative(0, &mut rng);
+            assert!(!d.is_observed(0, neg));
+        }
+        let negs = d.sample_negatives(1, 3, &mut rng);
+        assert_eq!(negs.len(), 3);
+        let mut sorted = negs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "negatives must be distinct");
+    }
+
+    #[test]
+    fn category_coverage_counts_distinct() {
+        let d = tiny_dataset();
+        assert_eq!(d.category_coverage(&[0, 1]), 1);
+        assert_eq!(d.category_coverage(&[0, 2, 5]), 3);
+        assert_eq!(d.category_coverage(&[]), 0);
+    }
+
+    #[test]
+    fn train_edges_match_train_split() {
+        let d = tiny_dataset();
+        let edges = d.train_edges();
+        let expected: usize = (0..d.n_users()).map(|u| d.user_items(u, Split::Train).len()).sum();
+        assert_eq!(edges.len(), expected);
+    }
+}

@@ -1,0 +1,315 @@
+//! Ground-set training instances (paper Section III-B1).
+//!
+//! A training instance is a user plus a `k + n` ground set: `k` observed
+//! (target) items and `n` sampled unobserved items. The paper contrasts two
+//! constructions of the k targets:
+//!
+//! * **S (sequential)** — "selecting of k observed items in the order they
+//!   occurred using a sliding window": consecutive windows over the user's
+//!   chronological train items, so targets carry the natural correlations of
+//!   adjacent interactions.
+//! * **R (random)** — "randomly selecting k + n items … from user's 1/0
+//!   feedback": targets are drawn uniformly from the user's train items.
+//!
+//! Both modes guarantee every train item of every user appears as a target at
+//! least once per epoch, which keeps the number of set-level instances no
+//! greater than pointwise/BPR epochs use — the paper's fairness argument.
+
+use crate::dataset::{Dataset, Split};
+use rand::Rng;
+
+/// How the k targets of each instance are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetSelection {
+    /// Sliding window over chronological interactions (the paper's S mode).
+    Sequential,
+    /// Uniformly random targets (the paper's R mode).
+    Random,
+}
+
+/// One training instance: a user and its `k + n` ground set.
+#[derive(Debug, Clone)]
+pub struct GroundSetInstance {
+    /// The user this ground set belongs to.
+    pub user: usize,
+    /// The k observed target items.
+    pub positives: Vec<usize>,
+    /// The n sampled unobserved items.
+    pub negatives: Vec<usize>,
+}
+
+impl GroundSetInstance {
+    /// The full ground set: positives followed by negatives. Positions
+    /// `0..k` are the target subset, `k..k+n` the negatives — the index
+    /// convention every objective in `lkp-core` relies on.
+    pub fn ground_set(&self) -> Vec<usize> {
+        let mut g = self.positives.clone();
+        g.extend_from_slice(&self.negatives);
+        g
+    }
+
+    /// `k`, the target-set cardinality.
+    pub fn k(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// `n`, the negative count.
+    pub fn n(&self) -> usize {
+        self.negatives.len()
+    }
+}
+
+/// Epoch-level sampler of ground-set instances.
+#[derive(Debug, Clone)]
+pub struct InstanceSampler {
+    /// Target-set cardinality `k` (the paper uses k = 5 by default).
+    pub k: usize,
+    /// Negatives per instance `n` (k = n for the NPS objective).
+    pub n: usize,
+    /// S or R construction.
+    pub mode: TargetSelection,
+}
+
+impl InstanceSampler {
+    /// Creates a sampler. `k >= 1`, `n >= 1`.
+    pub fn new(k: usize, n: usize, mode: TargetSelection) -> Self {
+        assert!(k >= 1 && n >= 1, "k and n must be positive");
+        InstanceSampler { k, n, mode }
+    }
+
+    /// Builds one epoch's instances for a single user, covering every train
+    /// item at least once. Users with fewer than `k` train items contribute
+    /// no instances (their per-item signal still reaches baselines, which use
+    /// k = 1 samplers).
+    pub fn user_instances<R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        user: usize,
+        rng: &mut R,
+    ) -> Vec<GroundSetInstance> {
+        let train = data.user_items(user, Split::Train);
+        if train.len() < self.k {
+            return Vec::new();
+        }
+        let windows = match self.mode {
+            TargetSelection::Sequential => sliding_windows(train, self.k),
+            TargetSelection::Random => random_chunks(train, self.k, rng),
+        };
+        windows
+            .into_iter()
+            .map(|positives| {
+                let negatives = sample_negatives_avoiding(data, user, self.n, &positives, rng);
+                GroundSetInstance { user, positives, negatives }
+            })
+            .collect()
+    }
+
+    /// Builds one epoch's instances across all users, in user order.
+    /// Shuffling across users is the trainer's job.
+    pub fn epoch_instances<R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        rng: &mut R,
+    ) -> Vec<GroundSetInstance> {
+        let mut out = Vec::new();
+        for user in 0..data.n_users() {
+            out.extend(self.user_instances(data, user, rng));
+        }
+        out
+    }
+}
+
+/// Stride-1 sliding windows of size k: one window starting at every
+/// position, `len − k + 1` windows in total. This matches the paper's
+/// instance budget ("not greater than the pointwise method or BPR"): one
+/// set-level instance per observed item, with every item covered.
+fn sliding_windows(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let len = items.len();
+    debug_assert!(len >= k);
+    (0..=len - k).map(|start| items[start..start + k].to_vec()).collect()
+}
+
+/// One instance anchored at every item: the anchor plus `k − 1` other items
+/// drawn uniformly without replacement. Guarantees each item appears as a
+/// target at least once while keeping the instance count at `len`.
+fn random_chunks<R: Rng + ?Sized>(items: &[usize], k: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    let len = items.len();
+    debug_assert!(len >= k);
+    let mut chunks = Vec::with_capacity(len);
+    for (anchor_pos, &anchor) in items.iter().enumerate() {
+        let mut set = Vec::with_capacity(k);
+        set.push(anchor);
+        while set.len() < k {
+            let cand = items[rng.random_range(0..len)];
+            if !set.contains(&cand) {
+                set.push(cand);
+            }
+        }
+        // Anchor position varies so the target subset is order-free.
+        let _ = anchor_pos;
+        chunks.push(set);
+    }
+    chunks
+}
+
+/// Samples `n` distinct unobserved items, also avoiding the given positives
+/// (redundant — positives are observed — but cheap and explicit).
+fn sample_negatives_avoiding<R: Rng + ?Sized>(
+    data: &Dataset,
+    user: usize,
+    n: usize,
+    positives: &[usize],
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let cand = data.sample_negative(user, rng);
+        if !out.contains(&cand) && !positives.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_data() -> Dataset {
+        generate(&SyntheticConfig {
+            n_users: 30,
+            n_items: 120,
+            n_categories: 8,
+            mean_interactions: 18.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn sliding_windows_cover_every_item() {
+        let items: Vec<usize> = (10..27).collect(); // 17 items
+        let windows = sliding_windows(&items, 5);
+        let mut covered: Vec<usize> = windows.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered, items);
+        for w in &windows {
+            assert_eq!(w.len(), 5);
+        }
+    }
+
+    #[test]
+    fn sliding_windows_are_stride_one() {
+        let items: Vec<usize> = (0..15).collect();
+        let windows = sliding_windows(&items, 5);
+        assert_eq!(windows.len(), 11, "len − k + 1 windows");
+        for (start, w) in windows.iter().enumerate() {
+            assert_eq!(w.as_slice(), &items[start..start + 5]);
+        }
+    }
+
+    #[test]
+    fn sequential_windows_preserve_order() {
+        let items: Vec<usize> = vec![9, 4, 7, 1, 3, 8, 2];
+        let windows = sliding_windows(&items, 3);
+        assert_eq!(windows[0], vec![9, 4, 7]);
+        assert_eq!(windows[1], vec![4, 7, 1]);
+        assert_eq!(windows.last().unwrap(), &vec![3, 8, 2]);
+    }
+
+    #[test]
+    fn random_chunks_cover_every_item_distinctly_within_chunk() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items: Vec<usize> = (0..17).collect();
+        let chunks = random_chunks(&items, 5, &mut rng);
+        let mut covered: Vec<usize> = chunks.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered, items, "all items covered");
+        for c in &chunks {
+            assert_eq!(c.len(), 5);
+            let mut s = c.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 5, "chunk has duplicates: {c:?}");
+        }
+    }
+
+    #[test]
+    fn instances_have_correct_shape_and_disjoint_sets() {
+        let data = small_data();
+        let mut rng = StdRng::seed_from_u64(4);
+        for mode in [TargetSelection::Sequential, TargetSelection::Random] {
+            let sampler = InstanceSampler::new(5, 5, mode);
+            let instances = sampler.epoch_instances(&data, &mut rng);
+            assert!(!instances.is_empty());
+            for inst in &instances {
+                assert_eq!(inst.k(), 5);
+                assert_eq!(inst.n(), 5);
+                // Positives are observed; negatives are not.
+                for &p in &inst.positives {
+                    assert!(data.is_observed(inst.user, p));
+                }
+                for &n in &inst.negatives {
+                    assert!(!data.is_observed(inst.user, n));
+                }
+                // Ground set has k+n distinct entries.
+                let mut g = inst.ground_set();
+                g.sort_unstable();
+                g.dedup();
+                assert_eq!(g.len(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn every_train_item_is_a_target_at_least_once() {
+        let data = small_data();
+        let mut rng = StdRng::seed_from_u64(8);
+        for mode in [TargetSelection::Sequential, TargetSelection::Random] {
+            let sampler = InstanceSampler::new(4, 4, mode);
+            let instances = sampler.epoch_instances(&data, &mut rng);
+            for user in 0..data.n_users() {
+                let train = data.user_items(user, Split::Train);
+                if train.len() < 4 {
+                    continue;
+                }
+                for &item in train {
+                    let covered = instances
+                        .iter()
+                        .any(|i| i.user == user && i.positives.contains(&item));
+                    assert!(covered, "user {user} item {item} never a target ({mode:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn users_with_too_few_items_are_skipped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Dataset::from_interactions(
+            vec![vec![0, 1], (0..40).collect()],
+            (0..50).map(|i| i % 3).collect(),
+            3,
+            &mut rng,
+        );
+        let sampler = InstanceSampler::new(5, 5, TargetSelection::Sequential);
+        let instances = sampler.epoch_instances(&data, &mut rng);
+        assert!(instances.iter().all(|i| i.user == 1));
+    }
+
+    #[test]
+    fn instance_count_is_bounded_by_item_count() {
+        // Fairness argument: #set instances ≤ #train items (pointwise count).
+        let data = small_data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sampler = InstanceSampler::new(5, 5, TargetSelection::Sequential);
+        let instances = sampler.epoch_instances(&data, &mut rng);
+        let train_items: usize =
+            (0..data.n_users()).map(|u| data.user_items(u, Split::Train).len()).sum();
+        assert!(instances.len() <= train_items);
+    }
+}

@@ -1,0 +1,32 @@
+//! Implicit-feedback datasets for the `lkp` workspace.
+//!
+//! The paper evaluates on Amazon-Beauty, MovieLens-1M and Anime. Those raw
+//! datasets are not redistributable here, so this crate provides:
+//!
+//! * [`dataset::Dataset`] — the in-memory representation the rest of the
+//!   workspace consumes: per-user chronological interactions, item→category
+//!   assignments, and the paper's 70/10/20 train/validation/test split.
+//! * [`synthetic`] — a latent-factor + category-structured generator with
+//!   three presets calibrated to the statistics in the paper's Table I
+//!   (user/item/interaction/category counts, optionally scaled down). The
+//!   generator preserves the properties LkP exploits: personalized relevance
+//!   structure, category diversity structure, popularity skew, and sequential
+//!   category coherence (which gives the S-vs-R instance-construction
+//!   contrast its meaning).
+//! * [`instances`] — ground-set samplers: each training instance is a user
+//!   plus `k` observed items and `n` sampled unobserved items (Section
+//!   III-B1), built either sequentially (S) or randomly (R).
+//! * [`diverse`] — `(T⁺, T⁻)` set pairs for pre-training the diversity
+//!   kernel (Eq. 3).
+//! * [`stats`] — dataset statistics (Table I).
+
+pub mod dataset;
+pub mod diverse;
+pub mod instances;
+pub mod stats;
+pub mod synthetic;
+
+pub use dataset::{Dataset, Split};
+pub use instances::{GroundSetInstance, InstanceSampler, TargetSelection};
+pub use stats::DatasetStats;
+pub use synthetic::{SyntheticConfig, SyntheticPreset};

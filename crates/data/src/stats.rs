@@ -1,0 +1,105 @@
+//! Dataset statistics — regenerates the paper's Table I.
+
+use crate::dataset::{Dataset, Split};
+
+/// Summary statistics of a dataset, in the shape of the paper's Table I plus
+/// a few derived quantities used in the analysis sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Total interactions across all splits.
+    pub n_interactions: usize,
+    /// Number of categories.
+    pub n_categories: usize,
+    /// Interaction-matrix density `interactions / (users · items)`.
+    pub density: f64,
+    /// Mean interactions per user.
+    pub mean_interactions_per_user: f64,
+    /// Mean distinct categories covered by a user's observed items.
+    pub mean_user_category_coverage: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a dataset.
+    pub fn compute(data: &Dataset) -> Self {
+        let n_users = data.n_users();
+        let n_items = data.n_items();
+        let n_interactions = data.n_interactions();
+        let mut coverage_sum = 0.0;
+        for u in 0..n_users {
+            let mut items: Vec<usize> = data.user_items(u, Split::Train).to_vec();
+            items.extend_from_slice(data.user_items(u, Split::Validation));
+            items.extend_from_slice(data.user_items(u, Split::Test));
+            coverage_sum += data.category_coverage(&items) as f64;
+        }
+        DatasetStats {
+            n_users,
+            n_items,
+            n_interactions,
+            n_categories: data.n_categories(),
+            density: n_interactions as f64 / (n_users as f64 * n_items as f64),
+            mean_interactions_per_user: n_interactions as f64 / n_users as f64,
+            mean_user_category_coverage: coverage_sum / n_users as f64,
+        }
+    }
+
+    /// Formats a Table I row: `#Users  #Items  #Interactions  #Categories`.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{:<8} {:>8} {:>8} {:>13} {:>12} {:>10.5}",
+            name,
+            human(self.n_users),
+            human(self.n_items),
+            human(self.n_interactions),
+            self.n_categories,
+            self.density
+        )
+    }
+}
+
+/// Abbreviates counts like the paper ("52.0k", "1.0M").
+fn human(n: usize) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn stats_are_consistent_with_dataset() {
+        let d = generate(&SyntheticConfig::default());
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.n_users, d.n_users());
+        assert_eq!(s.n_items, d.n_items());
+        assert_eq!(s.n_interactions, d.n_interactions());
+        assert!((s.density - s.n_interactions as f64 / (s.n_users * s.n_items) as f64).abs() < 1e-15);
+        assert!(s.mean_interactions_per_user >= 10.0);
+        assert!(s.mean_user_category_coverage >= 1.0);
+        assert!(s.mean_user_category_coverage <= d.n_categories() as f64);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human(999), "999");
+        assert_eq!(human(52_000), "52.0k");
+        assert_eq!(human(1_000_000), "1.0M");
+    }
+
+    #[test]
+    fn table_row_contains_name() {
+        let d = generate(&SyntheticConfig::default());
+        let s = DatasetStats::compute(&d);
+        assert!(s.table_row("Beauty").starts_with("Beauty"));
+    }
+}

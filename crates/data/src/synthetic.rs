@@ -1,0 +1,409 @@
+//! Synthetic implicit-feedback generator calibrated to the paper's Table I.
+//!
+//! The generator is a latent-factor model with explicit category structure:
+//!
+//! 1. Categories get power-law sizes; each category has a latent centroid.
+//! 2. Item vectors are noisy copies of their category centroid, plus a
+//!    Zipf-distributed popularity boost.
+//! 3. Users prefer a small set of categories; their latent vector mixes the
+//!    preferred centroids.
+//! 4. Interactions are drawn sequentially: with probability
+//!    `sequence_coherence` the next item stays in the previous item's
+//!    category (giving consecutive interactions the "clearer correlations"
+//!    the paper attributes to S-mode windows), otherwise a fresh preferred
+//!    category is drawn. Within the chosen category, items are drawn by
+//!    softmax of user–item affinity times popularity.
+//!
+//! The three presets match the Table I row shapes (users/items/interactions/
+//! categories) with an optional `scale` multiplier so experiments stay
+//! CPU-sized while preserving per-user interaction counts and the relative
+//! sparsity ordering (Beauty ≫ Anime > ML in sparsity).
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of item categories.
+    pub n_categories: usize,
+    /// Mean interactions per user (minimum enforced at 10, matching the
+    /// paper's long-tail filtering).
+    pub mean_interactions: f64,
+    /// Latent dimensionality of the generating factors.
+    pub latent_dim: usize,
+    /// How many categories a user prefers, on average.
+    pub categories_per_user: f64,
+    /// Probability that consecutive interactions stay in the same category.
+    pub sequence_coherence: f64,
+    /// Exponent of the item-popularity Zipf distribution (0 = uniform).
+    pub popularity_exponent: f64,
+    /// Softmax temperature for item choice within a category.
+    pub temperature: f64,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_users: 500,
+            n_items: 400,
+            n_categories: 20,
+            mean_interactions: 25.0,
+            latent_dim: 8,
+            categories_per_user: 3.0,
+            sequence_coherence: 0.6,
+            popularity_exponent: 0.8,
+            temperature: 0.7,
+            seed: 42,
+        }
+    }
+}
+
+/// The three dataset presets of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticPreset {
+    /// Amazon-Beauty: many categories, extremely sparse (52.0k users, 57.2k
+    /// items, 0.4M interactions, 213 categories).
+    Beauty,
+    /// MovieLens-1M: few categories, dense (6.0k users, 3.4k items, 1.0M
+    /// interactions, 18 categories).
+    MovieLens,
+    /// Anime: intermediate (73.5k users, 12.2k items, 1.0M interactions,
+    /// 43 categories).
+    Anime,
+}
+
+impl SyntheticPreset {
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyntheticPreset::Beauty => "Beauty",
+            SyntheticPreset::MovieLens => "ML",
+            SyntheticPreset::Anime => "Anime",
+        }
+    }
+
+    /// Builds the preset configuration at the given scale.
+    ///
+    /// `scale = 1.0` reproduces the Table I row; smaller scales shrink user
+    /// and item counts proportionally (floors keep the data usable) while
+    /// preserving per-user interaction counts, so density *ordering* across
+    /// presets is preserved at any scale.
+    pub fn config(self, scale: f64, seed: u64) -> SyntheticConfig {
+        let scaled = |full: usize, floor: usize| ((full as f64 * scale) as usize).max(floor);
+        match self {
+            SyntheticPreset::Beauty => SyntheticConfig {
+                n_users: scaled(52_000, 300),
+                n_items: scaled(57_200, 330),
+                n_categories: 213.min(scaled(213, 60)),
+                // 0.4M / 52k ≈ 7.7 raw; the paper filters < 10 interactions.
+                mean_interactions: 12.0,
+                latent_dim: 8,
+                categories_per_user: 4.0,
+                sequence_coherence: 0.65,
+                popularity_exponent: 1.0,
+                temperature: 0.7,
+                seed,
+            },
+            SyntheticPreset::MovieLens => SyntheticConfig {
+                n_users: scaled(6_000, 250),
+                n_items: scaled(3_400, 150),
+                n_categories: 18,
+                mean_interactions: (167.0 * scale.max(0.15)).clamp(25.0, 167.0),
+                latent_dim: 8,
+                categories_per_user: 4.0,
+                sequence_coherence: 0.55,
+                popularity_exponent: 0.8,
+                temperature: 0.8,
+                seed,
+            },
+            SyntheticPreset::Anime => SyntheticConfig {
+                n_users: scaled(73_500, 350),
+                n_items: scaled(12_200, 220),
+                n_categories: 43,
+                mean_interactions: 14.0,
+                latent_dim: 8,
+                categories_per_user: 3.0,
+                sequence_coherence: 0.6,
+                popularity_exponent: 0.9,
+                temperature: 0.7,
+                seed,
+            },
+        }
+    }
+
+    /// Generates the preset dataset at the given scale.
+    pub fn generate(self, scale: f64, seed: u64) -> Dataset {
+        generate(&self.config(scale, seed))
+    }
+}
+
+/// Generates a dataset from a configuration.
+pub fn generate(config: &SyntheticConfig) -> Dataset {
+    assert!(config.n_categories >= 1 && config.n_items >= config.n_categories);
+    assert!(config.n_users >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let d = config.latent_dim;
+
+    // --- Categories: power-law sizes, latent centroids. ---
+    let cat_weights: Vec<f64> =
+        (0..config.n_categories).map(|c| 1.0 / ((c + 1) as f64).powf(0.7)).collect();
+    let item_category = assign_categories(config.n_items, &cat_weights, &mut rng);
+    let centroids: Vec<Vec<f64>> = (0..config.n_categories)
+        .map(|_| (0..d).map(|_| gaussian(&mut rng)).collect())
+        .collect();
+
+    // --- Items: centroid + noise, Zipf popularity. ---
+    let item_vecs: Vec<Vec<f64>> = item_category
+        .iter()
+        .map(|&c| centroids[c].iter().map(|&x| x + 0.45 * gaussian(&mut rng)).collect())
+        .collect();
+    let mut popularity: Vec<f64> = (0..config.n_items).map(|_| rng.random::<f64>()).collect();
+    popularity.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let popularity: Vec<f64> = {
+        // Random rank permutation so popular items are spread over categories.
+        let mut ranks: Vec<usize> = (0..config.n_items).collect();
+        shuffle(&mut ranks, &mut rng);
+        let mut p = vec![0.0; config.n_items];
+        for (rank, &item) in ranks.iter().enumerate() {
+            p[item] = 1.0 / ((rank + 1) as f64).powf(config.popularity_exponent);
+        }
+        p
+    };
+
+    // Items grouped per category for fast within-category sampling.
+    let mut items_by_cat: Vec<Vec<usize>> = vec![Vec::new(); config.n_categories];
+    for (item, &c) in item_category.iter().enumerate() {
+        items_by_cat[c].push(item);
+    }
+
+    // --- Users: preferred categories + latent mix. ---
+    let mut interactions: Vec<Vec<usize>> = Vec::with_capacity(config.n_users);
+    for _ in 0..config.n_users {
+        // Number of preferred categories: 2..=2*avg-2, mean ≈ avg.
+        let span = (config.categories_per_user * 2.0 - 2.0).max(2.0) as usize;
+        let n_prefs = 2 + rng.random_range(0..span.max(1) - 1);
+        let mut prefs = Vec::with_capacity(n_prefs);
+        while prefs.len() < n_prefs.min(config.n_categories) {
+            let c = sample_weighted(&cat_weights, &mut rng);
+            if !prefs.contains(&c) {
+                prefs.push(c);
+            }
+        }
+        let mut user_vec = vec![0.0; d];
+        for &c in &prefs {
+            for (uv, cv) in user_vec.iter_mut().zip(&centroids[c]) {
+                *uv += cv / n_prefs as f64;
+            }
+        }
+        for uv in &mut user_vec {
+            *uv += 0.3 * gaussian(&mut rng);
+        }
+
+        // Interaction count: lognormal-ish around the mean, floor 10.
+        let raw = config.mean_interactions * (0.45 * gaussian(&mut rng)).exp();
+        let target = (raw.round() as usize).clamp(10, config.n_items / 2);
+
+        let mut history: Vec<usize> = Vec::with_capacity(target);
+        let mut last_cat: Option<usize> = None;
+        let mut attempts = 0;
+        while history.len() < target && attempts < target * 30 {
+            attempts += 1;
+            let cat = match last_cat {
+                Some(c) if rng.random::<f64>() < config.sequence_coherence => c,
+                _ => prefs[rng.random_range(0..prefs.len())],
+            };
+            let pool = &items_by_cat[cat];
+            if pool.is_empty() {
+                last_cat = None;
+                continue;
+            }
+            // Softmax over affinity·popularity within the category, sampled by
+            // Gumbel-max over a bounded candidate slate for O(1)-ish cost.
+            let slate = 12.min(pool.len());
+            let mut best_item = None;
+            let mut best_score = f64::NEG_INFINITY;
+            for _ in 0..slate {
+                let item = pool[rng.random_range(0..pool.len())];
+                let affinity: f64 =
+                    user_vec.iter().zip(&item_vecs[item]).map(|(a, b)| a * b).sum();
+                let score = affinity / config.temperature
+                    + popularity[item].ln()
+                    + gumbel(&mut rng);
+                if score > best_score {
+                    best_score = score;
+                    best_item = Some(item);
+                }
+            }
+            let item = best_item.expect("slate is non-empty");
+            if !history.contains(&item) {
+                history.push(item);
+                last_cat = Some(cat);
+            } else {
+                last_cat = None; // stuck in an exhausted category: jump out
+            }
+        }
+        interactions.push(history);
+    }
+
+    Dataset::from_interactions(interactions, item_category, config.n_categories, &mut rng)
+}
+
+/// Assigns items to categories proportionally to `weights`, guaranteeing each
+/// category at least one item.
+fn assign_categories<R: Rng + ?Sized>(
+    n_items: usize,
+    weights: &[f64],
+    rng: &mut R,
+) -> Vec<usize> {
+    let n_categories = weights.len();
+    let mut cats: Vec<usize> = (0..n_categories).collect(); // one each, guaranteed
+    cats.extend((n_categories..n_items).map(|_| sample_weighted(weights, rng)));
+    shuffle(&mut cats, rng);
+    cats
+}
+
+fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if t < w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+fn shuffle<R: Rng + ?Sized, T>(v: &mut [T], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.random_range(0..=i));
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Standard Gumbel noise (for Gumbel-max categorical sampling).
+fn gumbel<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -(-u.ln()).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Split;
+
+    #[test]
+    fn generation_is_deterministic_given_seed() {
+        let cfg = SyntheticConfig { n_users: 40, n_items: 60, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.n_interactions(), b.n_interactions());
+        for u in 0..a.n_users() {
+            assert_eq!(a.user_items(u, Split::Train), b.user_items(u, Split::Train));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SyntheticConfig { seed: 1, ..Default::default() });
+        let b = generate(&SyntheticConfig { seed: 2, ..Default::default() });
+        let same = (0..a.n_users())
+            .all(|u| a.user_items(u, Split::Train) == b.user_items(u, Split::Train));
+        assert!(!same);
+    }
+
+    #[test]
+    fn every_user_has_at_least_min_interactions() {
+        let d = generate(&SyntheticConfig::default());
+        for u in 0..d.n_users() {
+            let total = d.user_items(u, Split::Train).len()
+                + d.user_items(u, Split::Validation).len()
+                + d.user_items(u, Split::Test).len();
+            assert!(total >= 10, "user {u} has only {total} interactions");
+        }
+    }
+
+    #[test]
+    fn presets_preserve_sparsity_ordering() {
+        // Density = interactions / (users · items). The paper's Table I gives
+        // ML ≫ Anime > Beauty.
+        let scale = 0.004;
+        let density = |p: SyntheticPreset| {
+            let d = p.generate(scale, 7);
+            d.n_interactions() as f64 / (d.n_users() as f64 * d.n_items() as f64)
+        };
+        let beauty = density(SyntheticPreset::Beauty);
+        let ml = density(SyntheticPreset::MovieLens);
+        let anime = density(SyntheticPreset::Anime);
+        assert!(ml > anime, "ML {ml} should be denser than Anime {anime}");
+        assert!(anime > beauty, "Anime {anime} should be denser than Beauty {beauty}");
+    }
+
+    #[test]
+    fn category_counts_match_presets() {
+        let beauty = SyntheticPreset::Beauty.generate(0.004, 3);
+        let ml = SyntheticPreset::MovieLens.generate(0.05, 3);
+        assert_eq!(ml.n_categories(), 18);
+        assert!(beauty.n_categories() > ml.n_categories());
+    }
+
+    #[test]
+    fn sequential_interactions_are_category_coherent() {
+        // With coherence 0.9, consecutive train items should share a category
+        // far more often than random pairs would.
+        let cfg = SyntheticConfig {
+            sequence_coherence: 0.9,
+            n_users: 60,
+            n_items: 200,
+            n_categories: 20,
+            ..Default::default()
+        };
+        let d = generate(&cfg);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for u in 0..d.n_users() {
+            let items = d.user_items(u, Split::Train);
+            for w in items.windows(2) {
+                if d.category(w[0]) == d.category(w[1]) {
+                    same += 1;
+                }
+                total += 1;
+            }
+        }
+        let ratio = same as f64 / total.max(1) as f64;
+        assert!(ratio > 0.4, "coherence ratio only {ratio}");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let d = generate(&SyntheticConfig { n_users: 300, ..Default::default() });
+        let mut counts = vec![0usize; d.n_items()];
+        for u in 0..d.n_users() {
+            for &i in d.user_items(u, Split::Train) {
+                counts[i] += 1;
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = counts.iter().sum();
+        let top_decile: usize = counts.iter().take(d.n_items() / 10).sum();
+        assert!(
+            top_decile as f64 > 0.2 * total as f64,
+            "top decile holds only {top_decile}/{total}"
+        );
+    }
+}

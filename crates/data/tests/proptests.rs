@@ -1,0 +1,171 @@
+//! Property-based tests for dataset construction and instance sampling.
+
+use lkp_data::{Dataset, InstanceSampler, Split, TargetSelection};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random per-user interaction lists over `n_items` items, each user with at
+/// least `min_len` distinct interactions.
+fn interactions_strategy(
+    n_users: usize,
+    n_items: usize,
+    min_len: usize,
+) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..n_items, min_len..(n_items / 2).max(min_len + 1)),
+        n_users,
+    )
+    .prop_map(move |users| {
+        users
+            .into_iter()
+            .map(|mut items| {
+                // Deduplicate while preserving order, then pad with unused
+                // items to restore the minimum length.
+                let mut seen = vec![false; n_items];
+                items.retain(|&i| {
+                    let fresh = !seen[i];
+                    seen[i] = true;
+                    fresh
+                });
+                let mut next = 0;
+                while items.len() < min_len {
+                    if !seen[next] {
+                        seen[next] = true;
+                        items.push(next);
+                    }
+                    next += 1;
+                }
+                items
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn splits_partition_interactions(
+        interactions in interactions_strategy(6, 60, 12),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cats: Vec<usize> = (0..60).map(|i| i % 7).collect();
+        let total: usize = interactions.iter().map(|v| v.len()).sum();
+        let data = Dataset::from_interactions(interactions, cats, 7, &mut rng);
+        prop_assert_eq!(data.n_interactions(), total);
+        for u in 0..data.n_users() {
+            let tr = data.user_items(u, Split::Train);
+            let va = data.user_items(u, Split::Validation);
+            let te = data.user_items(u, Split::Test);
+            let mut all: Vec<usize> = tr.iter().chain(va).chain(te).copied().collect();
+            let len = all.len();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), len, "overlapping splits for user {}", u);
+            // Paper ratios ±1 rounding.
+            let n = len as f64;
+            prop_assert!((te.len() as f64 - 0.2 * n).abs() <= 1.0);
+            prop_assert!((va.len() as f64 - 0.1 * n).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn negatives_are_never_observed(
+        interactions in interactions_strategy(4, 50, 12),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cats: Vec<usize> = (0..50).map(|i| i % 5).collect();
+        let data = Dataset::from_interactions(interactions, cats, 5, &mut rng);
+        for u in 0..data.n_users() {
+            for neg in data.sample_negatives(u, 5, &mut rng) {
+                prop_assert!(!data.is_observed(u, neg));
+            }
+        }
+    }
+
+    #[test]
+    fn every_train_item_becomes_a_target(
+        interactions in interactions_strategy(5, 60, 14),
+        seed in 0u64..1000,
+        k in 2usize..5,
+        sequential in proptest::bool::ANY,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cats: Vec<usize> = (0..60).map(|i| i % 6).collect();
+        let data = Dataset::from_interactions(interactions, cats, 6, &mut rng);
+        let mode = if sequential { TargetSelection::Sequential } else { TargetSelection::Random };
+        let sampler = InstanceSampler::new(k, k, mode);
+        let instances = sampler.epoch_instances(&data, &mut rng);
+        for u in 0..data.n_users() {
+            let train = data.user_items(u, Split::Train);
+            if train.len() < k {
+                continue;
+            }
+            for &item in train {
+                prop_assert!(
+                    instances.iter().any(|i| i.user == u && i.positives.contains(&item)),
+                    "user {} item {} uncovered in {:?} mode", u, item, mode
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instance_budget_never_exceeds_pointwise(
+        interactions in interactions_strategy(5, 60, 14),
+        seed in 0u64..1000,
+        k in 2usize..6,
+    ) {
+        // The paper's fairness constraint: set-level instances ≤ train items.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cats: Vec<usize> = (0..60).map(|i| i % 4).collect();
+        let data = Dataset::from_interactions(interactions, cats, 4, &mut rng);
+        let train_items: usize =
+            (0..data.n_users()).map(|u| data.user_items(u, Split::Train).len()).sum();
+        for mode in [TargetSelection::Sequential, TargetSelection::Random] {
+            let sampler = InstanceSampler::new(k, k, mode);
+            let instances = sampler.epoch_instances(&data, &mut rng);
+            prop_assert!(instances.len() <= train_items);
+        }
+    }
+
+    #[test]
+    fn ground_sets_have_distinct_items(
+        interactions in interactions_strategy(4, 60, 12),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cats: Vec<usize> = (0..60).map(|i| i % 6).collect();
+        let data = Dataset::from_interactions(interactions, cats, 6, &mut rng);
+        let sampler = InstanceSampler::new(3, 3, TargetSelection::Random);
+        for inst in sampler.epoch_instances(&data, &mut rng) {
+            let mut g = inst.ground_set();
+            let len = g.len();
+            g.sort_unstable();
+            g.dedup();
+            prop_assert_eq!(g.len(), len, "duplicate items in a ground set");
+        }
+    }
+
+    #[test]
+    fn category_coverage_bounds(
+        items in proptest::collection::vec(0usize..40, 0..15),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cats: Vec<usize> = (0..40).map(|i| i % 9).collect();
+        let data = Dataset::from_interactions(vec![(0..40).collect()], cats, 9, &mut rng);
+        let cov = data.category_coverage(&items);
+        let mut distinct = items.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(cov <= distinct.len());
+        prop_assert!(cov <= 9);
+        if !items.is_empty() {
+            prop_assert!(cov >= 1);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Conditional DPPs (Kulesza & Taskar §2.4.3).
+//!
+//! Recommendation systems routinely need DPPs conditioned on context: "the
+//! user already has these items in the basket" (inclusion) or "these items
+//! are out of stock" (exclusion). Both operations return a new L-ensemble
+//! over the remaining items:
+//!
+//! * **Exclusion** of a set `B`: the conditional kernel is simply the
+//!   principal submatrix `L_{B̄}` on the complement.
+//! * **Inclusion** of a set `A`: the conditional kernel on the complement is
+//!   `L^A = ( [ (L + I_{Ā})⁻¹ ]_{Ā} )⁻¹ − I`, where `I_{Ā}` is the identity
+//!   restricted to the complement's coordinates.
+//!
+//! The inclusion formula is exact: for any `C ⊆ Ā`,
+//! `P(Y = A ∪ C │ A ⊆ Y) = det(L^A_C) / det(L^A + I)`.
+
+use crate::{DppError, DppKernel, Result};
+
+/// Result of conditioning: the new kernel plus the surviving item ids (in
+/// ascending order) so callers can map conditional indices back to the
+/// original ground set.
+#[derive(Debug, Clone)]
+pub struct ConditionedDpp {
+    /// L-ensemble over the remaining items.
+    pub kernel: DppKernel,
+    /// Original ids of the remaining items; `kernel` index `i` corresponds
+    /// to original item `remaining[i]`.
+    pub remaining: Vec<usize>,
+}
+
+/// Conditions a DPP on the **exclusion** of `excluded`.
+pub fn condition_on_exclusion(kernel: &DppKernel, excluded: &[usize]) -> Result<ConditionedDpp> {
+    let m = kernel.size();
+    for &i in excluded {
+        if i >= m {
+            return Err(DppError::IndexOutOfBounds { index: i, ground_size: m });
+        }
+    }
+    let remaining: Vec<usize> = (0..m).filter(|i| !excluded.contains(i)).collect();
+    let sub = kernel.matrix().principal_submatrix(&remaining)?;
+    Ok(ConditionedDpp { kernel: DppKernel::new(sub)?, remaining })
+}
+
+/// Conditions a DPP on the **inclusion** of `included`.
+///
+/// Fails with [`DppError::DegenerateKernel`] when the included set itself has
+/// zero probability (`det(L_A) = 0`), in which case the conditional law does
+/// not exist.
+pub fn condition_on_inclusion(kernel: &DppKernel, included: &[usize]) -> Result<ConditionedDpp> {
+    let m = kernel.size();
+    for &i in included {
+        if i >= m {
+            return Err(DppError::IndexOutOfBounds { index: i, ground_size: m });
+        }
+    }
+    if !kernel.log_det_subset(included)?.is_finite() {
+        return Err(DppError::DegenerateKernel);
+    }
+    let remaining: Vec<usize> = (0..m).filter(|i| !included.contains(i)).collect();
+
+    // L + I_Ā: add 1 to the diagonal on complement coordinates only.
+    let mut shifted = kernel.matrix().clone();
+    for &i in &remaining {
+        shifted[(i, i)] += 1.0;
+    }
+    let inv = lkp_linalg::lu::inverse(&shifted).map_err(DppError::from)?;
+    let inv_sub = inv.principal_submatrix(&remaining)?;
+    let mut cond = lkp_linalg::lu::inverse(&inv_sub).map_err(DppError::from)?;
+    for i in 0..cond.rows() {
+        cond[(i, i)] -= 1.0;
+    }
+    // Round-off can leave tiny asymmetry/negative eigenvalues; symmetrize and
+    // clamp so downstream k-DPP machinery stays healthy.
+    let kernel = DppKernel::new(cond)?.project_psd()?;
+    Ok(ConditionedDpp { kernel, remaining })
+}
+
+/// Marginal probability that `item` appears in a standard-DPP draw given the
+/// inclusion of `included` — a convenience built on [`condition_on_inclusion`].
+pub fn inclusion_conditional_marginal(
+    kernel: &DppKernel,
+    included: &[usize],
+    item: usize,
+) -> Result<f64> {
+    if included.contains(&item) {
+        return Ok(1.0);
+    }
+    let cond = condition_on_inclusion(kernel, included)?;
+    let pos = cond
+        .remaining
+        .iter()
+        .position(|&i| i == item)
+        .ok_or(DppError::IndexOutOfBounds { index: item, ground_size: kernel.size() })?;
+    // Marginal kernel of the conditional ensemble: K = L(L+I)⁻¹; its diagonal
+    // entries are the singleton marginals.
+    let eig = cond.kernel.eigen()?;
+    let marginal = eig.reconstruct_with(|_, l| {
+        let l = l.max(0.0);
+        l / (1.0 + l)
+    });
+    Ok(marginal[(pos, pos)].clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_subsets;
+    use lkp_linalg::Matrix;
+
+    fn example_kernel(n: usize) -> DppKernel {
+        let v = Matrix::from_fn(n, n, |r, c| (((r * 7 + c * 3) % 9) as f64) * 0.25 - 0.9);
+        let mut g = v.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.4;
+        }
+        DppKernel::new(g).unwrap()
+    }
+
+    /// Brute-force conditional probability P(Y = A ∪ C | A ⊆ Y) from the
+    /// joint standard-DPP law.
+    fn brute_conditional(kernel: &DppKernel, included: &[usize], extra: &[usize]) -> f64 {
+        let m = kernel.size();
+        let target: Vec<usize> = {
+            let mut t: Vec<usize> = included.iter().chain(extra).copied().collect();
+            t.sort_unstable();
+            t
+        };
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for k in 0..=m {
+            for s in enumerate_subsets(m, k) {
+                if included.iter().all(|i| s.contains(i)) {
+                    let p = kernel.standard_dpp_log_prob(&s).unwrap().exp();
+                    den += p;
+                    if s == target {
+                        num = p;
+                    }
+                }
+            }
+        }
+        num / den
+    }
+
+    #[test]
+    fn exclusion_matches_brute_force_renormalization() {
+        let kernel = example_kernel(5);
+        let cond = condition_on_exclusion(&kernel, &[1, 3]).unwrap();
+        assert_eq!(cond.remaining, vec![0, 2, 4]);
+        // Conditional law on exclusion is the L-ensemble of the submatrix:
+        // P(Y = C | Y ∩ {1,3} = ∅) = det(L_C)/det(L_{B̄} + I).
+        let mut den = 0.0;
+        let mut p_c = 0.0;
+        let target = vec![0, 4];
+        for k in 0..=5 {
+            for s in enumerate_subsets(5, k) {
+                if !s.contains(&1) && !s.contains(&3) {
+                    let p = kernel.standard_dpp_log_prob(&s).unwrap().exp();
+                    den += p;
+                    if s == target {
+                        p_c = p;
+                    }
+                }
+            }
+        }
+        let brute = p_c / den;
+        // Map target to conditional indices: items 0,4 -> positions 0,2.
+        let got = cond.kernel.standard_dpp_log_prob(&[0, 2]).unwrap().exp();
+        assert!((got - brute).abs() < 1e-9, "{got} vs {brute}");
+    }
+
+    #[test]
+    fn inclusion_matches_brute_force_conditional() {
+        let kernel = example_kernel(5);
+        let included = vec![2];
+        let cond = condition_on_inclusion(&kernel, &included).unwrap();
+        assert_eq!(cond.remaining, vec![0, 1, 3, 4]);
+        for extra_original in [vec![], vec![0usize], vec![0, 4], vec![1, 3, 4]] {
+            let brute = brute_conditional(&kernel, &included, &extra_original);
+            // Map original extra ids to conditional positions.
+            let extra_cond: Vec<usize> = extra_original
+                .iter()
+                .map(|i| cond.remaining.iter().position(|r| r == i).unwrap())
+                .collect();
+            let mut sorted = extra_cond.clone();
+            sorted.sort_unstable();
+            let got = cond.kernel.standard_dpp_log_prob(&sorted).unwrap().exp();
+            assert!(
+                (got - brute).abs() < 1e-8,
+                "extra {extra_original:?}: {got} vs {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn inclusion_of_two_items_matches_brute_force() {
+        let kernel = example_kernel(5);
+        let included = vec![0, 3];
+        let cond = condition_on_inclusion(&kernel, &included).unwrap();
+        let brute = brute_conditional(&kernel, &included, &[2]);
+        let pos = cond.remaining.iter().position(|&r| r == 2).unwrap();
+        let got = cond.kernel.standard_dpp_log_prob(&[pos]).unwrap().exp();
+        assert!((got - brute).abs() < 1e-8, "{got} vs {brute}");
+    }
+
+    #[test]
+    fn conditional_marginal_matches_enumeration() {
+        let kernel = example_kernel(5);
+        let included = vec![1];
+        for item in [0usize, 2, 4] {
+            let fast = inclusion_conditional_marginal(&kernel, &included, item).unwrap();
+            // Brute force: Σ P(Y = S | 1 ∈ Y) over S containing item.
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for k in 0..=5 {
+                for s in enumerate_subsets(5, k) {
+                    if s.contains(&1) {
+                        let p = kernel.standard_dpp_log_prob(&s).unwrap().exp();
+                        den += p;
+                        if s.contains(&item) {
+                            num += p;
+                        }
+                    }
+                }
+            }
+            let brute = num / den;
+            assert!((fast - brute).abs() < 1e-8, "item {item}: {fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn included_item_has_marginal_one() {
+        let kernel = example_kernel(4);
+        let p = inclusion_conditional_marginal(&kernel, &[2], 2).unwrap();
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn zero_probability_inclusion_is_rejected() {
+        // Rank-1 kernel: any 2-set has det 0, so conditioning on both items
+        // is impossible.
+        let v = Matrix::from_fn(1, 3, |_, c| (c + 1) as f64);
+        let kernel = DppKernel::new(v.gram()).unwrap();
+        assert!(matches!(
+            condition_on_inclusion(&kernel, &[0, 1]),
+            Err(DppError::DegenerateKernel)
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let kernel = example_kernel(3);
+        assert!(condition_on_exclusion(&kernel, &[9]).is_err());
+        assert!(condition_on_inclusion(&kernel, &[9]).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Dual representation of low-rank DPP kernels.
+//!
+//! A rank-d kernel `K = V·Vᵀ` (`V: M×d`) shares its nonzero spectrum with the
+//! tiny dual kernel `C = Vᵀ·V` (`d×d`). Eigendecomposing `C` instead of `K`
+//! turns DPP inference over an M-item catalog from `O(M³)` into
+//! `O(M·d² + d³)`:
+//!
+//! * eigenvalues of `K` = eigenvalues of `C` (plus `M − d` zeros);
+//! * item-space eigenvectors are recovered as `v̂_i = V·w_i / √λ_i` where
+//!   `(λ_i, w_i)` are the dual eigenpairs.
+//!
+//! This enables exact k-DPP sampling and normalization at catalog scale — the
+//! operational payoff of the paper's low-rank kernel choice (Section III-B:
+//! "to reduce the computational complexity of calculating an M × M matrix").
+
+use crate::{esp, DppError, LowRankKernel, Result};
+use lkp_linalg::{eigen::SymmetricEigen, Matrix};
+use rand::Rng;
+
+/// Spectral data of a low-rank kernel obtained through its dual.
+#[derive(Debug, Clone)]
+pub struct DualSpectrum {
+    /// Non-negative eigenvalues (at most `d` of them, descending ≥ 0).
+    lambda: Vec<f64>,
+    /// Item-space eigenvectors as columns of an `M × r` matrix (`r` = number
+    /// of retained eigenvalues).
+    vectors: Matrix,
+}
+
+impl DualSpectrum {
+    /// Computes the item-space spectrum of `kernel` via the dual `d × d`
+    /// eigendecomposition. Eigenvalues below `tol` (relative to the largest)
+    /// are dropped — they carry no probability mass.
+    pub fn new(kernel: &LowRankKernel, tol: f64) -> Result<Self> {
+        let v = kernel.factor(); // M × d
+        let m = v.rows();
+        let d = v.cols();
+        let dual = v.gram(); // C = VᵀV, d × d
+        let eig = SymmetricEigen::new(&dual)?;
+        let max = eig.values.iter().cloned().fold(0.0_f64, f64::max);
+        if max <= 0.0 {
+            return Err(DppError::DegenerateKernel);
+        }
+        let keep: Vec<usize> = (0..d)
+            .filter(|&i| eig.values[i] > tol * max && eig.values[i] > 0.0)
+            .collect();
+        let r = keep.len();
+        // Item-space eigenvectors: v̂_j = V w_j / sqrt(λ_j).
+        let mut vectors = Matrix::zeros(m, r);
+        let mut lambda = Vec::with_capacity(r);
+        for (col, &j) in keep.iter().enumerate() {
+            let lam = eig.values[j];
+            lambda.push(lam);
+            let scale = 1.0 / lam.sqrt();
+            for row in 0..m {
+                let mut acc = 0.0;
+                for x in 0..d {
+                    acc += v[(row, x)] * eig.vectors[(x, j)];
+                }
+                vectors[(row, col)] = acc * scale;
+            }
+        }
+        // Descending order is what the selection phase expects; sort.
+        let mut order: Vec<usize> = (0..r).collect();
+        order.sort_by(|&a, &b| lambda[b].partial_cmp(&lambda[a]).expect("finite eigenvalues"));
+        let lambda_sorted: Vec<f64> = order.iter().map(|&i| lambda[i]).collect();
+        let mut vectors_sorted = Matrix::zeros(m, r);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for row in 0..m {
+                vectors_sorted[(row, new_col)] = vectors[(row, old_col)];
+            }
+        }
+        Ok(DualSpectrum { lambda: lambda_sorted, vectors: vectors_sorted })
+    }
+
+    /// Number of items `M`.
+    pub fn num_items(&self) -> usize {
+        self.vectors.rows()
+    }
+
+    /// Retained rank `r ≤ d`.
+    pub fn rank(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// The retained eigenvalues (descending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// `log Z_k = log e_k(λ)` of the k-DPP over the full catalog.
+    pub fn log_normalizer(&self, k: usize) -> f64 {
+        esp::log_elementary_symmetric(&self.lambda, k)
+    }
+
+    /// Exact size-k sample from the k-DPP over the full catalog in
+    /// `O(M·r·k)` per draw — no `M × M` kernel is ever formed.
+    pub fn sample_kdpp<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Result<Vec<usize>> {
+        if k > self.rank() {
+            return Err(DppError::CardinalityTooLarge { k, ground_size: self.rank() });
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        // Phase 1: select exactly k eigenvectors via the ESP table.
+        let table = esp::esp_table(&self.lambda, k);
+        let r = self.rank();
+        if table[k][r] <= 0.0 {
+            return Err(DppError::DegenerateKernel);
+        }
+        let mut selected = Vec::with_capacity(k);
+        let mut l = k;
+        for j in (1..=r).rev() {
+            if l == 0 {
+                break;
+            }
+            if j == l {
+                for idx in (0..j).rev() {
+                    selected.push(idx);
+                }
+                l = 0;
+                break;
+            }
+            let p = self.lambda[j - 1] * table[l - 1][j - 1] / table[l][j];
+            if rng.random::<f64>() < p {
+                selected.push(j - 1);
+                l -= 1;
+            }
+        }
+        debug_assert_eq!(l, 0, "eigenvector selection must pick exactly k vectors");
+        selected.reverse();
+        crate::sampling::sample_elementary_from(&self.vectors, &selected, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate_subsets, DppKernel, KDpp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn example(m: usize, d: usize) -> LowRankKernel {
+        let v = Matrix::from_fn(m, d, |r, c| (((r * 5 + c * 11) % 13) as f64) * 0.2 - 1.1);
+        LowRankKernel::new(v)
+    }
+
+    #[test]
+    fn dual_eigenvalues_match_full_kernel_spectrum() {
+        let k = example(8, 3);
+        let dual = DualSpectrum::new(&k, 1e-12).unwrap();
+        let full = DppKernel::new(k.full_matrix()).unwrap();
+        let mut full_lambda = full.nonneg_eigenvalues().unwrap();
+        full_lambda.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (i, &l) in dual.eigenvalues().iter().enumerate() {
+            assert!((l - full_lambda[i]).abs() < 1e-9, "eigenvalue {i}: {l} vs {}", full_lambda[i]);
+        }
+        // The rest of the full spectrum is numerically zero.
+        for &l in &full_lambda[dual.rank()..] {
+            assert!(l < 1e-9);
+        }
+    }
+
+    #[test]
+    fn item_space_eigenvectors_are_orthonormal_and_satisfy_kv_eq_lv() {
+        let k = example(7, 3);
+        let dual = DualSpectrum::new(&k, 1e-12).unwrap();
+        let full = k.full_matrix();
+        for j in 0..dual.rank() {
+            let vj = dual.vectors.col(j);
+            // Unit norm.
+            assert!((lkp_linalg::ops::norm2(&vj) - 1.0).abs() < 1e-10);
+            // K v = λ v.
+            let kv = full.matvec(&vj).unwrap();
+            for (a, b) in kv.iter().zip(&vj) {
+                assert!((a - dual.eigenvalues()[j] * b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_normalizer_matches_full_kdpp() {
+        let k = example(8, 3);
+        let dual = DualSpectrum::new(&k, 1e-12).unwrap();
+        let mut full_matrix = k.full_matrix();
+        for i in 0..8 {
+            full_matrix[(i, i)] += 0.0; // keep exactly rank-3
+        }
+        let kdpp = KDpp::new(DppKernel::new(full_matrix).unwrap(), 2).unwrap();
+        assert!((dual.log_normalizer(2) - kdpp.log_normalizer()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dual_sampling_matches_exact_probabilities() {
+        let k = example(6, 3);
+        let dual = DualSpectrum::new(&k, 1e-12).unwrap();
+        let kdpp = KDpp::new(DppKernel::new(k.full_matrix()).unwrap(), 2).unwrap();
+        let exact: HashMap<Vec<usize>, f64> =
+            kdpp.all_subset_probs().unwrap().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 30_000;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..trials {
+            *counts.entry(dual.sample_kdpp(2, &mut rng).unwrap()).or_default() += 1;
+        }
+        for s in enumerate_subsets(6, 2) {
+            let p = exact[&s];
+            let freq = *counts.get(&s).unwrap_or(&0) as f64 / trials as f64;
+            let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!((freq - p).abs() < 4.0 * sigma + 2e-3, "{s:?}: {freq:.4} vs {p:.4}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_rank_is_rejected() {
+        let k = example(10, 2);
+        let dual = DualSpectrum::new(&k, 1e-12).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            dual.sample_kdpp(3, &mut rng),
+            Err(DppError::CardinalityTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn scales_to_large_catalogs() {
+        // 5000 items, rank 16: the full kernel would be 5000² = 25M entries;
+        // the dual path never materializes it.
+        let k = example(5000, 16);
+        let dual = DualSpectrum::new(&k, 1e-12).unwrap();
+        assert!(dual.log_normalizer(8).is_finite());
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = dual.sample_kdpp(8, &mut rng).unwrap();
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|&i| i < 5000));
+    }
+}

@@ -1,0 +1,226 @@
+//! Elementary symmetric polynomials (ESPs) over kernel eigenvalues.
+//!
+//! The k-DPP normalization constant is `Z_k = e_k(λ_1, …, λ_m)` (paper
+//! Eq. 6), computed by the recursive DP the paper spells out as Algorithm 1:
+//!
+//! ```text
+//! e_0^m = 1,  e_l^0 = 0 (l ≥ 1),  e_l^m = e_l^{m-1} + λ_m · e_{l-1}^{m-1}
+//! ```
+//!
+//! which runs in `O(m·k)` time. The gradient of `log Z_k` additionally needs
+//! the *leave-one-out* polynomials `e_{k-1}(λ_{-i})` (one for each `i`), and
+//! k-DPP sampling needs the full DP table; both are provided here.
+
+/// Computes `e_k(λ)` with the paper's Algorithm 1 in `O(m·k)`.
+///
+/// Eigenvalues of PSD kernels are non-negative, so the recurrence involves no
+/// cancellation and is numerically benign. `e_0 = 1` by convention; `k > m`
+/// yields 0.
+pub fn elementary_symmetric(eigenvalues: &[f64], k: usize) -> f64 {
+    let m = eigenvalues.len();
+    if k == 0 {
+        return 1.0;
+    }
+    if k > m {
+        return 0.0;
+    }
+    // e[l] holds e_l^{(m')} as m' grows; iterate l downward so each λ_m is
+    // used exactly once per step.
+    let mut e = vec![0.0; k + 1];
+    e[0] = 1.0;
+    for &lambda in eigenvalues {
+        for l in (1..=k).rev() {
+            e[l] += lambda * e[l - 1];
+        }
+    }
+    e[k]
+}
+
+/// Computes all of `e_0 … e_k` in a single pass.
+pub fn elementary_symmetric_all(eigenvalues: &[f64], k: usize) -> Vec<f64> {
+    let mut e = vec![0.0; k + 1];
+    e[0] = 1.0;
+    for &lambda in eigenvalues {
+        for l in (1..=k.min(e.len() - 1)).rev() {
+            e[l] += lambda * e[l - 1];
+        }
+    }
+    e
+}
+
+/// The full DP table `E[l][m] = e_l(λ_1..λ_m)` of the paper's Algorithm 1,
+/// with `0 ≤ l ≤ k` and `0 ≤ m ≤ len(λ)`.
+///
+/// Required by exact k-DPP sampling (the eigenvector-selection phase walks
+/// this table backwards).
+pub fn esp_table(eigenvalues: &[f64], k: usize) -> Vec<Vec<f64>> {
+    let m = eigenvalues.len();
+    let mut table = vec![vec![0.0; m + 1]; k + 1];
+    for col in table[0].iter_mut() {
+        *col = 1.0;
+    }
+    for l in 1..=k {
+        for j in 1..=m {
+            table[l][j] = table[l][j - 1] + eigenvalues[j - 1] * table[l - 1][j - 1];
+        }
+    }
+    table
+}
+
+/// Leave-one-out ESPs: returns `v` with `v[i] = e_{k}(λ with λ_i removed)`.
+///
+/// Used by the k-DPP normalizer gradient,
+/// `∂ e_k(λ)/∂ λ_i = e_{k-1}(λ_{-i})` — call with `k-1` for that purpose.
+///
+/// Each leave-one-out polynomial is recomputed directly in `O(m·k)`, for an
+/// overall `O(m²·k)`. The ground sets in this workspace have `m = k+n ≤ ~16`,
+/// where this brute-force approach is faster and far more robust than the
+/// division-based downdate (which is unstable when some `λ_i` dominate).
+pub fn leave_one_out(eigenvalues: &[f64], k: usize) -> Vec<f64> {
+    let m = eigenvalues.len();
+    let mut out = Vec::with_capacity(m);
+    let mut reduced = Vec::with_capacity(m.saturating_sub(1));
+    for i in 0..m {
+        reduced.clear();
+        reduced.extend_from_slice(&eigenvalues[..i]);
+        reduced.extend_from_slice(&eigenvalues[i + 1..]);
+        out.push(elementary_symmetric(&reduced, k));
+    }
+    out
+}
+
+/// `log e_k(λ)` with overflow protection: eigenvalues are rescaled by their
+/// maximum so intermediate ESPs stay bounded, then the log of the scale is
+/// added back (`e_k(cλ) = c^k e_k(λ)`).
+pub fn log_elementary_symmetric(eigenvalues: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    if k > eigenvalues.len() {
+        return f64::NEG_INFINITY;
+    }
+    let max = eigenvalues.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let scaled: Vec<f64> = eigenvalues.iter().map(|&l| l / max).collect();
+    let e = elementary_symmetric(&scaled, k);
+    if e <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    e.ln() + k as f64 * max.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_subsets;
+
+    /// Brute-force ESP: sum over all k-subsets of the product of entries.
+    fn esp_naive(lambda: &[f64], k: usize) -> f64 {
+        enumerate_subsets(lambda.len(), k)
+            .iter()
+            .map(|s| s.iter().map(|&i| lambda[i]).product::<f64>())
+            .sum()
+    }
+
+    #[test]
+    fn matches_naive_enumeration() {
+        let lambda = [0.5, 1.5, 2.0, 0.1, 3.0];
+        for k in 0..=5 {
+            let fast = elementary_symmetric(&lambda, k);
+            let slow = esp_naive(&lambda, k);
+            assert!((fast - slow).abs() < 1e-10 * slow.abs().max(1.0), "k={k}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(elementary_symmetric(&[], 0), 1.0);
+        assert_eq!(elementary_symmetric(&[], 1), 0.0);
+        assert_eq!(elementary_symmetric(&[2.0, 3.0], 3), 0.0);
+        assert_eq!(elementary_symmetric(&[2.0, 3.0], 1), 5.0);
+        assert_eq!(elementary_symmetric(&[2.0, 3.0], 2), 6.0);
+    }
+
+    #[test]
+    fn all_variant_matches_individual() {
+        let lambda = [1.0, 0.2, 4.0, 2.5];
+        let all = elementary_symmetric_all(&lambda, 4);
+        for (k, &value) in all.iter().enumerate() {
+            assert!((value - elementary_symmetric(&lambda, k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table_last_column_matches_esp() {
+        let lambda = [0.3, 1.2, 0.9, 2.2, 0.05];
+        let k = 3;
+        let table = esp_table(&lambda, k);
+        for l in 0..=k {
+            assert!(
+                (table[l][lambda.len()] - elementary_symmetric(&lambda, l)).abs() < 1e-12,
+                "l={l}"
+            );
+        }
+        // Column m=0: e_0 = 1, e_l = 0 for l>0 — the paper's initialization.
+        assert_eq!(table[0][0], 1.0);
+        for row in table.iter().skip(1) {
+            assert_eq!(row[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_matches_direct_removal() {
+        let lambda = [0.7, 1.1, 0.4, 2.0];
+        let loo = leave_one_out(&lambda, 2);
+        for i in 0..lambda.len() {
+            let mut reduced = lambda.to_vec();
+            reduced.remove(i);
+            assert!((loo[i] - esp_naive(&reduced, 2)).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn leave_one_out_is_esp_derivative() {
+        // Finite-difference check of ∂e_k/∂λ_i = e_{k-1}(λ_{-i}).
+        let lambda = [0.9, 1.7, 0.3, 1.2, 0.6];
+        let k = 3;
+        let loo = leave_one_out(&lambda, k - 1);
+        let h = 1e-6;
+        for i in 0..lambda.len() {
+            let mut plus = lambda.to_vec();
+            plus[i] += h;
+            let mut minus = lambda.to_vec();
+            minus[i] -= h;
+            let fd =
+                (elementary_symmetric(&plus, k) - elementary_symmetric(&minus, k)) / (2.0 * h);
+            assert!((fd - loo[i]).abs() < 1e-6, "i={i}: fd {fd} vs loo {}", loo[i]);
+        }
+    }
+
+    #[test]
+    fn log_esp_matches_plain_log() {
+        let lambda = [0.5, 1.5, 2.0, 0.1];
+        for k in 1..=4 {
+            let expected = elementary_symmetric(&lambda, k).ln();
+            assert!((log_elementary_symmetric(&lambda, k) - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_esp_survives_huge_eigenvalues() {
+        // Plain ESP of these would overflow f64 (~1e300 each, k=4 → 1e1200).
+        let lambda = [1e300_f64, 1e300, 1e300, 1e300];
+        let log_e = log_elementary_symmetric(&lambda, 4);
+        let expected = 4.0 * 1e300_f64.ln(); // single subset, product of all four
+        assert!((log_e - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_esp_degenerate_cases() {
+        assert_eq!(log_elementary_symmetric(&[0.0, 0.0], 1), f64::NEG_INFINITY);
+        assert_eq!(log_elementary_symmetric(&[1.0], 2), f64::NEG_INFINITY);
+        assert_eq!(log_elementary_symmetric(&[3.0, 4.0], 0), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Analytic gradients of k-DPP log-probabilities (paper Eq. 12–15).
+//!
+//! Everything is expressed as a gradient with respect to the *kernel entries*
+//! `L_ij` first, then chained through the quality × diversity decomposition
+//! `L_ij = q_i · K_ij · q_j` into either the quality scores `q` (paper
+//! Eq. 14, for the default pre-learned `K`) or the diversity entries `K_ij`
+//! (used by the E-type trainable kernel).
+//!
+//! The two building blocks are:
+//!
+//! * `∇_L log det(L_S) = scatter((L_S)⁻¹)` — the paper's
+//!   `tr(L_S⁻¹ · dL_S/dΘ)` written as a matrix of partials.
+//! * `∇_L log e_k(λ(L)) = U · diag(λ'_i) · Uᵀ` with
+//!   `λ'_i = e_{k-1}(λ_{-i}) / e_k(λ)` — differentiating the normalizer
+//!   through the eigendecomposition `L = U diag(λ) Uᵀ`, using
+//!   `∂e_k/∂λ_i = e_{k-1}(λ_{-i})`.
+
+use crate::{esp, DppError, KDpp, Result};
+use lkp_linalg::Matrix;
+
+/// `∇_L log det(L_S)`: the inverse of the principal submatrix scattered back
+/// into an `m × m` matrix at the subset's coordinates.
+pub fn grad_log_det_subset(l: &Matrix, subset: &[usize]) -> Result<Matrix> {
+    let m = l.rows();
+    for &i in subset {
+        if i >= m {
+            return Err(DppError::IndexOutOfBounds { index: i, ground_size: m });
+        }
+    }
+    let mut g = Matrix::zeros(m, m);
+    if subset.is_empty() {
+        return Ok(g);
+    }
+    let sub = l.principal_submatrix(subset)?;
+    let inv = match lkp_linalg::Cholesky::new(&sub) {
+        Ok(ch) => ch.inverse()?,
+        Err(_) => lkp_linalg::lu::inverse(&sub)?,
+    };
+    for (a, &i) in subset.iter().enumerate() {
+        for (b, &j) in subset.iter().enumerate() {
+            g[(i, j)] = inv[(a, b)];
+        }
+    }
+    Ok(g)
+}
+
+/// `∇_L log Z_k` where `Z_k = e_k(λ(L))` — the gradient of the k-DPP log
+/// normalizer with respect to every kernel entry.
+pub fn grad_log_normalizer(kdpp: &KDpp) -> Result<Matrix> {
+    let k = kdpp.k();
+    let lambda = kdpp.eigenvalues();
+    if k == 0 {
+        return Ok(Matrix::zeros(lambda.len(), lambda.len()));
+    }
+    let z = esp::elementary_symmetric(lambda, k);
+    if z <= 0.0 {
+        return Err(DppError::DegenerateKernel);
+    }
+    let loo = esp::leave_one_out(lambda, k - 1);
+    Ok(kdpp.eigen().reconstruct_with(|i, _| loo[i] / z))
+}
+
+/// `∇_L log P_k(S) = ∇_L log det(L_S) − ∇_L log Z_k` — the full per-instance
+/// kernel gradient of the paper's Eq. 12 for a single training subset.
+pub fn grad_log_prob(kdpp: &KDpp, subset: &[usize]) -> Result<Matrix> {
+    if subset.len() != kdpp.k() {
+        return Err(DppError::WrongSubsetSize { expected: kdpp.k(), got: subset.len() });
+    }
+    let mut g = grad_log_det_subset(kdpp.kernel().matrix(), subset)?;
+    let gz = grad_log_normalizer(kdpp)?;
+    g.add_scaled(-1.0, &gz)?;
+    Ok(g)
+}
+
+/// Chains a kernel gradient `G = ∂Obj/∂L` through `L_ij = q_i K_ij q_j` into
+/// the quality scores: `∂Obj/∂q_i = 2 Σ_j G_ij K_ij q_j` (G and K symmetric).
+pub fn chain_to_quality(g: &Matrix, q: &[f64], k_matrix: &Matrix) -> Vec<f64> {
+    let m = q.len();
+    debug_assert_eq!(g.shape(), (m, m));
+    debug_assert_eq!(k_matrix.shape(), (m, m));
+    let mut dq = vec![0.0; m];
+    for i in 0..m {
+        let mut acc = 0.0;
+        for j in 0..m {
+            acc += g[(i, j)] * k_matrix[(i, j)] * q[j];
+        }
+        dq[i] = 2.0 * acc;
+    }
+    dq
+}
+
+/// Chains a kernel gradient `G = ∂Obj/∂L` through `L_ij = q_i K_ij q_j` into
+/// the diversity kernel entries: `∂Obj/∂K_ij = G_ij · q_i · q_j`.
+pub fn chain_to_diversity(g: &Matrix, q: &[f64]) -> Matrix {
+    let m = q.len();
+    debug_assert_eq!(g.shape(), (m, m));
+    Matrix::from_fn(m, m, |i, j| g[(i, j)] * q[i] * q[j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DppKernel;
+
+    fn example_psd(n: usize) -> Matrix {
+        let v = Matrix::from_fn(n, n, |r, c| (((r * 7 + c * 3) % 5) as f64) * 0.25 - 0.4);
+        let mut g = v.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.4;
+        }
+        g
+    }
+
+    /// Central finite difference of `f` at symmetric perturbations of L.
+    ///
+    /// L is kept symmetric by perturbing (i,j) and (j,i) together, matching
+    /// how the analytic gradient is defined over symmetric matrices:
+    /// dObj = Σ_ij G_ij dL_ij.
+    fn fd_symmetric(l: &Matrix, f: impl Fn(&Matrix) -> f64) -> Matrix {
+        let n = l.rows();
+        let h = 1e-6;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mut plus = l.clone();
+                let mut minus = l.clone();
+                plus[(i, j)] += h;
+                minus[(i, j)] -= h;
+                if i != j {
+                    plus[(j, i)] += h;
+                    minus[(j, i)] -= h;
+                }
+                let d = (f(&plus) - f(&minus)) / (2.0 * h);
+                if i == j {
+                    g[(i, i)] = d;
+                } else {
+                    // d = G_ij + G_ji = 2 G_ij for symmetric G.
+                    g[(i, j)] = d / 2.0;
+                    g[(j, i)] = d / 2.0;
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn grad_log_det_matches_finite_difference() {
+        let l = example_psd(5);
+        let subset = vec![0, 2, 4];
+        let analytic = grad_log_det_subset(&l, &subset).unwrap();
+        let fd = fd_symmetric(&l, |m| {
+            DppKernel::new(m.clone()).unwrap().log_det_subset(&subset).unwrap()
+        });
+        assert!(analytic.max_abs_diff(&fd) < 1e-5, "diff {}", analytic.max_abs_diff(&fd));
+    }
+
+    #[test]
+    fn grad_log_normalizer_matches_finite_difference() {
+        let l = example_psd(5);
+        let k = 3;
+        let kdpp = KDpp::new(DppKernel::new(l.clone()).unwrap(), k).unwrap();
+        let analytic = grad_log_normalizer(&kdpp).unwrap();
+        let fd = fd_symmetric(&l, |m| {
+            KDpp::new(DppKernel::new(m.clone()).unwrap(), k).unwrap().log_normalizer()
+        });
+        assert!(analytic.max_abs_diff(&fd) < 1e-5, "diff {}", analytic.max_abs_diff(&fd));
+    }
+
+    #[test]
+    fn grad_log_prob_matches_finite_difference() {
+        let l = example_psd(6);
+        let k = 3;
+        let subset = vec![1, 3, 5];
+        let kdpp = KDpp::new(DppKernel::new(l.clone()).unwrap(), k).unwrap();
+        let analytic = grad_log_prob(&kdpp, &subset).unwrap();
+        let fd = fd_symmetric(&l, |m| {
+            KDpp::new(DppKernel::new(m.clone()).unwrap(), k)
+                .unwrap()
+                .log_prob(&subset)
+                .unwrap()
+        });
+        assert!(analytic.max_abs_diff(&fd) < 1e-5, "diff {}", analytic.max_abs_diff(&fd));
+    }
+
+    #[test]
+    fn quality_chain_matches_finite_difference() {
+        // End-to-end: d log P_k(S) / d q through L = Diag(q) K Diag(q).
+        let k_matrix = example_psd(5);
+        let q = vec![0.8, 1.3, 0.5, 2.0, 1.0];
+        let k = 2;
+        let subset = vec![1, 4];
+
+        let log_prob = |q: &[f64]| {
+            let kern = DppKernel::from_quality_diversity(q, &k_matrix).unwrap();
+            KDpp::new(kern, k).unwrap().log_prob(&subset).unwrap()
+        };
+
+        let kern = DppKernel::from_quality_diversity(&q, &k_matrix).unwrap();
+        let kdpp = KDpp::new(kern, k).unwrap();
+        let g_l = grad_log_prob(&kdpp, &subset).unwrap();
+        let dq = chain_to_quality(&g_l, &q, &k_matrix);
+
+        let h = 1e-6;
+        for i in 0..q.len() {
+            let mut plus = q.clone();
+            plus[i] += h;
+            let mut minus = q.clone();
+            minus[i] -= h;
+            let fd = (log_prob(&plus) - log_prob(&minus)) / (2.0 * h);
+            assert!((fd - dq[i]).abs() < 1e-5, "i={i}: fd {fd} vs analytic {}", dq[i]);
+        }
+    }
+
+    #[test]
+    fn diversity_chain_matches_finite_difference() {
+        let k_matrix = example_psd(4);
+        let q = vec![1.1, 0.6, 1.7, 0.9];
+        let k = 2;
+        let subset = vec![0, 3];
+
+        let log_prob = |km: &Matrix| {
+            let kern = DppKernel::from_quality_diversity(&q, km).unwrap();
+            KDpp::new(kern, k).unwrap().log_prob(&subset).unwrap()
+        };
+
+        let kern = DppKernel::from_quality_diversity(&q, &k_matrix).unwrap();
+        let kdpp = KDpp::new(kern, k).unwrap();
+        let g_l = grad_log_prob(&kdpp, &subset).unwrap();
+        let dk = chain_to_diversity(&g_l, &q);
+
+        // Symmetric perturbations of K, same convention as fd_symmetric.
+        let h = 1e-6;
+        for i in 0..4 {
+            for j in i..4 {
+                let mut plus = k_matrix.clone();
+                let mut minus = k_matrix.clone();
+                plus[(i, j)] += h;
+                minus[(i, j)] -= h;
+                if i != j {
+                    plus[(j, i)] += h;
+                    minus[(j, i)] -= h;
+                }
+                let fd = (log_prob(&plus) - log_prob(&minus)) / (2.0 * h);
+                let analytic = if i == j { dk[(i, i)] } else { dk[(i, j)] + dk[(j, i)] };
+                assert!((fd - analytic).abs() < 1e-5, "({i},{j}): fd {fd} vs {analytic}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_is_zero_sum_under_probability_constraint() {
+        // Σ_S P_k(S) = 1 identically in L, so E_P[∇ log P] = 0:
+        // Σ_S P_k(S) · ∇_L log P_k(S) must vanish.
+        let l = example_psd(5);
+        let k = 2;
+        let kdpp = KDpp::new(DppKernel::new(l).unwrap(), k).unwrap();
+        let mut acc = Matrix::zeros(5, 5);
+        for (s, p) in kdpp.all_subset_probs().unwrap() {
+            let g = grad_log_prob(&kdpp, &s).unwrap();
+            acc.add_scaled(p, &g).unwrap();
+        }
+        assert!(acc.max_abs() < 1e-8, "score identity violated: {}", acc.max_abs());
+    }
+
+    #[test]
+    fn empty_subset_gradient_is_minus_normalizer_grad() {
+        let l = example_psd(4);
+        let kdpp = KDpp::new(DppKernel::new(l).unwrap(), 0).unwrap();
+        let g = grad_log_prob(&kdpp, &[]).unwrap();
+        assert!(g.max_abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! The k-DPP: a DPP conditioned on cardinality `k` (Kulesza & Taskar 2011).
+//!
+//! Given an L-ensemble kernel over a ground set of size `m`, the k-DPP
+//! assigns to every size-k subset `S` the probability (paper Eq. 4):
+//!
+//! ```text
+//! P_k(S) = det(L_S) / Σ_{|S'|=k} det(L_{S'}) = det(L_S) / e_k(λ(L))
+//! ```
+//!
+//! The normalizer identity `Σ_{|S'|=k} det(L_{S'}) = e_k(λ)` (paper Eq. 6) is
+//! what makes this tractable; it is verified against brute-force enumeration
+//! in the tests below.
+
+use crate::{esp, DppError, DppKernel, Result};
+use lkp_linalg::eigen::SymmetricEigen;
+
+/// A k-DPP over a finite ground set, with cached spectral data.
+#[derive(Debug, Clone)]
+pub struct KDpp {
+    kernel: DppKernel,
+    k: usize,
+    eigen: SymmetricEigen,
+    /// Eigenvalues clamped at zero (PSD round-off hygiene).
+    lambda: Vec<f64>,
+    /// `log e_k(λ)` — the log normalization constant.
+    log_z: f64,
+}
+
+impl KDpp {
+    /// Builds a k-DPP from a kernel and a cardinality.
+    ///
+    /// Fails if `k` exceeds the ground-set size or the kernel's numerical
+    /// rank makes `Z_k` vanish (no size-k subset has positive volume).
+    pub fn new(kernel: DppKernel, k: usize) -> Result<Self> {
+        let m = kernel.size();
+        if k > m {
+            return Err(DppError::CardinalityTooLarge { k, ground_size: m });
+        }
+        let eigen = kernel.eigen()?;
+        let lambda = eigen.clamped_nonnegative_values();
+        let log_z = esp::log_elementary_symmetric(&lambda, k);
+        if !log_z.is_finite() && k > 0 {
+            return Err(DppError::DegenerateKernel);
+        }
+        Ok(KDpp { kernel, k, eigen, lambda, log_z })
+    }
+
+    /// The fixed subset cardinality.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Ground-set size.
+    pub fn ground_size(&self) -> usize {
+        self.kernel.size()
+    }
+
+    /// Borrow the underlying kernel.
+    pub fn kernel(&self) -> &DppKernel {
+        &self.kernel
+    }
+
+    /// The cached eigendecomposition of the kernel.
+    pub fn eigen(&self) -> &SymmetricEigen {
+        &self.eigen
+    }
+
+    /// Clamped (non-negative) eigenvalues.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Log normalization constant `log Z_k = log e_k(λ)`.
+    pub fn log_normalizer(&self) -> f64 {
+        self.log_z
+    }
+
+    /// `log P_k(S)` for a size-k subset (paper Eq. 4).
+    pub fn log_prob(&self, subset: &[usize]) -> Result<f64> {
+        if subset.len() != self.k {
+            return Err(DppError::WrongSubsetSize { expected: self.k, got: subset.len() });
+        }
+        Ok(self.kernel.log_det_subset(subset)? - self.log_z)
+    }
+
+    /// `P_k(S)` for a size-k subset.
+    pub fn prob(&self, subset: &[usize]) -> Result<f64> {
+        Ok(self.log_prob(subset)?.exp())
+    }
+
+    /// Probabilities of *all* size-k subsets, paired with the subsets, in
+    /// lexicographic order. Brute force — only for small ground sets (probes,
+    /// tests, and the paper's Fig. 4 analysis with `C(10,5) = 252`).
+    pub fn all_subset_probs(&self) -> Result<Vec<(Vec<usize>, f64)>> {
+        let subsets = crate::enumerate_subsets(self.ground_size(), self.k);
+        let mut out = Vec::with_capacity(subsets.len());
+        for s in subsets {
+            let p = self.prob(&s)?;
+            out.push((s, p));
+        }
+        Ok(out)
+    }
+
+    /// Marginal probability that item `i` appears in a k-DPP draw.
+    ///
+    /// Uses the spectral identity
+    /// `P(i ∈ S) = Σ_j (v_j[i])² · λ_j · e_{k-1}(λ_{-j}) / e_k(λ)`,
+    /// the k-DPP analogue of the standard DPP's marginal kernel.
+    pub fn inclusion_marginal(&self, item: usize) -> Result<f64> {
+        let m = self.ground_size();
+        if item >= m {
+            return Err(DppError::IndexOutOfBounds { index: item, ground_size: m });
+        }
+        if self.k == 0 {
+            return Ok(0.0);
+        }
+        let loo = esp::leave_one_out(&self.lambda, self.k - 1);
+        let z = self.log_z.exp();
+        let mut p = 0.0;
+        for j in 0..m {
+            let v = self.eigen.vectors[(item, j)];
+            p += v * v * self.lambda[j] * loo[j];
+        }
+        Ok((p / z).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_subsets;
+    use lkp_linalg::Matrix;
+
+    fn example_kernel(n: usize) -> DppKernel {
+        let v = Matrix::from_fn(n, n, |r, c| (((r * 5 + c * 11) % 7) as f64) * 0.2 - 0.4);
+        let mut g = v.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.3;
+        }
+        DppKernel::new(g).unwrap()
+    }
+
+    #[test]
+    fn normalizer_matches_subset_enumeration() {
+        // Z_k = Σ_{|S|=k} det(L_S): the identity behind paper Eq. 6.
+        let kern = example_kernel(5);
+        for k in 1..=5 {
+            let kdpp = KDpp::new(kern.clone(), k).unwrap();
+            let brute: f64 = enumerate_subsets(5, k)
+                .iter()
+                .map(|s| kern.det_subset(s).unwrap())
+                .sum();
+            let z = kdpp.log_normalizer().exp();
+            assert!((z - brute).abs() < 1e-8 * brute.max(1.0), "k={k}: {z} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let kern = example_kernel(6);
+        for k in 1..=4 {
+            let kdpp = KDpp::new(kern.clone(), k).unwrap();
+            let total: f64 = kdpp.all_subset_probs().unwrap().iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-8, "k={k}: total {total}");
+        }
+    }
+
+    #[test]
+    fn wrong_subset_size_rejected() {
+        let kdpp = KDpp::new(example_kernel(4), 2).unwrap();
+        assert!(matches!(
+            kdpp.log_prob(&[0, 1, 2]),
+            Err(DppError::WrongSubsetSize { expected: 2, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn cardinality_too_large_rejected() {
+        assert!(matches!(
+            KDpp::new(example_kernel(3), 4),
+            Err(DppError::CardinalityTooLarge { k: 4, ground_size: 3 })
+        ));
+    }
+
+    #[test]
+    fn degenerate_kernel_rejected() {
+        let zero = DppKernel::new(Matrix::zeros(3, 3)).unwrap();
+        assert!(matches!(KDpp::new(zero, 2), Err(DppError::DegenerateKernel)));
+    }
+
+    #[test]
+    fn higher_quality_subsets_get_higher_probability() {
+        // Diagonal kernel: P_k(S) ∝ Π_{i∈S} L_ii, so the top-k diagonal
+        // entries form the argmax subset.
+        let l = Matrix::from_diag(&[5.0, 1.0, 4.0, 0.2]);
+        let kdpp = KDpp::new(DppKernel::new(l).unwrap(), 2).unwrap();
+        let best = kdpp.prob(&[0, 2]).unwrap();
+        for (s, p) in kdpp.all_subset_probs().unwrap() {
+            assert!(p <= best + 1e-12, "subset {s:?} beats the top-quality pair");
+        }
+    }
+
+    #[test]
+    fn diversity_dominates_at_equal_quality() {
+        // Two similar items (0,1) and one dissimilar item (2), equal quality:
+        // the diverse pair must outrank the redundant pair.
+        let k = Matrix::from_rows(&[
+            &[1.0, 0.9, 0.0],
+            &[0.9, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let kern = DppKernel::from_quality_diversity(&[1.0, 1.0, 1.0], &k).unwrap();
+        let kdpp = KDpp::new(kern, 2).unwrap();
+        assert!(kdpp.prob(&[0, 2]).unwrap() > kdpp.prob(&[0, 1]).unwrap());
+    }
+
+    #[test]
+    fn inclusion_marginals_sum_to_k() {
+        let kern = example_kernel(5);
+        for k in 1..=4 {
+            let kdpp = KDpp::new(kern.clone(), k).unwrap();
+            let total: f64 =
+                (0..5).map(|i| kdpp.inclusion_marginal(i).unwrap()).sum();
+            assert!((total - k as f64).abs() < 1e-8, "k={k}: marginals sum {total}");
+        }
+    }
+
+    #[test]
+    fn inclusion_marginal_matches_enumeration() {
+        let kern = example_kernel(5);
+        let kdpp = KDpp::new(kern, 3).unwrap();
+        for item in 0..5 {
+            let brute: f64 = kdpp
+                .all_subset_probs()
+                .unwrap()
+                .iter()
+                .filter(|(s, _)| s.contains(&item))
+                .map(|(_, p)| p)
+                .sum();
+            let fast = kdpp.inclusion_marginal(item).unwrap();
+            assert!((fast - brute).abs() < 1e-8, "item {item}: {fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn k_equals_ground_size_is_deterministic() {
+        let kern = example_kernel(4);
+        let kdpp = KDpp::new(kern, 4).unwrap();
+        let p = kdpp.prob(&[0, 1, 2, 3]).unwrap();
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+}

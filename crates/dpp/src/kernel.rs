@@ -1,0 +1,232 @@
+//! L-ensemble kernels and the quality × diversity decomposition.
+
+use crate::{DppError, Result};
+use lkp_linalg::{eigen::SymmetricEigen, Matrix};
+
+/// A (symmetric PSD) L-ensemble kernel over a finite ground set.
+///
+/// Wraps a dense matrix and caches its eigendecomposition on demand. The
+/// kernel defines an unnormalized measure `det(L_S)` over subsets `S`; the
+/// standard DPP and the k-DPP differ only in how that measure is normalized.
+#[derive(Debug, Clone)]
+pub struct DppKernel {
+    l: Matrix,
+}
+
+impl DppKernel {
+    /// Wraps a symmetric kernel matrix.
+    ///
+    /// The matrix is symmetrized (absorbing round-off asymmetry); PSD-ness is
+    /// the caller's responsibility — use [`DppKernel::from_quality_diversity`]
+    /// or [`DppKernel::project_psd`] to guarantee it.
+    pub fn new(mut l: Matrix) -> Result<Self> {
+        if !l.is_square() {
+            return Err(DppError::Linalg(lkp_linalg::LinalgError::NotSquare {
+                rows: l.rows(),
+                cols: l.cols(),
+            }));
+        }
+        l.symmetrize();
+        Ok(DppKernel { l })
+    }
+
+    /// Builds the paper's quality × diversity kernel (Eq. 2):
+    /// `L = Diag(q) · K · Diag(q)`, i.e. `L_ij = q_i · K_ij · q_j`.
+    ///
+    /// `q` holds per-item positive quality scores, `k_matrix` the (PSD)
+    /// diversity kernel restricted to the same items. PSD-ness of `K`
+    /// transfers to `L` because the map is a congruence.
+    pub fn from_quality_diversity(q: &[f64], k_matrix: &Matrix) -> Result<Self> {
+        if k_matrix.rows() != q.len() || k_matrix.cols() != q.len() {
+            return Err(DppError::Linalg(lkp_linalg::LinalgError::DimensionMismatch {
+                expected: (q.len(), q.len()),
+                got: k_matrix.shape(),
+            }));
+        }
+        let n = q.len();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                l[(i, j)] = q[i] * k_matrix[(i, j)] * q[j];
+            }
+        }
+        DppKernel::new(l)
+    }
+
+    /// Ground-set size.
+    pub fn size(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the kernel matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Consume, returning the kernel matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.l
+    }
+
+    /// Eigendecomposition of the kernel (values ascending).
+    pub fn eigen(&self) -> Result<SymmetricEigen> {
+        Ok(SymmetricEigen::new(&self.l)?)
+    }
+
+    /// Eigenvalues clamped at zero (PSD projection of the spectrum).
+    pub fn nonneg_eigenvalues(&self) -> Result<Vec<f64>> {
+        Ok(self.eigen()?.clamped_nonnegative_values())
+    }
+
+    /// `log det(L_S)` for a subset `S` of the ground set.
+    ///
+    /// Computed via Cholesky with a graceful fallback to LU's
+    /// `sign_log_det` when round-off makes the submatrix indefinite; returns
+    /// `-inf` for numerically singular submatrices.
+    pub fn log_det_subset(&self, subset: &[usize]) -> Result<f64> {
+        for &i in subset {
+            if i >= self.size() {
+                return Err(DppError::IndexOutOfBounds { index: i, ground_size: self.size() });
+            }
+        }
+        if subset.is_empty() {
+            return Ok(0.0);
+        }
+        let sub = self.l.principal_submatrix(subset)?;
+        match lkp_linalg::Cholesky::new(&sub) {
+            Ok(ch) => Ok(ch.log_det()),
+            Err(_) => {
+                let lu = lkp_linalg::Lu::new(&sub)?;
+                let (sign, log_det) = lu.sign_log_det();
+                if sign > 0.0 {
+                    Ok(log_det)
+                } else {
+                    // det <= 0 can only be round-off for a PSD kernel; treat
+                    // as numerically singular.
+                    Ok(f64::NEG_INFINITY)
+                }
+            }
+        }
+    }
+
+    /// `det(L_S)` for a subset (clamped at 0 for numerically negative values).
+    pub fn det_subset(&self, subset: &[usize]) -> Result<f64> {
+        Ok(self.log_det_subset(subset)?.exp())
+    }
+
+    /// Projects the kernel onto the PSD cone by clamping negative eigenvalues
+    /// to zero. Returns the projected kernel.
+    pub fn project_psd(&self) -> Result<DppKernel> {
+        let eig = self.eigen()?;
+        let projected = eig.reconstruct_with(|_, l| l.max(0.0));
+        DppKernel::new(projected)
+    }
+
+    /// Standard-DPP log-probability `log P(S) = log det(L_S) − log det(L+I)`
+    /// (paper Eq. 1). Provided for the standard-DPP ablation; LkP itself uses
+    /// the k-DPP normalization.
+    pub fn standard_dpp_log_prob(&self, subset: &[usize]) -> Result<f64> {
+        let num = self.log_det_subset(subset)?;
+        let lambda = self.nonneg_eigenvalues()?;
+        // det(L + I) = Π (λ_i + 1).
+        let log_norm: f64 = lambda.iter().map(|&l| (l + 1.0).ln()).sum();
+        Ok(num - log_norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_subsets;
+
+    fn example_psd(n: usize) -> Matrix {
+        // VᵀV + 0.1 I with deterministic V.
+        let v = Matrix::from_fn(n + 1, n, |r, c| ((r * 3 + c * 7) % 5) as f64 * 0.3 - 0.5);
+        let mut g = v.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.1;
+        }
+        g
+    }
+
+    #[test]
+    fn quality_diversity_matches_manual_assembly() {
+        let k = example_psd(3);
+        let q = [1.0, 2.0, 0.5];
+        let kern = DppKernel::from_quality_diversity(&q, &k).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = q[i] * k[(i, j)] * q[j];
+                assert!((kern.matrix()[(i, j)] - expected).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn quality_diversity_preserves_psd() {
+        let k = example_psd(4);
+        let q = [0.3, 5.0, 1.7, 0.01];
+        let kern = DppKernel::from_quality_diversity(&q, &k).unwrap();
+        for l in kern.nonneg_eigenvalues().unwrap() {
+            assert!(l >= 0.0);
+        }
+        // True eigenvalues (unclamped) should already be ≥ -1e-10.
+        let eig = kern.eigen().unwrap();
+        for &l in &eig.values {
+            assert!(l > -1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_subset_matches_direct_determinant() {
+        let kern = DppKernel::new(example_psd(4)).unwrap();
+        for subset in enumerate_subsets(4, 2) {
+            let sub = kern.matrix().principal_submatrix(&subset).unwrap();
+            let expected = lkp_linalg::lu::det(&sub).unwrap();
+            let got = kern.det_subset(&subset).unwrap();
+            assert!((got - expected).abs() < 1e-10, "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn empty_subset_has_unit_determinant() {
+        let kern = DppKernel::new(example_psd(3)).unwrap();
+        assert_eq!(kern.log_det_subset(&[]).unwrap(), 0.0);
+        assert_eq!(kern.det_subset(&[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn standard_dpp_probabilities_sum_to_one() {
+        let kern = DppKernel::new(example_psd(4)).unwrap();
+        let mut total = 0.0;
+        for k in 0..=4 {
+            for subset in enumerate_subsets(4, k) {
+                total += kern.standard_dpp_log_prob(&subset).unwrap().exp();
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-8, "total probability {total}");
+    }
+
+    #[test]
+    fn out_of_bounds_subset_rejected() {
+        let kern = DppKernel::new(example_psd(3)).unwrap();
+        assert!(matches!(
+            kern.log_det_subset(&[0, 7]),
+            Err(DppError::IndexOutOfBounds { index: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn project_psd_clamps_negative_spectrum() {
+        // Indefinite symmetric matrix.
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let kern = DppKernel::new(m).unwrap();
+        let proj = kern.project_psd().unwrap();
+        let eig = proj.eigen().unwrap();
+        for &l in &eig.values {
+            assert!(l > -1e-12);
+        }
+        // Positive part of the spectrum is preserved.
+        assert!((eig.values[1] - 3.0).abs() < 1e-10);
+    }
+}

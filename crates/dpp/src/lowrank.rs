@@ -1,0 +1,276 @@
+//! Low-rank diversity kernels `K = V·Vᵀ`.
+//!
+//! The paper's diversity kernel is learned in low-rank form "to reduce the
+//! computational complexity of calculating an M × M matrix" (Section III-B,
+//! around Eq. 3): `V ∈ R^{M×d}` holds one d-dimensional *row* per item, and
+//! any required principal submatrix `K_T = V_T·V_Tᵀ` is materialized on
+//! demand in `O(|T|²·d)` — the full M × M kernel never exists. The row-major
+//! item layout matches the embedding tables in `lkp-nn`, so the kernel
+//! trainer can reuse sparse per-row Adam updates.
+//!
+//! Because `K_T` is rank-deficient whenever `|T| > d`, all log-determinants
+//! go through a jitter `K_T + ε·I`, and the gradient used for kernel
+//! learning (Eq. 3) is `∂ log det(K_T + εI) / ∂V_T = 2·(K_T + εI)⁻¹·V_T`.
+
+use crate::{DppError, Result};
+use lkp_linalg::{Cholesky, Matrix};
+
+/// A diversity kernel in factored form `K = V·Vᵀ`, `V: M × d` (row per item).
+#[derive(Debug, Clone)]
+pub struct LowRankKernel {
+    v: Matrix,
+}
+
+impl LowRankKernel {
+    /// Wraps an `M × d` factor matrix (one row per item).
+    pub fn new(v: Matrix) -> Self {
+        LowRankKernel { v }
+    }
+
+    /// Feature dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.v.cols()
+    }
+
+    /// Number of items `M`.
+    pub fn num_items(&self) -> usize {
+        self.v.rows()
+    }
+
+    /// Borrow the factor matrix.
+    pub fn factor(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Mutably borrow the factor matrix (used by the kernel trainer).
+    pub fn factor_mut(&mut self) -> &mut Matrix {
+        &mut self.v
+    }
+
+    /// Single kernel entry `K_ij = ⟨v_i, v_j⟩`.
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        lkp_linalg::ops::dot(self.v.row(i), self.v.row(j))
+    }
+
+    /// Materializes the principal submatrix `K_T = V_T·V_Tᵀ` for items `idx`.
+    pub fn submatrix(&self, idx: &[usize]) -> Result<Matrix> {
+        let m = self.num_items();
+        for &i in idx {
+            if i >= m {
+                return Err(DppError::IndexOutOfBounds { index: i, ground_size: m });
+            }
+        }
+        let t = idx.len();
+        let mut out = Matrix::zeros(t, t);
+        for a in 0..t {
+            for b in a..t {
+                let val = self.entry(idx[a], idx[b]);
+                out[(a, b)] = val;
+                out[(b, a)] = val;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materializes the full `M × M` kernel. Small item sets only.
+    pub fn full_matrix(&self) -> Matrix {
+        let idx: Vec<usize> = (0..self.num_items()).collect();
+        self.submatrix(&idx).expect("all indices in bounds")
+    }
+
+    /// `log det(K_T + ε·I)` for the item subset `idx`.
+    pub fn log_det_jittered(&self, idx: &[usize], eps: f64) -> Result<f64> {
+        let mut sub = self.submatrix(idx)?;
+        for i in 0..sub.rows() {
+            sub[(i, i)] += eps;
+        }
+        Ok(Cholesky::new(&sub)?.log_det())
+    }
+
+    /// Gradient of `log det(K_T + ε·I)` with respect to the rows of `V`
+    /// indexed by `idx`: returns a `|T| × d` matrix whose row `a` is the
+    /// gradient for item `idx[a]`.
+    ///
+    /// Derivation: with `V_T` the `|T| × d` gathered factor,
+    /// `∂/∂V_T = 2·(V_T·V_Tᵀ + εI)⁻¹·V_T`.
+    ///
+    /// `idx` must not contain duplicates (the trainer guarantees this).
+    pub fn grad_log_det(&self, idx: &[usize], eps: f64) -> Result<Matrix> {
+        let t = idx.len();
+        let mut sub = self.submatrix(idx)?;
+        for i in 0..t {
+            sub[(i, i)] += eps;
+        }
+        let inv = Cholesky::new(&sub)?.inverse()?;
+        let vt = self.v.gather_rows(idx)?;
+        let mut g = inv.matmul(&vt)?;
+        g.scale(2.0);
+        Ok(g)
+    }
+
+    /// Persists the factor matrix to a path (text format of `lkp-linalg::io`).
+    ///
+    /// The paper pre-trains the diversity kernel once and freezes it; saving
+    /// it lets every subsequent experiment skip the pre-training pass.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        lkp_linalg::io::save_matrix(&self.v, path)
+    }
+
+    /// Loads a kernel previously written by [`LowRankKernel::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(LowRankKernel::new(lkp_linalg::io::load_matrix(path)?))
+    }
+
+    /// Returns a copy with every row rescaled to unit norm, so the induced
+    /// kernel has `K_ii = 1` (a correlation-style diversity kernel, making
+    /// the quality/diversity decomposition identifiable). Rows with
+    /// numerically zero norm are left untouched.
+    pub fn normalized(&self) -> LowRankKernel {
+        let mut v = self.v.clone();
+        for r in 0..v.rows() {
+            let norm = lkp_linalg::ops::norm2(v.row(r));
+            if norm > 1e-12 {
+                lkp_linalg::ops::scale(1.0 / norm, v.row_mut(r));
+            }
+        }
+        LowRankKernel { v }
+    }
+}
+
+/// Builds a Gaussian (RBF) similarity kernel from item feature rows:
+/// `K_ij = exp(−‖f_i − f_j‖² / (2σ²))`.
+///
+/// This is the paper's E-type diversity factor ("following the calculation
+/// manner of Gaussian kernel"), computed from trainable item embeddings. RBF
+/// kernels are PSD for any σ > 0.
+pub fn rbf_kernel(features: &Matrix, sigma: f64) -> Matrix {
+    let n = features.rows();
+    let denom = 2.0 * sigma * sigma;
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        k[(i, i)] = 1.0;
+        for j in (i + 1)..n {
+            let d2 = lkp_linalg::ops::sq_dist(features.row(i), features.row(j));
+            let val = (-d2 / denom).exp();
+            k[(i, j)] = val;
+            k[(j, i)] = val;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> LowRankKernel {
+        let v = Matrix::from_fn(6, 3, |r, c| (((r * 5 + c * 7) % 9) as f64) * 0.25 - 1.0);
+        LowRankKernel::new(v)
+    }
+
+    #[test]
+    fn submatrix_matches_full_matrix() {
+        let k = example();
+        let full = k.full_matrix();
+        let idx = vec![1, 3, 5];
+        let sub = k.submatrix(&idx).unwrap();
+        for (a, &i) in idx.iter().enumerate() {
+            for (b, &j) in idx.iter().enumerate() {
+                assert!((sub[(a, b)] - full[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_inner_products() {
+        let k = example();
+        let manual = lkp_linalg::ops::dot(k.factor().row(2), k.factor().row(4));
+        assert!((k.entry(2, 4) - manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn log_det_jittered_handles_rank_deficiency() {
+        // |T| = 5 > d = 3: K_T is singular; jitter must rescue it.
+        let k = example();
+        let idx = vec![0, 1, 2, 3, 4];
+        let ld = k.log_det_jittered(&idx, 1e-6).unwrap();
+        assert!(ld.is_finite());
+    }
+
+    #[test]
+    fn grad_log_det_matches_finite_difference() {
+        let mut k = example();
+        let idx = vec![0, 2, 5];
+        let eps = 1e-3;
+        let analytic = k.grad_log_det(&idx, eps).unwrap();
+        let h = 1e-6;
+        for (a, &item) in idx.iter().enumerate() {
+            for c in 0..k.dim() {
+                let orig = k.factor()[(item, c)];
+                k.factor_mut()[(item, c)] = orig + h;
+                let plus = k.log_det_jittered(&idx, eps).unwrap();
+                k.factor_mut()[(item, c)] = orig - h;
+                let minus = k.log_det_jittered(&idx, eps).unwrap();
+                k.factor_mut()[(item, c)] = orig;
+                let fd = (plus - minus) / (2.0 * h);
+                assert!(
+                    (fd - analytic[(a, c)]).abs() < 1e-5,
+                    "item {item} dim {c}: fd {fd} vs {}",
+                    analytic[(a, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_kernel_has_unit_diagonal() {
+        let k = example().normalized();
+        for i in 0..k.num_items() {
+            let kii = k.entry(i, i);
+            assert!((kii - 1.0).abs() < 1e-12, "K_{i}{i} = {kii}");
+        }
+    }
+
+    #[test]
+    fn rbf_kernel_is_psd_with_unit_diagonal() {
+        let f = Matrix::from_fn(5, 3, |r, c| ((r * 2 + c) % 4) as f64 * 0.5);
+        let k = rbf_kernel(&f, 0.8);
+        assert!(k.is_symmetric(1e-15));
+        for i in 0..5 {
+            assert_eq!(k[(i, i)], 1.0);
+        }
+        let eig = lkp_linalg::eigen::SymmetricEigen::new(&k).unwrap();
+        for &l in &eig.values {
+            assert!(l > -1e-10, "RBF kernel eigenvalue {l}");
+        }
+    }
+
+    #[test]
+    fn rbf_identical_features_give_similarity_one() {
+        let f = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0], &[5.0, 5.0]]);
+        let k = rbf_kernel(&f, 1.0);
+        assert!((k[(0, 1)] - 1.0).abs() < 1e-15);
+        assert!(k[(0, 2)] < 0.01);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let k = example();
+        let dir = std::env::temp_dir().join("lkp_lowrank_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kernel.tsv");
+        k.save(&path).unwrap();
+        let back = LowRankKernel::load(&path).unwrap();
+        assert_eq!(k.factor(), back.factor());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn out_of_bounds_submatrix_rejected() {
+        let k = example();
+        assert!(matches!(
+            k.submatrix(&[0, 9]),
+            Err(DppError::IndexOutOfBounds { index: 9, .. })
+        ));
+    }
+}

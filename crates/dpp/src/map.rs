@@ -1,0 +1,236 @@
+//! Greedy MAP inference for DPPs.
+//!
+//! Finding the size-k subset maximizing `det(L_S)` is NP-hard; the standard
+//! practical algorithm is the fast greedy of Chen, Zhang & Zhou (NeurIPS
+//! 2018), which maintains an incremental Cholesky factorization so that each
+//! greedy step costs `O(M·|S|)` instead of `O(M·|S|³)` — `O(M·k²)` overall.
+//!
+//! This is the inference-side counterpart of LkP: the paper's related-work
+//! positioning (Chen et al. \[25\]) diversifies at *serving* time, while LkP
+//! moves diversity into the *training* objective. Both are provided so the
+//! benches can compare them.
+
+use crate::{DppError, DppKernel, Result};
+
+/// Result of a greedy MAP run.
+#[derive(Debug, Clone)]
+pub struct MapResult {
+    /// Selected items, in selection order (not sorted).
+    pub items: Vec<usize>,
+    /// `log det(L_S)` of the selected set, accumulated incrementally.
+    pub log_det: f64,
+}
+
+/// Fast greedy MAP: grows a subset one item at a time, always adding the item
+/// with the largest marginal gain `det(L_{S∪{i}})/det(L_S)`, until `k` items
+/// are selected or no item has positive gain.
+///
+/// Invariant maintained per candidate `i`: `d2[i]` is the squared norm of the
+/// residual of column `i` against the subspace spanned by the selected items
+/// (equivalently the marginal gain), and `c[i]` holds the Cholesky row that
+/// realizes it.
+pub fn greedy_map(kernel: &DppKernel, k: usize) -> Result<MapResult> {
+    let m = kernel.size();
+    if k > m {
+        return Err(DppError::CardinalityTooLarge { k, ground_size: m });
+    }
+    let l = kernel.matrix();
+    let mut d2: Vec<f64> = (0..m).map(|i| l[(i, i)]).collect();
+    // c[i] grows one entry per selected item: the incremental Cholesky row.
+    let mut c: Vec<Vec<f64>> = vec![Vec::with_capacity(k); m];
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    let mut in_set = vec![false; m];
+    let mut log_det = 0.0;
+
+    while selected.len() < k {
+        // argmax over remaining candidates.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if in_set[i] {
+                continue;
+            }
+            match best {
+                Some((_, bd)) if d2[i] <= bd => {}
+                _ => best = Some((i, d2[i])),
+            }
+        }
+        let (j, gain) = best.ok_or(DppError::DegenerateKernel)?;
+        if gain <= 1e-12 {
+            // Kernel rank exhausted: no size-k subset with positive volume
+            // extends the current one.
+            break;
+        }
+        let dj = gain.sqrt();
+        log_det += gain.ln();
+        in_set[j] = true;
+
+        // Update residuals of all remaining candidates against the newly
+        // selected column j: e_i = (L_ji − ⟨c_j, c_i⟩) / d_j.
+        let cj = c[j].clone();
+        for i in 0..m {
+            if in_set[i] {
+                continue;
+            }
+            let mut dot = 0.0;
+            for (a, b) in cj.iter().zip(&c[i]) {
+                dot += a * b;
+            }
+            let e = (l[(j, i)] - dot) / dj;
+            c[i].push(e);
+            d2[i] -= e * e;
+        }
+        selected.push(j);
+    }
+    Ok(MapResult { items: selected, log_det })
+}
+
+/// Naive greedy MAP that recomputes `log det` from scratch at each step.
+/// `O(M·k⁴)` — reference implementation for tests and the ablation bench.
+pub fn greedy_map_naive(kernel: &DppKernel, k: usize) -> Result<MapResult> {
+    let m = kernel.size();
+    if k > m {
+        return Err(DppError::CardinalityTooLarge { k, ground_size: m });
+    }
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    let mut current_log_det = 0.0;
+    while selected.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if selected.contains(&i) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(i);
+            let ld = kernel.log_det_subset(&trial)?;
+            if ld.is_finite() {
+                match best {
+                    Some((_, b)) if ld <= b => {}
+                    _ => best = Some((i, ld)),
+                }
+            }
+        }
+        match best {
+            Some((j, ld)) if ld - current_log_det > (1e-12_f64).ln() => {
+                selected.push(j);
+                current_log_det = ld;
+            }
+            _ => break,
+        }
+    }
+    Ok(MapResult { items: selected, log_det: current_log_det })
+}
+
+/// Exhaustive MAP: enumerates all size-k subsets. Exponential — tests only.
+pub fn exhaustive_map(kernel: &DppKernel, k: usize) -> Result<MapResult> {
+    let m = kernel.size();
+    if k > m {
+        return Err(DppError::CardinalityTooLarge { k, ground_size: m });
+    }
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for s in crate::enumerate_subsets(m, k) {
+        let ld = kernel.log_det_subset(&s)?;
+        match &best {
+            Some((_, b)) if ld <= *b => {}
+            _ => best = Some((s, ld)),
+        }
+    }
+    let (items, log_det) = best.ok_or(DppError::DegenerateKernel)?;
+    Ok(MapResult { items, log_det })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkp_linalg::Matrix;
+
+    fn random_like_kernel(n: usize, seed: usize) -> DppKernel {
+        let v = Matrix::from_fn(n, n, |r, c| {
+            (((r * 31 + c * 17 + seed * 13) % 11) as f64) * 0.2 - 1.0
+        });
+        let mut g = v.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.3;
+        }
+        DppKernel::new(g).unwrap()
+    }
+
+    #[test]
+    fn fast_greedy_matches_naive_greedy() {
+        for seed in 0..5 {
+            let kern = random_like_kernel(8, seed);
+            for k in 1..=5 {
+                let fast = greedy_map(&kern, k).unwrap();
+                let naive = greedy_map_naive(&kern, k).unwrap();
+                assert_eq!(fast.items, naive.items, "seed={seed} k={k}");
+                assert!(
+                    (fast.log_det - naive.log_det).abs() < 1e-8,
+                    "seed={seed} k={k}: {} vs {}",
+                    fast.log_det,
+                    naive.log_det
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_log_det_matches_direct_computation() {
+        let kern = random_like_kernel(7, 9);
+        let res = greedy_map(&kern, 4).unwrap();
+        let direct = kern.log_det_subset(&res.items).unwrap();
+        assert!((res.log_det - direct).abs() < 1e-8);
+    }
+
+    #[test]
+    fn diagonal_kernel_selects_top_k() {
+        let l = Matrix::from_diag(&[0.5, 9.0, 3.0, 7.0, 1.0]);
+        let res = greedy_map(&DppKernel::new(l).unwrap(), 3).unwrap();
+        let mut items = res.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn greedy_is_optimal_on_diagonal_and_near_optimal_generally() {
+        for seed in 0..4 {
+            let kern = random_like_kernel(7, seed);
+            let greedy = greedy_map(&kern, 3).unwrap();
+            let opt = exhaustive_map(&kern, 3).unwrap();
+            // Greedy can be suboptimal, but never better than exhaustive.
+            assert!(greedy.log_det <= opt.log_det + 1e-9, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_kernel_stops_early() {
+        // Rank-2 kernel: greedy with k=4 must stop at 2 items.
+        let v = Matrix::from_fn(2, 5, |r, c| ((r + c) % 3) as f64 + 0.5);
+        let kern = DppKernel::new(v.gram()).unwrap();
+        let res = greedy_map(&kern, 4).unwrap();
+        assert!(res.items.len() <= 2, "selected {:?} from a rank-2 kernel", res.items);
+    }
+
+    #[test]
+    fn avoids_redundant_items() {
+        // Items 0,1 near-duplicates with high quality; item 2 moderately
+        // dissimilar. Greedy k=2 should pick one of {0,1} plus item 2.
+        let k = Matrix::from_rows(&[
+            &[1.0, 0.98, 0.1],
+            &[0.98, 1.0, 0.1],
+            &[0.1, 0.1, 1.0],
+        ]);
+        let q = [2.0, 2.0, 1.0];
+        let kern = DppKernel::from_quality_diversity(&q, &k).unwrap();
+        let res = greedy_map(&kern, 2).unwrap();
+        let mut items = res.items.clone();
+        items.sort_unstable();
+        assert!(items == vec![0, 2] || items == vec![1, 2], "got {items:?}");
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let kern = random_like_kernel(4, 0);
+        let res = greedy_map(&kern, 0).unwrap();
+        assert!(res.items.is_empty());
+        assert_eq!(res.log_det, 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Exact DPP and k-DPP sampling (Kulesza & Taskar, "Determinantal Point
+//! Processes for Machine Learning", Algorithms 1 and 8).
+//!
+//! Both samplers share the two-phase spectral scheme:
+//!
+//! 1. **Eigenvector selection.** For a standard DPP each eigenvector `v_i` is
+//!    kept independently with probability `λ_i / (1 + λ_i)`. For a k-DPP,
+//!    exactly `k` eigenvectors are kept, walking the ESP table backwards so
+//!    that the subset of eigenvectors is drawn with probability proportional
+//!    to the product of its eigenvalues.
+//! 2. **Elementary DPP sampling.** Given the selected orthonormal basis `V`,
+//!    items are drawn one at a time with `P(i) ∝ Σ_j V[i,j]²`, projecting
+//!    `V` onto the complement of `e_i` after each draw. This yields exactly
+//!    `rank(V)` items.
+
+use crate::{esp, DppError, DppKernel, KDpp, Result};
+use lkp_linalg::Matrix;
+use rand::Rng;
+
+/// Draws one sample from the standard DPP with kernel `L` (paper Eq. 1).
+///
+/// The returned subset is sorted ascending; its size is random with
+/// `P(|S| = k) = e_k(λ) / Π_i (1 + λ_i)`.
+pub fn sample_dpp<R: Rng + ?Sized>(kernel: &DppKernel, rng: &mut R) -> Result<Vec<usize>> {
+    let eig = kernel.eigen()?;
+    let lambda = eig.clamped_nonnegative_values();
+    let mut selected = Vec::new();
+    for (i, &l) in lambda.iter().enumerate() {
+        if rng.random::<f64>() < l / (1.0 + l) {
+            selected.push(i);
+        }
+    }
+    sample_elementary(&eig.vectors, &selected, rng)
+}
+
+/// Draws one size-k sample from a [`KDpp`].
+pub fn sample_kdpp<R: Rng + ?Sized>(kdpp: &KDpp, rng: &mut R) -> Result<Vec<usize>> {
+    let k = kdpp.k();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let lambda = kdpp.eigenvalues();
+    let m = lambda.len();
+    // Phase 1: choose exactly k eigenvectors via the ESP table (Kulesza &
+    // Taskar Alg. 8). Walking m..1, include eigenvector m with probability
+    // λ_m · e_{l-1}^{m-1} / e_l^{m}.
+    let table = esp::esp_table(lambda, k);
+    if table[k][m] <= 0.0 {
+        return Err(DppError::DegenerateKernel);
+    }
+    let mut selected = Vec::with_capacity(k);
+    let mut l = k;
+    for j in (1..=m).rev() {
+        if l == 0 {
+            break;
+        }
+        if j == l {
+            // Must take all remaining eigenvectors.
+            for idx in (0..j).rev() {
+                selected.push(idx);
+            }
+            l = 0;
+            break;
+        }
+        let p = lambda[j - 1] * table[l - 1][j - 1] / table[l][j];
+        if rng.random::<f64>() < p {
+            selected.push(j - 1);
+            l -= 1;
+        }
+    }
+    debug_assert_eq!(l, 0, "eigenvector selection must pick exactly k vectors");
+    selected.reverse();
+    sample_elementary(&kdpp.eigen().vectors, &selected, rng)
+}
+
+/// Phase 2: samples from the elementary DPP spanned by the orthonormal
+/// columns `cols` of `vectors`. Returns exactly `cols.len()` items.
+///
+/// Shared with the dual-representation sampler, which supplies item-space
+/// eigenvectors recovered from the `d × d` dual kernel.
+pub(crate) fn sample_elementary_from<R: Rng + ?Sized>(
+    vectors: &Matrix,
+    cols: &[usize],
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    sample_elementary(vectors, cols, rng)
+}
+
+fn sample_elementary<R: Rng + ?Sized>(
+    vectors: &Matrix,
+    cols: &[usize],
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    let m = vectors.rows();
+    let k = cols.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    // v: m × k working basis, columns orthonormal.
+    let mut v = Matrix::zeros(m, k);
+    for (c, &src) in cols.iter().enumerate() {
+        for r in 0..m {
+            v[(r, c)] = vectors[(r, src)];
+        }
+    }
+    let mut picked = Vec::with_capacity(k);
+    let mut width = k;
+    while width > 0 {
+        // P(i) = Σ_j v[i,j]² / width.
+        let mut weights = vec![0.0; m];
+        let mut total = 0.0;
+        for (i, w) in weights.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for j in 0..width {
+                s += v[(i, j)] * v[(i, j)];
+            }
+            *w = s;
+            total += s;
+        }
+        if total <= 0.0 {
+            return Err(DppError::DegenerateKernel);
+        }
+        let mut t = rng.random::<f64>() * total;
+        let mut item = m - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if t < w {
+                item = i;
+                break;
+            }
+            t -= w;
+        }
+        picked.push(item);
+
+        // Project the basis onto the complement of e_item:
+        // find a column with nonzero component on `item`, use it to eliminate
+        // that component from the others, drop it, then re-orthonormalize.
+        let mut pivot = None;
+        let mut best = 0.0;
+        for j in 0..width {
+            let a = v[(item, j)].abs();
+            if a > best {
+                best = a;
+                pivot = Some(j);
+            }
+        }
+        let pivot = pivot.ok_or(DppError::DegenerateKernel)?;
+        // Swap pivot column to the end (position width-1) and eliminate.
+        for r in 0..m {
+            let tmp = v[(r, pivot)];
+            v[(r, pivot)] = v[(r, width - 1)];
+            v[(r, width - 1)] = tmp;
+        }
+        let pivot_val = v[(item, width - 1)];
+        for j in 0..(width - 1) {
+            let factor = v[(item, j)] / pivot_val;
+            if factor != 0.0 {
+                for r in 0..m {
+                    let delta = factor * v[(r, width - 1)];
+                    v[(r, j)] -= delta;
+                }
+            }
+        }
+        width -= 1;
+        // Modified Gram–Schmidt on the remaining `width` columns.
+        for j in 0..width {
+            for p in 0..j {
+                let mut proj = 0.0;
+                for r in 0..m {
+                    proj += v[(r, j)] * v[(r, p)];
+                }
+                for r in 0..m {
+                    let delta = proj * v[(r, p)];
+                    v[(r, j)] -= delta;
+                }
+            }
+            let mut norm = 0.0;
+            for r in 0..m {
+                norm += v[(r, j)] * v[(r, j)];
+            }
+            let norm = norm.sqrt();
+            if norm <= 1e-12 {
+                return Err(DppError::DegenerateKernel);
+            }
+            for r in 0..m {
+                v[(r, j)] /= norm;
+            }
+        }
+    }
+    picked.sort_unstable();
+    Ok(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn example_kernel(n: usize) -> DppKernel {
+        let v = Matrix::from_fn(n, n, |r, c| (((r * 3 + c * 5) % 7) as f64) * 0.3 - 0.6);
+        let mut g = v.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.5;
+        }
+        DppKernel::new(g).unwrap()
+    }
+
+    #[test]
+    fn kdpp_samples_have_exact_cardinality() {
+        let kdpp = KDpp::new(example_kernel(6), 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = sample_kdpp(&kdpp, &mut rng).unwrap();
+            assert_eq!(s.len(), 3);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, distinct items");
+            assert!(s.iter().all(|&i| i < 6));
+        }
+    }
+
+    #[test]
+    fn kdpp_empirical_frequencies_match_exact_probabilities() {
+        let kdpp = KDpp::new(example_kernel(5), 2).unwrap();
+        let exact: HashMap<Vec<usize>, f64> =
+            kdpp.all_subset_probs().unwrap().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 40_000;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..trials {
+            *counts.entry(sample_kdpp(&kdpp, &mut rng).unwrap()).or_default() += 1;
+        }
+        for (subset, p) in &exact {
+            let freq = *counts.get(subset).unwrap_or(&0) as f64 / trials as f64;
+            // 4σ binomial tolerance.
+            let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (freq - p).abs() < 4.0 * sigma + 1e-3,
+                "{subset:?}: freq {freq:.4} vs exact {p:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn dpp_size_distribution_matches_theory() {
+        let kernel = example_kernel(5);
+        let lambda = kernel.nonneg_eigenvalues().unwrap();
+        let norm: f64 = lambda.iter().map(|&l| 1.0 + l).product();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 40_000;
+        let mut size_counts = vec![0usize; 6];
+        for _ in 0..trials {
+            let s = sample_dpp(&kernel, &mut rng).unwrap();
+            size_counts[s.len()] += 1;
+        }
+        for k in 0..=5 {
+            let p = esp::elementary_symmetric(&lambda, k) / norm;
+            let freq = size_counts[k] as f64 / trials as f64;
+            let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (freq - p).abs() < 4.0 * sigma + 1e-3,
+                "size {k}: freq {freq:.4} vs exact {p:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn diverse_pairs_are_oversampled_relative_to_redundant_pairs() {
+        // Items 0,1 nearly identical; item 2 orthogonal. A 2-DPP should pick
+        // {0,2} or {1,2} far more often than {0,1}.
+        let k = Matrix::from_rows(&[
+            &[1.0, 0.95, 0.0],
+            &[0.95, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let kern = DppKernel::new(k).unwrap();
+        let kdpp = KDpp::new(kern, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut redundant = 0;
+        let trials = 2_000;
+        for _ in 0..trials {
+            if sample_kdpp(&kdpp, &mut rng).unwrap() == vec![0, 1] {
+                redundant += 1;
+            }
+        }
+        // Exact P({0,1}) = det([[1,.95],[.95,1]])/Z ≈ 0.0975/2.0975 ≈ 0.046.
+        assert!(
+            (redundant as f64) < 0.10 * trials as f64,
+            "redundant pair drawn {redundant}/{trials} times"
+        );
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let kdpp = KDpp::new(example_kernel(4), 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_kdpp(&kdpp, &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn k_equals_m_returns_everything() {
+        let kdpp = KDpp::new(example_kernel(4), 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_kdpp(&kdpp, &mut rng).unwrap(), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the DPP crate: invariants that must hold for any
+//! PSD kernel, not just the hand-picked examples in the unit tests.
+
+use lkp_dpp::{enumerate_subsets, esp, grad, kdpp::KDpp, map, DppKernel};
+use lkp_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Random PSD kernel `GᵀG + 0.2·I` of size n.
+fn psd_kernel(n: usize) -> impl Strategy<Value = DppKernel> {
+    proptest::collection::vec(-1.5..1.5_f64, n * n).prop_map(move |data| {
+        let g = Matrix::from_vec(n, n, data);
+        let mut k = g.gram();
+        for i in 0..n {
+            k[(i, i)] += 0.2;
+        }
+        DppKernel::new(k).expect("square symmetric kernel")
+    })
+}
+
+/// Random non-negative eigenvalue vector.
+fn eigenvalues(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..5.0_f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn esp_newton_identity_holds(lambda in eigenvalues(6)) {
+        // e_1 = power sum p_1; e_2 = (p_1² - p_2)/2 — the first two Newton
+        // identities.
+        let p1: f64 = lambda.iter().sum();
+        let p2: f64 = lambda.iter().map(|l| l * l).sum();
+        let e1 = esp::elementary_symmetric(&lambda, 1);
+        let e2 = esp::elementary_symmetric(&lambda, 2);
+        prop_assert!((e1 - p1).abs() < 1e-9 * p1.abs().max(1.0));
+        prop_assert!((e2 - (p1 * p1 - p2) / 2.0).abs() < 1e-9 * e2.abs().max(1.0));
+    }
+
+    #[test]
+    fn esp_is_monotone_in_eigenvalues(lambda in eigenvalues(5), idx in 0usize..5, bump in 0.1..2.0_f64) {
+        // ESPs of non-negative values increase when any value increases.
+        let before = esp::elementary_symmetric(&lambda, 3);
+        let mut bigger = lambda.clone();
+        bigger[idx] += bump;
+        let after = esp::elementary_symmetric(&bigger, 3);
+        prop_assert!(after >= before - 1e-12);
+    }
+
+    #[test]
+    fn esp_generating_function_identity(lambda in eigenvalues(5)) {
+        // Π (1 + λ_i) = Σ_k e_k(λ).
+        let product: f64 = lambda.iter().map(|l| 1.0 + l).product();
+        let sum: f64 = (0..=5).map(|k| esp::elementary_symmetric(&lambda, k)).sum();
+        prop_assert!((product - sum).abs() < 1e-9 * product.max(1.0));
+    }
+
+    #[test]
+    fn kdpp_probs_are_normalized(kernel in psd_kernel(5), k in 1usize..=4) {
+        let kdpp = KDpp::new(kernel, k).unwrap();
+        let total: f64 = kdpp.all_subset_probs().unwrap().iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-7, "total {total}");
+    }
+
+    #[test]
+    fn kdpp_normalizer_equals_subset_sum(kernel in psd_kernel(5), k in 1usize..=4) {
+        let brute: f64 = enumerate_subsets(5, k)
+            .iter()
+            .map(|s| kernel.det_subset(s).unwrap())
+            .sum();
+        let kdpp = KDpp::new(kernel, k).unwrap();
+        let z = kdpp.log_normalizer().exp();
+        prop_assert!((z - brute).abs() < 1e-7 * brute.max(1.0), "{z} vs {brute}");
+    }
+
+    #[test]
+    fn marginals_lie_in_unit_interval_and_sum_to_k(kernel in psd_kernel(6), k in 1usize..=5) {
+        let kdpp = KDpp::new(kernel, k).unwrap();
+        let mut total = 0.0;
+        for i in 0..6 {
+            let p = kdpp.inclusion_marginal(i).unwrap();
+            prop_assert!((0.0..=1.0).contains(&p));
+            total += p;
+        }
+        prop_assert!((total - k as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_identity_expectation_of_gradient_vanishes(kernel in psd_kernel(4), k in 1usize..=3) {
+        let kdpp = KDpp::new(kernel, k).unwrap();
+        let mut acc = Matrix::zeros(4, 4);
+        for (s, p) in kdpp.all_subset_probs().unwrap() {
+            let g = grad::grad_log_prob(&kdpp, &s).unwrap();
+            acc.add_scaled(p, &g).unwrap();
+        }
+        prop_assert!(acc.max_abs() < 1e-6, "residual {}", acc.max_abs());
+    }
+
+    #[test]
+    fn fast_greedy_agrees_with_naive(kernel in psd_kernel(7), k in 1usize..=5) {
+        let fast = map::greedy_map(&kernel, k).unwrap();
+        let naive = map::greedy_map_naive(&kernel, k).unwrap();
+        // Ties can be broken differently only with exactly equal gains, which
+        // has measure zero for random kernels; require identical output.
+        prop_assert_eq!(fast.items, naive.items);
+        prop_assert!((fast.log_det - naive.log_det).abs() < 1e-7);
+    }
+
+    #[test]
+    fn greedy_never_beats_exhaustive(kernel in psd_kernel(6), k in 1usize..=4) {
+        let greedy = map::greedy_map(&kernel, k).unwrap();
+        let opt = map::exhaustive_map(&kernel, k).unwrap();
+        prop_assert!(greedy.log_det <= opt.log_det + 1e-8);
+    }
+
+    #[test]
+    fn standard_dpp_total_probability_is_one(kernel in psd_kernel(5)) {
+        let mut total = 0.0;
+        for k in 0..=5 {
+            for s in enumerate_subsets(5, k) {
+                total += kernel.standard_dpp_log_prob(&s).unwrap().exp();
+            }
+        }
+        prop_assert!((total - 1.0).abs() < 1e-7, "total {total}");
+    }
+
+    #[test]
+    fn conditioning_on_exclusion_renormalizes(kernel in psd_kernel(5), excluded in 0usize..5) {
+        // The conditional law over the complement must itself be a valid
+        // standard DPP: total probability 1 over all remaining subsets.
+        let cond = lkp_dpp::conditional::condition_on_exclusion(&kernel, &[excluded]).unwrap();
+        let mut total = 0.0;
+        for k in 0..=4 {
+            for s in enumerate_subsets(4, k) {
+                total += cond.kernel.standard_dpp_log_prob(&s).unwrap().exp();
+            }
+        }
+        prop_assert!((total - 1.0).abs() < 1e-7, "conditional total {total}");
+    }
+
+    #[test]
+    fn conditional_marginals_exceed_unconditional_for_dissimilar_items(kernel in psd_kernel(4)) {
+        // Inclusion conditioning redistributes mass but keeps marginals in
+        // [0, 1]; verify range plus the law of total probability against the
+        // joint enumeration.
+        for item in 1..4 {
+            let p = lkp_dpp::conditional::inclusion_conditional_marginal(&kernel, &[0], item);
+            if let Ok(p) = p {
+                prop_assert!((0.0..=1.0).contains(&p), "marginal {p} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_spectrum_matches_full_kernel(data in proptest::collection::vec(-1.0..1.0_f64, 6 * 3)) {
+        let v = Matrix::from_vec(6, 3, data);
+        let lowrank = lkp_dpp::LowRankKernel::new(v);
+        let Ok(dual) = lkp_dpp::dual::DualSpectrum::new(&lowrank, 1e-10) else {
+            return Ok(()); // numerically zero kernel — nothing to check
+        };
+        let full = DppKernel::new(lowrank.full_matrix()).unwrap();
+        let mut full_lambda = full.nonneg_eigenvalues().unwrap();
+        full_lambda.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (i, &l) in dual.eigenvalues().iter().enumerate() {
+            prop_assert!((l - full_lambda[i]).abs() < 1e-7 * l.max(1.0),
+                "eigenvalue {i}: dual {l} vs full {}", full_lambda[i]);
+        }
+        // Normalizers agree wherever both are defined.
+        for k in 1..=dual.rank() {
+            let dual_z = dual.log_normalizer(k);
+            let full_z = lkp_dpp::esp::log_elementary_symmetric(&full_lambda, k);
+            prop_assert!((dual_z - full_z).abs() < 1e-6, "k={k}: {dual_z} vs {full_z}");
+        }
+    }
+}

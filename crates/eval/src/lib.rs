@@ -1,0 +1,226 @@
+//! Top-N evaluation harness.
+//!
+//! Implements exactly the metric suite of the paper's Section IV-A2:
+//!
+//! * **Recall@N** and **NDCG@N** — accuracy against the held-out test items.
+//! * **CC@N** (Category Coverage) — "the popular and intuitive
+//!   diversity-related metric": fraction of all catalog categories covered
+//!   by the top-N list.
+//! * **F@N** — harmonic mean between quality and diversity (NDCG vs CC),
+//!   following the trade-off F-score of the cited works.
+//! * **ILD@N** — intra-list distance over item categories, provided for the
+//!   E-variant analysis even though the paper omits it from its main tables.
+//!
+//! Evaluation ranks the full catalog per user, excluding items seen in the
+//! train/validation splits, and averages metrics over users with non-empty
+//! test sets. Users are processed in parallel with crossbeam scoped threads.
+
+pub mod metrics;
+pub mod topn;
+
+pub use metrics::{MetricSet, Metrics};
+
+use lkp_data::{Dataset, Split};
+use lkp_models::Recommender;
+
+/// Whether an item must be excluded from the ranked list when evaluating
+/// against the given target split: test-time evaluation hides train and
+/// validation items; validation-time evaluation hides train items only.
+fn excluded(data: &Dataset, user: usize, item: usize, target: Split) -> bool {
+    match target {
+        Split::Test => data.is_seen_before_test(user, item),
+        Split::Validation => data.user_items(user, Split::Train).contains(&item),
+        Split::Train => false,
+    }
+}
+
+/// Evaluates a model against the given split at the given cutoffs.
+///
+/// Returns one [`Metrics`] per cutoff, in the same order. This is the
+/// single-threaded reference path; [`evaluate_parallel`] is the fast one.
+pub fn evaluate_on<M: Recommender>(
+    model: &M,
+    data: &Dataset,
+    cutoffs: &[usize],
+    target: Split,
+) -> MetricSet {
+    let mut agg = vec![Metrics::zero(); cutoffs.len()];
+    let mut n_users_counted = 0usize;
+    let mut scores = Vec::new();
+    for user in 0..data.n_users() {
+        let truth = data.user_items(user, target);
+        if truth.is_empty() {
+            continue;
+        }
+        n_users_counted += 1;
+        model.score_all(user, &mut scores);
+        let max_n = cutoffs.iter().copied().max().unwrap_or(0);
+        let top = topn::top_n_excluding(&scores, max_n, |item| excluded(data, user, item, target));
+        for (slot, &n) in agg.iter_mut().zip(cutoffs) {
+            let prefix = &top[..n.min(top.len())];
+            slot.accumulate(&metrics::user_metrics(prefix, truth, data, n));
+        }
+    }
+    MetricSet::from_accumulated(agg, cutoffs.to_vec(), n_users_counted)
+}
+
+/// Evaluates a model on the dataset's **test** split at the given cutoffs.
+pub fn evaluate<M: Recommender>(model: &M, data: &Dataset, cutoffs: &[usize]) -> MetricSet {
+    evaluate_on(model, data, cutoffs, Split::Test)
+}
+
+/// Parallel evaluation across users.
+///
+/// The model is only read, so scoped threads share it immutably; per-user
+/// metric rows are merged at the end.
+pub fn evaluate_parallel<M: Recommender + Sync>(
+    model: &M,
+    data: &Dataset,
+    cutoffs: &[usize],
+    n_threads: usize,
+) -> MetricSet {
+    evaluate_parallel_on(model, data, cutoffs, Split::Test, n_threads)
+}
+
+/// Parallel evaluation against an arbitrary split.
+pub fn evaluate_parallel_on<M: Recommender + Sync>(
+    model: &M,
+    data: &Dataset,
+    cutoffs: &[usize],
+    target: Split,
+    n_threads: usize,
+) -> MetricSet {
+    let n_threads = n_threads.max(1);
+    let users: Vec<usize> =
+        (0..data.n_users()).filter(|&u| !data.user_items(u, target).is_empty()).collect();
+    let chunk = users.len().div_ceil(n_threads).max(1);
+    let results = parking_lot::Mutex::new(vec![vec![Metrics::zero(); cutoffs.len()]; 0]);
+
+    crossbeam::thread::scope(|scope| {
+        for slice in users.chunks(chunk) {
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut local = vec![Metrics::zero(); cutoffs.len()];
+                let mut scores = Vec::new();
+                let max_n = cutoffs.iter().copied().max().unwrap_or(0);
+                for &user in slice {
+                    let truth = data.user_items(user, target);
+                    model.score_all(user, &mut scores);
+                    let top = topn::top_n_excluding(&scores, max_n, |item| {
+                        excluded(data, user, item, target)
+                    });
+                    for (slot, &n) in local.iter_mut().zip(cutoffs) {
+                        let prefix = &top[..n.min(top.len())];
+                        slot.accumulate(&metrics::user_metrics(prefix, truth, data, n));
+                    }
+                }
+                results.lock().push(local);
+            });
+        }
+    })
+    .expect("evaluation threads must not panic");
+
+    let mut agg = vec![Metrics::zero(); cutoffs.len()];
+    for local in results.into_inner() {
+        for (a, l) in agg.iter_mut().zip(&local) {
+            a.accumulate(l);
+        }
+    }
+    MetricSet::from_accumulated(agg, cutoffs.to_vec(), users.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkp_data::SyntheticConfig;
+    use lkp_models::MatrixFactorization;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Oracle {
+        data: Dataset,
+    }
+
+    /// Scores test items of each user at +1, everything else 0 — a perfect
+    /// ranker (up to excluded items).
+    impl Recommender for Oracle {
+        fn n_users(&self) -> usize {
+            self.data.n_users()
+        }
+        fn n_items(&self) -> usize {
+            self.data.n_items()
+        }
+        fn score_items(&self, user: usize, items: &[usize]) -> Vec<f64> {
+            items
+                .iter()
+                .map(|&i| {
+                    if self.data.user_items(user, Split::Test).contains(&i) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+        fn accumulate_score_grads(&mut self, _: usize, _: &[usize], _: &[f64]) {}
+        fn step(&mut self) {}
+    }
+
+    fn data() -> Dataset {
+        lkp_data::synthetic::generate(&SyntheticConfig {
+            n_users: 40,
+            n_items: 100,
+            n_categories: 10,
+            mean_interactions: 20.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn oracle_achieves_perfect_ndcg() {
+        let data = data();
+        let oracle = Oracle { data: data.clone() };
+        let m = evaluate(&oracle, &data, &[5]);
+        let at5 = m.at(5).unwrap();
+        assert!(at5.ndcg > 0.99, "oracle NDCG@5 = {}", at5.ndcg);
+        assert!(at5.recall > 0.5, "oracle Recall@5 = {}", at5.recall);
+    }
+
+    #[test]
+    fn random_model_scores_poorly_but_validly() {
+        let data = data();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mf = MatrixFactorization::new(
+            data.n_users(),
+            data.n_items(),
+            4,
+            lkp_nn::AdamConfig::default(),
+            &mut rng,
+        );
+        let m = evaluate(&mf, &data, &[5, 10]);
+        for n in [5, 10] {
+            let at = m.at(n).unwrap();
+            assert!(at.recall >= 0.0 && at.recall <= 1.0);
+            assert!(at.ndcg >= 0.0 && at.ndcg <= 1.0);
+            assert!(at.category_coverage >= 0.0 && at.category_coverage <= 1.0);
+        }
+        // Untrained model should be far from the oracle.
+        assert!(m.at(5).unwrap().ndcg < 0.5);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let data = data();
+        let oracle = Oracle { data: data.clone() };
+        let seq = evaluate(&oracle, &data, &[5, 20]);
+        let par = evaluate_parallel(&oracle, &data, &[5, 20], 4);
+        for n in [5, 20] {
+            let a = seq.at(n).unwrap();
+            let b = par.at(n).unwrap();
+            assert!((a.recall - b.recall).abs() < 1e-12);
+            assert!((a.ndcg - b.ndcg).abs() < 1e-12);
+            assert!((a.category_coverage - b.category_coverage).abs() < 1e-12);
+            assert!((a.f_score - b.f_score).abs() < 1e-12);
+        }
+    }
+}

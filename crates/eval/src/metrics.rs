@@ -1,0 +1,239 @@
+//! Ranking metrics (paper Section IV-A2).
+
+use lkp_data::Dataset;
+
+/// One row of metrics at a single cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Recall@N (`Re` in the paper's tables).
+    pub recall: f64,
+    /// NDCG@N (`Nd`).
+    pub ndcg: f64,
+    /// Category Coverage@N (`CC`): distinct categories in the top-N divided
+    /// by the catalog's category count.
+    pub category_coverage: f64,
+    /// Harmonic F@N between quality (NDCG) and diversity (CC).
+    pub f_score: f64,
+    /// Intra-list distance over categories: fraction of top-N item pairs in
+    /// different categories.
+    pub ild: f64,
+}
+
+impl Metrics {
+    /// All-zero metrics (accumulator identity).
+    pub fn zero() -> Self {
+        Metrics { recall: 0.0, ndcg: 0.0, category_coverage: 0.0, f_score: 0.0, ild: 0.0 }
+    }
+
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: &Metrics) {
+        self.recall += other.recall;
+        self.ndcg += other.ndcg;
+        self.category_coverage += other.category_coverage;
+        self.f_score += other.f_score;
+        self.ild += other.ild;
+    }
+
+    /// Element-wise scaling (used when averaging over users).
+    pub fn scale(&mut self, factor: f64) {
+        self.recall *= factor;
+        self.ndcg *= factor;
+        self.category_coverage *= factor;
+        self.f_score *= factor;
+        self.ild *= factor;
+    }
+}
+
+/// Metrics for all cutoffs of one evaluation run.
+#[derive(Debug, Clone)]
+pub struct MetricSet {
+    cutoffs: Vec<usize>,
+    rows: Vec<Metrics>,
+    n_users: usize,
+}
+
+impl MetricSet {
+    /// Averages accumulated per-user metrics.
+    pub fn from_accumulated(mut rows: Vec<Metrics>, cutoffs: Vec<usize>, n_users: usize) -> Self {
+        if n_users > 0 {
+            for r in &mut rows {
+                r.scale(1.0 / n_users as f64);
+            }
+        }
+        MetricSet { cutoffs, rows, n_users }
+    }
+
+    /// Metrics at a specific cutoff, if it was evaluated.
+    pub fn at(&self, cutoff: usize) -> Option<&Metrics> {
+        self.cutoffs.iter().position(|&c| c == cutoff).map(|i| &self.rows[i])
+    }
+
+    /// Evaluated cutoffs.
+    pub fn cutoffs(&self) -> &[usize] {
+        &self.cutoffs
+    }
+
+    /// Number of users with non-empty test sets.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Formats the paper's 12-column row:
+    /// `Re@5 Re@10 Re@20 Nd@5 Nd@10 Nd@20 CC@5 CC@10 CC@20 F@5 F@10 F@20`
+    /// using whatever cutoffs are present.
+    pub fn table_row(&self, label: &str) -> String {
+        let mut cols = vec![format!("{label:<14}")];
+        for get in
+            [|m: &Metrics| m.recall, |m: &Metrics| m.ndcg, |m: &Metrics| m.category_coverage, |m: &Metrics| m.f_score]
+        {
+            for r in &self.rows {
+                cols.push(format!("{:.4}", get(r)));
+            }
+        }
+        cols.join(" ")
+    }
+}
+
+/// Computes the metrics of a single user's top-N list.
+///
+/// `top` is the (already truncated) recommendation list, `test` the held-out
+/// ground truth, `n` the nominal cutoff (used for IDCG normalization).
+pub fn user_metrics(top: &[usize], test: &[usize], data: &Dataset, n: usize) -> Metrics {
+    let hits: usize = top.iter().filter(|i| test.contains(i)).count();
+    let recall = if test.is_empty() { 0.0 } else { hits as f64 / test.len() as f64 };
+
+    // Binary-relevance NDCG: DCG over hit positions, IDCG assumes all of the
+    // first min(n, |test|) positions are hits.
+    let mut dcg = 0.0;
+    for (pos, item) in top.iter().enumerate() {
+        if test.contains(item) {
+            dcg += 1.0 / ((pos + 2) as f64).log2();
+        }
+    }
+    let ideal_hits = n.min(test.len());
+    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    let ndcg = if idcg > 0.0 { dcg / idcg } else { 0.0 };
+
+    let category_coverage = if data.n_categories() == 0 {
+        0.0
+    } else {
+        data.category_coverage(top) as f64 / data.n_categories() as f64
+    };
+
+    let f_score = harmonic(ndcg, category_coverage);
+
+    // ILD: average pairwise categorical distance (1 if categories differ).
+    let ild = if top.len() < 2 {
+        0.0
+    } else {
+        let mut diff = 0usize;
+        let mut pairs = 0usize;
+        for a in 0..top.len() {
+            for b in (a + 1)..top.len() {
+                pairs += 1;
+                if data.category(top[a]) != data.category(top[b]) {
+                    diff += 1;
+                }
+            }
+        }
+        diff as f64 / pairs as f64
+    };
+
+    Metrics { recall, ndcg, category_coverage, f_score, ild }
+}
+
+/// Harmonic mean, 0 when either input is 0.
+pub fn harmonic(a: f64, b: f64) -> f64 {
+    if a + b <= 0.0 {
+        0.0
+    } else {
+        2.0 * a * b / (a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(0);
+        // 1 user, 10 items, categories 0..4 cycling.
+        Dataset::from_interactions(
+            vec![(0..10).collect()],
+            (0..10).map(|i| i % 5).collect(),
+            5,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn perfect_list_gets_ndcg_one() {
+        let d = data();
+        let test = vec![3, 7, 9];
+        let m = user_metrics(&[3, 7, 9, 0, 1], &test, &d, 5);
+        assert!((m.ndcg - 1.0).abs() < 1e-12);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_hits_score_lower_than_early_hits() {
+        let d = data();
+        let test = vec![3];
+        let early = user_metrics(&[3, 0, 1, 2, 4], &test, &d, 5);
+        let late = user_metrics(&[0, 1, 2, 4, 3], &test, &d, 5);
+        assert!(early.ndcg > late.ndcg);
+        assert_eq!(early.recall, late.recall);
+    }
+
+    #[test]
+    fn no_hits_is_zero() {
+        let d = data();
+        let m = user_metrics(&[0, 1], &[5], &d, 5);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+        assert_eq!(m.f_score, 0.0);
+    }
+
+    #[test]
+    fn category_coverage_counts_distinct_over_total() {
+        let d = data();
+        // items 0,5 share category 0; item 1 is category 1.
+        let m = user_metrics(&[0, 5, 1], &[0], &d, 3);
+        assert!((m.category_coverage - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ild_extremes() {
+        let d = data();
+        // Same category twice: ILD 0. All distinct categories: ILD 1.
+        assert_eq!(user_metrics(&[0, 5], &[0], &d, 2).ild, 0.0);
+        assert_eq!(user_metrics(&[0, 1, 2], &[0], &d, 3).ild, 1.0);
+    }
+
+    #[test]
+    fn harmonic_mean_properties() {
+        assert_eq!(harmonic(0.0, 0.5), 0.0);
+        assert!((harmonic(0.4, 0.4) - 0.4).abs() < 1e-12);
+        assert!(harmonic(0.2, 0.8) < 0.5); // dominated by the smaller value
+    }
+
+    #[test]
+    fn idcg_uses_min_of_cutoff_and_test_size() {
+        let d = data();
+        // Only one test item: a hit at rank 1 among N=5 must give NDCG 1.
+        let m = user_metrics(&[7, 0, 1, 2, 4], &[7], &d, 5);
+        assert!((m.ndcg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_set_lookup_and_row() {
+        let rows = vec![Metrics { recall: 1.0, ndcg: 0.5, category_coverage: 0.2, f_score: 0.3, ild: 0.1 }];
+        let set = MetricSet::from_accumulated(rows, vec![5], 2);
+        let at5 = set.at(5).unwrap();
+        assert!((at5.recall - 0.5).abs() < 1e-12, "averaged over 2 users");
+        assert!(set.at(10).is_none());
+        assert!(set.table_row("test").starts_with("test"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Top-N selection with exclusion.
+
+/// Returns the indices of the `n` highest-scoring items, excluding any item
+/// for which `exclude` returns true, in descending score order.
+///
+/// Linear scan with a small sorted buffer: `O(M · n)` worst case but with a
+/// cheap early-out, which beats heap-based selection for the small `n`
+/// (5–20) used in recommendation cutoffs.
+pub fn top_n_excluding(scores: &[f64], n: usize, exclude: impl Fn(usize) -> bool) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // buffer of (score, item), kept sorted descending.
+    let mut buf: Vec<(f64, usize)> = Vec::with_capacity(n + 1);
+    for (item, &s) in scores.iter().enumerate() {
+        if let Some(&(last, _)) = buf.last() {
+            if buf.len() == n && s <= last {
+                continue;
+            }
+        }
+        if exclude(item) {
+            continue;
+        }
+        let pos = buf.partition_point(|&(bs, _)| bs > s);
+        buf.insert(pos, (s, item));
+        if buf.len() > n {
+            buf.pop();
+        }
+    }
+    buf.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_largest_in_order() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.2];
+        assert_eq!(top_n_excluding(&scores, 3, |_| false), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn exclusion_is_respected() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.2];
+        assert_eq!(top_n_excluding(&scores, 2, |i| i == 1), vec![3, 2]);
+    }
+
+    #[test]
+    fn n_larger_than_catalog() {
+        let scores = [0.3, 0.1];
+        assert_eq!(top_n_excluding(&scores, 10, |_| false), vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_n_is_empty() {
+        assert!(top_n_excluding(&[1.0, 2.0], 0, |_| false).is_empty());
+    }
+
+    #[test]
+    fn ties_are_stable_enough() {
+        // All equal scores: first n items win.
+        let scores = [1.0; 6];
+        let top = top_n_excluding(&scores, 3, |_| false);
+        assert_eq!(top.len(), 3);
+        let mut sorted = top.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        let scores: Vec<f64> = (0..50).map(|i| ((i * 37 % 19) as f64) * 0.13).collect();
+        let mut reference: Vec<usize> = (0..50).filter(|&i| i % 7 != 0).collect();
+        reference.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        reference.truncate(10);
+        let got = top_n_excluding(&scores, 10, |i| i % 7 == 0);
+        // Compare score multisets (tie order may differ).
+        let ref_scores: Vec<f64> = reference.iter().map(|&i| scores[i]).collect();
+        let got_scores: Vec<f64> = got.iter().map(|&i| scores[i]).collect();
+        assert_eq!(ref_scores, got_scores);
+    }
+}

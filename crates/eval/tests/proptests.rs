@@ -1,0 +1,112 @@
+//! Property-based tests for the metric suite.
+
+use lkp_data::Dataset;
+use lkp_eval::metrics::{harmonic, user_metrics};
+use lkp_eval::topn::top_n_excluding;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(n_items: usize, n_cats: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cats: Vec<usize> = (0..n_items).map(|i| i % n_cats).collect();
+    Dataset::from_interactions(vec![(0..n_items).collect()], cats, n_cats, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metrics_are_bounded(
+        top in proptest::collection::vec(0usize..30, 0..10),
+        test in proptest::collection::vec(0usize..30, 1..8),
+    ) {
+        let data = dataset(30, 6);
+        let mut top = top;
+        top.sort_unstable();
+        top.dedup();
+        let m = user_metrics(&top, &test, &data, 10);
+        for v in [m.recall, m.ndcg, m.category_coverage, m.f_score, m.ild] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn adding_a_hit_never_hurts(
+        test in proptest::collection::vec(0usize..20, 1..6),
+        filler in proptest::collection::vec(20usize..30, 3..6),
+    ) {
+        let data = dataset(30, 5);
+        let mut test = test;
+        test.sort_unstable();
+        test.dedup();
+        // List without any hit vs the same list with a hit prepended.
+        let without: Vec<usize> = filler.clone();
+        let mut with = vec![test[0]];
+        with.extend_from_slice(&filler);
+        let m_without = user_metrics(&without, &test, &data, 10);
+        let m_with = user_metrics(&with, &test, &data, 10);
+        prop_assert!(m_with.recall >= m_without.recall);
+        prop_assert!(m_with.ndcg >= m_without.ndcg);
+    }
+
+    #[test]
+    fn earlier_hits_dominate_later_hits(
+        hit in 0usize..10,
+        pos in 1usize..5,
+    ) {
+        let data = dataset(30, 5);
+        let test = vec![hit];
+        let mut early = vec![hit];
+        let mut late = Vec::new();
+        for f in 20..25 {
+            early.push(f);
+            late.push(f);
+        }
+        late.insert(pos, hit);
+        late.truncate(5);
+        let m_early = user_metrics(&early[..5], &test, &data, 5);
+        let m_late = user_metrics(&late, &test, &data, 5);
+        prop_assert!(m_early.ndcg >= m_late.ndcg);
+    }
+
+    #[test]
+    fn harmonic_mean_bounds(a in 0.0..1.0_f64, b in 0.0..1.0_f64) {
+        let h = harmonic(a, b);
+        prop_assert!(h <= a.max(b) + 1e-12);
+        prop_assert!(h >= 0.0);
+        if a > 0.0 && b > 0.0 {
+            prop_assert!(h >= a.min(b) * 1e-9, "harmonic collapsed: {h}");
+            prop_assert!(h <= 2.0 * a.min(b));
+        }
+    }
+
+    #[test]
+    fn topn_returns_descending_scores_and_respects_exclusion(
+        scores in proptest::collection::vec(-5.0..5.0_f64, 10..60),
+        n in 1usize..15,
+        modulus in 2usize..6,
+    ) {
+        let top = top_n_excluding(&scores, n, |i| i % modulus == 0);
+        // Descending.
+        for w in top.windows(2) {
+            prop_assert!(scores[w[0]] >= scores[w[1]]);
+        }
+        // Exclusion respected.
+        for &i in &top {
+            prop_assert!(i % modulus != 0);
+        }
+        // Completeness: size is min(n, #allowed).
+        let allowed = (0..scores.len()).filter(|i| i % modulus != 0).count();
+        prop_assert_eq!(top.len(), n.min(allowed));
+        // Optimality: the worst returned score beats every excluded-from-list allowed score.
+        if top.len() == n {
+            let worst = scores[*top.last().unwrap()];
+            for i in (0..scores.len()).filter(|i| i % modulus != 0) {
+                if !top.contains(&i) {
+                    prop_assert!(scores[i] <= worst + 1e-12);
+                }
+            }
+        }
+    }
+}

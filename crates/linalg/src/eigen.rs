@@ -1,0 +1,437 @@
+//! Symmetric eigendecomposition.
+//!
+//! The k-DPP normalizer `e_k(λ)` and its gradient both need the full spectrum
+//! of the `(k+n) × (k+n)` ground-set kernel (paper Eq. 6 and Eq. 12). We use
+//! the classic two-stage approach: Householder reduction to tridiagonal form
+//! (`tred2`) followed by the implicit-shift QL iteration (`tql2`), following
+//! the well-studied EISPACK formulation. This is exact to round-off for the
+//! small symmetric matrices this workspace produces, and has no dependencies.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a real symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, stored as the *columns* of this matrix, in
+    /// the same order as [`SymmetricEigen::values`].
+    pub vectors: Matrix,
+}
+
+/// Maximum QL iterations per eigenvalue before giving up.
+const MAX_ITER: usize = 64;
+
+impl SymmetricEigen {
+    /// Computes the full eigendecomposition of a symmetric matrix.
+    ///
+    /// Only symmetry to a loose tolerance is required; the strictly symmetric
+    /// average `(A + Aᵀ)/2` is what actually gets decomposed, which absorbs
+    /// round-off asymmetry from upstream kernel assembly.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Ok(SymmetricEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+        }
+        let mut v = a.clone();
+        v.symmetrize();
+        let mut d = vec![0.0; n]; // diagonal of tridiagonal form -> eigenvalues
+        let mut e = vec![0.0; n]; // off-diagonal
+        tred2(&mut v, &mut d, &mut e);
+        tql2(&mut v, &mut d, &mut e)?;
+        sort_ascending(&mut v, &mut d);
+        Ok(SymmetricEigen { values: d, vectors: v })
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reconstructs `V · diag(f(λ)) · Vᵀ` for an arbitrary spectral function.
+    ///
+    /// This is the workhorse for k-DPP gradients, where
+    /// `∇_L log e_k(λ) = V · diag(e_{k-1}(λ₋ᵢ)/e_k(λ)) · Vᵀ`.
+    pub fn reconstruct_with(&self, f: impl Fn(usize, f64) -> f64) -> Matrix {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        for (idx, &lambda) in self.values.iter().enumerate() {
+            let w = f(idx, lambda);
+            if w == 0.0 {
+                continue;
+            }
+            // out += w * v_idx v_idxᵀ, with v_idx the idx-th column of `vectors`.
+            for r in 0..n {
+                let vr = self.vectors[(r, idx)];
+                if vr == 0.0 {
+                    continue;
+                }
+                let coeff = w * vr;
+                for c in 0..n {
+                    out[(r, c)] += coeff * self.vectors[(c, idx)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the original matrix (up to round-off).
+    pub fn reconstruct(&self) -> Matrix {
+        self.reconstruct_with(|_, lambda| lambda)
+    }
+
+    /// Eigenvalues clamped below at zero — the PSD projection used for DPP
+    /// kernels whose tiny negative eigenvalues are numerical noise.
+    pub fn clamped_nonnegative_values(&self) -> Vec<f64> {
+        self.values.iter().map(|&l| l.max(0.0)).collect()
+    }
+}
+
+/// Householder reduction of `v` (symmetric) to tridiagonal form.
+///
+/// On exit `d` holds the diagonal, `e[1..]` the sub-diagonal, and `v` the
+/// accumulated orthogonal transformation. Ported from the public-domain
+/// EISPACK/JAMA `tred2`.
+fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for j in 0..n {
+        d[j] = v[(n - 1, j)];
+    }
+
+    for i in (1..n).rev() {
+        // Scale to avoid under/overflow.
+        let mut scale = 0.0;
+        let mut h = 0.0;
+        for item in d.iter().take(i) {
+            scale += item.abs();
+        }
+        if scale == 0.0 {
+            e[i] = d[i - 1];
+            for j in 0..i {
+                d[j] = v[(i - 1, j)];
+                v[(i, j)] = 0.0;
+                v[(j, i)] = 0.0;
+            }
+        } else {
+            // Generate Householder vector.
+            for item in d.iter_mut().take(i) {
+                *item /= scale;
+                h += *item * *item;
+            }
+            let mut f = d[i - 1];
+            let mut g = h.sqrt();
+            if f > 0.0 {
+                g = -g;
+            }
+            e[i] = scale * g;
+            h -= f * g;
+            d[i - 1] = f - g;
+            for item in e.iter_mut().take(i) {
+                *item = 0.0;
+            }
+
+            // Apply similarity transformation to remaining columns.
+            for j in 0..i {
+                f = d[j];
+                v[(j, i)] = f;
+                g = e[j] + v[(j, j)] * f;
+                for k in (j + 1)..i {
+                    g += v[(k, j)] * d[k];
+                    e[k] += v[(k, j)] * f;
+                }
+                e[j] = g;
+            }
+            f = 0.0;
+            for j in 0..i {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..i {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..i {
+                f = d[j];
+                g = e[j];
+                for k in j..i {
+                    let delta = f * e[k] + g * d[k];
+                    v[(k, j)] -= delta;
+                }
+                d[j] = v[(i - 1, j)];
+                v[(i, j)] = 0.0;
+            }
+        }
+        d[i] = h;
+    }
+
+    // Accumulate transformations.
+    for i in 0..(n - 1) {
+        v[(n - 1, i)] = v[(i, i)];
+        v[(i, i)] = 1.0;
+        let h = d[i + 1];
+        if h != 0.0 {
+            for k in 0..=i {
+                d[k] = v[(k, i + 1)] / h;
+            }
+            for j in 0..=i {
+                let mut g = 0.0;
+                for k in 0..=i {
+                    g += v[(k, i + 1)] * v[(k, j)];
+                }
+                for k in 0..=i {
+                    let delta = g * d[k];
+                    v[(k, j)] -= delta;
+                }
+            }
+        }
+        for k in 0..=i {
+            v[(k, i + 1)] = 0.0;
+        }
+    }
+    for j in 0..n {
+        d[j] = v[(n - 1, j)];
+        v[(n - 1, j)] = 0.0;
+    }
+    v[(n - 1, n - 1)] = 1.0;
+    e[0] = 0.0;
+}
+
+/// Implicit-shift QL iteration on the tridiagonal form produced by [`tred2`].
+///
+/// On exit `d` holds the eigenvalues and the columns of `v` the eigenvectors.
+fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
+    let n = d.len();
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    let mut f = 0.0_f64;
+    let mut tst1 = 0.0_f64;
+    let eps = 2.0_f64.powi(-52);
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m == n {
+            m = n - 1;
+        }
+
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                if iter > MAX_ITER {
+                    return Err(LinalgError::NoConvergence { iterations: MAX_ITER });
+                }
+                // Compute implicit shift.
+                let g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = p.hypot(1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let h = g - d[l];
+                for item in d.iter_mut().take(n).skip(l + 2) {
+                    *item -= h;
+                }
+                f += h;
+
+                // Implicit QL transformation.
+                p = d[m];
+                let mut c = 1.0;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0;
+                let mut s2 = 0.0;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    let g = c * e[i];
+                    let h = c * p;
+                    let r = p.hypot(e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+
+                    // Accumulate transformation in eigenvector matrix.
+                    for k in 0..n {
+                        let h = v[(k, i + 1)];
+                        v[(k, i + 1)] = s * v[(k, i)] + c * h;
+                        v[(k, i)] = c * v[(k, i)] - s * h;
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+    Ok(())
+}
+
+/// Sorts eigenvalues ascending, permuting eigenvector columns to match.
+fn sort_ascending(v: &mut Matrix, d: &mut [f64]) {
+    let n = d.len();
+    for i in 0..n.saturating_sub(1) {
+        let mut k = i;
+        let mut p = d[i];
+        for j in (i + 1)..n {
+            if d[j] < p {
+                k = j;
+                p = d[j];
+            }
+        }
+        if k != i {
+            d.swap(i, k);
+            for r in 0..n {
+                let tmp = v[(r, i)];
+                v[(r, i)] = v[(r, k)];
+                v[(r, k)] = tmp;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_close(eig.values[0], 1.0, 1e-12);
+        assert_close(eig.values[1], 2.0, 1e-12);
+        assert_close(eig.values[2], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known_spectrum() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_close(eig.values[0], 1.0, 1e-12);
+        assert_close(eig.values[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -0.5, 0.2],
+            &[1.0, 3.0, 0.7, -0.1],
+            &[-0.5, 0.7, 2.0, 0.3],
+            &[0.2, -0.1, 0.3, 1.0],
+        ]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(eig.reconstruct().max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let vtv = eig.vectors.transpose().matmul(&eig.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0],
+            &[2.0, 4.0, 0.5],
+            &[1.0, 0.5, 3.0],
+        ]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let trace: f64 = eig.values.iter().sum();
+        assert_close(trace, a.trace(), 1e-10);
+        let det: f64 = eig.values.iter().product();
+        assert_close(det, crate::lu::det(&a).unwrap(), 1e-9);
+    }
+
+    #[test]
+    fn av_equals_lambda_v() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.3, -0.2],
+            &[0.3, 2.0, 0.4],
+            &[-0.2, 0.4, 1.5],
+        ]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for (i, &lambda) in eig.values.iter().enumerate() {
+            let v: Vec<f64> = eig.vectors.col(i);
+            let av = a.matvec(&v).unwrap();
+            for (x, y) in av.iter().zip(&v) {
+                assert_close(*x, lambda * y, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_repeated_eigenvalues() {
+        let a = Matrix::identity(4);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for &l in &eig.values {
+            assert_close(l, 1.0, 1e-12);
+        }
+        let vtv = eig.vectors.transpose().matmul(&eig.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(4)) < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one_and_empty() {
+        let a = Matrix::from_rows(&[&[7.0]]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.values, vec![7.0]);
+        let empty = SymmetricEigen::new(&Matrix::zeros(0, 0)).unwrap();
+        assert!(empty.values.is_empty());
+    }
+
+    #[test]
+    fn psd_gram_spectrum_is_nonnegative() {
+        // VᵀV is PSD; clamped values should equal values up to round-off.
+        let v = Matrix::from_fn(3, 6, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let g = v.gram();
+        let eig = SymmetricEigen::new(&g).unwrap();
+        for &l in &eig.values {
+            assert!(l > -1e-10, "PSD eigenvalue went negative: {l}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_with_inverse_gives_matrix_inverse() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let inv = eig.reconstruct_with(|_, l| 1.0 / l);
+        let expected = crate::lu::inverse(&a).unwrap();
+        assert!(inv.max_abs_diff(&expected) < 1e-12);
+    }
+}

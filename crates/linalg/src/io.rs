@@ -1,0 +1,145 @@
+//! Plain-text matrix serialization.
+//!
+//! A deliberately simple, dependency-free format: one header line
+//! `lkp-matrix <rows> <cols>` followed by one whitespace-separated row per
+//! line, floats in Rust's shortest round-trippable form ("{:?}" / `{e}`),
+//! so `write → read` is bit-exact. Used to persist pre-trained diversity
+//! kernels and model embeddings between runs.
+
+use crate::Matrix;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Magic header tag.
+const MAGIC: &str = "lkp-matrix";
+
+/// Writes a matrix in the text format described in the module docs.
+pub fn write_matrix<W: Write>(matrix: &Matrix, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{MAGIC} {} {}", matrix.rows(), matrix.cols())?;
+    for r in 0..matrix.rows() {
+        let row = matrix.row(r);
+        for (c, v) in row.iter().enumerate() {
+            if c > 0 {
+                write!(w, " ")?;
+            }
+            // `{:?}` prints the shortest representation that round-trips.
+            write!(w, "{v:?}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads a matrix written by [`write_matrix`].
+///
+/// Shape mismatches, bad headers and unparsable floats surface as
+/// `io::ErrorKind::InvalidData`.
+pub fn read_matrix<R: Read>(reader: R) -> std::io::Result<Matrix> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad_data("empty input"))??;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(MAGIC) {
+        return Err(bad_data("missing lkp-matrix header"));
+    }
+    let rows: usize =
+        parts.next().ok_or_else(|| bad_data("missing row count"))?.parse().map_err(bad)?;
+    let cols: usize =
+        parts.next().ok_or_else(|| bad_data("missing col count"))?.parse().map_err(bad)?;
+    let mut data = Vec::with_capacity(rows * cols);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            data.push(tok.parse::<f64>().map_err(bad)?);
+        }
+    }
+    if data.len() != rows * cols {
+        return Err(bad_data(&format!(
+            "payload has {} values, header promises {}",
+            data.len(),
+            rows * cols
+        )));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Writes a matrix to a filesystem path.
+pub fn save_matrix(matrix: &Matrix, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    write_matrix(matrix, std::fs::File::create(path)?)
+}
+
+/// Reads a matrix from a filesystem path.
+pub fn load_matrix(path: impl AsRef<std::path::Path>) -> std::io::Result<Matrix> {
+    read_matrix(std::fs::File::open(path)?)
+}
+
+fn bad_data(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn bad<E: std::fmt::Display>(e: E) -> std::io::Error {
+    bad_data(&e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let m = Matrix::from_fn(4, 3, |r, c| {
+            (r as f64 + 1.0) / (c as f64 + 7.0) * if (r + c) % 2 == 0 { 1.0 } else { -1.0 }
+        });
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back = read_matrix(buf.as_slice()).unwrap();
+        assert_eq!(m, back, "round-trip must be bit-exact");
+    }
+
+    #[test]
+    fn roundtrip_preserves_special_magnitudes() {
+        let m = Matrix::from_rows(&[
+            &[1e-300, -1e300, 0.1 + 0.2],
+            &[f64::MIN_POSITIVE, -0.0, 3.141592653589793],
+        ]);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back = read_matrix(buf.as_slice()).unwrap();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = Matrix::zeros(0, 0);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back = read_matrix(buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), (0, 0));
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(read_matrix("".as_bytes()).is_err());
+        assert!(read_matrix("not-a-header 2 2\n1 2\n3 4\n".as_bytes()).is_err());
+        assert!(read_matrix("lkp-matrix 2 2\n1 2\n3\n".as_bytes()).is_err(), "short payload");
+        assert!(read_matrix("lkp-matrix 1 2\n1 banana\n".as_bytes()).is_err(), "bad float");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lkp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.tsv");
+        let m = Matrix::identity(5);
+        save_matrix(&m, &path).unwrap();
+        let back = load_matrix(&path).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_file(path).ok();
+    }
+}

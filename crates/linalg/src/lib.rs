@@ -1,0 +1,86 @@
+//! Dense and sparse linear algebra substrate for the `lkp` workspace.
+//!
+//! The k-DPP machinery in `lkp-dpp` needs a small but complete set of dense
+//! routines over small symmetric matrices (the `(k+n) × (k+n)` ground-set
+//! kernels of the paper) plus sparse matrix products for graph-based
+//! recommenders (GCN/GCMC propagation over the user–item bipartite graph).
+//!
+//! Everything here is `f64`, row-major, and implemented from scratch:
+//!
+//! * [`Matrix`] — dense row-major matrix with the usual constructors and
+//!   products.
+//! * [`lu::Lu`] — LU factorization with partial pivoting (determinant, solve,
+//!   inverse).
+//! * [`cholesky::Cholesky`] — Cholesky factorization of SPD matrices
+//!   (log-determinant, solve).
+//! * [`eigen::SymmetricEigen`] — full eigendecomposition of real symmetric
+//!   matrices via Householder tridiagonalization and implicit-shift QL.
+//! * [`sparse::CsrMatrix`] — compressed sparse row matrix with sparse×dense
+//!   products and the symmetric-normalized bipartite adjacency used by the
+//!   GCN recommender.
+//!
+//! The routines favour clarity and numerical robustness over raw speed; the
+//! dense kernels in this workspace are at most a few dozen rows, where the
+//! textbook algorithms are both exact enough and fast enough.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod io;
+pub mod lu;
+pub mod matrix;
+pub mod ops;
+pub mod sparse;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;
+
+/// Errors produced by factorizations and shape-checked operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// An operation requiring a square matrix received a rectangular one.
+    NotSquare { rows: usize, cols: usize },
+    /// Operand shapes are incompatible.
+    DimensionMismatch { expected: (usize, usize), got: (usize, usize) },
+    /// The matrix is singular to working precision (zero pivot in LU).
+    Singular,
+    /// Cholesky hit a non-positive pivot: the matrix is not positive definite.
+    NotPositiveDefinite { pivot: f64, index: usize },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence { iterations: usize },
+    /// An index was out of bounds for the matrix dimensions.
+    IndexOutOfBounds { index: usize, bound: usize },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            LinalgError::DimensionMismatch { expected, got } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotPositiveDefinite { pivot, index } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot:.3e} at index {index})"
+            ),
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} sweeps")
+            }
+            LinalgError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Result alias for fallible linear algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,252 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for determinants and inverses of the small (`k+n`-sized) ground-set
+//! kernel blocks, where the matrices are not necessarily positive definite
+//! (e.g. gradient intermediates).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU decomposition `P·A = L·U` with partial (row) pivoting.
+///
+/// `L` has unit diagonal and is stored together with `U` in a single packed
+/// matrix, as is conventional.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (below diagonal, unit diagonal implicit) and U (upper triangle).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used for the determinant.
+    perm_sign: f64,
+    /// True if a pivot underflowed to (near) zero.
+    singular: bool,
+}
+
+/// Pivot magnitudes below this threshold are treated as singular.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl Lu {
+    /// Factorizes a square matrix. Returns an error for non-square input.
+    ///
+    /// Singular matrices factorize successfully (so [`Lu::det`] can return 0)
+    /// but [`Lu::solve`] and [`Lu::inverse`] on them return
+    /// [`LinalgError::Singular`].
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let mut singular = false;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest |entry| in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < PIVOT_EPS {
+                singular = true;
+                continue;
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let delta = factor * lu[(k, c)];
+                    lu[(r, c)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign, singular })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Whether the factorization detected singularity.
+    pub fn is_singular(&self) -> bool {
+        self.singular
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        if self.singular {
+            return 0.0;
+        }
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// `(sign, log|det|)` of the original matrix; more robust than [`Lu::det`]
+    /// for large dimensions.
+    pub fn sign_log_det(&self) -> (f64, f64) {
+        if self.singular {
+            return (0.0, f64::NEG_INFINITY);
+        }
+        let mut sign = self.perm_sign;
+        let mut log_det = 0.0;
+        for i in 0..self.dim() {
+            let d = self.lu[(i, i)];
+            if d < 0.0 {
+                sign = -sign;
+            }
+            log_det += d.abs().ln();
+        }
+        (sign, log_det)
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch { expected: (n, 1), got: (b.len(), 1) });
+        }
+        if self.singular {
+            return Err(LinalgError::Singular);
+        }
+        // Apply permutation, then forward substitution with unit-diagonal L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the original matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        if self.singular {
+            return Err(LinalgError::Singular);
+        }
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for (r, &v) in col.iter().enumerate() {
+                inv[(r, c)] = v;
+            }
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience: determinant of a square matrix via LU.
+pub fn det(a: &Matrix) -> Result<f64> {
+    Ok(Lu::new(a)?.det())
+}
+
+/// Convenience: inverse of a square matrix via LU.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_of_known_matrices() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        assert!((det(&a).unwrap() - -6.0).abs() < 1e-12);
+        assert!((det(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-12);
+        let b = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 3.0, 0.0], &[0.0, 0.0, 4.0]]);
+        assert!((det(&b).unwrap() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_of_singular_matrix_is_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(det(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let x_true = [2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        assert!((x[0] - x_true[0]).abs() < 1e-12);
+        assert!((x[1] - x_true[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.is_singular());
+        assert!(matches!(lu.solve(&[1.0, 2.0]), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[1.0, 3.0, -2.0],
+            &[0.0, 1.0, 1.0],
+        ]);
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn sign_log_det_matches_det() {
+        let a = Matrix::from_rows(&[&[1.0, 4.0], &[2.0, 3.0]]);
+        let lu = Lu::new(&a).unwrap();
+        let (sign, log_det) = lu.sign_log_det();
+        assert!((sign * log_det.exp() - lu.det()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((det(&a).unwrap() - -1.0).abs() < 1e-12);
+        let x = Lu::new(&a).unwrap().solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Slice-level vector operations shared across the workspace.
+//!
+//! These avoid a dedicated vector type: model embeddings and score vectors
+//! are plain `&[f64]` slices, and all hot per-instance math goes through
+//! these helpers.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// In-place `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Numerically stable log-sum-exp.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Logistic sigmoid, stable for large |x|.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `log(sigmoid(x))`, stable for large |x|.
+#[inline]
+pub fn log_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        -(-x).exp().ln_1p()
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_scale() {
+        let a = [1.0, 2.0, 3.0];
+        let mut b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        axpy(2.0, &a, &mut b);
+        assert_eq!(b, [6.0, 9.0, 12.0]);
+        scale(0.5, &mut b);
+        assert_eq!(b, [3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive() {
+        let xs: [f64; 3] = [0.1, -0.3, 2.0];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_large_values() {
+        let xs = [1000.0, 1000.0];
+        assert!((log_sum_exp(&xs) - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!((sigmoid(50.0) - 1.0).abs() < 1e-15);
+        assert!(sigmoid(-800.0) >= 0.0);
+        for x in [-3.0, -0.5, 0.7, 4.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_sigmoid_matches_ln_of_sigmoid() {
+        for x in [-5.0, -1.0, 0.0, 1.0, 5.0] {
+            assert!((log_sigmoid(x) - sigmoid(x).ln()).abs() < 1e-10);
+        }
+        // And doesn't underflow to -inf prematurely for very negative x.
+        assert!(log_sigmoid(-700.0).is_finite());
+    }
+
+    #[test]
+    fn sq_dist_basics() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The graph-based recommenders (GCN, GCMC) propagate embeddings over the
+//! user–item bipartite interaction graph. That graph is stored here as a CSR
+//! matrix, and propagation is a sparse × dense product.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed. Out-of-bounds coordinates are an
+    /// error.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows {
+                return Err(LinalgError::IndexOutOfBounds { index: r, bound: rows });
+            }
+            if c >= cols {
+                return Err(LinalgError::IndexOutOfBounds { index: c, bound: cols });
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
+                // Merge duplicates within the current row.
+                if row_ptr[r + 1] > 0 && last_c == c && col_idx.len() > row_ptr[r] {
+                    // Only merge when the previous entry belongs to the same row:
+                    // `row_ptr[r+1] > 0` means we've already placed entries for row r.
+                    *last_v += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] = col_idx.len();
+        }
+        // Make row_ptr cumulative for rows without entries.
+        for r in 1..=rows {
+            if row_ptr[r] < row_ptr[r - 1] {
+                row_ptr[r] = row_ptr[r - 1];
+            }
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates `(col, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Dense sparse × dense product `self * dense`.
+    pub fn spmm(&self, dense: &Matrix) -> Result<Matrix> {
+        if self.cols != dense.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.cols, dense.cols()),
+                got: dense.shape(),
+            });
+        }
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let out_row = out.row_mut(r);
+            for idx in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[idx];
+                let v = self.values[idx];
+                crate::ops::axpy(v, dense.row(c), out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sparse × dense-vector product.
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != x.len() {
+            return Err(LinalgError::DimensionMismatch { expected: (self.cols, 1), got: (x.len(), 1) });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.row_iter(r).map(|(c, v)| v * x[c]).sum();
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose (also CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose of a valid CSR is valid")
+    }
+
+    /// Densifies; intended for tests and tiny matrices only.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+}
+
+/// Builds the symmetric-normalized adjacency `Â = D^{-1/2} A D^{-1/2}` of the
+/// user–item bipartite graph, with node ordering `[users..., items...]`.
+///
+/// `edges` are `(user, item)` interaction pairs. Degenerate nodes (degree 0)
+/// simply produce empty rows. This is the propagation operator of LightGCN /
+/// NGCF-style recommenders.
+pub fn normalized_bipartite_adjacency(
+    n_users: usize,
+    n_items: usize,
+    edges: &[(usize, usize)],
+) -> Result<CsrMatrix> {
+    let n = n_users + n_items;
+    let mut degree = vec![0usize; n];
+    for &(u, i) in edges {
+        if u >= n_users {
+            return Err(LinalgError::IndexOutOfBounds { index: u, bound: n_users });
+        }
+        if i >= n_items {
+            return Err(LinalgError::IndexOutOfBounds { index: i, bound: n_items });
+        }
+        degree[u] += 1;
+        degree[n_users + i] += 1;
+    }
+    let inv_sqrt: Vec<f64> =
+        degree.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / (d as f64).sqrt() }).collect();
+    let mut triplets = Vec::with_capacity(edges.len() * 2);
+    for &(u, i) in edges {
+        let item_node = n_users + i;
+        let w = inv_sqrt[u] * inv_sqrt[item_node];
+        triplets.push((u, item_node, w));
+        triplets.push((item_node, u, w));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_builds_expected_dense() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (1, 0, 3.0), (1, 2, -1.0)]).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d, Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[3.0, 0.0, -1.0]]));
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 1, 2.0), (0, 1, 3.0)]).unwrap();
+        assert_eq!(m.to_dense()[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_is_error() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let sp = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0), (2, 0, 0.5), (2, 2, 3.0)],
+        )
+        .unwrap();
+        let dense = Matrix::from_fn(3, 2, |r, c| (r + c) as f64 + 0.5);
+        let got = sp.spmm(&dense).unwrap();
+        let expected = sp.to_dense().matmul(&dense).unwrap();
+        assert!(got.max_abs_diff(&expected) < 1e-14);
+    }
+
+    #[test]
+    fn spmv_matches_matvec() {
+        let sp = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, -2.0), (1, 1, 4.0)]).unwrap();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(sp.spmv(&x).unwrap(), sp.to_dense().matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let sp = CsrMatrix::from_triplets(2, 4, &[(0, 3, 1.5), (1, 0, 2.5), (1, 2, -0.5)]).unwrap();
+        let tt = sp.transpose().transpose();
+        assert!(tt.to_dense().max_abs_diff(&sp.to_dense()) < 1e-15);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let sp = CsrMatrix::from_triplets(4, 4, &[(3, 3, 1.0)]).unwrap();
+        assert_eq!(sp.row_iter(1).count(), 0);
+        assert_eq!(sp.to_dense()[(3, 3)], 1.0);
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_with_unit_spectral_bound() {
+        // Simple graph: 2 users, 2 items, 3 edges.
+        let adj = normalized_bipartite_adjacency(2, 2, &[(0, 0), (0, 1), (1, 1)]).unwrap();
+        let d = adj.to_dense();
+        assert!(d.is_symmetric(1e-15));
+        // The spectral radius of D^{-1/2} A D^{-1/2} is at most 1.
+        let eig = crate::eigen::SymmetricEigen::new(&d).unwrap();
+        for &l in &eig.values {
+            assert!(l.abs() <= 1.0 + 1e-12, "eigenvalue {l} exceeds spectral bound");
+        }
+        // user0-item0: 1/sqrt(2*1); user0-item1: 1/sqrt(2*2); user1-item1: 1/sqrt(1*2)
+        assert!((d[(0, 2)] - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((d[(0, 3)] - 0.5).abs() < 1e-12);
+        assert!((d[(1, 3)] - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_nodes_produce_empty_rows() {
+        let adj = normalized_bipartite_adjacency(2, 2, &[(0, 0)]).unwrap();
+        assert_eq!(adj.row_iter(1).count(), 0); // user 1 never interacted
+        assert_eq!(adj.row_iter(3).count(), 0); // item 1 never interacted
+    }
+}

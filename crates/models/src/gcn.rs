@@ -1,0 +1,299 @@
+//! GCN-based collaborative filtering with linear embedding propagation.
+//!
+//! The paper deploys its criteria on "the basic GCN framework that learns
+//! representations from high-order connectivities referring to NGCF". We use
+//! the LightGCN simplification (He et al. 2020) of exactly that framework:
+//! base embeddings `E⁰` over the `[users; items]` node set are propagated
+//! through the symmetric-normalized bipartite adjacency `Â`,
+//!
+//! ```text
+//! E^{(l)} = Â · E^{(l-1)},   F = (1/(L+1)) Σ_{l=0..L} E^{(l)}
+//! ```
+//!
+//! and `ŷ_{u,i} = ⟨F_u, F_{|U|+i}⟩`. The propagation is linear, so the exact
+//! backward pass is another `L` sparse products with `Â` (Â is symmetric):
+//! `∂loss/∂E⁰ = (1/(L+1)) Σ_l Â^l · ∂loss/∂F`.
+//!
+//! Propagated embeddings are cached and refreshed after every optimizer step
+//! (and at epoch start), so scoring is a dot product like MF.
+
+use crate::{ItemEmbeddings, Recommender};
+use lkp_linalg::ops::dot;
+use lkp_linalg::sparse::{normalized_bipartite_adjacency, CsrMatrix};
+use lkp_linalg::Matrix;
+use lkp_nn::{AdamConfig, EmbeddingTable};
+use rand::Rng;
+
+/// LightGCN-style recommender.
+#[derive(Clone)]
+pub struct Gcn {
+    n_users: usize,
+    n_items: usize,
+    layers: usize,
+    adjacency: CsrMatrix,
+    base: EmbeddingTable,
+    /// Cached propagated embeddings `F` (refreshed after each step).
+    propagated: Matrix,
+    /// Accumulated `∂loss/∂F` rows for the current batch.
+    pending: Vec<(usize, Vec<f64>)>,
+}
+
+impl Gcn {
+    /// Builds the model over the dataset's train graph.
+    pub fn new<R: Rng + ?Sized>(
+        n_users: usize,
+        n_items: usize,
+        train_edges: &[(usize, usize)],
+        dim: usize,
+        layers: usize,
+        config: AdamConfig,
+        rng: &mut R,
+    ) -> Self {
+        let adjacency = normalized_bipartite_adjacency(n_users, n_items, train_edges)
+            .expect("valid train edges");
+        let base = EmbeddingTable::new(n_users + n_items, dim, 0.1, config, rng);
+        let propagated = propagate(&adjacency, base.matrix(), layers);
+        Gcn { n_users, n_items, layers, adjacency, base, propagated, pending: Vec::new() }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    /// Number of propagation layers `L`.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// The propagated embedding of a user node.
+    pub fn user_embedding(&self, user: usize) -> &[f64] {
+        self.propagated.row(user)
+    }
+
+    /// The propagated embedding of an item node.
+    pub fn propagated_item_embedding(&self, item: usize) -> &[f64] {
+        self.propagated.row(self.n_users + item)
+    }
+
+    fn refresh_cache(&mut self) {
+        self.propagated = propagate(&self.adjacency, self.base.matrix(), self.layers);
+    }
+
+    fn accumulate_f_grad(&mut self, node: usize, grad: &[f64]) {
+        if let Some((_, g)) = self.pending.iter_mut().find(|(n, _)| *n == node) {
+            for (a, b) in g.iter_mut().zip(grad) {
+                *a += b;
+            }
+        } else {
+            self.pending.push((node, grad.to_vec()));
+        }
+    }
+}
+
+/// `F = (1/(L+1)) Σ_l Â^l E`.
+fn propagate(adj: &CsrMatrix, base: &Matrix, layers: usize) -> Matrix {
+    let mut acc = base.clone();
+    let mut current = base.clone();
+    for _ in 0..layers {
+        current = adj.spmm(&current).expect("adjacency matches embedding height");
+        acc.add_scaled(1.0, &current).expect("same shape");
+    }
+    acc.scale(1.0 / (layers as f64 + 1.0));
+    acc
+}
+
+impl Recommender for Gcn {
+    fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn score_items(&self, user: usize, items: &[usize]) -> Vec<f64> {
+        let f_u = self.propagated.row(user);
+        items.iter().map(|&i| dot(f_u, self.propagated.row(self.n_users + i))).collect()
+    }
+
+    fn accumulate_score_grads(&mut self, user: usize, items: &[usize], dscores: &[f64]) {
+        debug_assert_eq!(items.len(), dscores.len());
+        let dim = self.dim();
+        let mut du = vec![0.0; dim];
+        for (&i, &ds) in items.iter().zip(dscores) {
+            if ds == 0.0 {
+                continue;
+            }
+            let node = self.n_users + i;
+            let f_u = self.propagated.row(user).to_vec();
+            let f_i = self.propagated.row(node);
+            for (a, &b) in du.iter_mut().zip(f_i) {
+                *a += ds * b;
+            }
+            let di: Vec<f64> = f_u.iter().map(|&x| ds * x).collect();
+            self.accumulate_f_grad(node, &di);
+        }
+        self.accumulate_f_grad(user, &du);
+    }
+
+    fn step(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // Dense gradient over all nodes, then exact linear backward through
+        // the propagation: dE⁰ = (1/(L+1)) Σ_l Â^l dF.
+        let n_nodes = self.n_users + self.n_items;
+        let dim = self.dim();
+        let mut df = Matrix::zeros(n_nodes, dim);
+        for (node, g) in self.pending.drain(..) {
+            for (slot, v) in df.row_mut(node).iter_mut().zip(&g) {
+                *slot += v;
+            }
+        }
+        let de0 = propagate(&self.adjacency, &df, self.layers);
+        for node in 0..n_nodes {
+            let row = de0.row(node);
+            if row.iter().any(|&x| x != 0.0) {
+                self.base.accumulate_grad(node, row);
+            }
+        }
+        self.base.step();
+        self.refresh_cache();
+    }
+
+    fn begin_epoch(&mut self) {
+        self.refresh_cache();
+    }
+}
+
+impl ItemEmbeddings for Gcn {
+    fn item_dim(&self) -> usize {
+        self.dim()
+    }
+
+    /// The E-type kernel reads *propagated* item embeddings — they are the
+    /// representations actually used for scoring.
+    fn item_embedding(&self, item: usize) -> &[f64] {
+        self.propagated_item_embedding(item)
+    }
+
+    fn accumulate_item_embedding_grad(&mut self, item: usize, grad: &[f64]) {
+        let node = self.n_users + item;
+        self.accumulate_f_grad(node, grad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn edges() -> Vec<(usize, usize)> {
+        vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 0), (2, 3), (3, 2), (3, 3)]
+    }
+
+    fn model(layers: usize) -> Gcn {
+        let mut rng = StdRng::seed_from_u64(1);
+        Gcn::new(
+            4,
+            4,
+            &edges(),
+            8,
+            layers,
+            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn zero_layers_reduces_to_mf() {
+        let m = model(0);
+        // With L = 0 the propagated embeddings equal the base table.
+        assert!(m.propagated.max_abs_diff(m.base.matrix()) < 1e-15);
+    }
+
+    #[test]
+    fn propagation_mixes_neighbors() {
+        let m = model(2);
+        // User 0 and item 0 are connected; their propagated embeddings must
+        // differ from the base (mixing happened).
+        assert!(m.propagated.max_abs_diff(m.base.matrix()) > 1e-6);
+    }
+
+    #[test]
+    fn descending_negative_gradient_raises_score() {
+        let mut m = model(2);
+        let before = m.score_items(0, &[3])[0];
+        for _ in 0..60 {
+            m.accumulate_score_grads(0, &[3], &[-1.0]);
+            m.step();
+        }
+        let after = m.score_items(0, &[3])[0];
+        assert!(after > before + 0.3, "{before} -> {after}");
+    }
+
+    #[test]
+    fn backward_touches_neighbors_through_propagation() {
+        // Pushing gradient on (user 0, item 3) must move item 3's *and*
+        // (through propagation) connected nodes' base embeddings.
+        let mut m = model(1);
+        let base_before = m.base.matrix().clone();
+        m.accumulate_score_grads(0, &[3], &[-1.0]);
+        m.step();
+        let diff_rows: Vec<usize> = (0..8)
+            .filter(|&r| {
+                lkp_linalg::ops::sq_dist(m.base.matrix().row(r), base_before.row(r)) > 1e-20
+            })
+            .collect();
+        // More rows than just {user0, item3-node} must move.
+        assert!(diff_rows.len() > 2, "only rows {diff_rows:?} moved");
+    }
+
+    #[test]
+    fn gradient_through_propagation_matches_finite_difference() {
+        // Check dscore/d(base[r][c]) for the score (u=1, item=2) against the
+        // backward pass, using a probe gradient of 1.0.
+        let mut m = model(2);
+        let user = 1;
+        let item = 2;
+        // Capture analytic gradient by intercepting what lands on base:
+        // run backward, then read accumulated grads via a re-derivation —
+        // simplest is to finite-difference the *score* and compare against
+        // the parameter delta direction after one SGD-like step. Instead we
+        // verify the linear-propagation identity directly:
+        // dE0 = (1/(L+1)) Σ Â^l dF with dF one-hot at (user,·) and (item,·).
+        let f_u = m.propagated.row(user).to_vec();
+        let f_i = m.propagated.row(m.n_users + item).to_vec();
+        let mut df = Matrix::zeros(8, 8);
+        for c in 0..8 {
+            df[(user, c)] = f_i[c];
+            df[(m.n_users + item, c)] = f_u[c];
+        }
+        let de0 = propagate(&m.adjacency, &df, m.layers);
+        // Finite difference on a few base entries.
+        let h = 1e-6;
+        for &(r, c) in &[(0usize, 0usize), (5, 3), (7, 7), (1, 2)] {
+            let orig = m.base.matrix().row(r)[c];
+            m.base.matrix_mut()[(r, c)] = orig + h;
+            m.refresh_cache();
+            let plus = m.score_items(user, &[item])[0];
+            m.base.matrix_mut()[(r, c)] = orig - h;
+            m.refresh_cache();
+            let minus = m.score_items(user, &[item])[0];
+            m.base.matrix_mut()[(r, c)] = orig;
+            m.refresh_cache();
+            let fd = (plus - minus) / (2.0 * h);
+            assert!((fd - de0[(r, c)]).abs() < 1e-5, "({r},{c}): fd {fd} vs {}", de0[(r, c)]);
+        }
+    }
+
+    #[test]
+    fn step_without_gradients_is_noop() {
+        let mut m = model(1);
+        let before = m.propagated.clone();
+        m.step();
+        assert!(m.propagated.max_abs_diff(&before) < 1e-15);
+    }
+}

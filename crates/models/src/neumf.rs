@@ -1,0 +1,205 @@
+//! NeuMF: neural matrix factorization (He et al., WWW 2017).
+//!
+//! Two towers over separate embedding tables:
+//!
+//! * **GMF** — element-wise product `p_u ⊙ q_i`.
+//! * **MLP** — `[p'_u ; q'_i]` through ReLU layers.
+//!
+//! The final score is a linear head over the concatenated tower outputs. As
+//! in the original paper the two towers have their own embeddings. Scores
+//! are raw logits; the BCE objective (its original loss) applies the sigmoid.
+
+use crate::Recommender;
+use lkp_nn::{Activation, AdamConfig, Dense, EmbeddingTable, Mlp};
+use rand::Rng;
+
+/// NeuMF model.
+#[derive(Clone)]
+pub struct NeuMf {
+    gmf_users: EmbeddingTable,
+    gmf_items: EmbeddingTable,
+    mlp_users: EmbeddingTable,
+    mlp_items: EmbeddingTable,
+    mlp: Mlp,
+    head: Dense,
+}
+
+impl NeuMf {
+    /// Builds a NeuMF with GMF dimension `dim` and an MLP tower
+    /// `[2·dim → dim → dim/2]`, matching the pyramid structure of the paper.
+    pub fn new<R: Rng + ?Sized>(
+        n_users: usize,
+        n_items: usize,
+        dim: usize,
+        config: AdamConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mlp_out = (dim / 2).max(1);
+        NeuMf {
+            gmf_users: EmbeddingTable::new(n_users, dim, 0.1, config, rng),
+            gmf_items: EmbeddingTable::new(n_items, dim, 0.1, config, rng),
+            mlp_users: EmbeddingTable::new(n_users, dim, 0.1, config, rng),
+            mlp_items: EmbeddingTable::new(n_items, dim, 0.1, config, rng),
+            mlp: Mlp::new(
+                &[2 * dim, dim, mlp_out],
+                Activation::ReLU,
+                Activation::Identity,
+                config,
+                rng,
+            ),
+            head: Dense::new(1, dim + mlp_out, config, rng),
+        }
+    }
+
+    fn score_one(&self, user: usize, item: usize) -> f64 {
+        let dim = self.gmf_users.dim();
+        let p = self.gmf_users.row(user);
+        let q = self.gmf_items.row(item);
+        let mut features = Vec::with_capacity(dim + self.mlp.out_dim());
+        for d in 0..dim {
+            features.push(p[d] * q[d]);
+        }
+        let mut x = self.mlp_users.row(user).to_vec();
+        x.extend_from_slice(self.mlp_items.row(item));
+        let cache = self.mlp.forward(&x);
+        features.extend_from_slice(cache.output());
+        self.head.forward(&features)[0]
+    }
+}
+
+impl Recommender for NeuMf {
+    fn n_users(&self) -> usize {
+        self.gmf_users.rows()
+    }
+
+    fn n_items(&self) -> usize {
+        self.gmf_items.rows()
+    }
+
+    fn score_items(&self, user: usize, items: &[usize]) -> Vec<f64> {
+        items.iter().map(|&i| self.score_one(user, i)).collect()
+    }
+
+    fn accumulate_score_grads(&mut self, user: usize, items: &[usize], dscores: &[f64]) {
+        debug_assert_eq!(items.len(), dscores.len());
+        let dim = self.gmf_users.dim();
+        for (&item, &ds) in items.iter().zip(dscores) {
+            if ds == 0.0 {
+                continue;
+            }
+            // Recompute the forward caches for this (user, item) pair; this
+            // keeps `score_items` allocation-free for evaluation while the
+            // training path pays one extra forward.
+            let p = self.gmf_users.row(user).to_vec();
+            let q = self.gmf_items.row(item).to_vec();
+            let mut features = Vec::with_capacity(dim + self.mlp.out_dim());
+            for d in 0..dim {
+                features.push(p[d] * q[d]);
+            }
+            let mut x = self.mlp_users.row(user).to_vec();
+            x.extend_from_slice(self.mlp_items.row(item));
+            let cache = self.mlp.forward(&x);
+            features.extend_from_slice(cache.output());
+
+            // Head backward.
+            let dfeatures = self.head.backward(&features, &[ds]);
+
+            // GMF part: d(p⊙q) chain.
+            let dp: Vec<f64> = (0..dim).map(|d| dfeatures[d] * q[d]).collect();
+            let dq: Vec<f64> = (0..dim).map(|d| dfeatures[d] * p[d]).collect();
+            self.gmf_users.accumulate_grad(user, &dp);
+            self.gmf_items.accumulate_grad(item, &dq);
+
+            // MLP part.
+            let dmlp_out = &dfeatures[dim..];
+            let dx = self.mlp.backward(&cache, dmlp_out);
+            self.mlp_users.accumulate_grad(user, &dx[..dim]);
+            self.mlp_items.accumulate_grad(item, &dx[dim..]);
+        }
+    }
+
+    fn step(&mut self) {
+        self.gmf_users.step();
+        self.gmf_items.step();
+        self.mlp_users.step();
+        self.mlp_items.step();
+        self.mlp.step();
+        self.head.step();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> NeuMf {
+        let mut rng = StdRng::seed_from_u64(4);
+        NeuMf::new(
+            5,
+            8,
+            8,
+            AdamConfig { lr: 0.02, weight_decay: 0.0, ..Default::default() },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn scoring_shape() {
+        let m = model();
+        assert_eq!(m.score_items(0, &[1, 2, 3]).len(), 3);
+    }
+
+    #[test]
+    fn descending_negative_gradient_raises_score() {
+        let mut m = model();
+        let before = m.score_items(2, &[5])[0];
+        for _ in 0..80 {
+            m.accumulate_score_grads(2, &[5], &[-1.0]);
+            m.step();
+        }
+        let after = m.score_items(2, &[5])[0];
+        assert!(after > before + 0.5, "{before} -> {after}");
+    }
+
+    #[test]
+    fn gradient_direction_separates_positive_from_negative() {
+        // Push item 1 up and item 2 down for user 0; the gap must open.
+        let mut m = model();
+        let before = m.score_items(0, &[1, 2]);
+        for _ in 0..60 {
+            m.accumulate_score_grads(0, &[1, 2], &[-1.0, 1.0]);
+            m.step();
+        }
+        let after = m.score_items(0, &[1, 2]);
+        let gap_before = before[0] - before[1];
+        let gap_after = after[0] - after[1];
+        assert!(gap_after > gap_before + 1.0, "gap {gap_before} -> {gap_after}");
+    }
+
+    #[test]
+    fn embedding_gradient_matches_finite_difference() {
+        let mut m = model();
+        let user = 1;
+        let item = 3;
+        // Analytic: run backward with ds = 1, then inspect the pending grad
+        // indirectly by comparing score changes under manual perturbation.
+        let h = 1e-5;
+        let base = m.score_items(user, &[item])[0];
+        // Perturb GMF user embedding dim 0.
+        let orig = m.gmf_users.row(user)[0];
+        m.gmf_users.matrix_mut()[(user, 0)] = orig + h;
+        let plus = m.score_items(user, &[item])[0];
+        m.gmf_users.matrix_mut()[(user, 0)] = orig - h;
+        let minus = m.score_items(user, &[item])[0];
+        m.gmf_users.matrix_mut()[(user, 0)] = orig;
+        let fd = (plus - minus) / (2.0 * h);
+        // The analytic gradient of score wrt gmf_user[0] is head_w[0]*q[0]
+        // (through the product feature).
+        let q0 = m.gmf_items.row(item)[0];
+        let w0 = m.head.weights()[(0, 0)];
+        assert!((fd - w0 * q0).abs() < 1e-5, "fd {fd} vs {}", w0 * q0);
+        let _ = base;
+    }
+}

@@ -1,0 +1,115 @@
+//! Element-wise activations with explicit backward passes.
+
+/// Supported activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(0, x)`.
+    ReLU,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No-op (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation in place.
+    pub fn forward(self, x: &mut [f64]) {
+        match self {
+            Activation::ReLU => {
+                for v in x {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for v in x {
+                    *v = lkp_linalg::ops::sigmoid(*v);
+                }
+            }
+            Activation::Tanh => {
+                for v in x {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+
+    /// Multiplies `dy` by the activation Jacobian, given the *outputs* `y`
+    /// of the forward pass (all supported activations have output-expressible
+    /// derivatives).
+    pub fn backward(self, y: &[f64], dy: &mut [f64]) {
+        match self {
+            Activation::ReLU => {
+                for (d, &out) in dy.iter_mut().zip(y) {
+                    if out <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for (d, &out) in dy.iter_mut().zip(y) {
+                    *d *= out * (1.0 - out);
+                }
+            }
+            Activation::Tanh => {
+                for (d, &out) in dy.iter_mut().zip(y) {
+                    *d *= 1.0 - out * out;
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(act: Activation, x: f64) -> f64 {
+        let h = 1e-6;
+        let mut plus = [x + h];
+        let mut minus = [x - h];
+        act.forward(&mut plus);
+        act.forward(&mut minus);
+        (plus[0] - minus[0]) / (2.0 * h)
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        for act in [Activation::ReLU, Activation::Sigmoid, Activation::Tanh, Activation::Identity]
+        {
+            for &x in &[-1.7, -0.3, 0.4, 2.1] {
+                let mut y = [x];
+                act.forward(&mut y);
+                let mut dy = [1.0];
+                act.backward(&y, &mut dy);
+                let fd = finite_diff(act, x);
+                assert!(
+                    (dy[0] - fd).abs() < 1e-5,
+                    "{act:?} at {x}: analytic {} vs fd {fd}",
+                    dy[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let mut x = [-1.0, 0.0, 2.0];
+        Activation::ReLU.forward(&mut x);
+        assert_eq!(x, [0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let mut x = [-100.0, 0.0, 100.0];
+        Activation::Sigmoid.forward(&mut x);
+        assert!(x[0] >= 0.0 && x[0] < 1e-10);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+        assert!(x[2] > 1.0 - 1e-10 && x[2] <= 1.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! A fully-connected layer with explicit forward/backward.
+
+use crate::optim::{AdamConfig, AdamState};
+use lkp_linalg::Matrix;
+use rand::Rng;
+
+/// `y = W·x + b` with `W: out × in`.
+///
+/// Gradients are accumulated across calls to [`Dense::backward`] and applied
+/// by [`Dense::step`]; this matches the mini-batch pattern used by the
+/// trainer (accumulate per instance, step per batch).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+    adam_w: AdamState,
+    adam_b: AdamState,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        out_dim: usize,
+        in_dim: usize,
+        config: AdamConfig,
+        rng: &mut R,
+    ) -> Self {
+        Dense {
+            w: crate::init::xavier_uniform(out_dim, in_dim, rng),
+            b: vec![0.0; out_dim],
+            grad_w: Matrix::zeros(out_dim, in_dim),
+            grad_b: vec![0.0; out_dim],
+            adam_w: AdamState::new(out_dim, in_dim, config),
+            adam_b: AdamState::new(out_dim, 1, config),
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Borrow the weights (testing / inspection).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Forward pass for a single input vector.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_dim());
+        let mut y = self.b.clone();
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr += lkp_linalg::ops::dot(self.w.row(r), x);
+        }
+        y
+    }
+
+    /// Backward pass: given the input `x` used in forward and the gradient
+    /// `dy` at the output, accumulates parameter gradients and returns `dx`.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_dim());
+        debug_assert_eq!(dy.len(), self.out_dim());
+        let mut dx = vec![0.0; self.in_dim()];
+        for (r, &d) in dy.iter().enumerate() {
+            self.grad_b[r] += d;
+            let wrow = self.w.row(r);
+            let grow = self.grad_w.row_mut(r);
+            for (c, (&xc, g)) in x.iter().zip(grow.iter_mut()).enumerate() {
+                *g += d * xc;
+                dx[c] += d * wrow[c];
+            }
+        }
+        dx
+    }
+
+    /// Applies accumulated gradients (Adam) and clears them.
+    pub fn step(&mut self) {
+        self.adam_w.step_dense(&mut self.w, &self.grad_w);
+        let gb = Matrix::from_vec(self.b.len(), 1, self.grad_b.clone());
+        let mut b = Matrix::from_vec(self.b.len(), 1, self.b.clone());
+        self.adam_b.step_dense(&mut b, &gb);
+        self.b = b.into_vec();
+        self.zero_grad();
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.scale(0.0);
+        for g in &mut self.grad_b {
+            *g = 0.0;
+        }
+    }
+
+    /// Adjusts the learning rate.
+    pub fn set_lr(&mut self, lr: f64) {
+        self.adam_w.config_mut().lr = lr;
+        self.adam_b.config_mut().lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Dense {
+        let mut rng = StdRng::seed_from_u64(11);
+        Dense::new(3, 4, AdamConfig { lr: 0.02, weight_decay: 0.0, ..Default::default() }, &mut rng)
+    }
+
+    #[test]
+    fn forward_is_affine() {
+        let l = layer();
+        let x1 = [1.0, 0.0, -1.0, 2.0];
+        let x2 = [0.5, 1.5, 0.0, -0.5];
+        let y1 = l.forward(&x1);
+        let y2 = l.forward(&x2);
+        let sum: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let ysum = l.forward(&sum);
+        // Affine: f(a) + f(b) - f(a+b) = b_bias (once).
+        for r in 0..3 {
+            let residual = y1[r] + y2[r] - ysum[r];
+            assert!((residual - 0.0).abs() < 1e-12); // bias initialized to zero
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_finite_difference() {
+        let mut l = layer();
+        let x = [0.3, -0.7, 1.1, 0.4];
+        // Loss = sum(y).
+        let dy = [1.0, 1.0, 1.0];
+        let dx = l.backward(&x, &dy);
+        let h = 1e-6;
+        for i in 0..4 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fp: f64 = l.forward(&xp).iter().sum();
+            let fm: f64 = l.forward(&xm).iter().sum();
+            let fd = (fp - fm) / (2.0 * h);
+            assert!((dx[i] - fd).abs() < 1e-6, "dim {i}: {} vs {fd}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn training_fits_a_linear_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Dense::new(
+            1,
+            2,
+            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            &mut rng,
+        );
+        // Target function y = 2 x0 - x1 + 0.5.
+        let f = |x: &[f64]| 2.0 * x[0] - x[1] + 0.5;
+        for epoch in 0..400 {
+            let _ = epoch;
+            for _ in 0..8 {
+                let x = [crate::init::gaussian(&mut rng), crate::init::gaussian(&mut rng)];
+                let y = l.forward(&x);
+                let err = y[0] - f(&x);
+                l.backward(&x, &[err]);
+            }
+            l.step();
+        }
+        let x = [0.7, -0.3];
+        let y = l.forward(&x);
+        assert!((y[0] - f(&x)).abs() < 0.05, "prediction {} vs {}", y[0], f(&x));
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut l = layer();
+        l.backward(&[1.0; 4], &[1.0; 3]);
+        l.step();
+        let before = l.weights().clone();
+        l.step(); // no accumulated grads: only weight-decay-free Adam drift on zero grad
+        // With zero gradient and zero weight decay, Adam's m decays toward 0
+        // but the first step after a real one can still move; assert movement
+        // is tiny rather than exactly zero.
+        assert!(l.weights().max_abs_diff(&before) < 0.05);
+    }
+}

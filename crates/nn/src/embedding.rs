@@ -1,0 +1,160 @@
+//! Embedding tables with sparse gradient accumulation.
+
+use crate::optim::{AdamConfig, AdamState};
+use lkp_linalg::Matrix;
+use rand::Rng;
+
+/// A `rows × dim` table of trainable embeddings with sparse Adam updates.
+///
+/// Gradients are *accumulated* against rows (a batch may touch a row several
+/// times) and applied once per [`EmbeddingTable::step`], which visits only
+/// the touched rows.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    weights: Matrix,
+    adam: AdamState,
+    /// Accumulated gradients for touched rows, keyed by row id.
+    pending: Vec<(usize, Vec<f64>)>,
+}
+
+impl EmbeddingTable {
+    /// Creates a table initialized with `N(0, std²)` entries.
+    pub fn new<R: Rng + ?Sized>(
+        rows: usize,
+        dim: usize,
+        std: f64,
+        config: AdamConfig,
+        rng: &mut R,
+    ) -> Self {
+        EmbeddingTable {
+            weights: crate::init::normal_matrix(rows, dim, std, rng),
+            adam: AdamState::new(rows, dim, config),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of rows (users or items).
+    pub fn rows(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Borrow a row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.weights.row(i)
+    }
+
+    /// Borrow the whole table (e.g. for GCN propagation).
+    pub fn matrix(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutably borrow the whole table (for tests and custom initialization).
+    pub fn matrix_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Accumulates `grad` against row `i` (gradient of a loss to *minimize*).
+    pub fn accumulate_grad(&mut self, i: usize, grad: &[f64]) {
+        debug_assert_eq!(grad.len(), self.dim());
+        if let Some((_, g)) = self.pending.iter_mut().find(|(row, _)| *row == i) {
+            for (a, b) in g.iter_mut().zip(grad) {
+                *a += b;
+            }
+        } else {
+            self.pending.push((i, grad.to_vec()));
+        }
+    }
+
+    /// Applies all accumulated gradients with sparse Adam and clears them.
+    pub fn step(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for (row, grad) in &pending {
+            self.adam.step_row(&mut self.weights, *row, grad);
+        }
+    }
+
+    /// Discards accumulated gradients without applying them.
+    pub fn zero_grad(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Number of rows with pending gradients.
+    pub fn pending_rows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Adjusts the learning rate (all subsequent steps).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.adam.config_mut().lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> EmbeddingTable {
+        let mut rng = StdRng::seed_from_u64(7);
+        EmbeddingTable::new(
+            5,
+            3,
+            0.1,
+            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn accumulation_merges_repeated_rows() {
+        let mut t = table();
+        t.accumulate_grad(2, &[1.0, 0.0, 0.0]);
+        t.accumulate_grad(2, &[1.0, 2.0, 0.0]);
+        assert_eq!(t.pending_rows(), 1);
+        let before = t.row(2).to_vec();
+        t.step();
+        let after = t.row(2).to_vec();
+        assert!(after[0] < before[0], "descended along dim 0");
+        assert!(after[1] < before[1], "descended along dim 1");
+        assert_eq!(t.pending_rows(), 0, "pending cleared after step");
+    }
+
+    #[test]
+    fn untouched_rows_do_not_move() {
+        let mut t = table();
+        let before = t.row(4).to_vec();
+        t.accumulate_grad(0, &[0.5, 0.5, 0.5]);
+        t.step();
+        assert_eq!(t.row(4), before.as_slice());
+    }
+
+    #[test]
+    fn zero_grad_discards() {
+        let mut t = table();
+        let before = t.row(1).to_vec();
+        t.accumulate_grad(1, &[9.0, 9.0, 9.0]);
+        t.zero_grad();
+        t.step();
+        assert_eq!(t.row(1), before.as_slice());
+    }
+
+    #[test]
+    fn repeated_steps_descend_dot_product_loss() {
+        // Minimize -<e_0, target> so e_0 should align with target.
+        let mut t = table();
+        let target = [1.0, -1.0, 0.5];
+        for _ in 0..300 {
+            let grad: Vec<f64> = target.iter().map(|&x| -x).collect();
+            t.accumulate_grad(0, &grad);
+            t.step();
+        }
+        let dot: f64 = t.row(0).iter().zip(&target).map(|(a, b)| a * b).sum();
+        assert!(dot > 1.0, "alignment {dot}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Parameter initialization.
+
+use lkp_linalg::Matrix;
+use rand::Rng;
+
+/// Standard normal via Box–Muller.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// `rows × cols` matrix with i.i.d. `N(0, std²)` entries.
+pub fn normal_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, std: f64, rng: &mut R) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| gaussian(rng) * std)
+}
+
+/// Xavier/Glorot uniform initialization for a `fan_out × fan_in` weight
+/// matrix: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_out: usize, fan_in: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_out, fan_in, |_, _| (rng.random::<f64>() * 2.0 - 1.0) * a)
+}
+
+/// He (Kaiming) normal initialization, suited to ReLU stacks:
+/// `N(0, 2/fan_in)`.
+pub fn he_normal<R: Rng + ?Sized>(fan_out: usize, fan_in: usize, rng: &mut R) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    normal_matrix(fan_out, fan_in, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(32, 64, &mut rng);
+        let a = (6.0 / 96.0_f64).sqrt();
+        assert!(w.max_abs() <= a);
+        assert!(w.max_abs() > a * 0.5, "suspiciously small spread");
+    }
+
+    #[test]
+    fn he_normal_scale_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = he_normal(1000, 50, &mut rng);
+        let var = w.as_slice().iter().map(|x| x * x).sum::<f64>() / (w.rows() * w.cols()) as f64;
+        assert!((var - 2.0 / 50.0).abs() < 0.01, "var {var}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Minimal neural-network substrate with hand-written backpropagation.
+//!
+//! The paper trains its models with PyTorch/TensorFlow; here the gradients of
+//! the LkP criterion are analytic (see `lkp-dpp::grad`), so all a model needs
+//! is a way to push a per-item score gradient back into its parameters. This
+//! crate supplies exactly that machinery:
+//!
+//! * [`embedding::EmbeddingTable`] — dense parameter tables with *sparse*
+//!   gradient accumulation and sparse Adam updates (only touched rows pay).
+//! * [`dense::Dense`] + [`activation::Activation`] + [`mlp::Mlp`] — small
+//!   fully-connected stacks with explicit forward caches and backward passes
+//!   (used by NeuMF's MLP tower and GCMC's encoder).
+//! * [`optim`] — Adam and SGD with optional weight decay and gradient
+//!   clipping.
+//! * [`init`] — Xavier/He/normal initialization.
+//!
+//! Everything is `f64` and single-threaded per model instance; parallelism
+//! happens one level up (across evaluation users).
+
+pub mod activation;
+pub mod dense;
+pub mod embedding;
+pub mod init;
+pub mod mlp;
+pub mod optim;
+
+pub use activation::Activation;
+pub use dense::Dense;
+pub use embedding::EmbeddingTable;
+pub use mlp::Mlp;
+pub use optim::{AdamConfig, AdamState};

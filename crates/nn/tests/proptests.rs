@@ -1,0 +1,99 @@
+//! Property-based tests for the neural substrate: gradient correctness under
+//! random shapes/inputs and optimizer invariants.
+
+use lkp_nn::{Activation, AdamConfig, AdamState, Dense, EmbeddingTable, Mlp};
+use lkp_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_input_gradient_matches_fd(seed in 0u64..1000, x in proptest::collection::vec(-2.0..2.0_f64, 4)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Dense::new(3, 4, AdamConfig { weight_decay: 0.0, ..Default::default() }, &mut rng);
+        let dy = [1.0, -0.5, 2.0];
+        let dx = layer.backward(&x, &dy);
+        let h = 1e-6;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let f = |v: &[f64]| -> f64 {
+                layer.forward(v).iter().zip(&dy).map(|(y, d)| y * d).sum()
+            };
+            let fd = (f(&xp) - f(&xm)) / (2.0 * h);
+            prop_assert!((dx[i] - fd).abs() < 1e-5, "dim {i}: {} vs {fd}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn activations_are_monotone_nondecreasing(a in -5.0..5.0_f64, b in -5.0..5.0_f64) {
+        // All supported activations are monotone.
+        for act in [Activation::ReLU, Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let mut x = [lo, hi];
+            act.forward(&mut x);
+            prop_assert!(x[0] <= x[1] + 1e-12, "{act:?} broke monotonicity");
+        }
+    }
+
+    #[test]
+    fn mlp_gradient_matches_fd(seed in 0u64..500, x in proptest::collection::vec(-1.5..1.5_f64, 3)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&[3, 4, 1], Activation::Tanh, Activation::Identity,
+            AdamConfig { weight_decay: 0.0, ..Default::default() }, &mut rng);
+        let cache = mlp.forward(&x);
+        let dx = mlp.backward(&cache, &[1.0]);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (mlp.forward(&xp).output()[0] - mlp.forward(&xm).output()[0]) / (2.0 * h);
+            prop_assert!((dx[i] - fd).abs() < 1e-5, "dim {i}: {} vs {fd}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn adam_step_is_bounded_by_lr(g in -1e6..1e6_f64, lr in 0.001..0.1_f64) {
+        // Adam's first update magnitude is at most ~lr regardless of the
+        // gradient scale (bias-corrected m/√v ≈ sign(g)).
+        let mut state = AdamState::new(1, 1, AdamConfig { lr, weight_decay: 0.0, grad_clip: 0.0, ..Default::default() });
+        let mut p = Matrix::zeros(1, 1);
+        state.step_row(&mut p, 0, &[g]);
+        prop_assert!(p[(0, 0)].abs() <= lr * 1.0001 + 1e-12, "step {} exceeds lr {lr}", p[(0, 0)]);
+    }
+
+    #[test]
+    fn embedding_grads_accumulate_linearly(seed in 0u64..200, g1 in -1.0..1.0_f64, g2 in -1.0..1.0_f64) {
+        // accumulate(g1); accumulate(g2); step == accumulate(g1+g2); step.
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            EmbeddingTable::new(2, 1, 0.1, AdamConfig { weight_decay: 0.0, ..Default::default() }, &mut rng)
+        };
+        let mut split = mk();
+        split.accumulate_grad(0, &[g1]);
+        split.accumulate_grad(0, &[g2]);
+        split.step();
+        let mut joint = mk();
+        joint.accumulate_grad(0, &[g1 + g2]);
+        joint.step();
+        prop_assert!((split.row(0)[0] - joint.row(0)[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_gradient_moves_nothing_without_decay(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = EmbeddingTable::new(3, 2, 0.1,
+            AdamConfig { weight_decay: 0.0, ..Default::default() }, &mut rng);
+        let before = t.matrix().clone();
+        t.accumulate_grad(1, &[0.0, 0.0]);
+        t.step();
+        prop_assert!(t.matrix().max_abs_diff(&before) < 1e-15);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through kernel pre-training, LkP optimization and evaluation.
+
+use lkp::prelude::*;
+use rand::SeedableRng;
+
+fn dataset() -> Dataset {
+    SyntheticConfig {
+        n_users: 60,
+        n_items: 140,
+        n_categories: 10,
+        mean_interactions: 20.0,
+        seed: 99,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn kernel(data: &Dataset) -> LowRankKernel {
+    train_diversity_kernel(
+        data,
+        &DiversityKernelConfig { epochs: 5, pairs_per_epoch: 64, dim: 8, ..Default::default() },
+    )
+}
+
+fn quick_config() -> TrainConfig {
+    TrainConfig { epochs: 12, eval_every: 4, patience: 0, k: 4, n: 4, ..Default::default() }
+}
+
+#[test]
+fn lkp_on_mf_learns_and_improves_over_untrained() {
+    let data = dataset();
+    let kernel = kernel(&data);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut model =
+        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
+    let before = lkp::eval::evaluate(&model, &data, &[10]).at(10).unwrap().ndcg;
+    let mut objective = LkpObjective::new(LkpKind::NegativeAware, kernel);
+    let report = Trainer::new(quick_config()).fit(&mut model, &mut objective, &data);
+    let after = lkp::eval::evaluate(&model, &data, &[10]).at(10).unwrap().ndcg;
+    assert!(after > before + 0.02, "NDCG@10 {before:.4} -> {after:.4}");
+    assert!(report.history.iter().all(|e| e.mean_loss.is_finite()));
+}
+
+#[test]
+fn lkp_on_gcn_learns() {
+    let data = dataset();
+    let kernel = kernel(&data);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut model = Gcn::new(
+        data.n_users(),
+        data.n_items(),
+        &data.train_edges(),
+        16,
+        2,
+        AdamConfig::default(),
+        &mut rng,
+    );
+    let before = lkp::eval::evaluate(&model, &data, &[10]).at(10).unwrap().ndcg;
+    let mut objective = LkpObjective::new(LkpKind::PositiveOnly, kernel);
+    Trainer::new(quick_config()).fit(&mut model, &mut objective, &data);
+    let after = lkp::eval::evaluate(&model, &data, &[10]).at(10).unwrap().ndcg;
+    assert!(after > before, "GCN NDCG@10 {before:.4} -> {after:.4}");
+}
+
+#[test]
+fn rbf_variant_trains_on_models_with_item_embeddings() {
+    let data = dataset();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut model =
+        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
+    let mut objective = LkpRbfObjective::new(LkpKind::PositiveOnly, 1.0);
+    let report = Trainer::new(quick_config()).fit(&mut model, &mut objective, &data);
+    assert!(report.history.last().unwrap().mean_loss.is_finite());
+    let metrics = lkp::eval::evaluate(&model, &data, &[10]);
+    assert!(metrics.at(10).unwrap().ndcg > 0.0);
+}
+
+#[test]
+fn all_baselines_run_through_the_same_trainer() {
+    let data = dataset();
+    let cfg = TrainConfig { epochs: 4, eval_every: 0, patience: 0, ..quick_config() };
+    macro_rules! run {
+        ($obj:expr) => {{
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let mut model = MatrixFactorization::new(
+                data.n_users(),
+                data.n_items(),
+                8,
+                AdamConfig::default(),
+                &mut rng,
+            );
+            let report = Trainer::new(cfg.clone()).fit(&mut model, &mut $obj, &data);
+            assert!(report.history.iter().all(|e| e.mean_loss.is_finite()));
+        }};
+    }
+    run!(Bpr);
+    run!(Bce);
+    run!(SetRank);
+    run!(S2SRank::default());
+}
+
+#[test]
+fn trained_model_scores_positives_above_random_items_within_ground_sets() {
+    // The set-level training signal must translate into item-level ordering.
+    let data = dataset();
+    let kernel = kernel(&data);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut model =
+        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
+    let mut objective = LkpObjective::new(LkpKind::NegativeAware, kernel);
+    Trainer::new(TrainConfig { epochs: 20, eval_every: 0, patience: 0, ..quick_config() })
+        .fit(&mut model, &mut objective, &data);
+
+    let mut sampler_rng = rand::rngs::StdRng::seed_from_u64(5);
+    let sampler = InstanceSampler::new(4, 4, TargetSelection::Sequential);
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for inst in sampler.epoch_instances(&data, &mut sampler_rng).into_iter().take(150) {
+        let scores = model.score_items(inst.user, &inst.ground_set());
+        let pos_mean: f64 = scores[..inst.k()].iter().sum::<f64>() / inst.k() as f64;
+        let neg_mean: f64 = scores[inst.k()..].iter().sum::<f64>() / inst.n() as f64;
+        if pos_mean > neg_mean {
+            wins += 1;
+        }
+        total += 1;
+    }
+    assert!(
+        wins as f64 > 0.9 * total as f64,
+        "positives outrank negatives in only {wins}/{total} ground sets"
+    );
+}
+
+#[test]
+fn kdpp_probability_interpretation_holds_after_training() {
+    // Fig. 4's claim as an integration test: after LkP training the target
+    // subset's k-DPP probability dominates the all-negative subset's.
+    let data = dataset();
+    let kern = kernel(&data);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let mut model =
+        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
+    let mut objective = LkpObjective::new(LkpKind::NegativeAware, kern.clone());
+    Trainer::new(TrainConfig { epochs: 16, eval_every: 0, patience: 0, ..quick_config() })
+        .fit(&mut model, &mut objective, &data);
+
+    let mut sampler_rng = rand::rngs::StdRng::seed_from_u64(7);
+    let sampler = InstanceSampler::new(4, 4, TargetSelection::Sequential);
+    let mut probe = sampler.epoch_instances(&data, &mut sampler_rng);
+    probe.truncate(40);
+    let profile = lkp::core::probes::target_count_profile(&model, &kern, &probe);
+    assert_eq!(profile.len(), 5);
+    assert!(
+        profile[4] > profile[0] * 3.0,
+        "target bucket {:.4} vs all-negative bucket {:.4}",
+        profile[4],
+        profile[0]
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic_given_model_and_data() {
+    let data = dataset();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let model =
+        MatrixFactorization::new(data.n_users(), data.n_items(), 8, AdamConfig::default(), &mut rng);
+    let a = lkp::eval::evaluate(&model, &data, &[5, 10, 20]);
+    let b = lkp::eval::evaluate_parallel(&model, &data, &[5, 10, 20], 3);
+    for n in [5, 10, 20] {
+        let (ma, mb) = (a.at(n).unwrap(), b.at(n).unwrap());
+        assert!((ma.ndcg - mb.ndcg).abs() < 1e-12);
+        assert!((ma.recall - mb.recall).abs() < 1e-12);
+    }
+}
