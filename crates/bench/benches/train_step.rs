@@ -1,62 +1,104 @@
-//! End-to-end per-instance training cost of each criterion on MF — the
-//! overhead LkP pays for set-level ranking (one eigendecomposition + two
-//! determinant gradients per instance) against BPR's two dot products.
+//! End-to-end training cost of each criterion on MF, plus the
+//! batch-parallel epoch throughput that is this workspace's first measured
+//! hot path.
+//!
+//! Two benchmark groups:
+//!
+//! * `train_step_mf` — single-instance apply cost per criterion (the
+//!   overhead LkP pays for set-level ranking against BPR's two dot
+//!   products). Uses the allocation-free two-phase API with a persistent
+//!   workspace, matching what the trainer actually runs.
+//! * `train_epoch_mf` — one full LkP-NPS epoch through [`lkp_core::Trainer`]
+//!   at 1 vs 4 worker threads on the default `(k=5, n=5)` shape. The ratio
+//!   of the two medians is the batch-parallel speedup tracked in
+//!   `BENCH_<date>.json` (acceptance floor: ≥ 3× on 4 threads).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lkp_core::baselines::{Bpr, S2SRank, SetRank};
-use lkp_core::objective::{LkpKind, LkpObjective};
-use lkp_core::{train_diversity_kernel, DiversityKernelConfig, Objective};
-use lkp_data::{GroundSetInstance, SyntheticConfig};
-use lkp_models::Recommender;
+use lkp_core::objective::{InstanceGrad, LkpKind, LkpObjective};
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig, Objective, TrainConfig, Trainer};
+use lkp_data::{Dataset, GroundSetInstance, SyntheticConfig, TargetSelection};
+use lkp_dpp::DppWorkspace;
+use lkp_models::{MatrixFactorization, Recommender};
 use lkp_nn::AdamConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_train_step(c: &mut Criterion) {
-    let data = lkp_data::synthetic::generate(&SyntheticConfig {
+fn dataset() -> Dataset {
+    lkp_data::synthetic::generate(&SyntheticConfig {
         n_users: 80,
         n_items: 200,
         n_categories: 12,
         mean_interactions: 20.0,
         ..Default::default()
-    });
-    let kernel = train_diversity_kernel(
-        &data,
-        &DiversityKernelConfig { epochs: 3, pairs_per_epoch: 64, dim: 8, ..Default::default() },
-    );
+    })
+}
+
+fn model(data: &Dataset) -> MatrixFactorization {
     let mut rng = StdRng::seed_from_u64(5);
-    let mut model = lkp_models::MatrixFactorization::new(
+    MatrixFactorization::new(
         data.n_users(),
         data.n_items(),
         32,
         AdamConfig::default(),
         &mut rng,
+    )
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let data = dataset();
+    let kernel = train_diversity_kernel(
+        &data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 64,
+            dim: 8,
+            ..Default::default()
+        },
     );
-    let set_inst =
-        GroundSetInstance { user: 3, positives: vec![0, 5, 9, 14, 20], negatives: vec![50, 61, 72, 83, 94] };
-    let pair_inst = GroundSetInstance { user: 3, positives: vec![0], negatives: vec![50] };
-    let list_inst = GroundSetInstance { user: 3, positives: vec![0], negatives: vec![50, 61, 72, 83, 94] };
+    let mut model = model(&data);
+    let set_inst = GroundSetInstance {
+        user: 3,
+        positives: vec![0, 5, 9, 14, 20],
+        negatives: vec![50, 61, 72, 83, 94],
+    };
+    let pair_inst = GroundSetInstance {
+        user: 3,
+        positives: vec![0],
+        negatives: vec![50],
+    };
+    let list_inst = GroundSetInstance {
+        user: 3,
+        positives: vec![0],
+        negatives: vec![50, 61, 72, 83, 94],
+    };
 
     let mut group = c.benchmark_group("train_step_mf");
     group.sample_size(40);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
 
-    let mut lkp_ps = LkpObjective::new(LkpKind::PositiveOnly, kernel.clone());
+    // Steady-state two-phase path: one workspace + grad slot, reused.
+    let mut ws = DppWorkspace::new();
+    let mut out = InstanceGrad::default();
+
+    let lkp_ps = LkpObjective::new(LkpKind::PositiveOnly, kernel.clone());
     group.bench_function("lkp_ps_k5", |b| {
         b.iter(|| {
-            let loss = lkp_ps.apply(&mut model, black_box(&set_inst));
+            lkp_ps.compute_into(&model, black_box(&set_inst), &mut ws, &mut out);
+            lkp_ps.accumulate(&mut model, &out);
             model.step();
-            loss
+            out.loss
         })
     });
-    let mut lkp_nps = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+    let lkp_nps = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
     group.bench_function("lkp_nps_k5", |b| {
         b.iter(|| {
-            let loss = lkp_nps.apply(&mut model, black_box(&set_inst));
+            lkp_nps.compute_into(&model, black_box(&set_inst), &mut ws, &mut out);
+            lkp_nps.accumulate(&mut model, &out);
             model.step();
-            loss
+            out.loss
         })
     });
     group.bench_function("bpr", |b| {
@@ -86,5 +128,51 @@ fn bench_train_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_train_step);
+fn bench_train_epoch(c: &mut Criterion) {
+    let data = dataset();
+    let kernel = train_diversity_kernel(
+        &data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 64,
+            dim: 8,
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("train_epoch_mf");
+    group.sample_size(12);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(6));
+
+    for threads in [1usize, 4] {
+        let config = TrainConfig {
+            epochs: 1,
+            batch_size: 256,
+            k: 5,
+            n: 5,
+            mode: TargetSelection::Sequential,
+            eval_every: 0,
+            patience: 0,
+            train_threads: threads,
+            ..Default::default()
+        };
+        let trainer = Trainer::new(config);
+        // Fresh model per iteration: training the same model across samples
+        // would drift per-instance cost, biasing the t1-vs-t4 comparison.
+        // The clone (~200 KB) is <1% of an epoch's wall clock.
+        let base = model(&data);
+        let mut obj = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+        group.bench_function(format!("lkp_nps_epoch_t{threads}"), |b| {
+            b.iter(|| {
+                let mut m = base.clone();
+                let report = trainer.fit(&mut m, &mut obj, black_box(&data));
+                report.history.last().map(|h| h.mean_loss).unwrap_or(0.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_train_epoch);
 criterion_main!(benches);

@@ -22,7 +22,10 @@ fn main() {
     let data = args.dataset(SyntheticPreset::Beauty);
 
     println!("== Ablation 1: diversity-kernel rank (Beauty preset) ==");
-    println!("{:>5} {:>12} {:>8} {:>8} {:>8}", "rank", "logdet-gap", "Nd@10", "CC@10", "F@10");
+    println!(
+        "{:>5} {:>12} {:>8} {:>8} {:>8}",
+        "rank", "logdet-gap", "Nd@10", "CC@10", "F@10"
+    );
     for rank in [2usize, 4, 8, 16, 32] {
         let kernel = train_diversity_kernel(
             &data,
@@ -37,8 +40,13 @@ fn main() {
         );
         let gap = mean_logdet_gap(&kernel, &data, args.k.max(3), 200, 1e-2, 99);
         let mut model = args.gcn(&data);
-        let out =
-            lkp_bench::run_method(&args, &data, &kernel, &mut model, Method::Lkp(LkpVariant::Ps));
+        let out = lkp_bench::run_method(
+            &args,
+            &data,
+            &kernel,
+            &mut model,
+            Method::Lkp(LkpVariant::Ps),
+        );
         let m = out.metrics.at(10).expect("cutoff 10");
         println!(
             "{rank:>5} {gap:>12.4} {:>8.4} {:>8.4} {:>8.4}",

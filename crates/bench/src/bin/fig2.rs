@@ -15,13 +15,20 @@ fn main() {
     let kernel = args.diversity_kernel(&data);
 
     for variant in [LkpVariant::Ps, LkpVariant::Nps] {
-        println!("== Fig. 2 ({}) on Beauty: sweep k = n in 2..=6 ==", variant.name());
-        println!("{:>3} {:>8} {:>8} {:>8} {:>8}", "k", "epochs", "Nd@5", "CC@5", "F@5");
+        println!(
+            "== Fig. 2 ({}) on Beauty: sweep k = n in 2..=6 ==",
+            variant.name()
+        );
+        println!(
+            "{:>3} {:>8} {:>8} {:>8} {:>8}",
+            "k", "epochs", "Nd@5", "CC@5", "F@5"
+        );
         for k in 2..=6usize {
             args.k = k;
             args.n = k;
             let mut model = args.gcn(&data);
-            let out = lkp_bench::run_method(&args, &data, &kernel, &mut model, Method::Lkp(variant));
+            let out =
+                lkp_bench::run_method(&args, &data, &kernel, &mut model, Method::Lkp(variant));
             let m5 = out.metrics.at(5).expect("cutoff 5");
             // "Epochs" in the paper is epochs until the best validation
             // score; with early stopping disabled mid-sweep we report the

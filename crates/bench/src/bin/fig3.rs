@@ -14,7 +14,10 @@ fn main() {
     let data = args.dataset(SyntheticPreset::Beauty);
     let kernel = args.diversity_kernel(&data);
 
-    println!("== Fig. 3 (LkP-PS) on Beauty: sweep n in 1..=6, k = {} ==", args.k);
+    println!(
+        "== Fig. 3 (LkP-PS) on Beauty: sweep n in 1..=6, k = {} ==",
+        args.k
+    );
     println!(
         "{:>3} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "n", "Nd@5", "CC@5", "F@5", "Nd@20", "CC@20", "F@20"
@@ -22,8 +25,13 @@ fn main() {
     for n in 1..=6usize {
         args.n = n;
         let mut model = args.gcn(&data);
-        let out =
-            lkp_bench::run_method(&args, &data, &kernel, &mut model, Method::Lkp(LkpVariant::Ps));
+        let out = lkp_bench::run_method(
+            &args,
+            &data,
+            &kernel,
+            &mut model,
+            Method::Lkp(LkpVariant::Ps),
+        );
         let m5 = out.metrics.at(5).expect("cutoff 5");
         let m20 = out.metrics.at(20).expect("cutoff 20");
         println!(

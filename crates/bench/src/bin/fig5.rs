@@ -9,10 +9,9 @@
 //! internal dependencies beat equal-coverage alternatives.
 
 use lkp_bench::{ExpArgs, Method};
-use lkp_core::objective::quality;
 use lkp_core::LkpVariant;
 use lkp_data::{Split, SyntheticPreset};
-use lkp_dpp::{enumerate_subsets, DppKernel, KDpp};
+use lkp_dpp::{enumerate_subsets, KDpp};
 use lkp_models::Recommender;
 
 fn main() {
@@ -43,7 +42,10 @@ fn main() {
     let test = data.user_items(user, Split::Test).to_vec();
     println!(
         "test items: {}",
-        test.iter().map(|&i| format!("v{i}(g{})", data.category(i))).collect::<Vec<_>>().join("  ")
+        test.iter()
+            .map(|&i| format!("v{i}(g{})", data.category(i)))
+            .collect::<Vec<_>>()
+            .join("  ")
     );
 
     // Train the three methods and print their Top-5 for this user.
@@ -63,19 +65,22 @@ fn main() {
             })
             .collect();
         let hits = top.iter().filter(|i| test.contains(i)).count();
-        println!("{:<10} top-5: {}  (hits: {hits})", method.name(), rendered.join("  "));
+        println!(
+            "{:<10} top-5: {}  (hits: {hits})",
+            method.name(),
+            rendered.join("  ")
+        );
 
         // For the LkP model, also report the 3-subset k-DPP probabilities
         // over the first five test items (the paper's P_{L_u}^k analysis).
         if matches!(method, Method::Lkp(_)) {
             let pool: Vec<usize> = test.iter().copied().take(5).collect();
             let s = model.score_items(user, &pool);
-            let q = quality(&s);
-            let mut k_sub = kernel.normalized().submatrix(&pool).expect("items in range");
-            for i in 0..k_sub.rows() {
-                k_sub[(i, i)] += lkp_core::KERNEL_JITTER;
-            }
-            let l = DppKernel::from_quality_diversity(&q, &k_sub).expect("PSD kernel");
+            let k_sub = kernel
+                .normalized()
+                .submatrix(&pool)
+                .expect("items in range");
+            let l = lkp_core::objective::tailored_kernel(&s, &k_sub).expect("PSD kernel");
             let kdpp = KDpp::new(l, 3).expect("valid 3-DPP");
             println!("3-subset k-DPP probabilities over the first 5 test items:");
             let mut rows: Vec<(Vec<usize>, f64, usize)> = enumerate_subsets(5, 3)
@@ -89,8 +94,10 @@ fn main() {
                 .collect();
             rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
             for (items, p, coverage) in rows.iter().take(5) {
-                let labels: Vec<String> =
-                    items.iter().map(|&i| format!("v{i}(g{})", data.category(i))).collect();
+                let labels: Vec<String> = items
+                    .iter()
+                    .map(|&i| format!("v{i}(g{})", data.category(i)))
+                    .collect();
                 println!("  P = {p:.4}  cats = {coverage}  {{{}}}", labels.join(", "));
             }
             let top_coverage = rows.first().map(|r| r.2).unwrap_or(0);

@@ -1,0 +1,176 @@
+//! Hot-path probe: per-instance cost of the allocation-free workspace path
+//! against a reconstruction of the seed's allocating cold path, plus epoch
+//! throughput at 1 vs 4 trainer threads.
+//!
+//! Prints one JSON object; `scripts/bench_snapshot.sh` appends it to the
+//! `BENCH_<date>.json` trajectory snapshot. Flags: `--iters N` (default
+//! 20000) controls the per-instance loops.
+
+use lkp_core::objective::{quality, InstanceGrad, LkpKind, LkpObjective};
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig, Objective, TrainConfig, Trainer};
+use lkp_data::{Dataset, GroundSetInstance, SyntheticConfig, TargetSelection};
+use lkp_dpp::{grad, DppKernel, DppWorkspace, KDpp};
+use lkp_models::{MatrixFactorization, Recommender};
+use lkp_nn::AdamConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn dataset() -> Dataset {
+    lkp_data::synthetic::generate(&SyntheticConfig {
+        n_users: 80,
+        n_items: 200,
+        n_categories: 12,
+        mean_interactions: 20.0,
+        ..Default::default()
+    })
+}
+
+/// The seed's per-instance pipeline, faithfully reconstructed: allocate the
+/// kernel, k-DPP, both log-prob gradients (each with its own normalizer
+/// reconstruction) and every intermediate vector per call.
+fn seed_style_apply(
+    model: &mut MatrixFactorization,
+    kernel: &lkp_dpp::LowRankKernel,
+    inst: &GroundSetInstance,
+) -> f64 {
+    let ground = inst.ground_set();
+    let k = inst.k();
+    let m = ground.len();
+    let scores = model.score_items(inst.user, &ground);
+    let q = quality(&scores);
+    let mut k_j = kernel.submatrix(&ground).expect("items in range");
+    for i in 0..m {
+        k_j[(i, i)] += 1e-6;
+    }
+    let kern = DppKernel::from_quality_diversity(&q, &k_j).expect("square kernel");
+    let kdpp = KDpp::new(kern, k).expect("non-degenerate kernel");
+    let target: Vec<usize> = (0..k).collect();
+    let log_p = kdpp.log_prob(&target).expect("valid subset");
+    let mut g = grad::grad_log_prob(&kdpp, &target).expect("gradient");
+    g.scale(-1.0);
+    let mut loss = -log_p;
+    let negative: Vec<usize> = (k..m).collect();
+    let log_p_neg = kdpp.log_prob(&negative).expect("valid subset");
+    let p_neg = log_p_neg.exp().clamp(0.0, 1.0 - 1e-9);
+    loss += -(1.0 - p_neg).ln();
+    let g_neg = grad::grad_log_prob(&kdpp, &negative).expect("gradient");
+    g.add_scaled(p_neg / (1.0 - p_neg), &g_neg)
+        .expect("same shape");
+    let dq = grad::chain_to_quality(&g, &q, &k_j);
+    let dscores: Vec<f64> = dq.iter().zip(&q).map(|(&d, &qv)| d * qv).collect();
+    model.accumulate_score_grads(inst.user, &ground, &dscores);
+    loss
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .skip_while(|a| a != "--iters")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+
+    let data = dataset();
+    let kernel = train_diversity_kernel(
+        &data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 64,
+            dim: 8,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        32,
+        AdamConfig::default(),
+        &mut rng,
+    );
+    let inst = GroundSetInstance {
+        user: 3,
+        positives: vec![0, 5, 9, 14, 20],
+        negatives: vec![50, 61, 72, 83, 94],
+    };
+    let norm_kernel = kernel.normalized();
+
+    // Seed-style cold path.
+    for _ in 0..iters / 10 {
+        seed_style_apply(&mut model, &norm_kernel, &inst);
+        model.step();
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        seed_style_apply(&mut model, &norm_kernel, &inst);
+        model.step();
+    }
+    let cold_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Workspace path.
+    let obj = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+    let mut ws = DppWorkspace::new();
+    let mut out = InstanceGrad::default();
+    for _ in 0..iters / 10 {
+        obj.compute_into(&model, &inst, &mut ws, &mut out);
+        obj.accumulate(&mut model, &out);
+        model.step();
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        obj.compute_into(&model, &inst, &mut ws, &mut out);
+        obj.accumulate(&mut model, &out);
+        model.step();
+    }
+    let hot_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Epoch throughput at 1 vs 4 trainer threads (identical results; the
+    // wall-clock ratio depends on available cores).
+    let mut epoch_ns = [0.0_f64; 2];
+    for (slot, threads) in [1usize, 4].into_iter().enumerate() {
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 256,
+            k: 5,
+            n: 5,
+            mode: TargetSelection::Sequential,
+            eval_every: 0,
+            patience: 0,
+            train_threads: threads,
+            ..Default::default()
+        });
+        // Fresh model per rep so the two thread counts measure identical
+        // training states (same seed → same initial weights for both).
+        let base = MatrixFactorization::new(
+            data.n_users(),
+            data.n_items(),
+            32,
+            AdamConfig::default(),
+            &mut StdRng::seed_from_u64(77),
+        );
+        let mut obj = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+        trainer.fit(&mut base.clone(), &mut obj, &data); // warm-up epoch
+        let reps = 5;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let mut m = base.clone();
+            trainer.fit(&mut m, &mut obj, &data);
+        }
+        epoch_ns[slot] = t.elapsed().as_nanos() as f64 / reps as f64;
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "{{\"probe\":\"hotpath\",\"seed_style_ns_per_instance\":{cold_ns:.0},\
+\"workspace_ns_per_instance\":{hot_ns:.0},\
+\"single_thread_speedup\":{:.3},\
+\"epoch_ns_t1\":{:.0},\"epoch_ns_t4\":{:.0},\
+\"thread_scaling\":{:.3},\"host_cores\":{cores}}}",
+        cold_ns / hot_ns,
+        epoch_ns[0],
+        epoch_ns[1],
+        epoch_ns[0] / epoch_ns[1],
+    );
+}

@@ -22,7 +22,16 @@ fn main() {
     }
     println!();
     println!("paper reference (scale 1.0):");
-    println!("{:<8} {:>8} {:>8} {:>13} {:>12}", "Beauty", "52.0k", "57.2k", "0.4M", 213);
-    println!("{:<8} {:>8} {:>8} {:>13} {:>12}", "ML", "6.0k", "3.4k", "1.0M", 18);
-    println!("{:<8} {:>8} {:>8} {:>13} {:>12}", "Anime", "73.5k", "12.2k", "1.0M", 43);
+    println!(
+        "{:<8} {:>8} {:>8} {:>13} {:>12}",
+        "Beauty", "52.0k", "57.2k", "0.4M", 213
+    );
+    println!(
+        "{:<8} {:>8} {:>8} {:>13} {:>12}",
+        "ML", "6.0k", "3.4k", "1.0M", 18
+    );
+    println!(
+        "{:<8} {:>8} {:>8} {:>13} {:>12}",
+        "Anime", "73.5k", "12.2k", "1.0M", 43
+    );
 }

@@ -20,7 +20,11 @@ fn main() {
         .collect();
 
     for preset in PRESETS {
-        println!("== Table II [{}] (GCN backbone, k=n={}) ==", preset.name(), args.k);
+        println!(
+            "== Table II [{}] (GCN backbone, k=n={}) ==",
+            preset.name(),
+            args.k
+        );
         let data = args.dataset(preset);
         let kernel = args.diversity_kernel(&data);
         print_table_header();
@@ -64,10 +68,17 @@ fn summarize(rows: &[(Method, MetricSet)]) {
         lkp_bench::improvement_pct(best_lkp_f, worst_base_f),
     );
 
-    let get = |v: LkpVariant| rows.iter().find(|(m, _)| *m == Method::Lkp(v)).map(|(_, s)| s);
-    if let (Some(ps), Some(pr), Some(nps), Some(pse)) =
-        (get(LkpVariant::Ps), get(LkpVariant::Pr), get(LkpVariant::Nps), get(LkpVariant::Pse))
-    {
+    let get = |v: LkpVariant| {
+        rows.iter()
+            .find(|(m, _)| *m == Method::Lkp(v))
+            .map(|(_, s)| s)
+    };
+    if let (Some(ps), Some(pr), Some(nps), Some(pse)) = (
+        get(LkpVariant::Ps),
+        get(LkpVariant::Pr),
+        get(LkpVariant::Nps),
+        get(LkpVariant::Pse),
+    ) {
         println!("shape checks (paper's qualitative findings):");
         println!(
             "  S>R on accuracy (Nd@10):      {} ({:.4} vs {:.4})",
@@ -104,7 +115,11 @@ fn summarize(rows: &[(Method, MetricSet)]) {
         let best = rows
             .iter()
             .max_by(|a, b| {
-                a.1.at(c).unwrap().f_score.partial_cmp(&b.1.at(c).unwrap().f_score).unwrap()
+                a.1.at(c)
+                    .unwrap()
+                    .f_score
+                    .partial_cmp(&b.1.at(c).unwrap().f_score)
+                    .unwrap()
             })
             .unwrap();
         println!("  winner on F@{c}: {}", best.0.name());

@@ -16,7 +16,11 @@ fn main() {
     ];
 
     for preset in PRESETS {
-        println!("== Table III [{}] (MF backbone, k=n={}) ==", preset.name(), args.k);
+        println!(
+            "== Table III [{}] (MF backbone, k=n={}) ==",
+            preset.name(),
+            args.k
+        );
         let data = args.dataset(preset);
         let kernel = args.diversity_kernel(&data);
         print_table_header();

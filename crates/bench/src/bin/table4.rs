@@ -93,14 +93,20 @@ fn main() {
 fn print_improvement(name: &str, (base, ps, nps): &(MetricSet, MetricSet, MetricSet)) {
     let mut parts = Vec::new();
     for (label, get) in [
-        ("Re@10", (|m: &lkp_eval::Metrics| m.recall) as fn(&lkp_eval::Metrics) -> f64),
+        (
+            "Re@10",
+            (|m: &lkp_eval::Metrics| m.recall) as fn(&lkp_eval::Metrics) -> f64,
+        ),
         ("Nd@10", |m| m.ndcg),
         ("CC@10", |m| m.category_coverage),
         ("F@10", |m| m.f_score),
     ] {
         let b = get(base.at(10).unwrap());
         let best = get(ps.at(10).unwrap()).max(get(nps.at(10).unwrap()));
-        parts.push(format!("{label} {:+.2}%", lkp_bench::improvement_pct(best, b)));
+        parts.push(format!(
+            "{label} {:+.2}%",
+            lkp_bench::improvement_pct(best, b)
+        ));
     }
     println!("{name} Improv: {}", parts.join("  "));
 }

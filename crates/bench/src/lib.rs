@@ -148,19 +148,29 @@ impl ExpArgs {
             patience: 4,
             eval_cutoff: 10,
             eval_threads: self.threads,
+            train_threads: self.threads,
             seed: self.seed ^ 0x7EA1,
             verbose: self.verbose,
         }
     }
 
     fn adam(&self) -> AdamConfig {
-        AdamConfig { lr: 0.01, ..Default::default() }
+        AdamConfig {
+            lr: 0.01,
+            ..Default::default()
+        }
     }
 
     /// Builds an MF backbone.
     pub fn mf(&self, data: &Dataset) -> MatrixFactorization {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x3F);
-        MatrixFactorization::new(data.n_users(), data.n_items(), self.dim, self.adam(), &mut rng)
+        MatrixFactorization::new(
+            data.n_users(),
+            data.n_items(),
+            self.dim,
+            self.adam(),
+            &mut rng,
+        )
     }
 
     /// Builds a GCN backbone over the dataset's train graph.
@@ -180,7 +190,13 @@ impl ExpArgs {
     /// Builds a NeuMF backbone.
     pub fn neumf(&self, data: &Dataset) -> NeuMf {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9A);
-        NeuMf::new(data.n_users(), data.n_items(), self.dim, self.adam(), &mut rng)
+        NeuMf::new(
+            data.n_users(),
+            data.n_items(),
+            self.dim,
+            self.adam(),
+            &mut rng,
+        )
     }
 
     /// Builds a GCMC backbone over the dataset's train graph.
@@ -307,8 +323,19 @@ where
 pub fn print_table_header() {
     println!(
         "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
-        "Method", "Re@5", "Re@10", "Re@20", "Nd@5", "Nd@10", "Nd@20", "CC@5", "CC@10", "CC@20",
-        "F@5", "F@10", "F@20"
+        "Method",
+        "Re@5",
+        "Re@10",
+        "Re@20",
+        "Nd@5",
+        "Nd@10",
+        "Nd@20",
+        "CC@5",
+        "CC@10",
+        "CC@20",
+        "F@5",
+        "F@10",
+        "F@20"
     );
 }
 
@@ -322,7 +349,10 @@ pub fn print_table_row(label: &str, metrics: &MetricSet) {
         |m: &lkp_eval::Metrics| m.f_score,
     ] {
         for &c in &CUTOFFS {
-            cols.push(format!("{:>6.4}", get(metrics.at(c).expect("cutoff present"))));
+            cols.push(format!(
+                "{:>6.4}",
+                get(metrics.at(c).expect("cutoff present"))
+            ));
         }
     }
     println!("{label:<14} {}", cols.join(" "));
@@ -338,8 +368,11 @@ pub fn improvement_pct(ours: f64, baseline: f64) -> f64 {
 }
 
 /// The three presets in Table I/II/III/IV row order.
-pub const PRESETS: [SyntheticPreset; 3] =
-    [SyntheticPreset::Beauty, SyntheticPreset::MovieLens, SyntheticPreset::Anime];
+pub const PRESETS: [SyntheticPreset; 3] = [
+    SyntheticPreset::Beauty,
+    SyntheticPreset::MovieLens,
+    SyntheticPreset::Anime,
+];
 
 #[cfg(test)]
 mod tests {
@@ -347,8 +380,20 @@ mod tests {
 
     #[test]
     fn method_names_are_unique() {
-        let mut names: Vec<&str> = LkpVariant::ALL.iter().map(|v| Method::Lkp(*v).name()).collect();
-        names.extend([Method::Bpr, Method::Bce, Method::SetRank, Method::S2SRank, Method::StdDpp].map(Method::name));
+        let mut names: Vec<&str> = LkpVariant::ALL
+            .iter()
+            .map(|v| Method::Lkp(*v).name())
+            .collect();
+        names.extend(
+            [
+                Method::Bpr,
+                Method::Bce,
+                Method::SetRank,
+                Method::S2SRank,
+                Method::StdDpp,
+            ]
+            .map(Method::name),
+        );
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -365,7 +410,14 @@ mod tests {
     fn smoke_tiny_experiment_end_to_end() {
         // A miniature Table III cell: train LkP-PS and BPR on MF and make
         // sure the pipeline produces sane metrics.
-        let args = ExpArgs { scale: 0.003, epochs: 3, dim: 8, k: 3, n: 3, ..Default::default() };
+        let args = ExpArgs {
+            scale: 0.003,
+            epochs: 3,
+            dim: 8,
+            k: 3,
+            n: 3,
+            ..Default::default()
+        };
         let data = args.dataset(SyntheticPreset::MovieLens);
         let kernel = args.diversity_kernel(&data);
         let mut mf = args.mf(&data);

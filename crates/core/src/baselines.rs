@@ -20,10 +20,10 @@
 //!   subset sizes (`det(L+I)`), which destroys the fixed-cardinality ranking
 //!   interpretation and is reported to underperform even BPR.
 
-use crate::objective::{quality, Objective};
+use crate::objective::{quality, InstanceGrad, Objective};
 use crate::KERNEL_JITTER;
 use lkp_data::GroundSetInstance;
-use lkp_dpp::{grad, DppKernel, LowRankKernel};
+use lkp_dpp::{grad, DppKernel, DppWorkspace, LowRankKernel};
 use lkp_linalg::ops::{log_sigmoid, log_sum_exp, sigmoid};
 use lkp_models::Recommender;
 
@@ -31,17 +31,22 @@ use lkp_models::Recommender;
 pub struct Bpr;
 
 impl<M: Recommender> Objective<M> for Bpr {
-    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+    fn compute_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        _ws: &mut DppWorkspace,
+        out: &mut InstanceGrad,
+    ) {
         debug_assert_eq!(instance.k(), 1);
         debug_assert_eq!(instance.n(), 1);
-        let items = instance.ground_set();
-        let s = model.score_items(instance.user, &items);
-        let x = s[0] - s[1];
-        let loss = -log_sigmoid(x);
+        out.reset_for(instance);
+        model.score_items_into(instance.user, &out.items, &mut out.scores);
+        let x = out.scores[0] - out.scores[1];
+        out.loss = -log_sigmoid(x);
         // d(−log σ(x))/dx = σ(x) − 1.
         let d = sigmoid(x) - 1.0;
-        model.accumulate_score_grads(instance.user, &items, &[d, -d]);
-        loss
+        out.dscores.extend_from_slice(&[d, -d]);
     }
 
     fn instance_shape(&self, _k: usize, _n: usize) -> (usize, usize) {
@@ -57,21 +62,24 @@ impl<M: Recommender> Objective<M> for Bpr {
 pub struct Bce;
 
 impl<M: Recommender> Objective<M> for Bce {
-    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+    fn compute_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        _ws: &mut DppWorkspace,
+        out: &mut InstanceGrad,
+    ) {
         debug_assert_eq!(instance.k(), 1);
-        let items = instance.ground_set();
-        let s = model.score_items(instance.user, &items);
-        let mut loss = 0.0;
-        let mut ds = vec![0.0; items.len()];
+        out.reset_for(instance);
+        model.score_items_into(instance.user, &out.items, &mut out.scores);
+        let s = &out.scores;
         // Positive at index 0.
-        loss += -log_sigmoid(s[0]);
-        ds[0] = sigmoid(s[0]) - 1.0;
-        for (i, &sn) in s.iter().enumerate().skip(1) {
-            loss += -log_sigmoid(-sn);
-            ds[i] = sigmoid(sn);
+        out.loss = -log_sigmoid(s[0]);
+        out.dscores.push(sigmoid(s[0]) - 1.0);
+        for &sn in s.iter().skip(1) {
+            out.loss += -log_sigmoid(-sn);
+            out.dscores.push(sigmoid(sn));
         }
-        model.accumulate_score_grads(instance.user, &items, &ds);
-        loss
     }
 
     fn instance_shape(&self, _k: usize, n: usize) -> (usize, usize) {
@@ -88,17 +96,22 @@ impl<M: Recommender> Objective<M> for Bce {
 pub struct SetRank;
 
 impl<M: Recommender> Objective<M> for SetRank {
-    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+    fn compute_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        _ws: &mut DppWorkspace,
+        out: &mut InstanceGrad,
+    ) {
         debug_assert_eq!(instance.k(), 1);
-        let items = instance.ground_set();
-        let s = model.score_items(instance.user, &items);
+        out.reset_for(instance);
+        model.score_items_into(instance.user, &out.items, &mut out.scores);
         // loss = logsumexp(s) − s_pos ; ds_i = softmax_i − 1{i = pos}.
-        let lse = log_sum_exp(&s);
-        let loss = lse - s[0];
-        let mut ds: Vec<f64> = s.iter().map(|&si| (si - lse).exp()).collect();
-        ds[0] -= 1.0;
-        model.accumulate_score_grads(instance.user, &items, &ds);
-        loss
+        let lse = log_sum_exp(&out.scores);
+        out.loss = lse - out.scores[0];
+        out.dscores
+            .extend(out.scores.iter().map(|&si| (si - lse).exp()));
+        out.dscores[0] -= 1.0;
     }
 
     fn instance_shape(&self, _k: usize, n: usize) -> (usize, usize) {
@@ -119,17 +132,27 @@ pub struct S2SRank {
 
 impl Default for S2SRank {
     fn default() -> Self {
-        S2SRank { set_margin_weight: 1.0 }
+        S2SRank {
+            set_margin_weight: 1.0,
+        }
     }
 }
 
 impl<M: Recommender> Objective<M> for S2SRank {
-    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+    fn compute_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        _ws: &mut DppWorkspace,
+        out: &mut InstanceGrad,
+    ) {
         let k = instance.k();
         let n = instance.n();
-        let items = instance.ground_set();
-        let s = model.score_items(instance.user, &items);
-        let mut ds = vec![0.0; items.len()];
+        out.reset_for(instance);
+        model.score_items_into(instance.user, &out.items, &mut out.scores);
+        let s = &out.scores;
+        out.dscores.resize(out.items.len(), 0.0);
+        let ds = &mut out.dscores;
         let mut loss = 0.0;
         // Item-to-item: every (positive, negative) pair.
         let pair_w = 1.0 / (k * n) as f64;
@@ -159,9 +182,7 @@ impl<M: Recommender> Objective<M> for S2SRank {
         let d = (sigmoid(x) - 1.0) * self.set_margin_weight;
         ds[i_min] += d;
         ds[j_max] -= d;
-
-        model.accumulate_score_grads(instance.user, &items, &ds);
-        loss
+        out.loss = loss;
     }
 
     fn name(&self) -> &'static str {
@@ -179,48 +200,56 @@ pub struct StandardDppObjective {
 impl StandardDppObjective {
     /// Creates the ablation objective around a pre-learned diversity kernel.
     pub fn new(kernel: LowRankKernel) -> Self {
-        StandardDppObjective { kernel: kernel.normalized() }
+        StandardDppObjective {
+            kernel: kernel.normalized(),
+        }
     }
 }
 
 impl<M: Recommender> Objective<M> for StandardDppObjective {
-    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
-        let ground = instance.ground_set();
-        let m = ground.len();
+    fn compute_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        _ws: &mut DppWorkspace,
+        out: &mut InstanceGrad,
+    ) {
+        out.reset_for(instance);
+        let m = out.items.len();
         let k = instance.k();
-        let scores = model.score_items(instance.user, &ground);
-        let q = quality(&scores);
-        let mut k_sub = self.kernel.submatrix(&ground).expect("items in range");
+        model.score_items_into(instance.user, &out.items, &mut out.scores);
+        let q = quality(&out.scores);
+        let mut k_sub = self.kernel.submatrix(&out.items).expect("items in range");
         for i in 0..m {
             k_sub[(i, i)] += KERNEL_JITTER;
         }
         let Ok(kernel) = DppKernel::from_quality_diversity(&q, &k_sub) else {
-            return 0.0;
+            return out.mark_skipped();
         };
         let target: Vec<usize> = (0..k).collect();
         let Ok(log_p) = kernel.standard_dpp_log_prob(&target) else {
-            return 0.0;
+            return out.mark_skipped();
         };
         if !log_p.is_finite() {
-            return 0.0;
+            return out.mark_skipped();
         }
         // ∇ log det(L_S) − ∇ log det(L+I); the latter is V diag(1/(λ+1)) Vᵀ.
         let Ok(mut g) = grad::grad_log_det_subset(kernel.matrix(), &target) else {
-            return 0.0;
+            return out.mark_skipped();
         };
         let Ok(eig) = kernel.eigen() else {
-            return 0.0;
+            return out.mark_skipped();
         };
         let gz = eig.reconstruct_with(|_, l| 1.0 / (l.max(0.0) + 1.0));
         g.add_scaled(-1.0, &gz).expect("same shape");
         g.scale(-1.0); // now ∂loss/∂L for loss = −log P.
         let dq = grad::chain_to_quality(&g, &q, &k_sub);
-        let dscores: Vec<f64> = dq.iter().zip(&q).map(|(&dqi, &qi)| dqi * qi).collect();
-        if dscores.iter().any(|d| !d.is_finite()) {
-            return 0.0;
+        out.dscores
+            .extend(dq.iter().zip(&q).map(|(&dqi, &qi)| dqi * qi));
+        if out.dscores.iter().any(|d| !d.is_finite()) {
+            return out.mark_skipped();
         }
-        model.accumulate_score_grads(instance.user, &ground, &dscores);
-        -log_p
+        out.loss = -log_p;
     }
 
     fn name(&self) -> &'static str {
@@ -242,13 +271,21 @@ mod tests {
             3,
             12,
             8,
-            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.05,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         )
     }
 
     fn pair_instance() -> GroundSetInstance {
-        GroundSetInstance { user: 0, positives: vec![2], negatives: vec![7] }
+        GroundSetInstance {
+            user: 0,
+            positives: vec![2],
+            negatives: vec![7],
+        }
     }
 
     #[test]
@@ -284,7 +321,11 @@ mod tests {
     fn bce_pushes_positive_up_and_negatives_down() {
         let mut model = mf();
         let mut obj = Bce;
-        let inst = GroundSetInstance { user: 1, positives: vec![0], negatives: vec![5, 6, 7] };
+        let inst = GroundSetInstance {
+            user: 1,
+            positives: vec![0],
+            negatives: vec![5, 6, 7],
+        };
         for _ in 0..150 {
             obj.apply(&mut model, &inst);
             model.step();
@@ -300,7 +341,11 @@ mod tests {
     fn setrank_softmax_gradient_sums_to_zero() {
         let mut model = mf();
         let mut obj = SetRank;
-        let inst = GroundSetInstance { user: 0, positives: vec![1], negatives: vec![4, 5, 6, 8] };
+        let inst = GroundSetInstance {
+            user: 0,
+            positives: vec![1],
+            negatives: vec![4, 5, 6, 8],
+        };
         // The softmax−onehot gradient sums to zero: total score mass is
         // conserved. Verify via the loss trend instead of internals: loss
         // must decrease.
@@ -318,7 +363,11 @@ mod tests {
     fn s2srank_separates_the_sets() {
         let mut model = mf();
         let mut obj = S2SRank::default();
-        let inst = GroundSetInstance { user: 2, positives: vec![0, 1, 2], negatives: vec![6, 7, 8] };
+        let inst = GroundSetInstance {
+            user: 2,
+            positives: vec![0, 1, 2],
+            negatives: vec![6, 7, 8],
+        };
         for _ in 0..150 {
             obj.apply(&mut model, &inst);
             model.step();
@@ -334,14 +383,21 @@ mod tests {
         let v = Matrix::from_fn(12, 4, |r, c| (((r * 3 + c * 5) % 7) as f64) * 0.3 - 0.8);
         let mut model = mf();
         let mut obj = StandardDppObjective::new(LowRankKernel::new(v));
-        let inst = GroundSetInstance { user: 0, positives: vec![0, 1, 2], negatives: vec![6, 7, 8] };
+        let inst = GroundSetInstance {
+            user: 0,
+            positives: vec![0, 1, 2],
+            negatives: vec![6, 7, 8],
+        };
         let before: f64 = model.score_items(0, &inst.positives).iter().sum();
         for _ in 0..100 {
             obj.apply(&mut model, &inst);
             model.step();
         }
         let after: f64 = model.score_items(0, &inst.positives).iter().sum();
-        assert!(after > before, "positive mass should rise: {before} -> {after}");
+        assert!(
+            after > before,
+            "positive mass should rise: {before} -> {after}"
+        );
     }
 
     #[test]

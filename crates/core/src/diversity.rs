@@ -60,7 +60,11 @@ pub fn train_diversity_kernel(data: &Dataset, config: &DiversityKernelConfig) ->
     let m = data.n_items();
     let v = lkp_nn::init::normal_matrix(m, config.dim, 0.3, &mut rng);
     let mut kernel = LowRankKernel::new(v);
-    let adam_cfg = AdamConfig { lr: config.lr, weight_decay: 1e-6, ..Default::default() };
+    let adam_cfg = AdamConfig {
+        lr: config.lr,
+        weight_decay: 1e-6,
+        ..Default::default()
+    };
     let mut adam = AdamState::new(m, config.dim, adam_cfg);
 
     for _ in 0..config.epochs {
@@ -166,8 +170,16 @@ pub fn diverse_vs_monotonous_gap(
         }
     }
     (
-        if diverse_n > 0 { diverse_sum / diverse_n as f64 } else { f64::NAN },
-        if mono_n > 0 { mono_sum / mono_n as f64 } else { f64::NAN },
+        if diverse_n > 0 {
+            diverse_sum / diverse_n as f64
+        } else {
+            f64::NAN
+        },
+        if mono_n > 0 {
+            mono_sum / mono_n as f64
+        } else {
+            f64::NAN
+        },
     )
 }
 
@@ -199,8 +211,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let v0 = lkp_nn::init::normal_matrix(data.n_items(), config.dim, 0.3, &mut rng);
         let untrained = LowRankKernel::new(v0);
-        let gap_before =
-            mean_logdet_gap(&untrained, &data, config.set_size, 100, config.eps, 99);
+        let gap_before = mean_logdet_gap(&untrained, &data, config.set_size, 100, config.eps, 99);
 
         let trained = train_diversity_kernel(&data, &config);
         let gap_after = mean_logdet_gap(&trained, &data, config.set_size, 100, config.eps, 99);
@@ -214,8 +225,8 @@ mod tests {
     fn trained_kernel_ranks_diverse_sets_higher() {
         let data = data();
         let config = DiversityKernelConfig {
-            epochs: 10,
-            pairs_per_epoch: 96,
+            epochs: 20,
+            pairs_per_epoch: 128,
             dim: 8,
             ..Default::default()
         };
@@ -230,7 +241,11 @@ mod tests {
     #[test]
     fn kernel_has_full_item_coverage_and_finite_entries() {
         let data = data();
-        let config = DiversityKernelConfig { epochs: 2, pairs_per_epoch: 32, ..Default::default() };
+        let config = DiversityKernelConfig {
+            epochs: 2,
+            pairs_per_epoch: 32,
+            ..Default::default()
+        };
         let k = train_diversity_kernel(&data, &config);
         assert_eq!(k.num_items(), data.n_items());
         for r in 0..k.num_items() {

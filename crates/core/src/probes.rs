@@ -1,9 +1,8 @@
 //! Ranking-interpretation diagnostics (paper Fig. 4 and Section IV-B2).
 
-use crate::objective::quality;
-use crate::KERNEL_JITTER;
+use crate::objective::tailored_kernel;
 use lkp_data::{Dataset, GroundSetInstance};
-use lkp_dpp::{DppKernel, KDpp, LowRankKernel};
+use lkp_dpp::{KDpp, LowRankKernel};
 use lkp_models::Recommender;
 
 /// Mean normalized k-DPP probability of k-subsets grouped by how many
@@ -31,12 +30,8 @@ pub fn target_count_profile<M: Recommender>(
         }
         let ground = inst.ground_set();
         let scores = model.score_items(inst.user, &ground);
-        let q = quality(&scores);
-        let mut k_sub = kernel.submatrix(&ground).expect("items in range");
-        for i in 0..k_sub.rows() {
-            k_sub[(i, i)] += KERNEL_JITTER;
-        }
-        let Ok(l) = DppKernel::from_quality_diversity(&q, &k_sub) else {
+        let k_sub = kernel.submatrix(&ground).expect("items in range");
+        let Some(l) = tailored_kernel(&scores, &k_sub) else {
             continue;
         };
         let Ok(kdpp) = KDpp::new(l, k) else {
@@ -86,12 +81,8 @@ pub fn diverse_vs_monotonous_target_probability<M: Recommender>(
         };
         let ground = inst.ground_set();
         let scores = model.score_items(inst.user, &ground);
-        let q = quality(&scores);
-        let mut k_sub = kernel.submatrix(&ground).expect("items in range");
-        for i in 0..k_sub.rows() {
-            k_sub[(i, i)] += KERNEL_JITTER;
-        }
-        let Ok(l) = DppKernel::from_quality_diversity(&q, &k_sub) else {
+        let k_sub = kernel.submatrix(&ground).expect("items in range");
+        let Some(l) = tailored_kernel(&scores, &k_sub) else {
             continue;
         };
         let Ok(kdpp) = KDpp::new(l, inst.k()) else {
@@ -105,8 +96,16 @@ pub fn diverse_vs_monotonous_target_probability<M: Recommender>(
         bucket.1 += 1;
     }
     (
-        if diverse.1 > 0 { diverse.0 / diverse.1 as f64 } else { f64::NAN },
-        if mono.1 > 0 { mono.0 / mono.1 as f64 } else { f64::NAN },
+        if diverse.1 > 0 {
+            diverse.0 / diverse.1 as f64
+        } else {
+            f64::NAN
+        },
+        if mono.1 > 0 {
+            mono.0 / mono.1 as f64
+        } else {
+            f64::NAN
+        },
     )
 }
 
@@ -132,7 +131,12 @@ mod tests {
         });
         let kernel = train_diversity_kernel(
             &data,
-            &DiversityKernelConfig { epochs: 3, pairs_per_epoch: 32, dim: 8, ..Default::default() },
+            &DiversityKernelConfig {
+                epochs: 3,
+                pairs_per_epoch: 32,
+                dim: 8,
+                ..Default::default()
+            },
         );
         let mut rng = StdRng::seed_from_u64(3);
         let sampler = InstanceSampler::new(3, 3, TargetSelection::Sequential);
@@ -169,7 +173,10 @@ mod tests {
             data.n_users(),
             data.n_items(),
             16,
-            AdamConfig { lr: 0.03, ..Default::default() },
+            AdamConfig {
+                lr: 0.03,
+                ..Default::default()
+            },
             &mut rng,
         );
         let trainer = Trainer::new(TrainConfig {
@@ -190,7 +197,11 @@ mod tests {
             profile[3],
             profile[0]
         );
-        assert!(profile[3] > 0.05, "target subset not lifted: {}", profile[3]);
+        assert!(
+            profile[3] > 0.05,
+            "target subset not lifted: {}",
+            profile[3]
+        );
     }
 
     #[test]
@@ -213,7 +224,10 @@ mod tests {
             .zip([1.0, 9.0, 9.0, 1.0])
             .map(|(&p, w)| p * w)
             .sum();
-        assert!((total - 1.0).abs() < 1e-6, "reassembled probability {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "reassembled probability {total}"
+        );
     }
 
     #[test]

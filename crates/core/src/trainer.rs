@@ -1,7 +1,16 @@
 //! The epoch/mini-batch training loop shared by every criterion.
+//!
+//! Mini-batches are **batch-parallel**: within a batch, instance gradients
+//! are computed concurrently by `train_threads` scoped worker threads, each
+//! with its own [`DppWorkspace`] and reusable [`InstanceGrad`] slots (the
+//! model is only *read* during this phase). The computed gradients are then
+//! accumulated into the model serially, in instance order, before the
+//! optimizer step — so the result is **bitwise identical** at any thread
+//! count, including the serial `train_threads = 1` path.
 
-use crate::objective::Objective;
-use lkp_data::{Dataset, InstanceSampler, TargetSelection};
+use crate::objective::{InstanceGrad, Objective};
+use lkp_data::{Dataset, GroundSetInstance, InstanceSampler, TargetSelection};
+use lkp_dpp::DppWorkspace;
 use lkp_models::Recommender;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,6 +37,9 @@ pub struct TrainConfig {
     pub eval_cutoff: usize,
     /// Evaluation threads.
     pub eval_threads: usize,
+    /// Worker threads for per-instance gradient computation within each
+    /// mini-batch (1 = serial). Results are identical at any value.
+    pub train_threads: usize,
     /// Seed for instance sampling.
     pub seed: u64,
     /// Print per-epoch progress to stderr.
@@ -46,6 +58,7 @@ impl Default for TrainConfig {
             patience: 3,
             eval_cutoff: 10,
             eval_threads: 4,
+            train_threads: 4,
             seed: 17,
             verbose: false,
         }
@@ -132,6 +145,15 @@ impl Trainer {
         let mut epochs_run = 0usize;
         let mut best_state: Option<M> = None;
 
+        // Per-thread workspaces and per-slot gradient buffers, reused across
+        // every batch of the whole run (steady-state allocation-free).
+        let n_threads = cfg.train_threads.max(1);
+        let batch_size = cfg.batch_size.max(1);
+        let mut workspaces: Vec<DppWorkspace> =
+            (0..n_threads).map(|_| DppWorkspace::new()).collect();
+        let mut grads: Vec<InstanceGrad> =
+            (0..batch_size).map(|_| InstanceGrad::default()).collect();
+
         callback(0, model);
 
         for epoch in 1..=cfg.epochs {
@@ -142,14 +164,23 @@ impl Trainer {
 
             let mut loss_sum = 0.0;
             let mut count = 0usize;
-            for batch in instances.chunks(cfg.batch_size.max(1)) {
-                for inst in batch {
-                    loss_sum += objective.apply(model, inst);
+            let objective_ref: &O = objective;
+            for batch in instances.chunks(batch_size) {
+                compute_batch(objective_ref, &*model, batch, &mut workspaces, &mut grads);
+                // Serial, in-order accumulation keeps results independent of
+                // the thread count (bit-for-bit).
+                for grad in &grads[..batch.len()] {
+                    loss_sum += grad.loss;
                     count += 1;
+                    objective_ref.accumulate(model, grad);
                 }
                 model.step();
             }
-            let mean_loss = if count > 0 { loss_sum / count as f64 } else { 0.0 };
+            let mean_loss = if count > 0 {
+                loss_sum / count as f64
+            } else {
+                0.0
+            };
 
             let mut val_ndcg = None;
             if cfg.eval_every > 0 && epoch % cfg.eval_every == 0 {
@@ -178,10 +209,17 @@ impl Trainer {
                         objective.name(),
                         cfg.eval_cutoff
                     ),
-                    None => eprintln!("[{}] epoch {epoch:>3}: loss {mean_loss:.4}", objective.name()),
+                    None => eprintln!(
+                        "[{}] epoch {epoch:>3}: loss {mean_loss:.4}",
+                        objective.name()
+                    ),
                 }
             }
-            history.push(EpochStat { epoch, mean_loss, val_ndcg });
+            history.push(EpochStat {
+                epoch,
+                mean_loss,
+                val_ndcg,
+            });
             callback(epoch, model);
 
             if cfg.patience > 0 && bad_evals >= cfg.patience {
@@ -200,6 +238,46 @@ impl Trainer {
             history,
         }
     }
+}
+
+/// Computes one batch's instance gradients into `grads[..batch.len()]`.
+///
+/// With one workspace the loop runs inline; with several, the batch is cut
+/// into contiguous chunks, one scoped thread per chunk, each thread owning a
+/// workspace and the matching disjoint slice of gradient slots. The model is
+/// shared immutably — `compute_into` never mutates it.
+fn compute_batch<M, O>(
+    objective: &O,
+    model: &M,
+    batch: &[GroundSetInstance],
+    workspaces: &mut [DppWorkspace],
+    grads: &mut [InstanceGrad],
+) where
+    M: Recommender + Sync,
+    O: Objective<M>,
+{
+    let grads = &mut grads[..batch.len()];
+    if workspaces.len() == 1 || batch.len() == 1 {
+        let ws = &mut workspaces[0];
+        for (inst, out) in batch.iter().zip(grads.iter_mut()) {
+            objective.compute_into(model, inst, ws, out);
+        }
+        return;
+    }
+    let chunk = batch.len().div_ceil(workspaces.len()).max(1);
+    std::thread::scope(|scope| {
+        for ((inst_chunk, grad_chunk), ws) in batch
+            .chunks(chunk)
+            .zip(grads.chunks_mut(chunk))
+            .zip(workspaces.iter_mut())
+        {
+            scope.spawn(move || {
+                for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
+                    objective.compute_into(model, inst, ws, out);
+                }
+            });
+        }
+    });
 }
 
 fn shuffle<T, R: rand::Rng + ?Sized>(v: &mut [T], rng: &mut R) {
@@ -236,7 +314,10 @@ mod tests {
             data.n_users(),
             data.n_items(),
             16,
-            AdamConfig { lr: 0.02, ..Default::default() },
+            AdamConfig {
+                lr: 0.02,
+                ..Default::default()
+            },
             &mut rng,
         )
     }
@@ -245,16 +326,11 @@ mod tests {
     fn bpr_training_improves_validation_ndcg() {
         let data = data();
         let mut model = mf(&data);
-        let untrained = lkp_eval::evaluate_parallel_on(
-            &model,
-            &data,
-            &[10],
-            lkp_data::Split::Validation,
-            2,
-        )
-        .at(10)
-        .unwrap()
-        .ndcg;
+        let untrained =
+            lkp_eval::evaluate_parallel_on(&model, &data, &[10], lkp_data::Split::Validation, 2)
+                .at(10)
+                .unwrap()
+                .ndcg;
         let trainer = Trainer::new(TrainConfig {
             epochs: 15,
             eval_every: 5,
@@ -275,7 +351,12 @@ mod tests {
         let data = data();
         let kernel = train_diversity_kernel(
             &data,
-            &DiversityKernelConfig { epochs: 4, pairs_per_epoch: 48, dim: 8, ..Default::default() },
+            &DiversityKernelConfig {
+                epochs: 4,
+                pairs_per_epoch: 48,
+                dim: 8,
+                ..Default::default()
+            },
         );
         let mut model = mf(&data);
         let trainer = Trainer::new(TrainConfig {
@@ -305,7 +386,10 @@ mod tests {
             data.n_users(),
             data.n_items(),
             8,
-            AdamConfig { lr: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         );
         let trainer = Trainer::new(TrainConfig {

@@ -80,7 +80,10 @@ mod tests {
         assert_eq!(LkpVariant::Pr.kind(), LkpKind::PositiveOnly);
         assert_eq!(LkpVariant::Npse.kind(), LkpKind::NegativeAware);
         assert_eq!(LkpVariant::Pr.target_selection(), TargetSelection::Random);
-        assert_eq!(LkpVariant::Ps.target_selection(), TargetSelection::Sequential);
+        assert_eq!(
+            LkpVariant::Ps.target_selection(),
+            TargetSelection::Sequential
+        );
         assert!(!LkpVariant::Nps.uses_embedding_kernel());
         assert!(LkpVariant::Pse.uses_embedding_kernel());
     }

@@ -101,7 +101,16 @@ impl Dataset {
             test.push(te);
             observed_sorted.push(all);
         }
-        Dataset { n_users, n_items, n_categories, item_category, train, validation, test, observed_sorted }
+        Dataset {
+            n_users,
+            n_items,
+            n_categories,
+            item_category,
+            train,
+            validation,
+            test,
+            observed_sorted,
+        }
     }
 
     /// Number of users.
@@ -268,7 +277,10 @@ mod tests {
         let items: Vec<usize> = (0..50).collect();
         let d = Dataset::from_interactions(vec![items], vec![0; 50], 1, &mut rng);
         let tr = d.user_items(0, Split::Train);
-        assert!(tr.windows(2).all(|w| w[0] < w[1]), "order scrambled: {tr:?}");
+        assert!(
+            tr.windows(2).all(|w| w[0] < w[1]),
+            "order scrambled: {tr:?}"
+        );
     }
 
     #[test]
@@ -306,7 +318,9 @@ mod tests {
     fn train_edges_match_train_split() {
         let d = tiny_dataset();
         let edges = d.train_edges();
-        let expected: usize = (0..d.n_users()).map(|u| d.user_items(u, Split::Train).len()).sum();
+        let expected: usize = (0..d.n_users())
+            .map(|u| d.user_items(u, Split::Train).len())
+            .sum();
         assert_eq!(edges.len(), expected);
     }
 }

@@ -142,7 +142,11 @@ mod tests {
             assert_eq!(set.len(), 5);
             let available = d.category_coverage(train);
             let got = d.category_coverage(&set);
-            assert_eq!(got, available.min(5), "user {user}: coverage {got}/{available}");
+            assert_eq!(
+                got,
+                available.min(5),
+                "user {user}: coverage {got}/{available}"
+            );
         }
     }
 

@@ -99,7 +99,11 @@ impl InstanceSampler {
             .into_iter()
             .map(|positives| {
                 let negatives = sample_negatives_avoiding(data, user, self.n, &positives, rng);
-                GroundSetInstance { user, positives, negatives }
+                GroundSetInstance {
+                    user,
+                    positives,
+                    negatives,
+                }
             })
             .collect()
     }
@@ -126,7 +130,9 @@ impl InstanceSampler {
 fn sliding_windows(items: &[usize], k: usize) -> Vec<Vec<usize>> {
     let len = items.len();
     debug_assert!(len >= k);
-    (0..=len - k).map(|start| items[start..start + k].to_vec()).collect()
+    (0..=len - k)
+        .map(|start| items[start..start + k].to_vec())
+        .collect()
 }
 
 /// One instance anchored at every item: the anchor plus `k − 1` other items
@@ -308,8 +314,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let sampler = InstanceSampler::new(5, 5, TargetSelection::Sequential);
         let instances = sampler.epoch_instances(&data, &mut rng);
-        let train_items: usize =
-            (0..data.n_users()).map(|u| data.user_items(u, Split::Train).len()).sum();
+        let train_items: usize = (0..data.n_users())
+            .map(|u| data.user_items(u, Split::Train).len())
+            .sum();
         assert!(instances.len() <= train_items);
     }
 }

@@ -83,7 +83,9 @@ mod tests {
         assert_eq!(s.n_users, d.n_users());
         assert_eq!(s.n_items, d.n_items());
         assert_eq!(s.n_interactions, d.n_interactions());
-        assert!((s.density - s.n_interactions as f64 / (s.n_users * s.n_items) as f64).abs() < 1e-15);
+        assert!(
+            (s.density - s.n_interactions as f64 / (s.n_users * s.n_items) as f64).abs() < 1e-15
+        );
         assert!(s.mean_interactions_per_user >= 10.0);
         assert!(s.mean_user_category_coverage >= 1.0);
         assert!(s.mean_user_category_coverage <= d.n_categories() as f64);

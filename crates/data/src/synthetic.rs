@@ -154,8 +154,9 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
     let d = config.latent_dim;
 
     // --- Categories: power-law sizes, latent centroids. ---
-    let cat_weights: Vec<f64> =
-        (0..config.n_categories).map(|c| 1.0 / ((c + 1) as f64).powf(0.7)).collect();
+    let cat_weights: Vec<f64> = (0..config.n_categories)
+        .map(|c| 1.0 / ((c + 1) as f64).powf(0.7))
+        .collect();
     let item_category = assign_categories(config.n_items, &cat_weights, &mut rng);
     let centroids: Vec<Vec<f64>> = (0..config.n_categories)
         .map(|_| (0..d).map(|_| gaussian(&mut rng)).collect())
@@ -164,7 +165,12 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
     // --- Items: centroid + noise, Zipf popularity. ---
     let item_vecs: Vec<Vec<f64>> = item_category
         .iter()
-        .map(|&c| centroids[c].iter().map(|&x| x + 0.45 * gaussian(&mut rng)).collect())
+        .map(|&c| {
+            centroids[c]
+                .iter()
+                .map(|&x| x + 0.45 * gaussian(&mut rng))
+                .collect()
+        })
         .collect();
     let mut popularity: Vec<f64> = (0..config.n_items).map(|_| rng.random::<f64>()).collect();
     popularity.sort_by(|a, b| b.partial_cmp(a).unwrap());
@@ -233,11 +239,13 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
             let mut best_score = f64::NEG_INFINITY;
             for _ in 0..slate {
                 let item = pool[rng.random_range(0..pool.len())];
-                let affinity: f64 =
-                    user_vec.iter().zip(&item_vecs[item]).map(|(a, b)| a * b).sum();
-                let score = affinity / config.temperature
-                    + popularity[item].ln()
-                    + gumbel(&mut rng);
+                let affinity: f64 = user_vec
+                    .iter()
+                    .zip(&item_vecs[item])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let score =
+                    affinity / config.temperature + popularity[item].ln() + gumbel(&mut rng);
                 if score > best_score {
                     best_score = score;
                     best_item = Some(item);
@@ -259,11 +267,7 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
 
 /// Assigns items to categories proportionally to `weights`, guaranteeing each
 /// category at least one item.
-fn assign_categories<R: Rng + ?Sized>(
-    n_items: usize,
-    weights: &[f64],
-    rng: &mut R,
-) -> Vec<usize> {
+fn assign_categories<R: Rng + ?Sized>(n_items: usize, weights: &[f64], rng: &mut R) -> Vec<usize> {
     let n_categories = weights.len();
     let mut cats: Vec<usize> = (0..n_categories).collect(); // one each, guaranteed
     cats.extend((n_categories..n_items).map(|_| sample_weighted(weights, rng)));
@@ -309,7 +313,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_given_seed() {
-        let cfg = SyntheticConfig { n_users: 40, n_items: 60, ..Default::default() };
+        let cfg = SyntheticConfig {
+            n_users: 40,
+            n_items: 60,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.n_interactions(), b.n_interactions());
@@ -320,8 +328,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&SyntheticConfig { seed: 1, ..Default::default() });
-        let b = generate(&SyntheticConfig { seed: 2, ..Default::default() });
+        let a = generate(&SyntheticConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(&SyntheticConfig {
+            seed: 2,
+            ..Default::default()
+        });
         let same = (0..a.n_users())
             .all(|u| a.user_items(u, Split::Train) == b.user_items(u, Split::Train));
         assert!(!same);
@@ -351,7 +365,10 @@ mod tests {
         let ml = density(SyntheticPreset::MovieLens);
         let anime = density(SyntheticPreset::Anime);
         assert!(ml > anime, "ML {ml} should be denser than Anime {anime}");
-        assert!(anime > beauty, "Anime {anime} should be denser than Beauty {beauty}");
+        assert!(
+            anime > beauty,
+            "Anime {anime} should be denser than Beauty {beauty}"
+        );
     }
 
     #[test]
@@ -391,7 +408,10 @@ mod tests {
 
     #[test]
     fn popularity_is_skewed() {
-        let d = generate(&SyntheticConfig { n_users: 300, ..Default::default() });
+        let d = generate(&SyntheticConfig {
+            n_users: 300,
+            ..Default::default()
+        });
         let mut counts = vec![0usize; d.n_items()];
         for u in 0..d.n_users() {
             for &i in d.user_items(u, Split::Train) {

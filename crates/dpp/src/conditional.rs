@@ -33,12 +33,18 @@ pub fn condition_on_exclusion(kernel: &DppKernel, excluded: &[usize]) -> Result<
     let m = kernel.size();
     for &i in excluded {
         if i >= m {
-            return Err(DppError::IndexOutOfBounds { index: i, ground_size: m });
+            return Err(DppError::IndexOutOfBounds {
+                index: i,
+                ground_size: m,
+            });
         }
     }
     let remaining: Vec<usize> = (0..m).filter(|i| !excluded.contains(i)).collect();
     let sub = kernel.matrix().principal_submatrix(&remaining)?;
-    Ok(ConditionedDpp { kernel: DppKernel::new(sub)?, remaining })
+    Ok(ConditionedDpp {
+        kernel: DppKernel::new(sub)?,
+        remaining,
+    })
 }
 
 /// Conditions a DPP on the **inclusion** of `included`.
@@ -50,7 +56,10 @@ pub fn condition_on_inclusion(kernel: &DppKernel, included: &[usize]) -> Result<
     let m = kernel.size();
     for &i in included {
         if i >= m {
-            return Err(DppError::IndexOutOfBounds { index: i, ground_size: m });
+            return Err(DppError::IndexOutOfBounds {
+                index: i,
+                ground_size: m,
+            });
         }
     }
     if !kernel.log_det_subset(included)?.is_finite() {
@@ -90,7 +99,10 @@ pub fn inclusion_conditional_marginal(
         .remaining
         .iter()
         .position(|&i| i == item)
-        .ok_or(DppError::IndexOutOfBounds { index: item, ground_size: kernel.size() })?;
+        .ok_or(DppError::IndexOutOfBounds {
+            index: item,
+            ground_size: kernel.size(),
+        })?;
     // Marginal kernel of the conditional ensemble: K = L(L+I)⁻¹; its diagonal
     // entries are the singleton marginals.
     let eig = cond.kernel.eigen()?;
@@ -223,7 +235,10 @@ mod tests {
                 }
             }
             let brute = num / den;
-            assert!((fast - brute).abs() < 1e-8, "item {item}: {fast} vs {brute}");
+            assert!(
+                (fast - brute).abs() < 1e-8,
+                "item {item}: {fast} vs {brute}"
+            );
         }
     }
 

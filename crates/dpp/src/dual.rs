@@ -62,7 +62,11 @@ impl DualSpectrum {
         }
         // Descending order is what the selection phase expects; sort.
         let mut order: Vec<usize> = (0..r).collect();
-        order.sort_by(|&a, &b| lambda[b].partial_cmp(&lambda[a]).expect("finite eigenvalues"));
+        order.sort_by(|&a, &b| {
+            lambda[b]
+                .partial_cmp(&lambda[a])
+                .expect("finite eigenvalues")
+        });
         let lambda_sorted: Vec<f64> = order.iter().map(|&i| lambda[i]).collect();
         let mut vectors_sorted = Matrix::zeros(m, r);
         for (new_col, &old_col) in order.iter().enumerate() {
@@ -70,7 +74,10 @@ impl DualSpectrum {
                 vectors_sorted[(row, new_col)] = vectors[(row, old_col)];
             }
         }
-        Ok(DualSpectrum { lambda: lambda_sorted, vectors: vectors_sorted })
+        Ok(DualSpectrum {
+            lambda: lambda_sorted,
+            vectors: vectors_sorted,
+        })
     }
 
     /// Number of items `M`.
@@ -97,7 +104,10 @@ impl DualSpectrum {
     /// `O(M·r·k)` per draw — no `M × M` kernel is ever formed.
     pub fn sample_kdpp<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Result<Vec<usize>> {
         if k > self.rank() {
-            return Err(DppError::CardinalityTooLarge { k, ground_size: self.rank() });
+            return Err(DppError::CardinalityTooLarge {
+                k,
+                ground_size: self.rank(),
+            });
         }
         if k == 0 {
             return Ok(Vec::new());
@@ -154,7 +164,11 @@ mod tests {
         let mut full_lambda = full.nonneg_eigenvalues().unwrap();
         full_lambda.sort_by(|a, b| b.partial_cmp(a).unwrap());
         for (i, &l) in dual.eigenvalues().iter().enumerate() {
-            assert!((l - full_lambda[i]).abs() < 1e-9, "eigenvalue {i}: {l} vs {}", full_lambda[i]);
+            assert!(
+                (l - full_lambda[i]).abs() < 1e-9,
+                "eigenvalue {i}: {l} vs {}",
+                full_lambda[i]
+            );
         }
         // The rest of the full spectrum is numerically zero.
         for &l in &full_lambda[dual.rank()..] {
@@ -202,13 +216,18 @@ mod tests {
         let trials = 30_000;
         let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
         for _ in 0..trials {
-            *counts.entry(dual.sample_kdpp(2, &mut rng).unwrap()).or_default() += 1;
+            *counts
+                .entry(dual.sample_kdpp(2, &mut rng).unwrap())
+                .or_default() += 1;
         }
         for s in enumerate_subsets(6, 2) {
             let p = exact[&s];
             let freq = *counts.get(&s).unwrap_or(&0) as f64 / trials as f64;
             let sigma = (p * (1.0 - p) / trials as f64).sqrt();
-            assert!((freq - p).abs() < 4.0 * sigma + 2e-3, "{s:?}: {freq:.4} vs {p:.4}");
+            assert!(
+                (freq - p).abs() < 4.0 * sigma + 2e-3,
+                "{s:?}: {freq:.4} vs {p:.4}"
+            );
         }
     }
 

@@ -38,14 +38,24 @@ pub fn elementary_symmetric(eigenvalues: &[f64], k: usize) -> f64 {
 
 /// Computes all of `e_0 … e_k` in a single pass.
 pub fn elementary_symmetric_all(eigenvalues: &[f64], k: usize) -> Vec<f64> {
-    let mut e = vec![0.0; k + 1];
+    let mut e = Vec::new();
+    elementary_symmetric_all_into(eigenvalues, k, &mut e);
+    e
+}
+
+/// [`elementary_symmetric_all`] into a reused buffer (`e.len() == k + 1` on
+/// return; no allocation once the buffer has capacity `k + 1`).
+pub fn elementary_symmetric_all_into(eigenvalues: &[f64], k: usize, e: &mut Vec<f64>) {
+    e.clear();
+    e.resize(k + 1, 0.0);
     e[0] = 1.0;
     for &lambda in eigenvalues {
-        for l in (1..=k.min(e.len() - 1)).rev() {
+        // `e` has exactly k+1 slots, so `l` ranges over 1..=k directly; the
+        // downward sweep uses each λ exactly once per degree.
+        for l in (1..=k).rev() {
             e[l] += lambda * e[l - 1];
         }
     }
-    e
 }
 
 /// The full DP table `E[l][m] = e_l(λ_1..λ_m)` of the paper's Algorithm 1,
@@ -67,16 +77,89 @@ pub fn esp_table(eigenvalues: &[f64], k: usize) -> Vec<Vec<f64>> {
     table
 }
 
+/// Reusable scratch for [`leave_one_out_into`]: the prefix/suffix ESP tables.
+#[derive(Debug, Clone, Default)]
+pub struct LeaveOneOutScratch {
+    /// `prefix[i*(k+1) + l] = e_l(λ_0..λ_{i-1})`, `(m+1)·(k+1)` entries.
+    prefix: Vec<f64>,
+    /// `suffix[i*(k+1) + l] = e_l(λ_i..λ_{m-1})`, `(m+1)·(k+1)` entries.
+    suffix: Vec<f64>,
+}
+
 /// Leave-one-out ESPs: returns `v` with `v[i] = e_{k}(λ with λ_i removed)`.
 ///
 /// Used by the k-DPP normalizer gradient,
 /// `∂ e_k(λ)/∂ λ_i = e_{k-1}(λ_{-i})` — call with `k-1` for that purpose.
-///
-/// Each leave-one-out polynomial is recomputed directly in `O(m·k)`, for an
-/// overall `O(m²·k)`. The ground sets in this workspace have `m = k+n ≤ ~16`,
-/// where this brute-force approach is faster and far more robust than the
-/// division-based downdate (which is unstable when some `λ_i` dominate).
 pub fn leave_one_out(eigenvalues: &[f64], k: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut scratch = LeaveOneOutScratch::default();
+    leave_one_out_into(eigenvalues, k, &mut scratch, &mut out);
+    out
+}
+
+/// [`leave_one_out`] in `O(m·k)` total via a prefix/suffix ESP merge.
+///
+/// Builds `prefix[i] = e_·(λ_0..λ_{i-1})` and `suffix[i] = e_·(λ_i..λ_{m-1})`
+/// tables (each `O(m·k)`), then merges per index with the convolution
+/// `e_k(λ_{-i}) = Σ_l prefix[i][l] · suffix[i+1][k−l]` (`O(k)` per index).
+/// All terms are non-negative for PSD spectra, so unlike the division-based
+/// downdate there is no cancellation and no instability when some `λ_i`
+/// dominate. Allocation-free once `scratch`/`out` reach steady-state size.
+pub fn leave_one_out_into(
+    eigenvalues: &[f64],
+    k: usize,
+    scratch: &mut LeaveOneOutScratch,
+    out: &mut Vec<f64>,
+) {
+    let m = eigenvalues.len();
+    let w = k + 1;
+    scratch.prefix.clear();
+    scratch.prefix.resize((m + 1) * w, 0.0);
+    scratch.suffix.clear();
+    scratch.suffix.resize((m + 1) * w, 0.0);
+
+    // Prefix pass: row i+1 extends row i with λ_i.
+    scratch.prefix[0] = 1.0; // e_0 of the empty prefix
+    for i in 0..m {
+        let lambda = eigenvalues[i];
+        let (prev_rows, next_rows) = scratch.prefix.split_at_mut((i + 1) * w);
+        let prev = &prev_rows[i * w..];
+        let next = &mut next_rows[..w];
+        next[0] = prev[0];
+        for l in 1..w {
+            next[l] = prev[l] + lambda * prev[l - 1];
+        }
+    }
+    // Suffix pass: row i extends row i+1 with λ_i.
+    scratch.suffix[m * w] = 1.0; // e_0 of the empty suffix
+    for i in (0..m).rev() {
+        let lambda = eigenvalues[i];
+        let (head, tail) = scratch.suffix.split_at_mut((i + 1) * w);
+        let next = &tail[..w];
+        let cur = &mut head[i * w..];
+        cur[0] = next[0];
+        for l in 1..w {
+            cur[l] = next[l] + lambda * next[l - 1];
+        }
+    }
+
+    // Merge: e_k(λ_{-i}) = Σ_l e_l(prefix before i) · e_{k−l}(suffix after i).
+    out.clear();
+    for i in 0..m {
+        let prefix = &scratch.prefix[i * w..(i + 1) * w];
+        let suffix = &scratch.suffix[(i + 1) * w..(i + 2) * w];
+        let mut acc = 0.0;
+        for l in 0..=k {
+            acc += prefix[l] * suffix[k - l];
+        }
+        out.push(acc);
+    }
+}
+
+/// Brute-force leave-one-out reference (`O(m²·k)`): recomputes each reduced
+/// ESP directly. Kept as the oracle the fast prefix/suffix merge is
+/// property-tested against.
+pub fn leave_one_out_naive(eigenvalues: &[f64], k: usize) -> Vec<f64> {
     let m = eigenvalues.len();
     let mut out = Vec::with_capacity(m);
     let mut reduced = Vec::with_capacity(m.saturating_sub(1));
@@ -130,7 +213,10 @@ mod tests {
         for k in 0..=5 {
             let fast = elementary_symmetric(&lambda, k);
             let slow = esp_naive(&lambda, k);
-            assert!((fast - slow).abs() < 1e-10 * slow.abs().max(1.0), "k={k}: {fast} vs {slow}");
+            assert!(
+                (fast - slow).abs() < 1e-10 * slow.abs().max(1.0),
+                "k={k}: {fast} vs {slow}"
+            );
         }
     }
 
@@ -157,9 +243,9 @@ mod tests {
         let lambda = [0.3, 1.2, 0.9, 2.2, 0.05];
         let k = 3;
         let table = esp_table(&lambda, k);
-        for l in 0..=k {
+        for (l, row) in table.iter().enumerate() {
             assert!(
-                (table[l][lambda.len()] - elementary_symmetric(&lambda, l)).abs() < 1e-12,
+                (row[lambda.len()] - elementary_symmetric(&lambda, l)).abs() < 1e-12,
                 "l={l}"
             );
         }
@@ -174,10 +260,40 @@ mod tests {
     fn leave_one_out_matches_direct_removal() {
         let lambda = [0.7, 1.1, 0.4, 2.0];
         let loo = leave_one_out(&lambda, 2);
-        for i in 0..lambda.len() {
+        for (i, &li) in loo.iter().enumerate() {
             let mut reduced = lambda.to_vec();
             reduced.remove(i);
-            assert!((loo[i] - esp_naive(&reduced, 2)).abs() < 1e-12, "i={i}");
+            assert!((li - esp_naive(&reduced, 2)).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn fast_leave_one_out_matches_naive() {
+        let lambda = [0.7, 1.1, 0.4, 2.0, 1e-9, 30.0, 0.0, 5.5];
+        for k in 0..=lambda.len() {
+            let fast = leave_one_out(&lambda, k);
+            let naive = leave_one_out_naive(&lambda, k);
+            for (i, (f, n)) in fast.iter().zip(&naive).enumerate() {
+                assert!(
+                    (f - n).abs() <= 1e-12 * n.abs().max(1.0),
+                    "k={k} i={i}: fast {f} vs naive {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leave_one_out_buffers_are_reusable() {
+        let mut scratch = LeaveOneOutScratch::default();
+        let mut out = Vec::new();
+        // Shrinking and growing m/k across calls must stay correct.
+        for (lambda, k) in [
+            (vec![1.0, 2.0, 3.0, 4.0, 5.0], 3),
+            (vec![0.5, 0.25], 1),
+            (vec![2.0, 0.1, 7.0, 0.4], 4),
+        ] {
+            leave_one_out_into(&lambda, k, &mut scratch, &mut out);
+            assert_eq!(out, leave_one_out_naive(&lambda, k));
         }
     }
 
@@ -193,9 +309,12 @@ mod tests {
             plus[i] += h;
             let mut minus = lambda.to_vec();
             minus[i] -= h;
-            let fd =
-                (elementary_symmetric(&plus, k) - elementary_symmetric(&minus, k)) / (2.0 * h);
-            assert!((fd - loo[i]).abs() < 1e-6, "i={i}: fd {fd} vs loo {}", loo[i]);
+            let fd = (elementary_symmetric(&plus, k) - elementary_symmetric(&minus, k)) / (2.0 * h);
+            assert!(
+                (fd - loo[i]).abs() < 1e-6,
+                "i={i}: fd {fd} vs loo {}",
+                loo[i]
+            );
         }
     }
 

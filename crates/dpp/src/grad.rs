@@ -24,7 +24,10 @@ pub fn grad_log_det_subset(l: &Matrix, subset: &[usize]) -> Result<Matrix> {
     let m = l.rows();
     for &i in subset {
         if i >= m {
-            return Err(DppError::IndexOutOfBounds { index: i, ground_size: m });
+            return Err(DppError::IndexOutOfBounds {
+                index: i,
+                ground_size: m,
+            });
         }
     }
     let mut g = Matrix::zeros(m, m);
@@ -64,7 +67,10 @@ pub fn grad_log_normalizer(kdpp: &KDpp) -> Result<Matrix> {
 /// kernel gradient of the paper's Eq. 12 for a single training subset.
 pub fn grad_log_prob(kdpp: &KDpp, subset: &[usize]) -> Result<Matrix> {
     if subset.len() != kdpp.k() {
-        return Err(DppError::WrongSubsetSize { expected: kdpp.k(), got: subset.len() });
+        return Err(DppError::WrongSubsetSize {
+            expected: kdpp.k(),
+            got: subset.len(),
+        });
     }
     let mut g = grad_log_det_subset(kdpp.kernel().matrix(), subset)?;
     let gz = grad_log_normalizer(kdpp)?;
@@ -149,9 +155,16 @@ mod tests {
         let subset = vec![0, 2, 4];
         let analytic = grad_log_det_subset(&l, &subset).unwrap();
         let fd = fd_symmetric(&l, |m| {
-            DppKernel::new(m.clone()).unwrap().log_det_subset(&subset).unwrap()
+            DppKernel::new(m.clone())
+                .unwrap()
+                .log_det_subset(&subset)
+                .unwrap()
         });
-        assert!(analytic.max_abs_diff(&fd) < 1e-5, "diff {}", analytic.max_abs_diff(&fd));
+        assert!(
+            analytic.max_abs_diff(&fd) < 1e-5,
+            "diff {}",
+            analytic.max_abs_diff(&fd)
+        );
     }
 
     #[test]
@@ -161,9 +174,15 @@ mod tests {
         let kdpp = KDpp::new(DppKernel::new(l.clone()).unwrap(), k).unwrap();
         let analytic = grad_log_normalizer(&kdpp).unwrap();
         let fd = fd_symmetric(&l, |m| {
-            KDpp::new(DppKernel::new(m.clone()).unwrap(), k).unwrap().log_normalizer()
+            KDpp::new(DppKernel::new(m.clone()).unwrap(), k)
+                .unwrap()
+                .log_normalizer()
         });
-        assert!(analytic.max_abs_diff(&fd) < 1e-5, "diff {}", analytic.max_abs_diff(&fd));
+        assert!(
+            analytic.max_abs_diff(&fd) < 1e-5,
+            "diff {}",
+            analytic.max_abs_diff(&fd)
+        );
     }
 
     #[test]
@@ -179,7 +198,11 @@ mod tests {
                 .log_prob(&subset)
                 .unwrap()
         });
-        assert!(analytic.max_abs_diff(&fd) < 1e-5, "diff {}", analytic.max_abs_diff(&fd));
+        assert!(
+            analytic.max_abs_diff(&fd) < 1e-5,
+            "diff {}",
+            analytic.max_abs_diff(&fd)
+        );
     }
 
     #[test]
@@ -207,7 +230,11 @@ mod tests {
             let mut minus = q.clone();
             minus[i] -= h;
             let fd = (log_prob(&plus) - log_prob(&minus)) / (2.0 * h);
-            assert!((fd - dq[i]).abs() < 1e-5, "i={i}: fd {fd} vs analytic {}", dq[i]);
+            assert!(
+                (fd - dq[i]).abs() < 1e-5,
+                "i={i}: fd {fd} vs analytic {}",
+                dq[i]
+            );
         }
     }
 
@@ -241,8 +268,15 @@ mod tests {
                     minus[(j, i)] -= h;
                 }
                 let fd = (log_prob(&plus) - log_prob(&minus)) / (2.0 * h);
-                let analytic = if i == j { dk[(i, i)] } else { dk[(i, j)] + dk[(j, i)] };
-                assert!((fd - analytic).abs() < 1e-5, "({i},{j}): fd {fd} vs {analytic}");
+                let analytic = if i == j {
+                    dk[(i, i)]
+                } else {
+                    dk[(i, j)] + dk[(j, i)]
+                };
+                assert!(
+                    (fd - analytic).abs() < 1e-5,
+                    "({i},{j}): fd {fd} vs {analytic}"
+                );
             }
         }
     }
@@ -259,7 +293,11 @@ mod tests {
             let g = grad_log_prob(&kdpp, &s).unwrap();
             acc.add_scaled(p, &g).unwrap();
         }
-        assert!(acc.max_abs() < 1e-8, "score identity violated: {}", acc.max_abs());
+        assert!(
+            acc.max_abs() < 1e-8,
+            "score identity violated: {}",
+            acc.max_abs()
+        );
     }
 
     #[test]

@@ -42,7 +42,13 @@ impl KDpp {
         if !log_z.is_finite() && k > 0 {
             return Err(DppError::DegenerateKernel);
         }
-        Ok(KDpp { kernel, k, eigen, lambda, log_z })
+        Ok(KDpp {
+            kernel,
+            k,
+            eigen,
+            lambda,
+            log_z,
+        })
     }
 
     /// The fixed subset cardinality.
@@ -78,7 +84,10 @@ impl KDpp {
     /// `log P_k(S)` for a size-k subset (paper Eq. 4).
     pub fn log_prob(&self, subset: &[usize]) -> Result<f64> {
         if subset.len() != self.k {
-            return Err(DppError::WrongSubsetSize { expected: self.k, got: subset.len() });
+            return Err(DppError::WrongSubsetSize {
+                expected: self.k,
+                got: subset.len(),
+            });
         }
         Ok(self.kernel.log_det_subset(subset)? - self.log_z)
     }
@@ -109,7 +118,10 @@ impl KDpp {
     pub fn inclusion_marginal(&self, item: usize) -> Result<f64> {
         let m = self.ground_size();
         if item >= m {
-            return Err(DppError::IndexOutOfBounds { index: item, ground_size: m });
+            return Err(DppError::IndexOutOfBounds {
+                index: item,
+                ground_size: m,
+            });
         }
         if self.k == 0 {
             return Ok(0.0);
@@ -117,9 +129,9 @@ impl KDpp {
         let loo = esp::leave_one_out(&self.lambda, self.k - 1);
         let z = self.log_z.exp();
         let mut p = 0.0;
-        for j in 0..m {
+        for (j, (&lam, &lj)) in self.lambda.iter().zip(&loo).enumerate().take(m) {
             let v = self.eigen.vectors[(item, j)];
-            p += v * v * self.lambda[j] * loo[j];
+            p += v * v * lam * lj;
         }
         Ok((p / z).clamp(0.0, 1.0))
     }
@@ -151,7 +163,10 @@ mod tests {
                 .map(|s| kern.det_subset(s).unwrap())
                 .sum();
             let z = kdpp.log_normalizer().exp();
-            assert!((z - brute).abs() < 1e-8 * brute.max(1.0), "k={k}: {z} vs {brute}");
+            assert!(
+                (z - brute).abs() < 1e-8 * brute.max(1.0),
+                "k={k}: {z} vs {brute}"
+            );
         }
     }
 
@@ -160,7 +175,12 @@ mod tests {
         let kern = example_kernel(6);
         for k in 1..=4 {
             let kdpp = KDpp::new(kern.clone(), k).unwrap();
-            let total: f64 = kdpp.all_subset_probs().unwrap().iter().map(|(_, p)| p).sum();
+            let total: f64 = kdpp
+                .all_subset_probs()
+                .unwrap()
+                .iter()
+                .map(|(_, p)| p)
+                .sum();
             assert!((total - 1.0).abs() < 1e-8, "k={k}: total {total}");
         }
     }
@@ -170,7 +190,10 @@ mod tests {
         let kdpp = KDpp::new(example_kernel(4), 2).unwrap();
         assert!(matches!(
             kdpp.log_prob(&[0, 1, 2]),
-            Err(DppError::WrongSubsetSize { expected: 2, got: 3 })
+            Err(DppError::WrongSubsetSize {
+                expected: 2,
+                got: 3
+            })
         ));
     }
 
@@ -178,14 +201,20 @@ mod tests {
     fn cardinality_too_large_rejected() {
         assert!(matches!(
             KDpp::new(example_kernel(3), 4),
-            Err(DppError::CardinalityTooLarge { k: 4, ground_size: 3 })
+            Err(DppError::CardinalityTooLarge {
+                k: 4,
+                ground_size: 3
+            })
         ));
     }
 
     #[test]
     fn degenerate_kernel_rejected() {
         let zero = DppKernel::new(Matrix::zeros(3, 3)).unwrap();
-        assert!(matches!(KDpp::new(zero, 2), Err(DppError::DegenerateKernel)));
+        assert!(matches!(
+            KDpp::new(zero, 2),
+            Err(DppError::DegenerateKernel)
+        ));
     }
 
     #[test]
@@ -204,11 +233,7 @@ mod tests {
     fn diversity_dominates_at_equal_quality() {
         // Two similar items (0,1) and one dissimilar item (2), equal quality:
         // the diverse pair must outrank the redundant pair.
-        let k = Matrix::from_rows(&[
-            &[1.0, 0.9, 0.0],
-            &[0.9, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let k = Matrix::from_rows(&[&[1.0, 0.9, 0.0], &[0.9, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
         let kern = DppKernel::from_quality_diversity(&[1.0, 1.0, 1.0], &k).unwrap();
         let kdpp = KDpp::new(kern, 2).unwrap();
         assert!(kdpp.prob(&[0, 2]).unwrap() > kdpp.prob(&[0, 1]).unwrap());
@@ -219,9 +244,11 @@ mod tests {
         let kern = example_kernel(5);
         for k in 1..=4 {
             let kdpp = KDpp::new(kern.clone(), k).unwrap();
-            let total: f64 =
-                (0..5).map(|i| kdpp.inclusion_marginal(i).unwrap()).sum();
-            assert!((total - k as f64).abs() < 1e-8, "k={k}: marginals sum {total}");
+            let total: f64 = (0..5).map(|i| kdpp.inclusion_marginal(i).unwrap()).sum();
+            assert!(
+                (total - k as f64).abs() < 1e-8,
+                "k={k}: marginals sum {total}"
+            );
         }
     }
 
@@ -238,7 +265,10 @@ mod tests {
                 .map(|(_, p)| p)
                 .sum();
             let fast = kdpp.inclusion_marginal(item).unwrap();
-            assert!((fast - brute).abs() < 1e-8, "item {item}: {fast} vs {brute}");
+            assert!(
+                (fast - brute).abs() < 1e-8,
+                "item {item}: {fast} vs {brute}"
+            );
         }
     }
 

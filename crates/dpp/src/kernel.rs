@@ -38,10 +38,12 @@ impl DppKernel {
     /// transfers to `L` because the map is a congruence.
     pub fn from_quality_diversity(q: &[f64], k_matrix: &Matrix) -> Result<Self> {
         if k_matrix.rows() != q.len() || k_matrix.cols() != q.len() {
-            return Err(DppError::Linalg(lkp_linalg::LinalgError::DimensionMismatch {
-                expected: (q.len(), q.len()),
-                got: k_matrix.shape(),
-            }));
+            return Err(DppError::Linalg(
+                lkp_linalg::LinalgError::DimensionMismatch {
+                    expected: (q.len(), q.len()),
+                    got: k_matrix.shape(),
+                },
+            ));
         }
         let n = q.len();
         let mut l = Matrix::zeros(n, n);
@@ -86,7 +88,10 @@ impl DppKernel {
     pub fn log_det_subset(&self, subset: &[usize]) -> Result<f64> {
         for &i in subset {
             if i >= self.size() {
-                return Err(DppError::IndexOutOfBounds { index: i, ground_size: self.size() });
+                return Err(DppError::IndexOutOfBounds {
+                    index: i,
+                    ground_size: self.size(),
+                });
             }
         }
         if subset.is_empty() {

@@ -21,6 +21,9 @@
 //! * [`dual`] — the `d × d` dual representation of low-rank kernels:
 //!   catalog-scale normalization and exact k-DPP sampling without ever
 //!   forming the `M × M` kernel.
+//! * [`workspace`] — the allocation-free per-instance training hot path:
+//!   one reusable [`DppWorkspace`] fuses kernel assembly, (dense or dual)
+//!   eigendecomposition, ESP normalizer, and gradient chain per instance.
 
 pub mod conditional;
 pub mod dual;
@@ -31,11 +34,13 @@ pub mod kernel;
 pub mod lowrank;
 pub mod map;
 pub mod sampling;
+pub mod workspace;
 
 pub use dual::DualSpectrum;
 pub use kdpp::KDpp;
 pub use kernel::DppKernel;
 pub use lowrank::LowRankKernel;
+pub use workspace::{DppWorkspace, SpectrumPath, TailoredResult};
 
 /// Errors raised by DPP construction and inference.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,7 +72,10 @@ impl std::fmt::Display for DppError {
                 write!(f, "cardinality {k} exceeds ground set size {ground_size}")
             }
             DppError::IndexOutOfBounds { index, ground_size } => {
-                write!(f, "item index {index} out of bounds for ground set of {ground_size}")
+                write!(
+                    f,
+                    "item index {index} out of bounds for ground set of {ground_size}"
+                )
             }
             DppError::WrongSubsetSize { expected, got } => {
                 write!(f, "subset has size {got}, the k-DPP requires {expected}")

@@ -54,14 +54,25 @@ impl LowRankKernel {
 
     /// Materializes the principal submatrix `K_T = V_T·V_Tᵀ` for items `idx`.
     pub fn submatrix(&self, idx: &[usize]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.submatrix_into(idx, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`LowRankKernel::submatrix`] into a reused buffer (allocation-free at
+    /// steady state — the per-instance hot path).
+    pub fn submatrix_into(&self, idx: &[usize], out: &mut Matrix) -> Result<()> {
         let m = self.num_items();
         for &i in idx {
             if i >= m {
-                return Err(DppError::IndexOutOfBounds { index: i, ground_size: m });
+                return Err(DppError::IndexOutOfBounds {
+                    index: i,
+                    ground_size: m,
+                });
             }
         }
         let t = idx.len();
-        let mut out = Matrix::zeros(t, t);
+        out.reset(t, t);
         for a in 0..t {
             for b in a..t {
                 let val = self.entry(idx[a], idx[b]);
@@ -69,7 +80,13 @@ impl LowRankKernel {
                 out[(b, a)] = val;
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Gathers the factor rows for items `idx` into a reused `|T| × d`
+    /// buffer — the dual-path input `V_T`.
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Matrix) -> Result<()> {
+        self.v.gather_rows_into(idx, out).map_err(DppError::Linalg)
     }
 
     /// Materializes the full `M × M` kernel. Small item sets only.
@@ -144,19 +161,25 @@ impl LowRankKernel {
 /// manner of Gaussian kernel"), computed from trainable item embeddings. RBF
 /// kernels are PSD for any σ > 0.
 pub fn rbf_kernel(features: &Matrix, sigma: f64) -> Matrix {
+    let mut k = Matrix::zeros(0, 0);
+    rbf_kernel_into(features, sigma, &mut k);
+    k
+}
+
+/// [`rbf_kernel`] into a reused buffer (allocation-free at steady state).
+pub fn rbf_kernel_into(features: &Matrix, sigma: f64, out: &mut Matrix) {
     let n = features.rows();
     let denom = 2.0 * sigma * sigma;
-    let mut k = Matrix::zeros(n, n);
+    out.reset(n, n);
     for i in 0..n {
-        k[(i, i)] = 1.0;
+        out[(i, i)] = 1.0;
         for j in (i + 1)..n {
             let d2 = lkp_linalg::ops::sq_dist(features.row(i), features.row(j));
             let val = (-d2 / denom).exp();
-            k[(i, j)] = val;
-            k[(j, i)] = val;
+            out[(i, j)] = val;
+            out[(j, i)] = val;
         }
     }
-    k
 }
 
 #[cfg(test)]

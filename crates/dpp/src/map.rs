@@ -81,7 +81,10 @@ pub fn greedy_map(kernel: &DppKernel, k: usize) -> Result<MapResult> {
         }
         selected.push(j);
     }
-    Ok(MapResult { items: selected, log_det })
+    Ok(MapResult {
+        items: selected,
+        log_det,
+    })
 }
 
 /// Naive greedy MAP that recomputes `log det` from scratch at each step.
@@ -117,7 +120,10 @@ pub fn greedy_map_naive(kernel: &DppKernel, k: usize) -> Result<MapResult> {
             _ => break,
         }
     }
-    Ok(MapResult { items: selected, log_det: current_log_det })
+    Ok(MapResult {
+        items: selected,
+        log_det: current_log_det,
+    })
 }
 
 /// Exhaustive MAP: enumerates all size-k subsets. Exponential — tests only.
@@ -206,18 +212,18 @@ mod tests {
         let v = Matrix::from_fn(2, 5, |r, c| ((r + c) % 3) as f64 + 0.5);
         let kern = DppKernel::new(v.gram()).unwrap();
         let res = greedy_map(&kern, 4).unwrap();
-        assert!(res.items.len() <= 2, "selected {:?} from a rank-2 kernel", res.items);
+        assert!(
+            res.items.len() <= 2,
+            "selected {:?} from a rank-2 kernel",
+            res.items
+        );
     }
 
     #[test]
     fn avoids_redundant_items() {
         // Items 0,1 near-duplicates with high quality; item 2 moderately
         // dissimilar. Greedy k=2 should pick one of {0,1} plus item 2.
-        let k = Matrix::from_rows(&[
-            &[1.0, 0.98, 0.1],
-            &[0.98, 1.0, 0.1],
-            &[0.1, 0.1, 1.0],
-        ]);
+        let k = Matrix::from_rows(&[&[1.0, 0.98, 0.1], &[0.98, 1.0, 0.1], &[0.1, 0.1, 1.0]]);
         let q = [2.0, 2.0, 1.0];
         let kern = DppKernel::from_quality_diversity(&q, &k).unwrap();
         let res = greedy_map(&kern, 2).unwrap();

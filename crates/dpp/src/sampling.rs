@@ -227,7 +227,9 @@ mod tests {
         let trials = 40_000;
         let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
         for _ in 0..trials {
-            *counts.entry(sample_kdpp(&kdpp, &mut rng).unwrap()).or_default() += 1;
+            *counts
+                .entry(sample_kdpp(&kdpp, &mut rng).unwrap())
+                .or_default() += 1;
         }
         for (subset, p) in &exact {
             let freq = *counts.get(subset).unwrap_or(&0) as f64 / trials as f64;
@@ -247,14 +249,14 @@ mod tests {
         let norm: f64 = lambda.iter().map(|&l| 1.0 + l).product();
         let mut rng = StdRng::seed_from_u64(3);
         let trials = 40_000;
-        let mut size_counts = vec![0usize; 6];
+        let mut size_counts = [0usize; 6];
         for _ in 0..trials {
             let s = sample_dpp(&kernel, &mut rng).unwrap();
             size_counts[s.len()] += 1;
         }
-        for k in 0..=5 {
+        for (k, &count) in size_counts.iter().enumerate() {
             let p = esp::elementary_symmetric(&lambda, k) / norm;
-            let freq = size_counts[k] as f64 / trials as f64;
+            let freq = count as f64 / trials as f64;
             let sigma = (p * (1.0 - p) / trials as f64).sqrt();
             assert!(
                 (freq - p).abs() < 4.0 * sigma + 1e-3,
@@ -267,11 +269,7 @@ mod tests {
     fn diverse_pairs_are_oversampled_relative_to_redundant_pairs() {
         // Items 0,1 nearly identical; item 2 orthogonal. A 2-DPP should pick
         // {0,2} or {1,2} far more often than {0,1}.
-        let k = Matrix::from_rows(&[
-            &[1.0, 0.95, 0.0],
-            &[0.95, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let k = Matrix::from_rows(&[&[1.0, 0.95, 0.0], &[0.95, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
         let kern = DppKernel::new(k).unwrap();
         let kdpp = KDpp::new(kern, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(11);

@@ -172,4 +172,36 @@ proptest! {
             prop_assert!((dual_z - full_z).abs() < 1e-6, "k={k}: {dual_z} vs {full_z}");
         }
     }
+
+    #[test]
+    fn fast_leave_one_out_matches_brute_force(lambda in eigenvalues(9), k in 0usize..=8) {
+        // The O(m·k) prefix/suffix merge against the O(m²·k) direct
+        // recomputation, at ≤1e-10 relative error (acceptance bound).
+        let fast = esp::leave_one_out(&lambda, k);
+        let naive = esp::leave_one_out_naive(&lambda, k);
+        prop_assert_eq!(fast.len(), naive.len());
+        for (i, (f, n)) in fast.iter().zip(&naive).enumerate() {
+            prop_assert!(
+                (f - n).abs() <= 1e-10 * n.abs().max(1.0),
+                "i={i} k={k}: fast {f} vs naive {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn esp_all_matches_esp_table_last_column(lambda in eigenvalues(7), k in 0usize..=7) {
+        // elementary_symmetric_all must agree with the full DP table's last
+        // column — the cross-check pinned when the dead inner bound was
+        // removed from the single-pass recurrence.
+        let all = esp::elementary_symmetric_all(&lambda, k);
+        let table = esp::esp_table(&lambda, k);
+        prop_assert_eq!(all.len(), k + 1);
+        for l in 0..=k {
+            let from_table = table[l][lambda.len()];
+            prop_assert!(
+                (all[l] - from_table).abs() <= 1e-12 * from_table.abs().max(1.0),
+                "l={l}: all {} vs table {from_table}", all[l]
+            );
+        }
+    }
 }

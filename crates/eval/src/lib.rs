@@ -83,6 +83,13 @@ pub fn evaluate_parallel<M: Recommender + Sync>(
 }
 
 /// Parallel evaluation against an arbitrary split.
+///
+/// Users are partitioned into contiguous chunks, one `std::thread::scope`
+/// thread per chunk; the model is only read, so the threads share it
+/// immutably. Per-chunk metric rows are merged in chunk order, which makes
+/// the result identical to the sequential path (metric accumulation is a
+/// sum, but keeping a deterministic merge order means even round-off is
+/// reproducible run to run).
 pub fn evaluate_parallel_on<M: Recommender + Sync>(
     model: &M,
     data: &Dataset,
@@ -91,37 +98,42 @@ pub fn evaluate_parallel_on<M: Recommender + Sync>(
     n_threads: usize,
 ) -> MetricSet {
     let n_threads = n_threads.max(1);
-    let users: Vec<usize> =
-        (0..data.n_users()).filter(|&u| !data.user_items(u, target).is_empty()).collect();
+    let users: Vec<usize> = (0..data.n_users())
+        .filter(|&u| !data.user_items(u, target).is_empty())
+        .collect();
     let chunk = users.len().div_ceil(n_threads).max(1);
-    let results = parking_lot::Mutex::new(vec![vec![Metrics::zero(); cutoffs.len()]; 0]);
 
-    crossbeam::thread::scope(|scope| {
-        for slice in users.chunks(chunk) {
-            let results = &results;
-            scope.spawn(move |_| {
-                let mut local = vec![Metrics::zero(); cutoffs.len()];
-                let mut scores = Vec::new();
-                let max_n = cutoffs.iter().copied().max().unwrap_or(0);
-                for &user in slice {
-                    let truth = data.user_items(user, target);
-                    model.score_all(user, &mut scores);
-                    let top = topn::top_n_excluding(&scores, max_n, |item| {
-                        excluded(data, user, item, target)
-                    });
-                    for (slot, &n) in local.iter_mut().zip(cutoffs) {
-                        let prefix = &top[..n.min(top.len())];
-                        slot.accumulate(&metrics::user_metrics(prefix, truth, data, n));
+    let locals: Vec<Vec<Metrics>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = users
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut local = vec![Metrics::zero(); cutoffs.len()];
+                    let mut scores = Vec::new();
+                    let max_n = cutoffs.iter().copied().max().unwrap_or(0);
+                    for &user in slice {
+                        let truth = data.user_items(user, target);
+                        model.score_all(user, &mut scores);
+                        let top = topn::top_n_excluding(&scores, max_n, |item| {
+                            excluded(data, user, item, target)
+                        });
+                        for (slot, &n) in local.iter_mut().zip(cutoffs) {
+                            let prefix = &top[..n.min(top.len())];
+                            slot.accumulate(&metrics::user_metrics(prefix, truth, data, n));
+                        }
                     }
-                }
-                results.lock().push(local);
-            });
-        }
-    })
-    .expect("evaluation threads must not panic");
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation threads must not panic"))
+            .collect()
+    });
 
     let mut agg = vec![Metrics::zero(); cutoffs.len()];
-    for local in results.into_inner() {
+    for local in locals {
         for (a, l) in agg.iter_mut().zip(&local) {
             a.accumulate(l);
         }

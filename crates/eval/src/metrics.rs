@@ -22,7 +22,13 @@ pub struct Metrics {
 impl Metrics {
     /// All-zero metrics (accumulator identity).
     pub fn zero() -> Self {
-        Metrics { recall: 0.0, ndcg: 0.0, category_coverage: 0.0, f_score: 0.0, ild: 0.0 }
+        Metrics {
+            recall: 0.0,
+            ndcg: 0.0,
+            category_coverage: 0.0,
+            f_score: 0.0,
+            ild: 0.0,
+        }
     }
 
     /// Element-wise accumulation.
@@ -60,12 +66,19 @@ impl MetricSet {
                 r.scale(1.0 / n_users as f64);
             }
         }
-        MetricSet { cutoffs, rows, n_users }
+        MetricSet {
+            cutoffs,
+            rows,
+            n_users,
+        }
     }
 
     /// Metrics at a specific cutoff, if it was evaluated.
     pub fn at(&self, cutoff: usize) -> Option<&Metrics> {
-        self.cutoffs.iter().position(|&c| c == cutoff).map(|i| &self.rows[i])
+        self.cutoffs
+            .iter()
+            .position(|&c| c == cutoff)
+            .map(|i| &self.rows[i])
     }
 
     /// Evaluated cutoffs.
@@ -83,9 +96,12 @@ impl MetricSet {
     /// using whatever cutoffs are present.
     pub fn table_row(&self, label: &str) -> String {
         let mut cols = vec![format!("{label:<14}")];
-        for get in
-            [|m: &Metrics| m.recall, |m: &Metrics| m.ndcg, |m: &Metrics| m.category_coverage, |m: &Metrics| m.f_score]
-        {
+        for get in [
+            |m: &Metrics| m.recall,
+            |m: &Metrics| m.ndcg,
+            |m: &Metrics| m.category_coverage,
+            |m: &Metrics| m.f_score,
+        ] {
             for r in &self.rows {
                 cols.push(format!("{:.4}", get(r)));
             }
@@ -100,7 +116,11 @@ impl MetricSet {
 /// ground truth, `n` the nominal cutoff (used for IDCG normalization).
 pub fn user_metrics(top: &[usize], test: &[usize], data: &Dataset, n: usize) -> Metrics {
     let hits: usize = top.iter().filter(|i| test.contains(i)).count();
-    let recall = if test.is_empty() { 0.0 } else { hits as f64 / test.len() as f64 };
+    let recall = if test.is_empty() {
+        0.0
+    } else {
+        hits as f64 / test.len() as f64
+    };
 
     // Binary-relevance NDCG: DCG over hit positions, IDCG assumes all of the
     // first min(n, |test|) positions are hits.
@@ -111,7 +131,9 @@ pub fn user_metrics(top: &[usize], test: &[usize], data: &Dataset, n: usize) -> 
         }
     }
     let ideal_hits = n.min(test.len());
-    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    let idcg: f64 = (0..ideal_hits)
+        .map(|pos| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
     let ndcg = if idcg > 0.0 { dcg / idcg } else { 0.0 };
 
     let category_coverage = if data.n_categories() == 0 {
@@ -139,7 +161,13 @@ pub fn user_metrics(top: &[usize], test: &[usize], data: &Dataset, n: usize) -> 
         diff as f64 / pairs as f64
     };
 
-    Metrics { recall, ndcg, category_coverage, f_score, ild }
+    Metrics {
+        recall,
+        ndcg,
+        category_coverage,
+        f_score,
+        ild,
+    }
 }
 
 /// Harmonic mean, 0 when either input is 0.
@@ -229,7 +257,13 @@ mod tests {
 
     #[test]
     fn metric_set_lookup_and_row() {
-        let rows = vec![Metrics { recall: 1.0, ndcg: 0.5, category_coverage: 0.2, f_score: 0.3, ild: 0.1 }];
+        let rows = vec![Metrics {
+            recall: 1.0,
+            ndcg: 0.5,
+            category_coverage: 0.2,
+            f_score: 0.3,
+            ild: 0.1,
+        }];
         let set = MetricSet::from_accumulated(rows, vec![5], 2);
         let at5 = set.at(5).unwrap();
         assert!((at5.recall - 0.5).abs() < 1e-12, "averaged over 2 users");

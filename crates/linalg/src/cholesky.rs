@@ -20,31 +20,8 @@ impl Cholesky {
     /// [`LinalgError::NotPositiveDefinite`] if a pivot is `<= 0` (within a
     /// relative tolerance scaled by the largest diagonal entry).
     pub fn new(a: &Matrix) -> Result<Self> {
-        if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
-        }
-        let n = a.rows();
-        let max_diag = (0..n).fold(0.0_f64, |m, i| m.max(a[(i, i)].abs()));
-        let tol = 1e-14 * max_diag.max(1e-300);
-        let mut l = Matrix::zeros(n, n);
-        for j in 0..n {
-            let mut diag = a[(j, j)];
-            for k in 0..j {
-                diag -= l[(j, k)] * l[(j, k)];
-            }
-            if diag <= tol {
-                return Err(LinalgError::NotPositiveDefinite { pivot: diag, index: j });
-            }
-            let ljj = diag.sqrt();
-            l[(j, j)] = ljj;
-            for i in (j + 1)..n {
-                let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
-                l[(i, j)] = sum / ljj;
-            }
-        }
+        let mut l = Matrix::zeros(0, 0);
+        factor_into(a, &mut l)?;
         Ok(Cholesky { l })
     }
 
@@ -72,22 +49,25 @@ impl Cholesky {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {
-            return Err(LinalgError::DimensionMismatch { expected: (n, 1), got: (b.len(), 1) });
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
         }
         // Forward substitution L y = b.
         let mut x = b.to_vec();
         for i in 0..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.l[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.l[(i, j)] * xj;
             }
             x[i] = sum / self.l[(i, i)];
         }
         // Back substitution Lᵀ x = y.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.l[(j, i)] * xj;
             }
             x[i] = sum / self.l[(i, i)];
         }
@@ -108,6 +88,79 @@ impl Cholesky {
             e[c] = 0.0;
         }
         Ok(inv)
+    }
+}
+
+/// Factorizes the SPD matrix `a` into the lower-triangular `l` (`a = l·lᵀ`),
+/// reusing `l`'s buffer. The allocation-free core behind [`Cholesky::new`].
+pub fn factor_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let max_diag = (0..n).fold(0.0_f64, |m, i| m.max(a[(i, i)].abs()));
+    let tol = 1e-14 * max_diag.max(1e-300);
+    l.reset(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= tol {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: diag,
+                index: j,
+            });
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = sum / ljj;
+        }
+    }
+    Ok(())
+}
+
+/// `log det(A)` from a factor produced by [`factor_into`].
+pub fn log_det_from_factor(l: &Matrix) -> f64 {
+    (0..l.rows()).map(|i| l[(i, i)].ln()).sum::<f64>() * 2.0
+}
+
+/// Inverse of the factored matrix written into `out`, using `col` as the
+/// per-column substitution scratch. Allocation-free once buffers are sized.
+pub fn inverse_from_factor(l: &Matrix, out: &mut Matrix, col: &mut Vec<f64>) {
+    let n = l.rows();
+    out.reset(n, n);
+    for c in 0..n {
+        col.clear();
+        col.resize(n, 0.0);
+        col[c] = 1.0;
+        // Forward substitution L y = e_c.
+        for i in 0..n {
+            let mut sum = col[i];
+            for j in 0..i {
+                sum -= l[(i, j)] * col[j];
+            }
+            col[i] = sum / l[(i, i)];
+        }
+        // Back substitution Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = col[i];
+            for j in (i + 1)..n {
+                sum -= l[(j, i)] * col[j];
+            }
+            col[i] = sum / l[(i, i)];
+        }
+        for (r, &v) in col.iter().enumerate() {
+            out[(r, c)] = v;
+        }
     }
 }
 
@@ -135,11 +188,7 @@ mod tests {
     use crate::lu;
 
     fn spd_example() -> Matrix {
-        Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 5.0, 1.5],
-            &[0.6, 1.5, 3.0],
-        ])
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.5], &[0.6, 1.5, 3.0]])
     }
 
     #[test]

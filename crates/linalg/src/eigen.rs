@@ -10,7 +10,7 @@
 use crate::{LinalgError, Matrix, Result};
 
 /// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a real symmetric matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SymmetricEigen {
     /// Eigenvalues in ascending order.
     pub values: Vec<f64>,
@@ -22,6 +22,15 @@ pub struct SymmetricEigen {
 /// Maximum QL iterations per eigenvalue before giving up.
 const MAX_ITER: usize = 64;
 
+/// Reusable scratch for [`SymmetricEigen::compute_into`]: the tridiagonal
+/// off-diagonal buffer, kept across calls so a steady-state decomposition
+/// performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct EigenScratch {
+    /// Off-diagonal workspace of the Householder/QL passes.
+    e: Vec<f64>,
+}
+
 impl SymmetricEigen {
     /// Computes the full eigendecomposition of a symmetric matrix.
     ///
@@ -29,21 +38,45 @@ impl SymmetricEigen {
     /// average `(A + Aᵀ)/2` is what actually gets decomposed, which absorbs
     /// round-off asymmetry from upstream kernel assembly.
     pub fn new(a: &Matrix) -> Result<Self> {
+        let mut out = SymmetricEigen {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        };
+        let mut scratch = EigenScratch::default();
+        out.compute_into(a, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Recomputes the decomposition of `a` in place, reusing this value's
+    /// eigenvalue/eigenvector storage and the caller-held `scratch`.
+    ///
+    /// This is the hot-path entry point: after the first call at a given
+    /// dimension, subsequent calls allocate nothing. On error the contents of
+    /// `self` are unspecified (callers must not read them).
+    pub fn compute_into(&mut self, a: &Matrix, scratch: &mut EigenScratch) -> Result<()> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
+        self.vectors.copy_from(a);
+        self.values.clear();
+        self.values.resize(n, 0.0);
         if n == 0 {
-            return Ok(SymmetricEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+            return Ok(());
         }
-        let mut v = a.clone();
-        v.symmetrize();
-        let mut d = vec![0.0; n]; // diagonal of tridiagonal form -> eigenvalues
-        let mut e = vec![0.0; n]; // off-diagonal
-        tred2(&mut v, &mut d, &mut e);
-        tql2(&mut v, &mut d, &mut e)?;
-        sort_ascending(&mut v, &mut d);
-        Ok(SymmetricEigen { values: d, vectors: v })
+        self.vectors.symmetrize();
+        scratch.e.clear();
+        scratch.e.resize(n, 0.0);
+        let v = &mut self.vectors;
+        let d = &mut self.values[..];
+        let e = &mut scratch.e[..];
+        tred2(v, d, e);
+        tql2(v, d, e)?;
+        sort_ascending(v, d);
+        Ok(())
     }
 
     /// Dimension of the decomposed matrix.
@@ -56,8 +89,17 @@ impl SymmetricEigen {
     /// This is the workhorse for k-DPP gradients, where
     /// `∇_L log e_k(λ) = V · diag(e_{k-1}(λ₋ᵢ)/e_k(λ)) · Vᵀ`.
     pub fn reconstruct_with(&self, f: impl Fn(usize, f64) -> f64) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.reconstruct_with_into(f, &mut out);
+        out
+    }
+
+    /// [`SymmetricEigen::reconstruct_with`] writing into `out` (buffer
+    /// reused). The accumulation is a sequence of branch-free rank-1 axpy
+    /// updates over rows, which auto-vectorizes.
+    pub fn reconstruct_with_into(&self, f: impl Fn(usize, f64) -> f64, out: &mut Matrix) {
         let n = self.dim();
-        let mut out = Matrix::zeros(n, n);
+        out.reset(n, n);
         for (idx, &lambda) in self.values.iter().enumerate() {
             let w = f(idx, lambda);
             if w == 0.0 {
@@ -65,17 +107,13 @@ impl SymmetricEigen {
             }
             // out += w * v_idx v_idxᵀ, with v_idx the idx-th column of `vectors`.
             for r in 0..n {
-                let vr = self.vectors[(r, idx)];
-                if vr == 0.0 {
-                    continue;
-                }
-                let coeff = w * vr;
-                for c in 0..n {
-                    out[(r, c)] += coeff * self.vectors[(c, idx)];
+                let coeff = w * self.vectors[(r, idx)];
+                let row = out.row_mut(r);
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot += coeff * self.vectors[(c, idx)];
                 }
             }
         }
-        out
     }
 
     /// Reconstructs the original matrix (up to round-off).
@@ -86,7 +124,15 @@ impl SymmetricEigen {
     /// Eigenvalues clamped below at zero — the PSD projection used for DPP
     /// kernels whose tiny negative eigenvalues are numerical noise.
     pub fn clamped_nonnegative_values(&self) -> Vec<f64> {
-        self.values.iter().map(|&l| l.max(0.0)).collect()
+        let mut out = Vec::new();
+        self.clamped_nonnegative_values_into(&mut out);
+        out
+    }
+
+    /// [`SymmetricEigen::clamped_nonnegative_values`] into a reused buffer.
+    pub fn clamped_nonnegative_values_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.values.iter().map(|&l| l.max(0.0)));
     }
 }
 
@@ -230,7 +276,9 @@ fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
             loop {
                 iter += 1;
                 if iter > MAX_ITER {
-                    return Err(LinalgError::NoConvergence { iterations: MAX_ITER });
+                    return Err(LinalgError::NoConvergence {
+                        iterations: MAX_ITER,
+                    });
                 }
                 // Compute implicit shift.
                 let g = d[l];
@@ -297,10 +345,10 @@ fn sort_ascending(v: &mut Matrix, d: &mut [f64]) {
     for i in 0..n.saturating_sub(1) {
         let mut k = i;
         let mut p = d[i];
-        for j in (i + 1)..n {
-            if d[j] < p {
+        for (j, &dj) in d.iter().enumerate().take(n).skip(i + 1) {
+            if dj < p {
                 k = j;
-                p = d[j];
+                p = dj;
             }
         }
         if k != i {
@@ -354,11 +402,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
         let eig = SymmetricEigen::new(&a).unwrap();
         let vtv = eig.vectors.transpose().matmul(&eig.vectors).unwrap();
         assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-12);
@@ -366,11 +410,7 @@ mod tests {
 
     #[test]
     fn trace_and_det_invariants() {
-        let a = Matrix::from_rows(&[
-            &[5.0, 2.0, 1.0],
-            &[2.0, 4.0, 0.5],
-            &[1.0, 0.5, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 4.0, 0.5], &[1.0, 0.5, 3.0]]);
         let eig = SymmetricEigen::new(&a).unwrap();
         let trace: f64 = eig.values.iter().sum();
         assert_close(trace, a.trace(), 1e-10);
@@ -380,11 +420,7 @@ mod tests {
 
     #[test]
     fn av_equals_lambda_v() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.3, -0.2],
-            &[0.3, 2.0, 0.4],
-            &[-0.2, 0.4, 1.5],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.3, -0.2], &[0.3, 2.0, 0.4], &[-0.2, 0.4, 1.5]]);
         let eig = SymmetricEigen::new(&a).unwrap();
         for (i, &lambda) in eig.values.iter().enumerate() {
             let v: Vec<f64> = eig.vectors.col(i);

@@ -36,17 +36,21 @@ pub fn write_matrix<W: Write>(matrix: &Matrix, writer: W) -> std::io::Result<()>
 /// `io::ErrorKind::InvalidData`.
 pub fn read_matrix<R: Read>(reader: R) -> std::io::Result<Matrix> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad_data("empty input"))??;
+    let header = lines.next().ok_or_else(|| bad_data("empty input"))??;
     let mut parts = header.split_whitespace();
     if parts.next() != Some(MAGIC) {
         return Err(bad_data("missing lkp-matrix header"));
     }
-    let rows: usize =
-        parts.next().ok_or_else(|| bad_data("missing row count"))?.parse().map_err(bad)?;
-    let cols: usize =
-        parts.next().ok_or_else(|| bad_data("missing col count"))?.parse().map_err(bad)?;
+    let rows: usize = parts
+        .next()
+        .ok_or_else(|| bad_data("missing row count"))?
+        .parse()
+        .map_err(bad)?;
+    let cols: usize = parts
+        .next()
+        .ok_or_else(|| bad_data("missing col count"))?
+        .parse()
+        .map_err(bad)?;
     let mut data = Vec::with_capacity(rows * cols);
     for line in lines {
         let line = line?;
@@ -104,7 +108,7 @@ mod tests {
     fn roundtrip_preserves_special_magnitudes() {
         let m = Matrix::from_rows(&[
             &[1e-300, -1e300, 0.1 + 0.2],
-            &[f64::MIN_POSITIVE, -0.0, 3.141592653589793],
+            &[f64::MIN_POSITIVE, -0.0, std::f64::consts::PI],
         ]);
         let mut buf = Vec::new();
         write_matrix(&m, &mut buf).unwrap();
@@ -127,8 +131,14 @@ mod tests {
     fn corrupt_inputs_are_rejected() {
         assert!(read_matrix("".as_bytes()).is_err());
         assert!(read_matrix("not-a-header 2 2\n1 2\n3 4\n".as_bytes()).is_err());
-        assert!(read_matrix("lkp-matrix 2 2\n1 2\n3\n".as_bytes()).is_err(), "short payload");
-        assert!(read_matrix("lkp-matrix 1 2\n1 banana\n".as_bytes()).is_err(), "bad float");
+        assert!(
+            read_matrix("lkp-matrix 2 2\n1 2\n3\n".as_bytes()).is_err(),
+            "short payload"
+        );
+        assert!(
+            read_matrix("lkp-matrix 1 2\n1 banana\n".as_bytes()).is_err(),
+            "bad float"
+        );
     }
 
     #[test]

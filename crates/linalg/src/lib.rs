@@ -32,7 +32,7 @@ pub mod ops;
 pub mod sparse;
 
 pub use cholesky::Cholesky;
-pub use eigen::SymmetricEigen;
+pub use eigen::{EigenScratch, SymmetricEigen};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use sparse::CsrMatrix;
@@ -43,7 +43,10 @@ pub enum LinalgError {
     /// An operation requiring a square matrix received a rectangular one.
     NotSquare { rows: usize, cols: usize },
     /// Operand shapes are incompatible.
-    DimensionMismatch { expected: (usize, usize), got: (usize, usize) },
+    DimensionMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
     /// The matrix is singular to working precision (zero pivot in LU).
     Singular,
     /// Cholesky hit a non-positive pivot: the matrix is not positive definite.

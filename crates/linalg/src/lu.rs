@@ -33,7 +33,10 @@ impl Lu {
     /// [`LinalgError::Singular`].
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -75,7 +78,12 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign, singular })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+            singular,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -122,7 +130,10 @@ impl Lu {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {
-            return Err(LinalgError::DimensionMismatch { expected: (n, 1), got: (b.len(), 1) });
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
         }
         if self.singular {
             return Err(LinalgError::Singular);
@@ -131,16 +142,16 @@ impl Lu {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum / self.lu[(i, i)];
         }
@@ -216,11 +227,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.5],
-            &[1.0, 3.0, -2.0],
-            &[0.0, 1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 0.5], &[1.0, 3.0, -2.0], &[0.0, 1.0, 1.0]]);
         let inv = inverse(&a).unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);

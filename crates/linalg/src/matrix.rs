@@ -8,7 +8,7 @@ use std::ops::{Index, IndexMut};
 /// This is the workhorse type of the workspace: ground-set kernels, gradients
 /// and embedding blocks are all `Matrix` values. Storage is a single
 /// contiguous `Vec<f64>` of length `rows * cols`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -18,12 +18,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix with every entry equal to `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -33,6 +41,26 @@ impl Matrix {
             m.data[i * n + i] = 1.0;
         }
         m
+    }
+
+    /// Reshapes in place to `rows × cols`, zero-filling every entry.
+    ///
+    /// The backing buffer is reused whenever its capacity allows, so calling
+    /// this on a scratch matrix in a hot loop performs no allocation once the
+    /// matrix has reached its steady-state size.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `other` into `self`, reshaping as needed (buffer reused).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Creates a matrix from a closure evaluated at every `(row, col)` pair.
@@ -68,7 +96,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates an `n × n` diagonal matrix from `diag`.
@@ -139,7 +171,9 @@ impl Matrix {
     /// Copy column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
         debug_assert!(c < self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Copy the main diagonal into a new vector.
@@ -162,29 +196,34 @@ impl Matrix {
     /// Matrix product `self * other`.
     ///
     /// Uses the classic i-k-j loop order so the inner loop walks both operands
-    /// contiguously.
+    /// contiguously as straight-line axpy updates the compiler auto-vectorizes
+    /// (no data-dependent branches in the inner loop).
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * other` written into `out` (buffer reused).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
                 expected: (self.cols, other.cols),
                 got: (other.rows, other.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         for i in 0..self.rows {
-            let a_row = self.row(i);
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (j, &bkj) in b_row.iter().enumerate() {
-                    out_row[j] += aik * bkj;
+                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bkj;
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix–vector product `self * v`.
@@ -195,26 +234,34 @@ impl Matrix {
                 got: (v.len(), 1),
             });
         }
-        Ok((0..self.rows).map(|r| crate::ops::dot(self.row(r), v)).collect())
+        Ok((0..self.rows)
+            .map(|r| crate::ops::dot(self.row(r), v))
+            .collect())
     }
 
     /// Gram product `selfᵀ * self` (always symmetric PSD).
     pub fn gram(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.gram_into(&mut out);
+        out
+    }
+
+    /// Gram product `selfᵀ * self` written into `out` (buffer reused).
+    ///
+    /// Straight-line rank-1 updates: the inner loop is a branch-free axpy the
+    /// compiler auto-vectorizes.
+    pub fn gram_into(&self, out: &mut Matrix) {
+        out.reset(self.cols, self.cols);
         for r in 0..self.rows {
-            let row = self.row(r);
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for i in 0..self.cols {
                 let ri = row[i];
-                if ri == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * self.cols..(i + 1) * self.cols];
-                for (j, &rj) in row.iter().enumerate() {
-                    out_row[j] += ri * rj;
+                for (o, &rj) in out_row.iter_mut().zip(row) {
+                    *o += ri * rj;
                 }
             }
         }
-        out
     }
 
     /// Principal submatrix indexed by `idx` (rows and columns).
@@ -224,37 +271,68 @@ impl Matrix {
     pub fn principal_submatrix(&self, idx: &[usize]) -> Result<Matrix> {
         for &i in idx {
             if i >= self.rows || i >= self.cols {
-                return Err(LinalgError::IndexOutOfBounds { index: i, bound: self.rows.min(self.cols) });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: i,
+                    bound: self.rows.min(self.cols),
+                });
+            }
+        }
+        let mut out = Matrix::zeros(0, 0);
+        self.principal_submatrix_into(idx, &mut out)?;
+        Ok(out)
+    }
+
+    /// Principal submatrix written into `out` (buffer reused).
+    pub fn principal_submatrix_into(&self, idx: &[usize], out: &mut Matrix) -> Result<()> {
+        for &i in idx {
+            if i >= self.rows || i >= self.cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: i,
+                    bound: self.rows.min(self.cols),
+                });
             }
         }
         let m = idx.len();
-        let mut out = Matrix::zeros(m, m);
+        out.reset(m, m);
         for (a, &i) in idx.iter().enumerate() {
             for (b, &j) in idx.iter().enumerate() {
                 out.data[a * m + b] = self.data[i * self.cols + j];
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Gather the given rows into a new `idx.len() × cols` matrix.
     pub fn gather_rows(&self, idx: &[usize]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.gather_rows_into(idx, &mut out)?;
+        Ok(out)
+    }
+
+    /// Gather the given rows into `out` (buffer reused).
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Matrix) -> Result<()> {
         for &i in idx {
             if i >= self.rows {
-                return Err(LinalgError::IndexOutOfBounds { index: i, bound: self.rows });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: i,
+                    bound: self.rows,
+                });
             }
         }
-        let mut out = Matrix::zeros(idx.len(), self.cols);
+        out.reset(idx.len(), self.cols);
         for (a, &i) in idx.iter().enumerate() {
             out.row_mut(a).copy_from_slice(self.row(i));
         }
-        Ok(out)
+        Ok(())
     }
 
     /// In-place `self += alpha * other`.
     pub fn add_scaled(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
         if self.shape() != other.shape() {
-            return Err(LinalgError::DimensionMismatch { expected: self.shape(), got: other.shape() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.shape(),
+                got: other.shape(),
+            });
         }
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
@@ -271,7 +349,11 @@ impl Matrix {
 
     /// Returns a new matrix with `f` applied element-wise.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Symmetrizes in place: `self = (self + selfᵀ) / 2`. Panics on non-square.
@@ -385,7 +467,10 @@ mod tests {
     fn matmul_shape_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

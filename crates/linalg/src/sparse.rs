@@ -28,10 +28,16 @@ impl CsrMatrix {
     ) -> Result<Self> {
         for &(r, c, _) in triplets {
             if r >= rows {
-                return Err(LinalgError::IndexOutOfBounds { index: r, bound: rows });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: r,
+                    bound: rows,
+                });
             }
             if c >= cols {
-                return Err(LinalgError::IndexOutOfBounds { index: c, bound: cols });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: c,
+                    bound: cols,
+                });
             }
         }
         let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
@@ -60,7 +66,13 @@ impl CsrMatrix {
                 row_ptr[r] = row_ptr[r - 1];
             }
         }
-        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -82,7 +94,10 @@ impl CsrMatrix {
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Dense sparse × dense product `self * dense`.
@@ -109,7 +124,10 @@ impl CsrMatrix {
     /// Sparse × dense-vector product.
     pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>> {
         if self.cols != x.len() {
-            return Err(LinalgError::DimensionMismatch { expected: (self.cols, 1), got: (x.len(), 1) });
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.cols, 1),
+                got: (x.len(), 1),
+            });
         }
         let mut out = vec![0.0; self.rows];
         for (r, o) in out.iter_mut().enumerate() {
@@ -157,16 +175,24 @@ pub fn normalized_bipartite_adjacency(
     let mut degree = vec![0usize; n];
     for &(u, i) in edges {
         if u >= n_users {
-            return Err(LinalgError::IndexOutOfBounds { index: u, bound: n_users });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: u,
+                bound: n_users,
+            });
         }
         if i >= n_items {
-            return Err(LinalgError::IndexOutOfBounds { index: i, bound: n_items });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: i,
+                bound: n_items,
+            });
         }
         degree[u] += 1;
         degree[n_users + i] += 1;
     }
-    let inv_sqrt: Vec<f64> =
-        degree.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / (d as f64).sqrt() }).collect();
+    let inv_sqrt: Vec<f64> = degree
+        .iter()
+        .map(|&d| if d == 0 { 0.0 } else { 1.0 / (d as f64).sqrt() })
+        .collect();
     let mut triplets = Vec::with_capacity(edges.len() * 2);
     for &(u, i) in edges {
         let item_node = n_users + i;
@@ -206,7 +232,13 @@ mod tests {
         let sp = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0), (2, 0, 0.5), (2, 2, 3.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, -1.0),
+                (2, 0, 0.5),
+                (2, 2, 3.0),
+            ],
         )
         .unwrap();
         let dense = Matrix::from_fn(3, 2, |r, c| (r + c) as f64 + 0.5);
@@ -245,7 +277,10 @@ mod tests {
         // The spectral radius of D^{-1/2} A D^{-1/2} is at most 1.
         let eig = crate::eigen::SymmetricEigen::new(&d).unwrap();
         for &l in &eig.values {
-            assert!(l.abs() <= 1.0 + 1e-12, "eigenvalue {l} exceeds spectral bound");
+            assert!(
+                l.abs() <= 1.0 + 1e-12,
+                "eigenvalue {l} exceeds spectral bound"
+            );
         }
         // user0-item0: 1/sqrt(2*1); user0-item1: 1/sqrt(2*2); user1-item1: 1/sqrt(1*2)
         assert!((d[(0, 2)] - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);

@@ -152,8 +152,7 @@ impl Recommender for Gcmc {
         let qz: Vec<f64> = {
             // qzᵀ = z_uᵀ Q, reused across items.
             let mut out = vec![0.0; self.dim()];
-            for r in 0..self.dim() {
-                let zr = z_u[r];
+            for (r, &zr) in z_u.iter().enumerate().take(self.dim()) {
                 if zr == 0.0 {
                     continue;
                 }
@@ -163,7 +162,33 @@ impl Recommender for Gcmc {
             }
             out
         };
-        items.iter().map(|&i| lkp_linalg::ops::dot(&qz, self.z_item.row(i))).collect()
+        items
+            .iter()
+            .map(|&i| lkp_linalg::ops::dot(&qz, self.z_item.row(i)))
+            .collect()
+    }
+
+    fn score_items_into(&self, user: usize, items: &[usize], out: &mut Vec<f64>) {
+        // Writes the scores into `out` directly; the `dim`-length
+        // `qz = z_uᵀQ` intermediate is still allocated per call — removing
+        // it would need interior-mutable scratch, which this cold backbone
+        // does not warrant.
+        let z_u = self.z_user.row(user);
+        let mut qz = vec![0.0; self.dim()];
+        for (r, &zr) in z_u.iter().enumerate().take(self.dim()) {
+            if zr == 0.0 {
+                continue;
+            }
+            for (c, o) in qz.iter_mut().enumerate() {
+                *o += zr * self.q[(r, c)];
+            }
+        }
+        out.clear();
+        out.extend(
+            items
+                .iter()
+                .map(|&i| lkp_linalg::ops::dot(&qz, self.z_item.row(i))),
+        );
     }
 
     fn accumulate_score_grads(&mut self, user: usize, items: &[usize], dscores: &[f64]) {
@@ -177,9 +202,9 @@ impl Recommender for Gcmc {
             }
             let z_i = self.z_item.row(item).to_vec();
             // Decoder gradients.
-            for r in 0..dim {
-                for c in 0..dim {
-                    self.q_grad[(r, c)] += ds * z_u[r] * z_i[c];
+            for (r, &zur) in z_u.iter().enumerate().take(dim) {
+                for (c, &zic) in z_i.iter().enumerate().take(dim) {
+                    self.q_grad[(r, c)] += ds * zur * zic;
                 }
             }
             // dz_u += ds·Q·z_i ; dz_i = ds·Qᵀ·z_u.
@@ -257,7 +282,11 @@ mod tests {
             4,
             &edges(),
             6,
-            AdamConfig { lr: 0.03, weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.03,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         )
     }

@@ -53,7 +53,15 @@ impl Gcn {
             .expect("valid train edges");
         let base = EmbeddingTable::new(n_users + n_items, dim, 0.1, config, rng);
         let propagated = propagate(&adjacency, base.matrix(), layers);
-        Gcn { n_users, n_items, layers, adjacency, base, propagated, pending: Vec::new() }
+        Gcn {
+            n_users,
+            n_items,
+            layers,
+            adjacency,
+            base,
+            propagated,
+            pending: Vec::new(),
+        }
     }
 
     /// Embedding dimensionality.
@@ -96,7 +104,9 @@ fn propagate(adj: &CsrMatrix, base: &Matrix, layers: usize) -> Matrix {
     let mut acc = base.clone();
     let mut current = base.clone();
     for _ in 0..layers {
-        current = adj.spmm(&current).expect("adjacency matches embedding height");
+        current = adj
+            .spmm(&current)
+            .expect("adjacency matches embedding height");
         acc.add_scaled(1.0, &current).expect("same shape");
     }
     acc.scale(1.0 / (layers as f64 + 1.0));
@@ -114,7 +124,20 @@ impl Recommender for Gcn {
 
     fn score_items(&self, user: usize, items: &[usize]) -> Vec<f64> {
         let f_u = self.propagated.row(user);
-        items.iter().map(|&i| dot(f_u, self.propagated.row(self.n_users + i))).collect()
+        items
+            .iter()
+            .map(|&i| dot(f_u, self.propagated.row(self.n_users + i)))
+            .collect()
+    }
+
+    fn score_items_into(&self, user: usize, items: &[usize], out: &mut Vec<f64>) {
+        let f_u = self.propagated.row(user);
+        out.clear();
+        out.extend(
+            items
+                .iter()
+                .map(|&i| dot(f_u, self.propagated.row(self.n_users + i))),
+        );
     }
 
     fn accumulate_score_grads(&mut self, user: usize, items: &[usize], dscores: &[f64]) {
@@ -191,7 +214,16 @@ mod tests {
     use rand::SeedableRng;
 
     fn edges() -> Vec<(usize, usize)> {
-        vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 0), (2, 3), (3, 2), (3, 3)]
+        vec![
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 2),
+            (3, 3),
+        ]
     }
 
     fn model(layers: usize) -> Gcn {
@@ -202,7 +234,11 @@ mod tests {
             &edges(),
             8,
             layers,
-            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.05,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         )
     }
@@ -285,7 +321,11 @@ mod tests {
             m.base.matrix_mut()[(r, c)] = orig;
             m.refresh_cache();
             let fd = (plus - minus) / (2.0 * h);
-            assert!((fd - de0[(r, c)]).abs() < 1e-5, "({r},{c}): fd {fd} vs {}", de0[(r, c)]);
+            assert!(
+                (fd - de0[(r, c)]).abs() < 1e-5,
+                "({r},{c}): fd {fd} vs {}",
+                de0[(r, c)]
+            );
         }
     }
 

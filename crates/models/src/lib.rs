@@ -44,6 +44,16 @@ pub trait Recommender {
     /// Scores the given items for a user.
     fn score_items(&self, user: usize, items: &[usize]) -> Vec<f64>;
 
+    /// Scores the given items into a reused buffer (cleared first).
+    ///
+    /// Hot-path variant of [`Recommender::score_items`]: the training loop
+    /// calls this once per instance, and models should override it to avoid
+    /// per-call allocation (the default delegates and copies).
+    fn score_items_into(&self, user: usize, items: &[usize], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.score_items(user, items));
+    }
+
     /// Scores every item for a user into `out` (resized as needed).
     /// Used by top-N evaluation; the default delegates to [`Recommender::score_items`].
     fn score_all(&self, user: usize, out: &mut Vec<f64>) {

@@ -10,6 +10,8 @@ use rand::Rng;
 pub struct MatrixFactorization {
     users: EmbeddingTable,
     items: EmbeddingTable,
+    /// Reused user-gradient row for [`Recommender::accumulate_score_grads`].
+    scratch: Vec<f64>,
 }
 
 impl MatrixFactorization {
@@ -24,6 +26,7 @@ impl MatrixFactorization {
         MatrixFactorization {
             users: EmbeddingTable::new(n_users, dim, 0.1, config, rng),
             items: EmbeddingTable::new(n_items, dim, 0.1, config, rng),
+            scratch: Vec::new(),
         }
     }
 
@@ -67,18 +70,17 @@ impl MatrixFactorization {
         if users.cols() != items.cols() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("dimension mismatch: users {} vs items {}", users.cols(), items.cols()),
+                format!(
+                    "dimension mismatch: users {} vs items {}",
+                    users.cols(),
+                    items.cols()
+                ),
             ));
         }
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let mut model = MatrixFactorization::new(
-            users.rows(),
-            items.rows(),
-            users.cols(),
-            config,
-            &mut rng,
-        );
+        let mut model =
+            MatrixFactorization::new(users.rows(), items.rows(), users.cols(), config, &mut rng);
         *model.users.matrix_mut() = users;
         *model.items.matrix_mut() = items;
         Ok(model)
@@ -105,23 +107,32 @@ impl Recommender for MatrixFactorization {
         items.iter().map(|&i| dot(p, self.items.row(i))).collect()
     }
 
+    fn score_items_into(&self, user: usize, items: &[usize], out: &mut Vec<f64>) {
+        let p = self.users.row(user);
+        out.clear();
+        out.extend(items.iter().map(|&i| dot(p, self.items.row(i))));
+    }
+
     fn accumulate_score_grads(&mut self, user: usize, items: &[usize], dscores: &[f64]) {
         debug_assert_eq!(items.len(), dscores.len());
         let dim = self.dim();
-        let mut dp = vec![0.0; dim];
+        self.scratch.clear();
+        self.scratch.resize(dim, 0.0);
         for (&i, &ds) in items.iter().zip(dscores) {
             if ds == 0.0 {
                 continue;
             }
-            // ∂s/∂p_u = q_i, ∂s/∂q_i = p_u.
+            // ∂s/∂p_u = q_i, ∂s/∂q_i = p_u — accumulate the user part into
+            // the reused scratch row and push the item part scaled in place.
             let q = self.items.row(i);
-            for (a, &b) in dp.iter_mut().zip(q) {
+            for (a, &b) in self.scratch.iter_mut().zip(q) {
                 *a += ds * b;
             }
-            let dq: Vec<f64> = self.users.row(user).iter().map(|&x| ds * x).collect();
-            self.items.accumulate_grad(i, &dq);
+            let (users, items_table) = (&self.users, &mut self.items);
+            items_table.accumulate_scaled_grad(i, ds, users.row(user));
         }
-        self.users.accumulate_grad(user, &dp);
+        let (scratch, users) = (&self.scratch, &mut self.users);
+        users.accumulate_grad(user, scratch);
     }
 
     fn step(&mut self) {
@@ -156,7 +167,11 @@ mod tests {
             4,
             6,
             8,
-            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.05,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         )
     }

@@ -80,6 +80,11 @@ impl Recommender for NeuMf {
         items.iter().map(|&i| self.score_one(user, i)).collect()
     }
 
+    fn score_items_into(&self, user: usize, items: &[usize], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(items.iter().map(|&i| self.score_one(user, i)));
+    }
+
     fn accumulate_score_grads(&mut self, user: usize, items: &[usize], dscores: &[f64]) {
         debug_assert_eq!(items.len(), dscores.len());
         let dim = self.gmf_users.dim();
@@ -140,7 +145,11 @@ mod tests {
             5,
             8,
             8,
-            AdamConfig { lr: 0.02, weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.02,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         )
     }
@@ -175,7 +184,10 @@ mod tests {
         let after = m.score_items(0, &[1, 2]);
         let gap_before = before[0] - before[1];
         let gap_after = after[0] - after[1];
-        assert!(gap_after > gap_before + 1.0, "gap {gap_before} -> {gap_after}");
+        assert!(
+            gap_after > gap_before + 1.0,
+            "gap {gap_before} -> {gap_after}"
+        );
     }
 
     #[test]

@@ -80,8 +80,12 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_difference() {
-        for act in [Activation::ReLU, Activation::Sigmoid, Activation::Tanh, Activation::Identity]
-        {
+        for act in [
+            Activation::ReLU,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
             for &x in &[-1.7, -0.3, 0.4, 2.1] {
                 let mut y = [x];
                 act.forward(&mut y);

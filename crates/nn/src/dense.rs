@@ -113,7 +113,16 @@ mod tests {
 
     fn layer() -> Dense {
         let mut rng = StdRng::seed_from_u64(11);
-        Dense::new(3, 4, AdamConfig { lr: 0.02, weight_decay: 0.0, ..Default::default() }, &mut rng)
+        Dense::new(
+            3,
+            4,
+            AdamConfig {
+                lr: 0.02,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -158,7 +167,11 @@ mod tests {
         let mut l = Dense::new(
             1,
             2,
-            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.05,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         );
         // Target function y = 2 x0 - x1 + 0.5.
@@ -166,7 +179,10 @@ mod tests {
         for epoch in 0..400 {
             let _ = epoch;
             for _ in 0..8 {
-                let x = [crate::init::gaussian(&mut rng), crate::init::gaussian(&mut rng)];
+                let x = [
+                    crate::init::gaussian(&mut rng),
+                    crate::init::gaussian(&mut rng),
+                ];
                 let y = l.forward(&x);
                 let err = y[0] - f(&x);
                 l.backward(&x, &[err]);
@@ -175,7 +191,12 @@ mod tests {
         }
         let x = [0.7, -0.3];
         let y = l.forward(&x);
-        assert!((y[0] - f(&x)).abs() < 0.05, "prediction {} vs {}", y[0], f(&x));
+        assert!(
+            (y[0] - f(&x)).abs() < 0.05,
+            "prediction {} vs {}",
+            y[0],
+            f(&x)
+        );
     }
 
     #[test]
@@ -185,9 +206,9 @@ mod tests {
         l.step();
         let before = l.weights().clone();
         l.step(); // no accumulated grads: only weight-decay-free Adam drift on zero grad
-        // With zero gradient and zero weight decay, Adam's m decays toward 0
-        // but the first step after a real one can still move; assert movement
-        // is tiny rather than exactly zero.
+                  // With zero gradient and zero weight decay, Adam's m decays toward 0
+                  // but the first step after a real one can still move; assert movement
+                  // is tiny rather than exactly zero.
         assert!(l.weights().max_abs_diff(&before) < 0.05);
     }
 }

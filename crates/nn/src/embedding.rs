@@ -15,6 +15,9 @@ pub struct EmbeddingTable {
     adam: AdamState,
     /// Accumulated gradients for touched rows, keyed by row id.
     pending: Vec<(usize, Vec<f64>)>,
+    /// Retired gradient buffers recycled by `accumulate_*` — keeps the
+    /// accumulate/step cycle allocation-free at steady state.
+    free: Vec<Vec<f64>>,
 }
 
 impl EmbeddingTable {
@@ -30,6 +33,7 @@ impl EmbeddingTable {
             weights: crate::init::normal_matrix(rows, dim, std, rng),
             adam: AdamState::new(rows, dim, config),
             pending: Vec::new(),
+            free: Vec::new(),
         }
     }
 
@@ -60,27 +64,43 @@ impl EmbeddingTable {
 
     /// Accumulates `grad` against row `i` (gradient of a loss to *minimize*).
     pub fn accumulate_grad(&mut self, i: usize, grad: &[f64]) {
+        self.accumulate_scaled_grad(i, 1.0, grad);
+    }
+
+    /// Accumulates `scale · grad` against row `i` without the caller having
+    /// to materialize the scaled row — the allocation-free hot-path form.
+    pub fn accumulate_scaled_grad(&mut self, i: usize, scale: f64, grad: &[f64]) {
         debug_assert_eq!(grad.len(), self.dim());
         if let Some((_, g)) = self.pending.iter_mut().find(|(row, _)| *row == i) {
-            for (a, b) in g.iter_mut().zip(grad) {
-                *a += b;
+            for (a, &b) in g.iter_mut().zip(grad) {
+                *a += scale * b;
             }
         } else {
-            self.pending.push((i, grad.to_vec()));
+            let mut buf = self.free.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend(grad.iter().map(|&b| scale * b));
+            self.pending.push((i, buf));
         }
     }
 
     /// Applies all accumulated gradients with sparse Adam and clears them.
     pub fn step(&mut self) {
-        let pending = std::mem::take(&mut self.pending);
+        let mut pending = std::mem::take(&mut self.pending);
         for (row, grad) in &pending {
             self.adam.step_row(&mut self.weights, *row, grad);
         }
+        // Recycle the gradient buffers instead of dropping them.
+        for (_, buf) in pending.drain(..) {
+            self.free.push(buf);
+        }
+        self.pending = pending;
     }
 
     /// Discards accumulated gradients without applying them.
     pub fn zero_grad(&mut self) {
-        self.pending.clear();
+        for (_, buf) in self.pending.drain(..) {
+            self.free.push(buf);
+        }
     }
 
     /// Number of rows with pending gradients.
@@ -106,7 +126,11 @@ mod tests {
             5,
             3,
             0.1,
-            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.05,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         )
     }

@@ -19,7 +19,9 @@ pub fn normal_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, std: f64, rng: &
 /// matrix: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
 pub fn xavier_uniform<R: Rng + ?Sized>(fan_out: usize, fan_in: usize, rng: &mut R) -> Matrix {
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
-    Matrix::from_fn(fan_out, fan_in, |_, _| (rng.random::<f64>() * 2.0 - 1.0) * a)
+    Matrix::from_fn(fan_out, fan_in, |_, _| {
+        (rng.random::<f64>() * 2.0 - 1.0) * a
+    })
 }
 
 /// He (Kaiming) normal initialization, suited to ReLU stacks:

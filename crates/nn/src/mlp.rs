@@ -15,7 +15,9 @@ pub struct MlpCache {
 impl MlpCache {
     /// The network output for this cache.
     pub fn output(&self) -> &[f64] {
-        self.activations.last().expect("cache always holds the input")
+        self.activations
+            .last()
+            .expect("cache always holds the input")
     }
 }
 
@@ -45,7 +47,11 @@ impl Mlp {
             .windows(2)
             .map(|w| Dense::new(w[1], w[0], config, rng))
             .collect();
-        Mlp { layers, hidden, output }
+        Mlp {
+            layers,
+            hidden,
+            output,
+        }
     }
 
     /// Input dimensionality.
@@ -64,7 +70,11 @@ impl Mlp {
         activations.push(x.to_vec());
         for (i, layer) in self.layers.iter().enumerate() {
             let mut y = layer.forward(activations.last().expect("non-empty"));
-            let act = if i + 1 == self.layers.len() { self.output } else { self.hidden };
+            let act = if i + 1 == self.layers.len() {
+                self.output
+            } else {
+                self.hidden
+            };
             act.forward(&mut y);
             activations.push(y);
         }
@@ -77,7 +87,11 @@ impl Mlp {
         let mut grad = dy.to_vec();
         let n_layers = self.layers.len();
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
-            let act = if i + 1 == n_layers { self.output } else { self.hidden };
+            let act = if i + 1 == n_layers {
+                self.output
+            } else {
+                self.hidden
+            };
             act.backward(&cache.activations[i + 1], &mut grad);
             grad = layer.backward(&cache.activations[i], &grad);
         }
@@ -135,7 +149,10 @@ mod tests {
             &[4, 5, 1],
             Activation::Tanh,
             Activation::Identity,
-            AdamConfig { weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         );
         let x = [0.3, -0.2, 0.8, -0.5];
@@ -160,7 +177,11 @@ mod tests {
             &[2, 8, 1],
             Activation::Tanh,
             Activation::Sigmoid,
-            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
+            AdamConfig {
+                lr: 0.05,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         );
         let data = [

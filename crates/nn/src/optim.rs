@@ -22,7 +22,14 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 1e-5, grad_clip: 5.0 }
+        AdamConfig {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 1e-5,
+            grad_clip: 5.0,
+        }
     }
 }
 
@@ -45,7 +52,12 @@ pub struct AdamState {
 impl AdamState {
     /// Creates a zeroed state for a `rows × cols` parameter.
     pub fn new(rows: usize, cols: usize, config: AdamConfig) -> Self {
-        AdamState { m: Matrix::zeros(rows, cols), v: Matrix::zeros(rows, cols), t: vec![0; rows], config }
+        AdamState {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: vec![0; rows],
+            config,
+        }
     }
 
     /// The configuration in use.
@@ -129,7 +141,11 @@ mod tests {
     /// Minimizing f(x) = (x - 3)² with Adam should converge to 3.
     #[test]
     fn adam_minimizes_quadratic() {
-        let cfg = AdamConfig { lr: 0.1, weight_decay: 0.0, ..Default::default() };
+        let cfg = AdamConfig {
+            lr: 0.1,
+            weight_decay: 0.0,
+            ..Default::default()
+        };
         let mut state = AdamState::new(1, 1, cfg);
         let mut x = Matrix::from_vec(1, 1, vec![-4.0]);
         for _ in 0..500 {
@@ -141,7 +157,11 @@ mod tests {
 
     #[test]
     fn sparse_rows_have_independent_clocks() {
-        let cfg = AdamConfig { lr: 0.1, weight_decay: 0.0, ..Default::default() };
+        let cfg = AdamConfig {
+            lr: 0.1,
+            weight_decay: 0.0,
+            ..Default::default()
+        };
         let mut state = AdamState::new(2, 1, cfg);
         let mut x = Matrix::from_vec(2, 1, vec![0.0, 0.0]);
         // Only row 0 is ever updated.
@@ -154,7 +174,12 @@ mod tests {
 
     #[test]
     fn gradient_clipping_bounds_step() {
-        let cfg = AdamConfig { lr: 0.1, grad_clip: 1.0, weight_decay: 0.0, ..Default::default() };
+        let cfg = AdamConfig {
+            lr: 0.1,
+            grad_clip: 1.0,
+            weight_decay: 0.0,
+            ..Default::default()
+        };
         let mut state = AdamState::new(1, 1, cfg);
         let mut x = Matrix::from_vec(1, 1, vec![0.0]);
         state.step_row(&mut x, 0, &[1e9]);

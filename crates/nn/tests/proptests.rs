@@ -1,8 +1,8 @@
 //! Property-based tests for the neural substrate: gradient correctness under
 //! random shapes/inputs and optimizer invariants.
 
-use lkp_nn::{Activation, AdamConfig, AdamState, Dense, EmbeddingTable, Mlp};
 use lkp_linalg::Matrix;
+use lkp_nn::{Activation, AdamConfig, AdamState, Dense, EmbeddingTable, Mlp};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

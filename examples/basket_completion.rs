@@ -31,15 +31,33 @@ fn main() {
     .generate();
     let kernel = train_diversity_kernel(
         &data,
-        &DiversityKernelConfig { epochs: 10, pairs_per_epoch: 256, ..Default::default() },
+        &DiversityKernelConfig {
+            epochs: 10,
+            pairs_per_epoch: 256,
+            ..Default::default()
+        },
     );
 
     // A relevance model to supply the quality side of the kernel.
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let mut model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 24, AdamConfig::default(), &mut rng);
-    Trainer::new(TrainConfig { epochs: 30, eval_every: 10, patience: 3, ..Default::default() })
-        .fit(&mut model, &mut LkpObjective::new(LkpKind::PositiveOnly, kernel.clone()), &data);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        24,
+        AdamConfig::default(),
+        &mut rng,
+    );
+    Trainer::new(TrainConfig {
+        epochs: 30,
+        eval_every: 10,
+        patience: 3,
+        ..Default::default()
+    })
+    .fit(
+        &mut model,
+        &mut LkpObjective::new(LkpKind::PositiveOnly, kernel.clone()),
+        &data,
+    );
 
     // Build a 40-item candidate slate for one user and put 2 of their test
     // items "in the basket".
@@ -60,12 +78,11 @@ fn main() {
 
     // Quality × diversity kernel over the slate.
     let scores = model.score_items(user, &slate);
-    let q = lkp::core::objective::quality(&scores);
-    let mut k_sub = kernel.normalized().submatrix(&slate).expect("slate in range");
-    for i in 0..k_sub.rows() {
-        k_sub[(i, i)] += lkp::core::KERNEL_JITTER;
-    }
-    let dpp = DppKernel::from_quality_diversity(&q, &k_sub).expect("PSD kernel");
+    let k_sub = kernel
+        .normalized()
+        .submatrix(&slate)
+        .expect("slate in range");
+    let dpp = lkp::core::objective::tailored_kernel(&scores, &k_sub).expect("PSD kernel");
 
     // Condition on the basket (slate positions 0 and 1) and rank the rest by
     // conditional marginal.
@@ -90,8 +107,15 @@ fn main() {
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite marginals"));
     println!("top completions (conditional inclusion marginals):");
     for (item, p) in ranked.iter().take(5) {
-        let held_out = if test.contains(item) { "  <- held-out test item" } else { "" };
-        println!("  item {item:>4} (cat g{})  P = {p:.4}{held_out}", data.category(*item));
+        let held_out = if test.contains(item) {
+            "  <- held-out test item"
+        } else {
+            ""
+        };
+        println!(
+            "  item {item:>4} (cat g{})  P = {p:.4}{held_out}",
+            data.category(*item)
+        );
     }
 
     // Catalog-scale: the dual representation samples a size-8 completion set

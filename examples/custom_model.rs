@@ -6,9 +6,9 @@
 //! cargo run --release --example custom_model
 //! ```
 
-use lkp::prelude::*;
 use lkp::linalg::ops::dot;
 use lkp::nn::EmbeddingTable;
+use lkp::prelude::*;
 use rand::SeedableRng;
 
 /// MF with additive user and item biases: `ŷ = ⟨p_u, q_i⟩ + b_u + b_i`.
@@ -45,7 +45,10 @@ impl Recommender for BiasedMf {
     fn score_items(&self, user: usize, items: &[usize]) -> Vec<f64> {
         let p = self.users.row(user);
         let bu = self.user_bias.row(user)[0];
-        items.iter().map(|&i| dot(p, self.items.row(i)) + bu + self.item_bias.row(i)[0]).collect()
+        items
+            .iter()
+            .map(|&i| dot(p, self.items.row(i)) + bu + self.item_bias.row(i)[0])
+            .collect()
     }
 
     fn accumulate_score_grads(&mut self, user: usize, items: &[usize], dscores: &[f64]) {
@@ -85,13 +88,22 @@ fn main() {
     .generate();
     let kernel = train_diversity_kernel(
         &data,
-        &DiversityKernelConfig { epochs: 8, pairs_per_epoch: 192, ..Default::default() },
+        &DiversityKernelConfig {
+            epochs: 8,
+            pairs_per_epoch: 192,
+            ..Default::default()
+        },
     );
 
     let mut model = BiasedMf::new(data.n_users(), data.n_items(), 24, 5);
     let mut objective = LkpObjective::new(LkpKind::NegativeAware, kernel);
-    let report = Trainer::new(TrainConfig { epochs: 40, eval_every: 10, patience: 3, ..Default::default() })
-        .fit(&mut model, &mut objective, &data);
+    let report = Trainer::new(TrainConfig {
+        epochs: 40,
+        eval_every: 10,
+        patience: 3,
+        ..Default::default()
+    })
+    .fit(&mut model, &mut objective, &data);
 
     let metrics = lkp::eval::evaluate_parallel(&model, &data, &[5, 10], 4);
     println!(

@@ -20,15 +20,31 @@ fn main() {
     );
     let kernel = train_diversity_kernel(
         &data,
-        &DiversityKernelConfig { epochs: 10, pairs_per_epoch: 384, ..Default::default() },
+        &DiversityKernelConfig {
+            epochs: 10,
+            pairs_per_epoch: 384,
+            ..Default::default()
+        },
     );
 
-    let cfg = TrainConfig { epochs: 40, eval_every: 10, patience: 3, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 40,
+        eval_every: 10,
+        patience: 3,
+        ..Default::default()
+    };
     let edges = data.train_edges();
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
-    let mut lkp_model =
-        Gcn::new(data.n_users(), data.n_items(), &edges, 32, 2, AdamConfig::default(), &mut rng);
+    let mut lkp_model = Gcn::new(
+        data.n_users(),
+        data.n_items(),
+        &edges,
+        32,
+        2,
+        AdamConfig::default(),
+        &mut rng,
+    );
     Trainer::new(cfg.clone()).fit(
         &mut lkp_model,
         &mut LkpObjective::new(LkpKind::PositiveOnly, kernel),
@@ -36,8 +52,15 @@ fn main() {
     );
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
-    let mut setrank_model =
-        Gcn::new(data.n_users(), data.n_items(), &edges, 32, 2, AdamConfig::default(), &mut rng);
+    let mut setrank_model = Gcn::new(
+        data.n_users(),
+        data.n_items(),
+        &edges,
+        32,
+        2,
+        AdamConfig::default(),
+        &mut rng,
+    );
     Trainer::new(cfg).fit(&mut setrank_model, &mut SetRank, &data);
 
     // Pick the most genre-focused user with enough history.
@@ -48,9 +71,10 @@ fn main() {
     let trained_genres = data.category_coverage(data.user_items(user, Split::Train));
     println!("\ncase user u{user}: {trained_genres} genres in their history");
 
-    for (name, model) in
-        [("SetRank", &setrank_model as &dyn Recommender), ("LkP-PS", &lkp_model)]
-    {
+    for (name, model) in [
+        ("SetRank", &setrank_model as &dyn Recommender),
+        ("LkP-PS", &lkp_model),
+    ] {
         let mut scores = Vec::new();
         model.score_all(user, &mut scores);
         let top =
@@ -60,9 +84,14 @@ fn main() {
             .iter()
             .filter(|i| data.user_items(user, Split::Test).contains(i))
             .count();
-        let rendered: Vec<String> =
-            top.iter().map(|&i| format!("m{i}(g{})", data.category(i))).collect();
-        println!("{name:<8} top-10 [{genres} genres, {hits} hits]: {}", rendered.join(" "));
+        let rendered: Vec<String> = top
+            .iter()
+            .map(|&i| format!("m{i}(g{})", data.category(i)))
+            .collect();
+        println!(
+            "{name:<8} top-10 [{genres} genres, {hits} hits]: {}",
+            rendered.join(" ")
+        );
     }
     println!("\nThe LkP list should span at least as many genres without losing hits.");
 }

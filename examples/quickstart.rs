@@ -31,9 +31,17 @@ fn main() {
     // category-diverse vs. contaminated set pairs.
     let kernel = train_diversity_kernel(
         &data,
-        &DiversityKernelConfig { epochs: 10, pairs_per_epoch: 256, ..Default::default() },
+        &DiversityKernelConfig {
+            epochs: 10,
+            pairs_per_epoch: 256,
+            ..Default::default()
+        },
     );
-    println!("diversity kernel trained: {} items × rank {}", kernel.num_items(), kernel.dim());
+    println!(
+        "diversity kernel trained: {} items × rank {}",
+        kernel.num_items(),
+        kernel.dim()
+    );
 
     let train_cfg = TrainConfig {
         epochs: 60,
@@ -45,8 +53,13 @@ fn main() {
     // Step 2 — LkP-NPS (Eq. 10: include the positive subset, exclude the
     // negative one) on MF.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let mut lkp_model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 32, AdamConfig::default(), &mut rng);
+    let mut lkp_model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        32,
+        AdamConfig::default(),
+        &mut rng,
+    );
     let mut lkp_objective = LkpObjective::new(LkpKind::NegativeAware, kernel);
     let report = Trainer::new(train_cfg.clone()).fit(&mut lkp_model, &mut lkp_objective, &data);
     println!(
@@ -56,12 +69,20 @@ fn main() {
 
     // Step 3 — the BPR baseline on an identical model.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let mut bpr_model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 32, AdamConfig::default(), &mut rng);
+    let mut bpr_model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        32,
+        AdamConfig::default(),
+        &mut rng,
+    );
     Trainer::new(train_cfg).fit(&mut bpr_model, &mut lkp::core::baselines::Bpr, &data);
 
     // Step 4 — evaluate both on the held-out test split.
-    println!("\n{:<10} {:>8} {:>8} {:>8} {:>8}", "method", "Re@10", "Nd@10", "CC@10", "F@10");
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "method", "Re@10", "Nd@10", "CC@10", "F@10"
+    );
     for (name, model) in [("LkP-NPS", &lkp_model), ("BPR", &bpr_model)] {
         let metrics = lkp::eval::evaluate_parallel(model, &data, &[10], 4);
         let m = metrics.at(10).expect("cutoff evaluated");

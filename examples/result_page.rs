@@ -12,8 +12,8 @@
 //! cargo run --release --example result_page
 //! ```
 
-use lkp::prelude::*;
 use lkp::linalg::Matrix;
+use lkp::prelude::*;
 use rand::SeedableRng;
 
 fn main() {
@@ -35,7 +35,13 @@ fn main() {
     // Quality: a popularity-skewed score, deliberately concentrated so that
     // the top-k page is monotonous.
     let quality: Vec<f64> = (0..n)
-        .map(|i| if group(i) == 0 { 2.0 - i as f64 * 0.01 } else { 1.0 - i as f64 * 0.01 })
+        .map(|i| {
+            if group(i) == 0 {
+                2.0 - i as f64 * 0.01
+            } else {
+                1.0 - i as f64 * 0.01
+            }
+        })
         .collect();
     let kernel = DppKernel::from_quality_diversity(&quality, &k_matrix).expect("PSD kernel");
     let page_size = 6;
@@ -65,7 +71,11 @@ fn main() {
 }
 
 fn render(items: &[usize], group: impl Fn(usize) -> usize) -> String {
-    items.iter().map(|&i| format!("item{i:02}[g{}]", group(i))).collect::<Vec<_>>().join(" ")
+    items
+        .iter()
+        .map(|&i| format!("item{i:02}[g{}]", group(i)))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn count_groups(items: &[usize], group: impl Fn(usize) -> usize) -> usize {

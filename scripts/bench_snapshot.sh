@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Records one benchmark trajectory point: runs the criterion suite with
+# machine-readable output plus the hotpath probe, and writes everything to
+# BENCH_<date>.json at the repo root (one JSON object per line).
+#
+# Usage: scripts/bench_snapshot.sh [outfile]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> criterion suite (this takes a few minutes)" >&2
+CRITERION_JSON="$tmp" cargo bench -p lkp-bench >&2
+
+echo "==> hotpath probe" >&2
+cargo run --release -p lkp-bench --bin hotpath_probe >> "$tmp"
+
+{
+  printf '{"snapshot_meta":{"date":"%s","host_cores":%s,"rustc":"%s"}}\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    "$(nproc 2>/dev/null || echo 1)" \
+    "$(rustc --version | tr -d '"')"
+  cat "$tmp"
+} > "$out"
+
+echo "wrote $out ($(wc -l < "$out") rows)" >&2

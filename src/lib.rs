@@ -72,7 +72,9 @@ pub use lkp_nn as nn;
 /// The most common imports in one place.
 pub mod prelude {
     pub use lkp_core::baselines::{Bce, Bpr, S2SRank, SetRank};
-    pub use lkp_core::objective::{LkpKind, LkpObjective, LkpRbfObjective, Objective};
+    pub use lkp_core::objective::{
+        InstanceGrad, LkpKind, LkpObjective, LkpRbfObjective, Objective,
+    };
     pub use lkp_core::{
         train_diversity_kernel, DiversityKernelConfig, LkpVariant, TrainConfig, Trainer,
     };
@@ -80,6 +82,7 @@ pub mod prelude {
         Dataset, GroundSetInstance, InstanceSampler, Split, SyntheticConfig, SyntheticPreset,
         TargetSelection,
     };
+    pub use lkp_dpp::DppWorkspace;
     pub use lkp_dpp::{DppKernel, KDpp, LowRankKernel};
     pub use lkp_models::{Gcmc, Gcn, ItemEmbeddings, MatrixFactorization, NeuMf, Recommender};
     pub use lkp_nn::AdamConfig;

@@ -1,8 +1,8 @@
 //! Integration tests for the DPP toolkit as used by downstream crates:
 //! kernels built from real model scores + a trained diversity kernel.
 
-use lkp::prelude::*;
 use lkp::dpp::{enumerate_subsets, grad, map, sampling};
+use lkp::prelude::*;
 use rand::SeedableRng;
 
 fn setup() -> (Dataset, LowRankKernel, MatrixFactorization) {
@@ -17,11 +17,21 @@ fn setup() -> (Dataset, LowRankKernel, MatrixFactorization) {
     .generate();
     let kernel = train_diversity_kernel(
         &data,
-        &DiversityKernelConfig { epochs: 5, pairs_per_epoch: 64, dim: 8, ..Default::default() },
+        &DiversityKernelConfig {
+            epochs: 5,
+            pairs_per_epoch: 64,
+            dim: 8,
+            ..Default::default()
+        },
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
+    let model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        16,
+        AdamConfig::default(),
+        &mut rng,
+    );
     (data, kernel, model)
 }
 
@@ -63,7 +73,12 @@ fn kdpp_probabilities_over_realistic_kernels_sum_to_one() {
     let items: Vec<usize> = vec![3, 17, 42, 55, 61, 78];
     let kern = instance_kernel(&data, &kernel, &model, 2, &items);
     let kdpp = KDpp::new(kern, 3).expect("valid");
-    let total: f64 = kdpp.all_subset_probs().expect("enumerable").iter().map(|(_, p)| p).sum();
+    let total: f64 = kdpp
+        .all_subset_probs()
+        .expect("enumerable")
+        .iter()
+        .map(|(_, p)| p)
+        .sum();
     assert!((total - 1.0).abs() < 1e-8, "total probability {total}");
 }
 
@@ -110,7 +125,11 @@ fn gradients_on_realistic_kernels_are_finite_and_zero_mean() {
         assert!(g.as_slice().iter().all(|x| x.is_finite()));
         acc.add_scaled(p, &g).expect("same shape");
     }
-    assert!(acc.max_abs() < 1e-7, "score identity residual {}", acc.max_abs());
+    assert!(
+        acc.max_abs() < 1e-7,
+        "score identity residual {}",
+        acc.max_abs()
+    );
 }
 
 #[test]
@@ -122,7 +141,10 @@ fn diversity_kernel_prefers_cross_category_sets_on_real_data() {
     for item in 0..data.n_items() {
         by_cat[data.category(item)].push(item);
     }
-    let same_cat = by_cat.iter().find(|v| v.len() >= 3).expect("a category with 3 items");
+    let same_cat = by_cat
+        .iter()
+        .find(|v| v.len() >= 3)
+        .expect("a category with 3 items");
     let within: Vec<usize> = same_cat[..3].to_vec();
     let mut across = Vec::new();
     for v in by_cat.iter().filter(|v| !v.is_empty()).take(3) {

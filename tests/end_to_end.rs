@@ -19,12 +19,24 @@ fn dataset() -> Dataset {
 fn kernel(data: &Dataset) -> LowRankKernel {
     train_diversity_kernel(
         data,
-        &DiversityKernelConfig { epochs: 5, pairs_per_epoch: 64, dim: 8, ..Default::default() },
+        &DiversityKernelConfig {
+            epochs: 5,
+            pairs_per_epoch: 64,
+            dim: 8,
+            ..Default::default()
+        },
     )
 }
 
 fn quick_config() -> TrainConfig {
-    TrainConfig { epochs: 12, eval_every: 4, patience: 0, k: 4, n: 4, ..Default::default() }
+    TrainConfig {
+        epochs: 12,
+        eval_every: 4,
+        patience: 0,
+        k: 4,
+        n: 4,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -32,12 +44,23 @@ fn lkp_on_mf_learns_and_improves_over_untrained() {
     let data = dataset();
     let kernel = kernel(&data);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let mut model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
-    let before = lkp::eval::evaluate(&model, &data, &[10]).at(10).unwrap().ndcg;
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        16,
+        AdamConfig::default(),
+        &mut rng,
+    );
+    let before = lkp::eval::evaluate(&model, &data, &[10])
+        .at(10)
+        .unwrap()
+        .ndcg;
     let mut objective = LkpObjective::new(LkpKind::NegativeAware, kernel);
     let report = Trainer::new(quick_config()).fit(&mut model, &mut objective, &data);
-    let after = lkp::eval::evaluate(&model, &data, &[10]).at(10).unwrap().ndcg;
+    let after = lkp::eval::evaluate(&model, &data, &[10])
+        .at(10)
+        .unwrap()
+        .ndcg;
     assert!(after > before + 0.02, "NDCG@10 {before:.4} -> {after:.4}");
     assert!(report.history.iter().all(|e| e.mean_loss.is_finite()));
 }
@@ -56,10 +79,16 @@ fn lkp_on_gcn_learns() {
         AdamConfig::default(),
         &mut rng,
     );
-    let before = lkp::eval::evaluate(&model, &data, &[10]).at(10).unwrap().ndcg;
+    let before = lkp::eval::evaluate(&model, &data, &[10])
+        .at(10)
+        .unwrap()
+        .ndcg;
     let mut objective = LkpObjective::new(LkpKind::PositiveOnly, kernel);
     Trainer::new(quick_config()).fit(&mut model, &mut objective, &data);
-    let after = lkp::eval::evaluate(&model, &data, &[10]).at(10).unwrap().ndcg;
+    let after = lkp::eval::evaluate(&model, &data, &[10])
+        .at(10)
+        .unwrap()
+        .ndcg;
     assert!(after > before, "GCN NDCG@10 {before:.4} -> {after:.4}");
 }
 
@@ -67,8 +96,13 @@ fn lkp_on_gcn_learns() {
 fn rbf_variant_trains_on_models_with_item_embeddings() {
     let data = dataset();
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let mut model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        16,
+        AdamConfig::default(),
+        &mut rng,
+    );
     let mut objective = LkpRbfObjective::new(LkpKind::PositiveOnly, 1.0);
     let report = Trainer::new(quick_config()).fit(&mut model, &mut objective, &data);
     assert!(report.history.last().unwrap().mean_loss.is_finite());
@@ -79,7 +113,12 @@ fn rbf_variant_trains_on_models_with_item_embeddings() {
 #[test]
 fn all_baselines_run_through_the_same_trainer() {
     let data = dataset();
-    let cfg = TrainConfig { epochs: 4, eval_every: 0, patience: 0, ..quick_config() };
+    let cfg = TrainConfig {
+        epochs: 4,
+        eval_every: 0,
+        patience: 0,
+        ..quick_config()
+    };
     macro_rules! run {
         ($obj:expr) => {{
             let mut rng = rand::rngs::StdRng::seed_from_u64(3);
@@ -106,17 +145,31 @@ fn trained_model_scores_positives_above_random_items_within_ground_sets() {
     let data = dataset();
     let kernel = kernel(&data);
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-    let mut model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        16,
+        AdamConfig::default(),
+        &mut rng,
+    );
     let mut objective = LkpObjective::new(LkpKind::NegativeAware, kernel);
-    Trainer::new(TrainConfig { epochs: 20, eval_every: 0, patience: 0, ..quick_config() })
-        .fit(&mut model, &mut objective, &data);
+    Trainer::new(TrainConfig {
+        epochs: 20,
+        eval_every: 0,
+        patience: 0,
+        ..quick_config()
+    })
+    .fit(&mut model, &mut objective, &data);
 
     let mut sampler_rng = rand::rngs::StdRng::seed_from_u64(5);
     let sampler = InstanceSampler::new(4, 4, TargetSelection::Sequential);
     let mut wins = 0usize;
     let mut total = 0usize;
-    for inst in sampler.epoch_instances(&data, &mut sampler_rng).into_iter().take(150) {
+    for inst in sampler
+        .epoch_instances(&data, &mut sampler_rng)
+        .into_iter()
+        .take(150)
+    {
         let scores = model.score_items(inst.user, &inst.ground_set());
         let pos_mean: f64 = scores[..inst.k()].iter().sum::<f64>() / inst.k() as f64;
         let neg_mean: f64 = scores[inst.k()..].iter().sum::<f64>() / inst.n() as f64;
@@ -138,11 +191,21 @@ fn kdpp_probability_interpretation_holds_after_training() {
     let data = dataset();
     let kern = kernel(&data);
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-    let mut model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 16, AdamConfig::default(), &mut rng);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        16,
+        AdamConfig::default(),
+        &mut rng,
+    );
     let mut objective = LkpObjective::new(LkpKind::NegativeAware, kern.clone());
-    Trainer::new(TrainConfig { epochs: 16, eval_every: 0, patience: 0, ..quick_config() })
-        .fit(&mut model, &mut objective, &data);
+    Trainer::new(TrainConfig {
+        epochs: 16,
+        eval_every: 0,
+        patience: 0,
+        ..quick_config()
+    })
+    .fit(&mut model, &mut objective, &data);
 
     let mut sampler_rng = rand::rngs::StdRng::seed_from_u64(7);
     let sampler = InstanceSampler::new(4, 4, TargetSelection::Sequential);
@@ -162,8 +225,13 @@ fn kdpp_probability_interpretation_holds_after_training() {
 fn evaluation_is_deterministic_given_model_and_data() {
     let data = dataset();
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
-    let model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 8, AdamConfig::default(), &mut rng);
+    let model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        8,
+        AdamConfig::default(),
+        &mut rng,
+    );
     let a = lkp::eval::evaluate(&model, &data, &[5, 10, 20]);
     let b = lkp::eval::evaluate_parallel(&model, &data, &[5, 10, 20], 3);
     for n in [5, 10, 20] {

@@ -34,7 +34,11 @@ impl Recommender for ExtremeModel {
         self.inner.n_items()
     }
     fn score_items(&self, user: usize, items: &[usize]) -> Vec<f64> {
-        self.inner.score_items(user, items).into_iter().map(|s| s * self.scale).collect()
+        self.inner
+            .score_items(user, items)
+            .into_iter()
+            .map(|s| s * self.scale)
+            .collect()
     }
     fn accumulate_score_grads(&mut self, user: usize, items: &[usize], dscores: &[f64]) {
         self.inner.accumulate_score_grads(user, items, dscores);
@@ -49,11 +53,21 @@ fn training_survives_score_explosions() {
     let data = dataset();
     let kernel = train_diversity_kernel(
         &data,
-        &DiversityKernelConfig { epochs: 2, pairs_per_epoch: 32, dim: 6, ..Default::default() },
+        &DiversityKernelConfig {
+            epochs: 2,
+            pairs_per_epoch: 32,
+            dim: 6,
+            ..Default::default()
+        },
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let inner =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 8, AdamConfig::default(), &mut rng);
+    let inner = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        8,
+        AdamConfig::default(),
+        &mut rng,
+    );
     let mut model = ExtremeModel { inner, scale: 1e6 };
     let mut objective = LkpObjective::new(LkpKind::NegativeAware, kernel);
     let report = Trainer::new(TrainConfig {
@@ -68,7 +82,11 @@ fn training_survives_score_explosions() {
     // Losses must be finite (degenerate instances are skipped at zero loss,
     // never NaN), and the inner parameters must remain finite.
     for stat in &report.history {
-        assert!(stat.mean_loss.is_finite(), "loss went non-finite: {}", stat.mean_loss);
+        assert!(
+            stat.mean_loss.is_finite(),
+            "loss went non-finite: {}",
+            stat.mean_loss
+        );
     }
     let scores = model.score_items(0, &[0, 1, 2]);
     assert!(scores.iter().all(|s| s.is_finite()));
@@ -81,8 +99,13 @@ fn rank_one_diversity_kernel_does_not_poison_training() {
     let data = dataset();
     let rank_one = LowRankKernel::new(Matrix::filled(data.n_items(), 1, 1.0));
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let mut model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 8, AdamConfig::default(), &mut rng);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        8,
+        AdamConfig::default(),
+        &mut rng,
+    );
     let mut objective = LkpObjective::new(LkpKind::PositiveOnly, rank_one);
     let report = Trainer::new(TrainConfig {
         epochs: 3,
@@ -101,10 +124,16 @@ fn kdpp_rejects_rather_than_panics_on_degenerate_input() {
     use lkp::dpp::{DppError, DppKernel, KDpp};
     // All-zero kernel.
     let zero = DppKernel::new(Matrix::zeros(4, 4)).unwrap();
-    assert!(matches!(KDpp::new(zero, 2), Err(DppError::DegenerateKernel)));
+    assert!(matches!(
+        KDpp::new(zero, 2),
+        Err(DppError::DegenerateKernel)
+    ));
     // k beyond the ground set.
     let id = DppKernel::new(Matrix::identity(3)).unwrap();
-    assert!(matches!(KDpp::new(id, 9), Err(DppError::CardinalityTooLarge { .. })));
+    assert!(matches!(
+        KDpp::new(id, 9),
+        Err(DppError::CardinalityTooLarge { .. })
+    ));
 }
 
 #[test]
@@ -129,7 +158,10 @@ fn evaluation_handles_models_with_constant_scores() {
         fn step(&mut self) {}
     }
     let data = dataset();
-    let model = Constant { users: data.n_users(), items: data.n_items() };
+    let model = Constant {
+        users: data.n_users(),
+        items: data.n_items(),
+    };
     let metrics = lkp::eval::evaluate(&model, &data, &[5, 20]);
     for n in [5, 20] {
         let m = metrics.at(n).unwrap();
@@ -142,8 +174,13 @@ fn evaluation_handles_models_with_constant_scores() {
 fn trainer_with_zero_eval_never_checkpoints_but_still_returns() {
     let data = dataset();
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let mut model =
-        MatrixFactorization::new(data.n_users(), data.n_items(), 8, AdamConfig::default(), &mut rng);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        8,
+        AdamConfig::default(),
+        &mut rng,
+    );
     let report = Trainer::new(TrainConfig {
         epochs: 2,
         eval_every: 0,

@@ -1,0 +1,276 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the slice of the criterion API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! `criterion_group!`/`criterion_main!` and `black_box` — on top of plain
+//! `std::time::Instant` timing.
+//!
+//! Measurement model: after a warm-up period, each benchmark runs
+//! `sample_size` samples; each sample times a fixed iteration batch sized so
+//! one sample costs roughly `measurement_time / sample_size`. The median
+//! per-iteration time is reported, which is robust to scheduler noise.
+//!
+//! Output goes to stdout, one line per benchmark:
+//!
+//! ```text
+//! bench: <id>  median: <t> ns/iter  (min <t>, max <t>, <n> samples)
+//! ```
+//!
+//! With `CRITERION_JSON=<path>` set, a JSON line per benchmark is appended
+//! to `<path>` — `scripts/bench_snapshot.sh` uses this to build the
+//! `BENCH_<date>.json` trajectory snapshots.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Identifier consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over this sample's iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+/// Measurement settings shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 50,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, &self.settings, f);
+        self
+    }
+}
+
+/// A named group of benchmarks with shared measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.settings, f);
+        self
+    }
+
+    /// Benchmarks a closure receiving a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher<'_>)>(id: &str, settings: &Settings, mut f: F) {
+    // Warm-up: run single-iteration samples until the warm-up budget is
+    // spent, estimating the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        let mut elapsed = Duration::ZERO;
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: &mut elapsed,
+        };
+        f(&mut b);
+        warm_iters += 1;
+        per_iter = warm_start.elapsed() / warm_iters as u32;
+    }
+
+    // Size each sample so the whole measurement roughly fits the budget.
+    let budget_per_sample = settings.measurement_time / settings.sample_size as u32;
+    let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, u64::MAX as u128) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut elapsed = Duration::ZERO;
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: &mut elapsed,
+        };
+        f(&mut b);
+        samples_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = *samples_ns.last().expect("non-empty samples");
+
+    println!(
+        "bench: {id}  median: {median:.1} ns/iter  (min {min:.1}, max {max:.1}, {} samples)",
+        samples_ns.len()
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"bench\":\"{id}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{}}}",
+                    samples_ns.len()
+                );
+            }
+        }
+    }
+}
+
+/// Groups benchmark functions under one callable, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("algo", 7).to_string(), "algo/7");
+        assert_eq!(BenchmarkId::from_parameter(12).to_string(), "12");
+    }
+
+    #[test]
+    fn harness_times_a_trivial_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut acc = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+                acc
+            })
+        });
+        group.finish();
+        assert!(acc > 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::{SizeRange, Strategy, TestRng};
+
+/// Strategy for `Vec<T>` built from an element strategy and a length spec.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// comes from `len` (a fixed `usize` or a `Range`/`RangeInclusive<usize>`).
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,30 @@
+//! Named generators, mirroring `rand::rngs`.
+
+use crate::generators::Xoshiro256PlusPlus;
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seedable generator (xoshiro256++).
+///
+/// Not stream-compatible with upstream `rand::rngs::StdRng`; the workspace
+/// only relies on determinism for a fixed seed, not on a particular stream.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    inner: Xoshiro256PlusPlus,
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        StdRng {
+            inner: Xoshiro256PlusPlus::from_seed(seed),
+        }
+    }
+}

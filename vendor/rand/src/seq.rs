@@ -1,0 +1,18 @@
+//! Sequence helpers, mirroring `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// Slice shuffling (Fisher–Yates).
+pub trait SliceRandom {
+    /// Shuffles the slice in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
