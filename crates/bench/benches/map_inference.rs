@@ -28,6 +28,18 @@ fn bench_map(c: &mut Criterion) {
             b.iter(|| map::greedy_map(black_box(&kern), black_box(10)).unwrap())
         });
     }
+    // The serving-path entry point: same algorithm, scratch reused across
+    // calls (what `lkp-serve` runs per request).
+    for &m in &[50usize, 100, 200] {
+        let kern = kernel(m);
+        let mut ws = map::MapWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("fast_workspace", m), &m, |b, _| {
+            b.iter(|| {
+                map::greedy_map_with(black_box(kern.matrix()), black_box(10), &mut ws).unwrap();
+                ws.log_det()
+            })
+        });
+    }
     for &m in &[50usize, 100] {
         let kern = kernel(m);
         group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, _| {

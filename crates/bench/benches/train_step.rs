@@ -154,7 +154,7 @@ fn bench_train_epoch(c: &mut Criterion) {
             mode: TargetSelection::Sequential,
             eval_every: 0,
             patience: 0,
-            train_threads: threads,
+            threads,
             ..Default::default()
         };
         let trainer = Trainer::new(config);

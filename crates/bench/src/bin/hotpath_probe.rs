@@ -136,7 +136,7 @@ fn main() {
             mode: TargetSelection::Sequential,
             eval_every: 0,
             patience: 0,
-            train_threads: threads,
+            threads,
             ..Default::default()
         });
         // Fresh model per rep so the two thread counts measure identical

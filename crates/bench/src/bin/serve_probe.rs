@@ -1,0 +1,115 @@
+//! Serving probe: batched top-N throughput and latency of the `lkp-serve`
+//! path (snapshot → per-user tailored kernel → greedy MAP on the pool).
+//!
+//! Prints one JSON object; `scripts/bench_snapshot.sh` appends it to the
+//! `BENCH_<date>.json` trajectory snapshot. Flags:
+//!
+//! * `--batches N`  — timed batches per configuration (default 30)
+//! * `--batch N`    — requests per batch (default 64)
+//! * `--candidates N` — candidate-pool size per request (default 100)
+//! * `--top N`      — list length (default 10)
+
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig};
+use lkp_data::SyntheticConfig;
+use lkp_models::MatrixFactorization;
+use lkp_nn::AdamConfig;
+use lkp_serve::{RankRequest, Ranker, RankingArtifact, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn flag(name: &str, default: usize) -> usize {
+    std::env::args()
+        .skip_while(|a| a != name)
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let batches = flag("--batches", 30);
+    let batch = flag("--batch", 64);
+    let n_candidates = flag("--candidates", 100);
+    let top_n = flag("--top", 10);
+
+    let n_users = 500;
+    let n_items = 2000;
+    let data = lkp_data::synthetic::generate(&SyntheticConfig {
+        n_users,
+        n_items,
+        n_categories: 16,
+        mean_interactions: 20.0,
+        ..Default::default()
+    });
+    let kernel = train_diversity_kernel(
+        &data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 64,
+            dim: 12,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = MatrixFactorization::new(n_users, n_items, 32, AdamConfig::default(), &mut rng);
+
+    // Request stream: users round-robin, per-user stable candidate pools
+    // (the cache-friendly shape), deterministic.
+    let reqs: Vec<RankRequest> = (0..batch)
+        .map(|i| {
+            let user = (i * 131) % n_users;
+            let candidates: Vec<usize> = (0..n_candidates)
+                .map(|j| (user * 37 + j * 101 + 13) % n_items)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            RankRequest::new(user, candidates, top_n)
+        })
+        .collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut results = Vec::new();
+    for threads in [1usize, 4] {
+        let artifact = RankingArtifact::snapshot(&model, &kernel);
+        let mut ranker = Ranker::new(
+            artifact,
+            ServeConfig {
+                threads,
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        // Warm-up: populates per-worker caches and buffers.
+        for _ in 0..3 {
+            ranker.rank_batch_into(&reqs, &mut out);
+        }
+        let t = Instant::now();
+        for _ in 0..batches {
+            ranker.rank_batch_into(&reqs, &mut out);
+        }
+        let elapsed = t.elapsed().as_nanos() as f64;
+        let total_requests = (batches * batch) as f64;
+        let ns_per_request = elapsed / total_requests;
+        let requests_per_sec = 1e9 / ns_per_request;
+        let (hits, misses) = ranker.cache_stats();
+        results.push((threads, ns_per_request, requests_per_sec, hits, misses));
+    }
+
+    let t1 = results[0].1;
+    let t4 = results[1].1;
+    println!(
+        "{{\"probe\":\"serving\",\"batch\":{batch},\"candidates\":{n_candidates},\"top_n\":{top_n},\
+\"ns_per_request_t1\":{:.0},\"ns_per_request_t4\":{:.0},\
+\"requests_per_sec_t1\":{:.0},\"requests_per_sec_t4\":{:.0},\
+\"thread_scaling\":{:.3},\"cache_hits\":{},\"cache_misses\":{},\"host_cores\":{cores}}}",
+        t1,
+        t4,
+        results[0].2,
+        results[1].2,
+        t1 / t4,
+        results[1].3,
+        results[1].4,
+    );
+}

@@ -147,10 +147,10 @@ impl ExpArgs {
             eval_every: 10,
             patience: 4,
             eval_cutoff: 10,
-            eval_threads: self.threads,
-            train_threads: self.threads,
+            threads: self.threads,
             seed: self.seed ^ 0x7EA1,
             verbose: self.verbose,
+            ..Default::default()
         }
     }
 

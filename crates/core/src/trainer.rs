@@ -1,17 +1,21 @@
 //! The epoch/mini-batch training loop shared by every criterion.
 //!
-//! Mini-batches are **batch-parallel**: within a batch, instance gradients
-//! are computed concurrently by `train_threads` scoped worker threads, each
-//! with its own [`DppWorkspace`] and reusable [`InstanceGrad`] slots (the
+//! Mini-batches are **batch-parallel** on a persistent
+//! [`lkp_runtime::WorkerPool`] created once per `fit` call: within a batch,
+//! instance gradients are computed concurrently by the pool's workers, each
+//! owning its [`DppWorkspace`] in pool worker state **across batches** (the
 //! model is only *read* during this phase). The computed gradients are then
 //! accumulated into the model serially, in instance order, before the
 //! optimizer step — so the result is **bitwise identical** at any thread
-//! count, including the serial `train_threads = 1` path.
+//! count, including the serial `threads = 1` path (which spawns no thread at
+//! all). Validation passes run on the *same* pool, so one `fit` spawns its
+//! workers exactly once.
 
 use crate::objective::{InstanceGrad, Objective};
 use lkp_data::{Dataset, GroundSetInstance, InstanceSampler, TargetSelection};
 use lkp_dpp::DppWorkspace;
 use lkp_models::Recommender;
+use lkp_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,10 +39,27 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Validation metric cutoff (NDCG@cutoff).
     pub eval_cutoff: usize,
-    /// Evaluation threads.
+    /// Worker-thread budget for the run's persistent pool, shared by batch
+    /// gradient computation and validation passes (1 = fully serial).
+    ///
+    /// Gradient computation and accumulation are **bitwise identical** at
+    /// any value. Validation metrics are bitwise reproducible run-to-run
+    /// at a fixed value, but their per-chunk merge order follows the pool
+    /// width, so across *different* values they can differ in the last ulp
+    /// — which near a patience boundary may shift the early-stopping epoch.
+    /// Disable validation (`eval_every = 0`) where exact cross-width
+    /// trajectory equality matters.
+    ///
+    /// `0` defers to the deprecated per-phase fields below so historical
+    /// configs keep their meaning — unlike `ServeConfig::threads` /
+    /// `WorkerPool::new`, it does **not** mean host parallelism; pass
+    /// `lkp_runtime::resolve_threads(0)` to request that explicitly.
+    pub threads: usize,
+    /// Evaluation threads (deprecated alias — see [`TrainConfig::threads`]).
+    #[deprecated(note = "use `threads`: one pool now serves training and evaluation")]
     pub eval_threads: usize,
-    /// Worker threads for per-instance gradient computation within each
-    /// mini-batch (1 = serial). Results are identical at any value.
+    /// Training threads (deprecated alias — see [`TrainConfig::threads`]).
+    #[deprecated(note = "use `threads`: one pool now serves training and evaluation")]
     pub train_threads: usize,
     /// Seed for instance sampling.
     pub seed: u64,
@@ -47,6 +68,7 @@ pub struct TrainConfig {
 }
 
 impl Default for TrainConfig {
+    #[allow(deprecated)]
     fn default() -> Self {
         TrainConfig {
             epochs: 30,
@@ -57,10 +79,25 @@ impl Default for TrainConfig {
             eval_every: 5,
             patience: 3,
             eval_cutoff: 10,
+            threads: 0,
             eval_threads: 4,
             train_threads: 4,
             seed: 17,
             verbose: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The effective worker-thread budget: [`TrainConfig::threads`] when set,
+    /// otherwise the larger of the deprecated per-phase knobs (so configs
+    /// written against the old API keep their parallelism).
+    #[allow(deprecated)]
+    pub fn thread_budget(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            self.train_threads.max(self.eval_threads).max(1)
         }
     }
 }
@@ -145,12 +182,12 @@ impl Trainer {
         let mut epochs_run = 0usize;
         let mut best_state: Option<M> = None;
 
-        // Per-thread workspaces and per-slot gradient buffers, reused across
-        // every batch of the whole run (steady-state allocation-free).
-        let n_threads = cfg.train_threads.max(1);
+        // One persistent worker pool for the whole run: batch gradient
+        // computation and validation passes share it, and each worker keeps
+        // its `DppWorkspace` in pool state across every batch (steady-state
+        // allocation-free, spawn cost paid once instead of per batch).
         let batch_size = cfg.batch_size.max(1);
-        let mut workspaces: Vec<DppWorkspace> =
-            (0..n_threads).map(|_| DppWorkspace::new()).collect();
+        let mut pool = WorkerPool::new(cfg.thread_budget());
         let mut grads: Vec<InstanceGrad> =
             (0..batch_size).map(|_| InstanceGrad::default()).collect();
 
@@ -166,7 +203,7 @@ impl Trainer {
             let mut count = 0usize;
             let objective_ref: &O = objective;
             for batch in instances.chunks(batch_size) {
-                compute_batch(objective_ref, &*model, batch, &mut workspaces, &mut grads);
+                compute_batch(objective_ref, &*model, batch, &mut pool, &mut grads);
                 // Serial, in-order accumulation keeps results independent of
                 // the thread count (bit-for-bit).
                 for grad in &grads[..batch.len()] {
@@ -184,12 +221,12 @@ impl Trainer {
 
             let mut val_ndcg = None;
             if cfg.eval_every > 0 && epoch % cfg.eval_every == 0 {
-                let metrics = lkp_eval::evaluate_parallel_on(
+                let metrics = lkp_eval::evaluate_with_pool(
                     model,
                     data,
                     &[cfg.eval_cutoff],
                     lkp_data::Split::Validation,
-                    cfg.eval_threads,
+                    &mut pool,
                 );
                 let ndcg = metrics.at(cfg.eval_cutoff).map(|m| m.ndcg).unwrap_or(0.0);
                 val_ndcg = Some(ndcg);
@@ -242,40 +279,27 @@ impl Trainer {
 
 /// Computes one batch's instance gradients into `grads[..batch.len()]`.
 ///
-/// With one workspace the loop runs inline; with several, the batch is cut
-/// into contiguous chunks, one scoped thread per chunk, each thread owning a
-/// workspace and the matching disjoint slice of gradient slots. The model is
-/// shared immutably — `compute_into` never mutates it.
+/// The batch is cut into contiguous chunks, one pool worker per chunk; each
+/// worker reuses the `DppWorkspace` held in its persistent pool state and
+/// writes the matching disjoint slice of gradient slots. The model is shared
+/// immutably — `compute_into` never mutates it. Because every gradient slot
+/// is computed from its instance alone, slot *values* are independent of the
+/// pool width — only wall-clock changes with the thread count.
 fn compute_batch<M, O>(
     objective: &O,
     model: &M,
     batch: &[GroundSetInstance],
-    workspaces: &mut [DppWorkspace],
+    pool: &mut WorkerPool,
     grads: &mut [InstanceGrad],
 ) where
     M: Recommender + Sync,
     O: Objective<M>,
 {
     let grads = &mut grads[..batch.len()];
-    if workspaces.len() == 1 || batch.len() == 1 {
-        let ws = &mut workspaces[0];
-        for (inst, out) in batch.iter().zip(grads.iter_mut()) {
+    pool.zip_chunks(batch, grads, |_, inst_chunk, grad_chunk, state| {
+        let ws = state.get_or_default::<DppWorkspace>();
+        for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
             objective.compute_into(model, inst, ws, out);
-        }
-        return;
-    }
-    let chunk = batch.len().div_ceil(workspaces.len()).max(1);
-    std::thread::scope(|scope| {
-        for ((inst_chunk, grad_chunk), ws) in batch
-            .chunks(chunk)
-            .zip(grads.chunks_mut(chunk))
-            .zip(workspaces.iter_mut())
-        {
-            scope.spawn(move || {
-                for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
-                    objective.compute_into(model, inst, ws, out);
-                }
-            });
         }
     });
 }

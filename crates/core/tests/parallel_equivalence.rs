@@ -3,17 +3,22 @@
 //! The trainer computes instance gradients concurrently but accumulates
 //! them serially in instance order, so for a fixed seed the training
 //! trajectory must be **bitwise reproducible** at any thread count. These
-//! tests pin both properties: exact reproducibility run-to-run, and
+//! tests pin three properties: exact reproducibility run-to-run,
 //! serial/parallel agreement on the smoke dataset (asserted at the ≤1e-9
-//! acceptance tolerance, and in fact bit-for-bit).
+//! acceptance tolerance, and in fact bit-for-bit), and — since the trainer
+//! moved from per-batch `std::thread::scope` spawning onto the persistent
+//! `lkp-runtime` pool — bitwise agreement between the retired scoped-thread
+//! path (reconstructed below) and the pool path at every tested thread
+//! count.
 
-use lkp_core::objective::{LkpKind, LkpObjective};
+use lkp_core::objective::{InstanceGrad, LkpKind, LkpObjective, Objective};
 use lkp_core::{train_diversity_kernel, DiversityKernelConfig, TrainConfig, Trainer};
-use lkp_data::{Dataset, SyntheticConfig, TargetSelection};
-use lkp_models::MatrixFactorization;
+use lkp_data::{Dataset, GroundSetInstance, InstanceSampler, SyntheticConfig, TargetSelection};
+use lkp_dpp::DppWorkspace;
+use lkp_models::{MatrixFactorization, Recommender};
 use lkp_nn::AdamConfig;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn smoke_data() -> Dataset {
     lkp_data::synthetic::generate(&SyntheticConfig {
@@ -48,7 +53,7 @@ fn config(threads: usize, epochs: usize) -> TrainConfig {
         mode: TargetSelection::Sequential,
         eval_every: 0,
         patience: 0,
-        train_threads: threads,
+        threads,
         seed: 99,
         ..Default::default()
     }
@@ -110,6 +115,143 @@ fn losses_are_bitwise_reproducible_across_thread_counts() {
         assert_eq!(t1[e].to_bits(), t4[e].to_bits(), "epoch {e}: t1 vs t4");
         assert_eq!(t1[e].to_bits(), t7[e].to_bits(), "epoch {e}: t1 vs t7");
     }
+}
+
+/// The retired pre-runtime batch computation, reproduced verbatim from the
+/// PR 1 trainer: per-batch `std::thread::scope` fork-join, one owned
+/// `DppWorkspace` per thread, disjoint gradient-slot chunks.
+fn scoped_compute_batch(
+    objective: &LkpObjective,
+    model: &MatrixFactorization,
+    batch: &[GroundSetInstance],
+    workspaces: &mut [DppWorkspace],
+    grads: &mut [InstanceGrad],
+) {
+    let grads = &mut grads[..batch.len()];
+    if workspaces.len() == 1 || batch.len() == 1 {
+        let ws = &mut workspaces[0];
+        for (inst, out) in batch.iter().zip(grads.iter_mut()) {
+            objective.compute_into(model, inst, ws, out);
+        }
+        return;
+    }
+    let chunk = batch.len().div_ceil(workspaces.len()).max(1);
+    std::thread::scope(|scope| {
+        for ((inst_chunk, grad_chunk), ws) in batch
+            .chunks(chunk)
+            .zip(grads.chunks_mut(chunk))
+            .zip(workspaces.iter_mut())
+        {
+            scope.spawn(move || {
+                for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
+                    objective.compute_into(model, inst, ws, out);
+                }
+            });
+        }
+    });
+}
+
+/// The retired trainer loop around `scoped_compute_batch`: same sampling,
+/// same Fisher–Yates shuffle, same serial in-order accumulation as
+/// `Trainer::fit` (validation disabled, as in `config`).
+fn run_scoped_reference(data: &Dataset, threads: usize, epochs: usize) -> (Vec<f64>, Vec<f64>) {
+    let cfg = config(threads, epochs);
+    let mut m = model(data);
+    let kernel = train_diversity_kernel(
+        data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 48,
+            dim: 8,
+            ..Default::default()
+        },
+    );
+    let obj = LkpObjective::new(LkpKind::NegativeAware, kernel);
+    let sampler = InstanceSampler::new(cfg.k, cfg.n, cfg.mode);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut workspaces: Vec<DppWorkspace> =
+        (0..threads.max(1)).map(|_| DppWorkspace::new()).collect();
+    let mut grads: Vec<InstanceGrad> = (0..cfg.batch_size)
+        .map(|_| InstanceGrad::default())
+        .collect();
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    for _epoch in 1..=cfg.epochs {
+        m.begin_epoch();
+        let mut instances = sampler.epoch_instances(data, &mut rng);
+        // The trainer's private shuffle: backwards Fisher–Yates over the
+        // same rng stream.
+        for i in (1..instances.len()).rev() {
+            instances.swap(i, rng.random_range(0..=i));
+        }
+        let mut loss_sum = 0.0;
+        let mut count = 0usize;
+        for batch in instances.chunks(cfg.batch_size) {
+            scoped_compute_batch(&obj, &m, batch, &mut workspaces, &mut grads);
+            for grad in &grads[..batch.len()] {
+                loss_sum += grad.loss;
+                count += 1;
+                obj.accumulate(&mut m, grad);
+            }
+            m.step();
+        }
+        losses.push(if count > 0 {
+            loss_sum / count as f64
+        } else {
+            0.0
+        });
+    }
+    let items: Vec<usize> = (0..data.n_items()).collect();
+    (losses, m.score_items(0, &items))
+}
+
+#[test]
+fn pool_path_matches_retired_scoped_thread_path_bitwise() {
+    // Acceptance: the migration from per-batch scoped threads onto the
+    // persistent pool must not move the training trajectory by a single bit
+    // at any thread count — same losses, same final model weights.
+    let data = smoke_data();
+    let epochs = 2;
+    for threads in [1usize, 2, 4, 7] {
+        let (pool_losses, pool_scores) = run(&data, threads, epochs);
+        let (scoped_losses, scoped_scores) = run_scoped_reference(&data, threads, epochs);
+        assert_eq!(pool_losses.len(), scoped_losses.len());
+        for (e, (a, b)) in pool_losses.iter().zip(&scoped_losses).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads={threads} epoch {e}: pool {a} vs scoped {b}"
+            );
+        }
+        for (a, b) in pool_scores.iter().zip(&scoped_scores) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads={threads}: model diverged"
+            );
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_thread_knobs_still_steer_the_budget() {
+    // The deprecated per-phase fields keep compiling and feed the unified
+    // budget when `threads` is unset; `threads` wins when both are given.
+    let legacy = TrainConfig {
+        threads: 0,
+        train_threads: 2,
+        eval_threads: 3,
+        ..Default::default()
+    };
+    assert_eq!(legacy.thread_budget(), 3);
+    let unified = TrainConfig {
+        threads: 5,
+        train_threads: 1,
+        eval_threads: 1,
+        ..Default::default()
+    };
+    assert_eq!(unified.thread_budget(), 5);
+    assert_eq!(TrainConfig::default().thread_budget(), 4);
 }
 
 #[test]

@@ -40,6 +40,7 @@ pub use dual::DualSpectrum;
 pub use kdpp::KDpp;
 pub use kernel::DppKernel;
 pub use lowrank::LowRankKernel;
+pub use map::{greedy_map_with, MapResult, MapWorkspace};
 pub use workspace::{DppWorkspace, SpectrumPath, TailoredResult};
 
 /// Errors raised by DPP construction and inference.

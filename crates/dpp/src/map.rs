@@ -11,6 +11,7 @@
 //! benches can compare them.
 
 use crate::{DppError, DppKernel, Result};
+use lkp_linalg::Matrix;
 
 /// Result of a greedy MAP run.
 #[derive(Debug, Clone)]
@@ -21,37 +22,86 @@ pub struct MapResult {
     pub log_det: f64,
 }
 
-/// Fast greedy MAP: grows a subset one item at a time, always adding the item
-/// with the largest marginal gain `det(L_{S∪{i}})/det(L_S)`, until `k` items
-/// are selected or no item has positive gain.
+/// Reusable scratch for [`greedy_map_with`] — the serving hot path.
 ///
-/// Invariant maintained per candidate `i`: `d2[i]` is the squared norm of the
-/// residual of column `i` against the subspace spanned by the selected items
-/// (equivalently the marginal gain), and `c[i]` holds the Cholesky row that
-/// realizes it.
-pub fn greedy_map(kernel: &DppKernel, k: usize) -> Result<MapResult> {
-    let m = kernel.size();
+/// One workspace per worker thread; buffers grow to the steady-state
+/// `(m, k)` shape on first use and are clear-and-refilled afterwards, so a
+/// steady-state MAP call performs no heap allocation. The selection and
+/// incremental `log det` of the last call stay readable until the next one.
+#[derive(Debug, Clone, Default)]
+pub struct MapWorkspace {
+    /// Residual squared norms (marginal gains) per candidate.
+    d2: Vec<f64>,
+    /// Incremental Cholesky rows, candidate-major: row `i` holds the first
+    /// `selected.len()` coefficients of candidate `i`.
+    c: Matrix,
+    /// Contiguous copy of the newly selected row (borrow-splitting scratch).
+    cj: Vec<f64>,
+    in_set: Vec<bool>,
+    selected: Vec<usize>,
+    log_det: f64,
+}
+
+impl MapWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        MapWorkspace::default()
+    }
+
+    /// Selected indices of the last [`greedy_map_with`] call, in selection
+    /// order.
+    pub fn items(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// `log det(L_S)` of the last selection.
+    pub fn log_det(&self) -> f64 {
+        self.log_det
+    }
+}
+
+/// Fast greedy MAP over a raw kernel matrix, reusing `ws` across calls.
+///
+/// This is the workspace entry point behind [`greedy_map`], exposed
+/// separately so batched serving can run thousands of MAP calls without
+/// per-call allocation, directly on a kernel assembled in a reused buffer
+/// (no [`DppKernel`] construction). `l` must be square and symmetric PSD —
+/// callers assembling `Diag(q)·K·Diag(q) + ε·I` satisfy this by
+/// construction; the symmetry is **not** re-verified here.
+///
+/// The selection lands in [`MapWorkspace::items`]; the arithmetic (and hence
+/// the result, bit for bit) is identical to [`greedy_map`].
+pub fn greedy_map_with(l: &Matrix, k: usize, ws: &mut MapWorkspace) -> Result<()> {
+    let m = l.rows();
+    if !l.is_square() {
+        return Err(DppError::Linalg(lkp_linalg::LinalgError::NotSquare {
+            rows: l.rows(),
+            cols: l.cols(),
+        }));
+    }
     if k > m {
         return Err(DppError::CardinalityTooLarge { k, ground_size: m });
     }
-    let l = kernel.matrix();
-    let mut d2: Vec<f64> = (0..m).map(|i| l[(i, i)]).collect();
-    // c[i] grows one entry per selected item: the incremental Cholesky row.
-    let mut c: Vec<Vec<f64>> = vec![Vec::with_capacity(k); m];
-    let mut selected: Vec<usize> = Vec::with_capacity(k);
-    let mut in_set = vec![false; m];
-    let mut log_det = 0.0;
+    ws.d2.clear();
+    ws.d2.extend((0..m).map(|i| l[(i, i)]));
+    ws.c.reset(m, k.max(1));
+    ws.cj.clear();
+    ws.cj.resize(k, 0.0);
+    ws.in_set.clear();
+    ws.in_set.resize(m, false);
+    ws.selected.clear();
+    ws.log_det = 0.0;
 
-    while selected.len() < k {
+    while ws.selected.len() < k {
         // argmax over remaining candidates.
         let mut best: Option<(usize, f64)> = None;
         for i in 0..m {
-            if in_set[i] {
+            if ws.in_set[i] {
                 continue;
             }
             match best {
-                Some((_, bd)) if d2[i] <= bd => {}
-                _ => best = Some((i, d2[i])),
+                Some((_, bd)) if ws.d2[i] <= bd => {}
+                _ => best = Some((i, ws.d2[i])),
             }
         }
         let (j, gain) = best.ok_or(DppError::DegenerateKernel)?;
@@ -61,29 +111,45 @@ pub fn greedy_map(kernel: &DppKernel, k: usize) -> Result<MapResult> {
             break;
         }
         let dj = gain.sqrt();
-        log_det += gain.ln();
-        in_set[j] = true;
+        ws.log_det += gain.ln();
+        ws.in_set[j] = true;
+        let depth = ws.selected.len();
 
         // Update residuals of all remaining candidates against the newly
         // selected column j: e_i = (L_ji − ⟨c_j, c_i⟩) / d_j.
-        let cj = c[j].clone();
+        ws.cj[..depth].copy_from_slice(&ws.c.row(j)[..depth]);
         for i in 0..m {
-            if in_set[i] {
+            if ws.in_set[i] {
                 continue;
             }
+            let ci = ws.c.row_mut(i);
             let mut dot = 0.0;
-            for (a, b) in cj.iter().zip(&c[i]) {
+            for (a, b) in ws.cj[..depth].iter().zip(ci.iter()) {
                 dot += a * b;
             }
             let e = (l[(j, i)] - dot) / dj;
-            c[i].push(e);
-            d2[i] -= e * e;
+            ci[depth] = e;
+            ws.d2[i] -= e * e;
         }
-        selected.push(j);
+        ws.selected.push(j);
     }
+    Ok(())
+}
+
+/// Fast greedy MAP: grows a subset one item at a time, always adding the item
+/// with the largest marginal gain `det(L_{S∪{i}})/det(L_S)`, until `k` items
+/// are selected or no item has positive gain.
+///
+/// Invariant maintained per candidate `i`: `d2[i]` is the squared norm of the
+/// residual of column `i` against the subspace spanned by the selected items
+/// (equivalently the marginal gain), and the workspace's Cholesky row `c_i`
+/// realizes it. Allocating convenience wrapper over [`greedy_map_with`].
+pub fn greedy_map(kernel: &DppKernel, k: usize) -> Result<MapResult> {
+    let mut ws = MapWorkspace::new();
+    greedy_map_with(kernel.matrix(), k, &mut ws)?;
     Ok(MapResult {
-        items: selected,
-        log_det,
+        items: ws.selected,
+        log_det: ws.log_det,
     })
 }
 
@@ -230,6 +296,32 @@ mod tests {
         let mut items = res.items.clone();
         items.sort_unstable();
         assert!(items == vec![0, 2] || items == vec![1, 2], "got {items:?}");
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs_bitwise() {
+        // One workspace driven through kernels of different sizes must keep
+        // matching the allocating wrapper exactly (items and log_det bits).
+        let mut ws = MapWorkspace::new();
+        for (n, seed, k) in [(8, 0, 3), (5, 4, 5), (12, 2, 6), (4, 1, 2)] {
+            let kern = random_like_kernel(n, seed);
+            greedy_map_with(kern.matrix(), k, &mut ws).unwrap();
+            let fresh = greedy_map(&kern, k).unwrap();
+            assert_eq!(ws.items(), &fresh.items[..], "n={n} seed={seed} k={k}");
+            assert_eq!(ws.log_det().to_bits(), fresh.log_det.to_bits());
+        }
+    }
+
+    #[test]
+    fn workspace_rejects_rectangular_and_oversized() {
+        let mut ws = MapWorkspace::new();
+        let rect = Matrix::zeros(3, 4);
+        assert!(greedy_map_with(&rect, 2, &mut ws).is_err());
+        let kern = random_like_kernel(4, 0);
+        assert!(matches!(
+            greedy_map_with(kern.matrix(), 5, &mut ws),
+            Err(crate::DppError::CardinalityTooLarge { .. })
+        ));
     }
 
     #[test]

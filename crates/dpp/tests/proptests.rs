@@ -114,6 +114,36 @@ proptest! {
     }
 
     #[test]
+    fn greedy_vs_exhaustive_on_small_ground_sets(kernel in psd_kernel(12), k in 1usize..=4) {
+        // m = 12 is the largest ground set where exhaustive enumeration is
+        // still cheap (C(12,4) = 495). Greedy must (a) never beat the
+        // optimum, (b) *be* the optimum at k = 1 (both are the diagonal
+        // argmax), and (c) select exactly k items on these full-rank kernels.
+        let greedy = map::greedy_map(&kernel, k).unwrap();
+        let opt = map::exhaustive_map(&kernel, k).unwrap();
+        prop_assert!(greedy.log_det <= opt.log_det + 1e-8);
+        prop_assert_eq!(greedy.items.len(), k);
+        if k == 1 {
+            prop_assert_eq!(&greedy.items, &opt.items);
+            prop_assert!((greedy.log_det - opt.log_det).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn map_workspace_path_is_bitwise_identical(kernel in psd_kernel(12), k in 1usize..=8) {
+        // The serving-side workspace entry point must reproduce the
+        // allocating wrapper exactly — same selection, same log_det bits —
+        // including when the workspace is reused across differently-shaped
+        // calls (the warm-up run below leaves stale state behind).
+        let mut ws = map::MapWorkspace::new();
+        map::greedy_map_with(kernel.matrix(), (k + 3).min(12), &mut ws).unwrap();
+        map::greedy_map_with(kernel.matrix(), k, &mut ws).unwrap();
+        let fresh = map::greedy_map(&kernel, k).unwrap();
+        prop_assert_eq!(ws.items(), &fresh.items[..]);
+        prop_assert_eq!(ws.log_det().to_bits(), fresh.log_det.to_bits());
+    }
+
+    #[test]
     fn standard_dpp_total_probability_is_one(kernel in psd_kernel(5)) {
         let mut total = 0.0;
         for k in 0..=5 {

@@ -13,7 +13,11 @@
 //!
 //! Evaluation ranks the full catalog per user, excluding items seen in the
 //! train/validation splits, and averages metrics over users with non-empty
-//! test sets. Users are processed in parallel with crossbeam scoped threads.
+//! test sets. Users are processed in parallel on the shared
+//! [`lkp_runtime::WorkerPool`]: [`evaluate_with_pool`] runs on a pool the
+//! caller already owns (the trainer reuses its training pool for validation
+//! passes), while [`evaluate_parallel_on`] keeps the historical standalone
+//! signature by spinning up a transient pool.
 
 pub mod metrics;
 pub mod topn;
@@ -22,6 +26,15 @@ pub use metrics::{MetricSet, Metrics};
 
 use lkp_data::{Dataset, Split};
 use lkp_models::Recommender;
+use lkp_runtime::WorkerPool;
+
+/// Per-worker evaluation scratch, persisted in the pool's [`lkp_runtime::WorkerState`]
+/// so repeated evaluation passes (one per validation epoch) reuse the same
+/// score buffer.
+#[derive(Default)]
+struct EvalScratch {
+    scores: Vec<f64>,
+}
 
 /// Whether an item must be excluded from the ranked list when evaluating
 /// against the given target split: test-time evaluation hides train and
@@ -82,14 +95,12 @@ pub fn evaluate_parallel<M: Recommender + Sync>(
     evaluate_parallel_on(model, data, cutoffs, Split::Test, n_threads)
 }
 
-/// Parallel evaluation against an arbitrary split.
+/// Parallel evaluation against an arbitrary split, creating a transient pool.
 ///
-/// Users are partitioned into contiguous chunks, one `std::thread::scope`
-/// thread per chunk; the model is only read, so the threads share it
-/// immutably. Per-chunk metric rows are merged in chunk order, which makes
-/// the result identical to the sequential path (metric accumulation is a
-/// sum, but keeping a deterministic merge order means even round-off is
-/// reproducible run to run).
+/// Kept for callers without a pool of their own; anything evaluating
+/// repeatedly (the trainer's validation loop, benchmarks) should hold a
+/// [`WorkerPool`] and call [`evaluate_with_pool`] so worker threads and
+/// score buffers persist across passes.
 pub fn evaluate_parallel_on<M: Recommender + Sync>(
     model: &M,
     data: &Dataset,
@@ -97,39 +108,46 @@ pub fn evaluate_parallel_on<M: Recommender + Sync>(
     target: Split,
     n_threads: usize,
 ) -> MetricSet {
-    let n_threads = n_threads.max(1);
+    let mut pool = WorkerPool::new(n_threads.max(1));
+    evaluate_with_pool(model, data, cutoffs, target, &mut pool)
+}
+
+/// Parallel evaluation on a caller-owned persistent pool.
+///
+/// Users are partitioned into contiguous chunks, one pool worker per chunk;
+/// the model is only read, so workers share it immutably. Per-chunk metric
+/// rows are merged in chunk order, which makes the result identical to the
+/// sequential path (metric accumulation is a sum, but keeping a
+/// deterministic merge order means even round-off is reproducible run to
+/// run). Each worker's score buffer lives in its pool state and is reused
+/// across evaluation passes.
+pub fn evaluate_with_pool<M: Recommender + Sync>(
+    model: &M,
+    data: &Dataset,
+    cutoffs: &[usize],
+    target: Split,
+    pool: &mut WorkerPool,
+) -> MetricSet {
     let users: Vec<usize> = (0..data.n_users())
         .filter(|&u| !data.user_items(u, target).is_empty())
         .collect();
-    let chunk = users.len().div_ceil(n_threads).max(1);
 
-    let locals: Vec<Vec<Metrics>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = users
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    let mut local = vec![Metrics::zero(); cutoffs.len()];
-                    let mut scores = Vec::new();
-                    let max_n = cutoffs.iter().copied().max().unwrap_or(0);
-                    for &user in slice {
-                        let truth = data.user_items(user, target);
-                        model.score_all(user, &mut scores);
-                        let top = topn::top_n_excluding(&scores, max_n, |item| {
-                            excluded(data, user, item, target)
-                        });
-                        for (slot, &n) in local.iter_mut().zip(cutoffs) {
-                            let prefix = &top[..n.min(top.len())];
-                            slot.accumulate(&metrics::user_metrics(prefix, truth, data, n));
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation threads must not panic"))
-            .collect()
+    let locals: Vec<Vec<Metrics>> = pool.map_chunks(&users, |_, slice, state| {
+        let scratch = state.get_or_default::<EvalScratch>();
+        let mut local = vec![Metrics::zero(); cutoffs.len()];
+        let max_n = cutoffs.iter().copied().max().unwrap_or(0);
+        for &user in slice {
+            let truth = data.user_items(user, target);
+            model.score_all(user, &mut scratch.scores);
+            let top = topn::top_n_excluding(&scratch.scores, max_n, |item| {
+                excluded(data, user, item, target)
+            });
+            for (slot, &n) in local.iter_mut().zip(cutoffs) {
+                let prefix = &top[..n.min(top.len())];
+                slot.accumulate(&metrics::user_metrics(prefix, truth, data, n));
+            }
+        }
+        local
     });
 
     let mut agg = vec![Metrics::zero(); cutoffs.len()];
@@ -218,6 +236,26 @@ mod tests {
         }
         // Untrained model should be far from the oracle.
         assert!(m.at(5).unwrap().ndcg < 0.5);
+    }
+
+    #[test]
+    fn pooled_evaluation_is_stable_across_repeated_passes() {
+        // The same persistent pool driven through several passes (the
+        // trainer's validation pattern) must keep producing the identical
+        // MetricSet — worker-state reuse leaks nothing across passes.
+        let data = data();
+        let oracle = Oracle { data: data.clone() };
+        let mut pool = lkp_runtime::WorkerPool::new(3);
+        let first = evaluate_with_pool(&oracle, &data, &[5, 10], Split::Test, &mut pool);
+        for _ in 0..3 {
+            let again = evaluate_with_pool(&oracle, &data, &[5, 10], Split::Test, &mut pool);
+            for n in [5, 10] {
+                let a = first.at(n).unwrap();
+                let b = again.at(n).unwrap();
+                assert_eq!(a.ndcg.to_bits(), b.ndcg.to_bits());
+                assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -5,17 +5,63 @@
 //! these helpers.
 
 /// Dot product of two equal-length slices.
+///
+/// Accumulates over four independent f64 lanes (`a[0]b[0]+a[4]b[4]+…`, etc.)
+/// so the loop carries no single serial dependency chain and vectorizes to
+/// SIMD FMA lanes without `-ffast-math`-style reassociation. The lane split
+/// changes the summation *order* relative to [`dot_scalar`], so results may
+/// differ from the strict left-to-right sum by round-off (pinned ≤ 1e-12
+/// relative by the linalg proptests) — but the function itself is fully
+/// deterministic: the same inputs always produce the same bits.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0_f64; 4];
+    let a_chunks = a.chunks_exact(4);
+    let b_chunks = b.chunks_exact(4);
+    let a_tail = a_chunks.remainder();
+    let b_tail = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        lanes[0] += ca[0] * cb[0];
+        lanes[1] += ca[1] * cb[1];
+        lanes[2] += ca[2] * cb[2];
+        lanes[3] += ca[3] * cb[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (&x, &y) in a_tail.iter().zip(b_tail) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Strict left-to-right scalar dot product — the reference the chunked
+/// [`dot`] is property-tested against. Exposed for tests and benches.
+#[doc(hidden)]
+#[inline]
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
 /// In-place `y += alpha * x`.
+///
+/// Unrolled over 4-element blocks. Unlike [`dot`], the update is elementwise
+/// (no cross-element reduction), so the blocked form is **bitwise identical**
+/// to the scalar loop — the unroll only widens the independent-operation
+/// window for the vectorizer.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
+    let mut y_chunks = y.chunks_exact_mut(4);
+    let x_chunks = x.chunks_exact(4);
+    let x_tail = x_chunks.remainder();
+    for (cy, cx) in (&mut y_chunks).zip(x_chunks) {
+        cy[0] += alpha * cx[0];
+        cy[1] += alpha * cx[1];
+        cy[2] += alpha * cx[2];
+        cy[3] += alpha * cx[3];
+    }
+    for (yi, &xi) in y_chunks.into_remainder().iter_mut().zip(x_tail) {
         *yi += alpha * xi;
     }
 }
@@ -84,6 +130,37 @@ mod tests {
         assert_eq!(b, [6.0, 9.0, 12.0]);
         scale(0.5, &mut b);
         assert_eq!(b, [3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn chunked_dot_handles_all_tail_lengths() {
+        // Lengths straddling the 4-lane boundary, incl. empty.
+        for len in 0..=13usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64) * 0.7 - 2.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| 1.5 - (i as f64) * 0.3).collect();
+            let reference = dot_scalar(&a, &b);
+            let chunked = dot(&a, &b);
+            assert!(
+                (chunked - reference).abs() <= 1e-12 * reference.abs().max(1.0),
+                "len {len}: {chunked} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_axpy_is_bitwise_scalar() {
+        for len in 0..=13usize {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64) * 0.9 - 3.0).collect();
+            let mut y_blocked: Vec<f64> = (0..len).map(|i| (i as f64) * -0.4 + 1.0).collect();
+            let mut y_scalar = y_blocked.clone();
+            axpy(0.37, &x, &mut y_blocked);
+            for (yi, &xi) in y_scalar.iter_mut().zip(&x) {
+                *yi += 0.37 * xi;
+            }
+            for (a, b) in y_blocked.iter().zip(&y_scalar) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len {len}");
+            }
+        }
     }
 
     #[test]

@@ -119,4 +119,38 @@ proptest! {
         let sub = a.principal_submatrix(&idx).unwrap();
         prop_assert!(Cholesky::new(&sub).is_ok());
     }
+
+    #[test]
+    fn chunked_dot_matches_scalar_within_1e12(
+        pairs in proptest::collection::vec((-3.0..3.0_f64, -3.0..3.0_f64), 0..40),
+    ) {
+        // The 4-lane accumulator only reassociates the sum; for bounded
+        // inputs the result must stay within 1e-12 relative of the strict
+        // left-to-right scalar reduction.
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let chunked = lkp_linalg::ops::dot(&a, &b);
+        let scalar = lkp_linalg::ops::dot_scalar(&a, &b);
+        prop_assert!(
+            (chunked - scalar).abs() <= 1e-12 * scalar.abs().max(1.0),
+            "chunked {} vs scalar {}", chunked, scalar
+        );
+    }
+
+    #[test]
+    fn blocked_axpy_matches_scalar_bitwise(
+        pairs in proptest::collection::vec((-3.0..3.0_f64, -3.0..3.0_f64), 0..40),
+        alpha in -2.0..2.0_f64,
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let mut y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let mut y_ref = y.clone();
+        lkp_linalg::ops::axpy(alpha, &x, &mut y);
+        for (yi, &xi) in y_ref.iter_mut().zip(&x) {
+            *yi += alpha * xi;
+        }
+        for (got, want) in y.iter().zip(&y_ref) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
 }

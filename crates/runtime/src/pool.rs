@@ -1,0 +1,429 @@
+//! The persistent fork-join worker pool.
+
+use crate::WorkerState;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased pointer to the job closure of the current dispatch.
+///
+/// `data` points at the caller's closure (a `&F` on [`WorkerPool::run`]'s
+/// stack frame); `call` is the monomorphized trampoline that casts it back.
+/// The pointer is only dereferenced between job publication and the
+/// completion barrier inside `run`, which outlives neither the closure nor
+/// anything it borrows.
+#[derive(Clone, Copy)]
+struct JobPtr {
+    data: *const (),
+    call: unsafe fn(*const (), usize, &mut WorkerState),
+}
+
+// Safety: the pointee is `Sync` (enforced by `run`'s bounds), and the
+// pointer's lifetime is bracketed by the dispatch barrier.
+unsafe impl Send for JobPtr {}
+
+unsafe fn call_job<F: Fn(usize, &mut WorkerState) + Sync>(
+    data: *const (),
+    worker: usize,
+    state: &mut WorkerState,
+) {
+    // Safety: `data` was created from a live `&F` by `run`, which blocks
+    // until every worker has finished with it.
+    unsafe { (*(data as *const F))(worker, state) }
+}
+
+struct PoolState {
+    /// The published job of the current dispatch generation.
+    job: Option<JobPtr>,
+    /// Dispatch generation counter; bumped once per `run`.
+    epoch: u64,
+    /// Spawned workers still executing the current job.
+    remaining: usize,
+    /// Spawned workers whose job closure panicked this dispatch.
+    panicked: usize,
+    /// Tells workers to exit their loop.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signaled when a new job is published (or on shutdown).
+    start: Condvar,
+    /// Signaled when the last spawned worker finishes the current job.
+    done: Condvar,
+}
+
+/// A persistent pool of `n` fork-join workers (the caller is worker 0, so
+/// `n − 1` threads are spawned; `n = 1` spawns none and runs inline).
+///
+/// [`WorkerPool::run`] is the primitive: it executes `job(worker_index,
+/// &mut WorkerState)` once per worker and returns when all are done — a
+/// drop-in replacement for the per-call `std::thread::scope` fork-join, with
+/// the spawn cost paid once per pool instead of once per call. The safe
+/// helpers [`WorkerPool::zip_chunks`] and [`WorkerPool::map_chunks`] cover
+/// the two shapes every consumer in this workspace needs: disjoint
+/// input/output chunk processing (trainer batches, serving batches) and
+/// per-chunk result collection in chunk order (evaluation merge).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Worker 0's (the caller's) persistent state.
+    caller_state: WorkerState,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers (0 resolves to the host's
+    /// available parallelism). Spawns `threads − 1` background threads.
+    pub fn new(threads: usize) -> Self {
+        let threads = crate::resolve_threads(threads);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                remaining: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lkp-pool-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            caller_state: WorkerState::new(),
+            threads,
+        }
+    }
+
+    /// The pool's worker count (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(worker_index, state)` once on every worker and blocks until
+    /// all have finished. Worker indices are `0..threads()`; the caller runs
+    /// index 0 inline. Panics in any worker propagate to the caller after
+    /// the barrier (the pool itself stays usable).
+    pub fn run<F>(&mut self, job: F)
+    where
+        F: Fn(usize, &mut WorkerState) + Sync,
+    {
+        let spawned = self.handles.len();
+        if spawned > 0 {
+            let ptr = JobPtr {
+                data: &job as *const F as *const (),
+                call: call_job::<F>,
+            };
+            let mut guard = self.shared.state.lock().expect("pool lock");
+            guard.job = Some(ptr);
+            guard.epoch += 1;
+            guard.remaining = spawned;
+            guard.panicked = 0;
+            drop(guard);
+            self.shared.start.notify_all();
+        }
+
+        // The caller is worker 0. Even if its share panics, we must reach
+        // the barrier first — returning early would free `job` while
+        // spawned workers still hold a pointer into this frame.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| job(0, &mut self.caller_state)));
+
+        let worker_panics = if spawned > 0 {
+            let mut guard = self.shared.state.lock().expect("pool lock");
+            while guard.remaining > 0 {
+                guard = self.shared.done.wait(guard).expect("pool lock");
+            }
+            guard.job = None;
+            guard.panicked
+        } else {
+            0
+        };
+
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        if worker_panics > 0 {
+            panic!("{worker_panics} pool worker(s) panicked");
+        }
+    }
+
+    /// Splits `input` and `out` into the same contiguous per-worker chunks
+    /// and runs `f(chunk_offset, input_chunk, out_chunk, state)` on each
+    /// non-empty pair. Chunk boundaries depend only on `input.len()` and the
+    /// pool width; each output element is written by exactly one worker, so
+    /// element values are independent of the thread count.
+    pub fn zip_chunks<T, U, F>(&mut self, input: &[T], out: &mut [U], f: F)
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T], &mut [U], &mut WorkerState) + Sync,
+    {
+        assert_eq!(
+            input.len(),
+            out.len(),
+            "zip_chunks input/output lengths differ"
+        );
+        let len = input.len();
+        let chunk = len.div_ceil(self.threads).max(1);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        self.run(move |worker, state| {
+            let start = (worker * chunk).min(len);
+            let end = ((worker + 1) * chunk).min(len);
+            if start >= end {
+                return;
+            }
+            // Safety: [start, end) ranges are disjoint across workers and
+            // `run` does not return before every worker is done, so each
+            // sub-slice is exclusively borrowed for the dispatch.
+            let out_chunk =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(start), end - start) };
+            f(start, &input[start..end], out_chunk, state);
+        });
+    }
+
+    /// Splits `input` into contiguous per-worker chunks, runs
+    /// `f(chunk_offset, input_chunk, state)` on each non-empty one, and
+    /// returns the per-chunk results **in chunk order** (worker 0's chunk
+    /// first). Empty chunks (when `input.len() < threads()`) yield no entry.
+    pub fn map_chunks<T, R, F>(&mut self, input: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T], &mut WorkerState) -> R + Sync,
+    {
+        let len = input.len();
+        let chunk = len.div_ceil(self.threads).max(1);
+        let mut results: Vec<Option<R>> = (0..self.threads).map(|_| None).collect();
+        let res_ptr = SendPtr(results.as_mut_ptr());
+        self.run(move |worker, state| {
+            let start = (worker * chunk).min(len);
+            let end = ((worker + 1) * chunk).min(len);
+            if start >= end {
+                return;
+            }
+            let value = f(start, &input[start..end], state);
+            // Safety: each worker writes only its own pre-allocated slot.
+            unsafe { *res_ptr.get().add(worker) = Some(value) };
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Borrows the caller's (worker 0's) persistent state — useful for
+    /// consumers that also run work outside pool dispatches and want to
+    /// share the same scratch.
+    pub fn caller_state(&mut self) -> &mut WorkerState {
+        &mut self.caller_state
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = self.shared.state.lock().expect("pool lock");
+            guard.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Raw-pointer wrapper that may cross the dispatch boundary. Soundness is
+/// argued at each construction site (disjoint ranges / exclusive slots).
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut state = WorkerState::new();
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut guard = shared.state.lock().expect("pool lock");
+            loop {
+                if guard.shutdown {
+                    return;
+                }
+                if guard.epoch != seen_epoch {
+                    if let Some(job) = guard.job {
+                        seen_epoch = guard.epoch;
+                        break job;
+                    }
+                }
+                guard = shared.start.wait(guard).expect("pool lock");
+            }
+        };
+        // Safety: the job pointer stays valid until `run`'s barrier, which
+        // cannot pass before the `remaining` decrement below.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (job.call)(job.data, index, &mut state)
+        }));
+        let mut guard = shared.state.lock().expect("pool lock");
+        if result.is_err() {
+            guard.panicked += 1;
+        }
+        guard.remaining -= 1;
+        if guard.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_executes_once_per_worker() {
+        for threads in [1, 2, 4, 7] {
+            let mut pool = WorkerPool::new(threads);
+            let count = AtomicUsize::new(0);
+            let seen = Mutex::new(Vec::new());
+            pool.run(|w, _| {
+                count.fetch_add(1, Ordering::SeqCst);
+                seen.lock().unwrap().push(w);
+            });
+            assert_eq!(count.load(Ordering::SeqCst), threads);
+            let mut ids = seen.into_inner().unwrap();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..threads).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_state_persists_across_dispatches() {
+        let mut pool = WorkerPool::new(4);
+        for round in 1..=5usize {
+            pool.run(|_, state| {
+                *state.get_or_default::<usize>() += 1;
+            });
+            let counts = Mutex::new(Vec::new());
+            pool.run(|_, state| {
+                counts
+                    .lock()
+                    .unwrap()
+                    .push(*state.get_or_default::<usize>());
+            });
+            let counts = counts.into_inner().unwrap();
+            assert_eq!(counts, vec![round; 4], "round {round}");
+        }
+    }
+
+    #[test]
+    fn zip_chunks_covers_every_element_exactly_once() {
+        for threads in [1, 2, 3, 4, 7] {
+            for len in [0usize, 1, 5, 16, 33] {
+                let input: Vec<usize> = (0..len).collect();
+                let mut out = vec![usize::MAX; len];
+                let mut pool = WorkerPool::new(threads);
+                pool.zip_chunks(&input, &mut out, |offset, inp, outp, _| {
+                    assert_eq!(inp[0], offset, "offset is the chunk's global start");
+                    for (slot, &v) in outp.iter_mut().zip(inp) {
+                        *slot = v * 10;
+                    }
+                });
+                assert_eq!(
+                    out,
+                    input.iter().map(|v| v * 10).collect::<Vec<_>>(),
+                    "threads={threads} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_returns_results_in_chunk_order() {
+        let input: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let mut pool = WorkerPool::new(threads);
+            let sums = pool.map_chunks(&input, |_, chunk, _| chunk.iter().sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), 4950, "threads={threads}");
+            // Chunk order: offsets strictly increase, so partial sums of the
+            // contiguous chunks reconstruct the prefix structure.
+            let offsets = pool.map_chunks(&input, |offset, _, _| offset);
+            let mut sorted = offsets.clone();
+            sorted.sort_unstable();
+            assert_eq!(offsets, sorted);
+        }
+    }
+
+    #[test]
+    fn pool_survives_worker_panics() {
+        let mut pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|w, _| {
+                if w == 2 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool is still usable after a panic.
+        let count = AtomicUsize::new(0);
+        pool.run(|_, _| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn caller_panic_still_joins_barrier() {
+        let mut pool = WorkerPool::new(3);
+        let done = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|w, _| {
+                if w == 0 {
+                    panic!("caller boom");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+        pool.run(|_, _| {});
+    }
+
+    #[test]
+    fn borrowed_data_is_visible_to_workers() {
+        // The whole point of the scope-compatible API: jobs may borrow from
+        // the caller's stack.
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let mut pool = WorkerPool::new(4);
+        let total = Mutex::new(0.0);
+        pool.run(|w, _| {
+            let chunk = data.len().div_ceil(4);
+            let start = (w * chunk).min(data.len());
+            let end = ((w + 1) * chunk).min(data.len());
+            let local: f64 = data[start..end].iter().sum();
+            *total.lock().unwrap() += local;
+        });
+        assert_eq!(*total.lock().unwrap(), 499_500.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-worker reusable state: a typed slot map that lives as long as its
+//! worker thread.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// A typed slot map owned by one pool worker.
+///
+/// Consumers key their scratch by type: the trainer keeps a `DppWorkspace`
+/// per worker, the evaluator a score buffer, the serving layer its kernel
+/// cache — all in the same state object, none visible to the others. Slots
+/// are created on first access and then reused across every subsequent job
+/// the worker runs, which is what makes pool execution steady-state
+/// allocation-free for consumers that pre-size their scratch.
+#[derive(Default)]
+pub struct WorkerState {
+    slots: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl WorkerState {
+    /// Creates an empty state (slots materialize on first access).
+    pub fn new() -> Self {
+        WorkerState::default()
+    }
+
+    /// Borrows the worker's `T` slot, creating it with `init` on first use.
+    pub fn get_or_insert_with<T: Any + Send, F: FnOnce() -> T>(&mut self, init: F) -> &mut T {
+        self.slots
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(init()))
+            .downcast_mut::<T>()
+            .expect("slot type is keyed by TypeId")
+    }
+
+    /// Borrows the worker's `T` slot, creating it with `T::default()` on
+    /// first use.
+    pub fn get_or_default<T: Any + Send + Default>(&mut self) -> &mut T {
+        self.get_or_insert_with(T::default)
+    }
+
+    /// Whether a `T` slot already exists (i.e. some earlier job created it).
+    pub fn contains<T: Any + Send>(&self) -> bool {
+        self.slots.contains_key(&TypeId::of::<T>())
+    }
+}
+
+impl std::fmt::Debug for WorkerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerState")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_persist_and_are_typed() {
+        let mut s = WorkerState::new();
+        assert!(!s.contains::<Vec<f64>>());
+        s.get_or_default::<Vec<f64>>().push(1.0);
+        s.get_or_default::<Vec<f64>>().push(2.0);
+        assert_eq!(s.get_or_default::<Vec<f64>>().len(), 2);
+        // A different type gets its own slot.
+        *s.get_or_insert_with::<usize, _>(|| 7) += 1;
+        assert_eq!(*s.get_or_default::<usize>(), 8);
+        assert!(s.contains::<Vec<f64>>());
+    }
+}

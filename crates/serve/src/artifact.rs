@@ -1,0 +1,73 @@
+//! Immutable serving artifacts snapshotted from trained state.
+
+use lkp_dpp::LowRankKernel;
+use lkp_models::Recommender;
+
+/// An immutable snapshot of everything the serving path reads: the trained
+/// relevance model and the (row-normalized) low-rank diversity kernel.
+///
+/// The artifact owns its state, so a `Ranker` built from it is decoupled
+/// from any trainer that keeps mutating the live model — the standard
+/// train/serve split. The kernel is normalized on construction to match
+/// what [`lkp_core::LkpObjective`] trains against (unit diagonal; quality
+/// lives entirely in `q`).
+#[derive(Debug, Clone)]
+pub struct RankingArtifact<M> {
+    model: M,
+    kernel: LowRankKernel,
+}
+
+impl<M: Recommender> RankingArtifact<M> {
+    /// Freezes an owned model + kernel into an artifact.
+    ///
+    /// # Panics
+    /// If the kernel's item count differs from the model's.
+    pub fn new(model: M, kernel: LowRankKernel) -> Self {
+        assert_eq!(
+            kernel.num_items(),
+            model.n_items(),
+            "diversity kernel and model disagree on catalog size"
+        );
+        RankingArtifact {
+            model,
+            kernel: kernel.normalized(),
+        }
+    }
+
+    /// Snapshots (clones) a live model + kernel into an artifact.
+    pub fn snapshot(model: &M, kernel: &LowRankKernel) -> Self
+    where
+        M: Clone,
+    {
+        RankingArtifact::new(model.clone(), kernel.clone())
+    }
+
+    /// Snapshots a model trained with an [`lkp_core::LkpObjective`], reusing
+    /// the objective's diversity kernel.
+    pub fn from_trained(model: &M, objective: &lkp_core::LkpObjective) -> Self
+    where
+        M: Clone,
+    {
+        RankingArtifact::snapshot(model, objective.kernel())
+    }
+
+    /// The frozen relevance model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The frozen (normalized) diversity kernel.
+    pub fn kernel(&self) -> &LowRankKernel {
+        &self.kernel
+    }
+
+    /// Catalog size served by this artifact.
+    pub fn n_items(&self) -> usize {
+        self.model.n_items()
+    }
+
+    /// User population served by this artifact.
+    pub fn n_users(&self) -> usize {
+        self.model.n_users()
+    }
+}

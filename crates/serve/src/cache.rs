@@ -1,0 +1,160 @@
+//! Bounded per-user cache of assembled diversity submatrices.
+
+use lkp_dpp::LowRankKernel;
+use lkp_linalg::Matrix;
+use std::collections::HashMap;
+
+struct CacheEntry {
+    candidates: Vec<usize>,
+    k_sub: Matrix,
+    last_used: u64,
+}
+
+/// A bounded per-user cache of candidate-set diversity submatrices `K_C`.
+///
+/// `K_C = V_C·V_Cᵀ` depends only on the candidate set — not on the user's
+/// scores — so for the common serving shape (each user's candidate pool is
+/// stable across requests) the `O(|C|²·d)` assembly is paid once per user
+/// and amortized afterwards. Entries are keyed by user and validated
+/// against the exact candidate list: a changed pool replaces the entry
+/// instead of serving a stale kernel. Eviction is least-recently-used once
+/// `capacity` users are resident.
+///
+/// Cached matrices are bit-exact copies of what a miss recomputes
+/// ([`LowRankKernel::submatrix_into`] is deterministic), so cache hits can
+/// never change a served list.
+#[derive(Default)]
+pub(crate) struct KernelCache {
+    entries: HashMap<usize, CacheEntry>,
+    /// Assembly target when caching is disabled (`capacity == 0`).
+    uncached: Matrix,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl KernelCache {
+    /// Returns the diversity submatrix for `(user, candidates)` and whether
+    /// it was served from cache.
+    pub(crate) fn get_or_assemble(
+        &mut self,
+        user: usize,
+        candidates: &[usize],
+        kernel: &LowRankKernel,
+        capacity: usize,
+    ) -> (&Matrix, bool) {
+        self.tick += 1;
+        if capacity == 0 {
+            self.misses += 1;
+            kernel
+                .submatrix_into(candidates, &mut self.uncached)
+                .expect("candidates validated by caller");
+            return (&self.uncached, false);
+        }
+        if let Some(entry) = self.entries.get_mut(&user) {
+            if entry.candidates == candidates {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                // Reborrow immutably for the return value.
+                let entry = &self.entries[&user];
+                return (&entry.k_sub, true);
+            }
+        }
+        self.misses += 1;
+        if !self.entries.contains_key(&user) && self.entries.len() >= capacity {
+            let evict = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&u, _)| u)
+                .expect("non-empty cache over capacity");
+            self.entries.remove(&evict);
+        }
+        let entry = self.entries.entry(user).or_insert_with(|| CacheEntry {
+            candidates: Vec::new(),
+            k_sub: Matrix::zeros(0, 0),
+            last_used: 0,
+        });
+        entry.candidates.clear();
+        entry.candidates.extend_from_slice(candidates);
+        kernel
+            .submatrix_into(candidates, &mut entry.k_sub)
+            .expect("candidates validated by caller");
+        entry.last_used = self.tick;
+        (&self.entries[&user].k_sub, false)
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Resident users.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> LowRankKernel {
+        let v = Matrix::from_fn(10, 3, |r, c| (((r * 7 + c * 5) % 9) as f64) * 0.3 - 1.0);
+        LowRankKernel::new(v).normalized()
+    }
+
+    #[test]
+    fn hit_returns_bit_exact_matrix() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        let cands = vec![1, 4, 7];
+        let (first, hit1) = cache.get_or_assemble(0, &cands, &kern, 4);
+        let first = first.clone();
+        assert!(!hit1);
+        let (second, hit2) = cache.get_or_assemble(0, &cands, &kern, 4);
+        assert!(hit2);
+        assert_eq!(first.as_slice(), second.as_slice());
+        let fresh = kern.submatrix(&cands).unwrap();
+        assert_eq!(first.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn changed_candidates_invalidate_entry() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        cache.get_or_assemble(0, &[1, 2], &kern, 4);
+        let (m, hit) = cache.get_or_assemble(0, &[2, 3], &kern, 4);
+        assert!(!hit);
+        assert_eq!(m.as_slice(), kern.submatrix(&[2, 3]).unwrap().as_slice());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_keeps_cache_bounded_and_lru() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        cache.get_or_assemble(0, &[1], &kern, 2);
+        cache.get_or_assemble(1, &[2], &kern, 2);
+        // Touch user 0 so user 1 is the LRU.
+        cache.get_or_assemble(0, &[1], &kern, 2);
+        cache.get_or_assemble(2, &[3], &kern, 2);
+        assert_eq!(cache.len(), 2);
+        let (_, hit_user0) = cache.get_or_assemble(0, &[1], &kern, 2);
+        assert!(hit_user0, "recently used entry must survive eviction");
+        let (_, hit_user1) = cache.get_or_assemble(1, &[2], &kern, 2);
+        assert!(!hit_user1, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        let (_, hit1) = cache.get_or_assemble(0, &[1, 2], &kern, 0);
+        let (_, hit2) = cache.get_or_assemble(0, &[1, 2], &kern, 0);
+        assert!(!hit1 && !hit2);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+}

@@ -1,0 +1,67 @@
+//! `lkp-serve` — the batched top-N serving layer.
+//!
+//! Training (the paper's contribution) produces a relevance model and a
+//! diversity kernel; the *product* is a ranker. This crate turns a trained
+//! [`lkp_models::Recommender`] into one:
+//!
+//! 1. [`RankingArtifact`] snapshots the model + diversity kernel into an
+//!    immutable serving artifact (scores and kernel entries can never drift
+//!    under a concurrent trainer).
+//! 2. [`Ranker`] drives batched [`RankRequest`]s through the shared
+//!    [`lkp_runtime::WorkerPool`]: per request it assembles the user's
+//!    tailored low-rank kernel `L_C = Diag(q)·K_C·Diag(q) + ε·I` over the
+//!    candidate set (exactly the kernel the LkP criterion trained against —
+//!    same quality map `q = exp(clamp(ŷ))`, same L-space jitter) and runs
+//!    incremental-Cholesky greedy MAP ([`lkp_dpp::greedy_map_with`]) to pick
+//!    the top-N list — `O(|C|·N²)` per request after the `O(|C|²·d)` kernel
+//!    assembly.
+//! 3. Each pool worker keeps a [`ServeWorkspace`] in its worker state: score
+//!    and quality buffers, the kernel staging matrix, the MAP workspace, and
+//!    a **bounded per-user kernel cache** — the diversity submatrix `K_C`
+//!    depends only on the candidate set, so a user with a stable candidate
+//!    pool skips the dominant `O(|C|²·d)` assembly on repeat requests.
+//!
+//! Serving results are **identical at any pool width**: requests are
+//! independent, the cache stores bit-exact copies of what a cache miss would
+//! recompute, and greedy MAP breaks ties by candidate order.
+
+mod artifact;
+mod cache;
+mod ranker;
+
+pub use artifact::RankingArtifact;
+pub use ranker::{RankRequest, RankResponse, Ranker, ServeWorkspace};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads of the ranker's pool (0 = host parallelism).
+    pub threads: usize,
+    /// L-space jitter `ε` added to the assembled candidate kernel. Defaults
+    /// to the training-side [`lkp_core::KERNEL_JITTER`] so served lists rank
+    /// by exactly the distribution the model was trained under.
+    pub jitter: f64,
+    /// Score clamp applied before `exp` in the quality map (defaults to the
+    /// training-side [`lkp_core::SCORE_CLAMP`]).
+    pub score_clamp: f64,
+    /// Per-worker kernel-cache capacity in users (0 disables caching).
+    ///
+    /// The bound is an entry count, not a byte budget: each entry holds a
+    /// `|C| × |C|` f64 matrix, i.e. `|C|²·8` bytes (~80 KB at `|C| = 100`,
+    /// ~2 MB at `|C| = 500`), and every pool worker owns its own cache.
+    /// Size it as `capacity ≈ budget_bytes / (threads · |C|² · 8)`; the
+    /// default (256 entries ≈ 20 MB/worker at `|C| = 100`) favors small
+    /// candidate pools.
+    pub kernel_cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 0,
+            jitter: lkp_core::KERNEL_JITTER,
+            score_clamp: lkp_core::SCORE_CLAMP,
+            kernel_cache_capacity: 256,
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The batched ranker: requests in, diversified top-N lists out.
+
+use crate::cache::KernelCache;
+use crate::{RankingArtifact, ServeConfig};
+use lkp_dpp::{greedy_map_with, MapWorkspace};
+use lkp_linalg::Matrix;
+use lkp_models::Recommender;
+use lkp_runtime::WorkerPool;
+
+/// One top-N request: rank `candidates` for `user` and keep the best
+/// `top_n` under the tailored k-DPP MAP objective.
+#[derive(Debug, Clone)]
+pub struct RankRequest {
+    /// Requesting user.
+    pub user: usize,
+    /// Candidate item ids (typically a few hundred from a retrieval stage).
+    pub candidates: Vec<usize>,
+    /// List length to produce (clamped to the candidate count).
+    pub top_n: usize,
+}
+
+impl RankRequest {
+    /// A request over an explicit candidate list.
+    pub fn new(user: usize, candidates: Vec<usize>, top_n: usize) -> Self {
+        RankRequest {
+            user,
+            candidates,
+            top_n,
+        }
+    }
+
+    /// A request ranking the full catalog (small catalogs / offline use).
+    pub fn full_catalog(user: usize, n_items: usize, top_n: usize) -> Self {
+        RankRequest::new(user, (0..n_items).collect(), top_n)
+    }
+}
+
+/// One served list.
+///
+/// `items` is in greedy selection order (position 1 first), which is also
+/// the presentation order: each item maximizes the marginal determinant
+/// gain given everything above it. Empty when the request was degenerate
+/// (no candidates, unknown user, out-of-catalog candidate id, or a
+/// numerically vanished kernel).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankResponse {
+    /// Requesting user (copied from the request).
+    pub user: usize,
+    /// Selected items, best-first.
+    pub items: Vec<usize>,
+    /// `log det(L_S)` of the selected set under the tailored kernel.
+    pub log_det: f64,
+    /// Whether the diversity submatrix came from the per-worker cache.
+    pub cache_hit: bool,
+}
+
+/// Per-worker serving scratch, persisted in pool worker state across
+/// batches: reused score/quality buffers, the assembled kernel, the MAP
+/// workspace, and the bounded per-user kernel cache. Steady-state serving
+/// of a fixed request shape allocates only on cache insertions.
+#[derive(Default)]
+pub struct ServeWorkspace {
+    scores: Vec<f64>,
+    q: Vec<f64>,
+    l: Matrix,
+    map: MapWorkspace,
+    cache: KernelCache,
+    /// Sorted copy of the candidate list (duplicate detection) and the
+    /// deduplicated list when duplicates are present.
+    sorted: Vec<usize>,
+    dedup: Vec<usize>,
+}
+
+/// The serving engine: an immutable [`RankingArtifact`] plus a persistent
+/// worker pool. Batches are cut into contiguous per-worker chunks
+/// (`O(batch/threads)` requests each); every response slot is written by
+/// exactly one worker, so the output order matches the request order and
+/// the served lists are identical at any pool width.
+pub struct Ranker<M> {
+    artifact: RankingArtifact<M>,
+    pool: WorkerPool,
+    config: ServeConfig,
+}
+
+impl<M: Recommender + Sync> Ranker<M> {
+    /// Builds a ranker (spawning the pool) from a frozen artifact.
+    pub fn new(artifact: RankingArtifact<M>, config: ServeConfig) -> Self {
+        let pool = WorkerPool::new(config.threads);
+        Ranker {
+            artifact,
+            pool,
+            config,
+        }
+    }
+
+    /// The frozen artifact this ranker serves.
+    pub fn artifact(&self) -> &RankingArtifact<M> {
+        &self.artifact
+    }
+
+    /// Worker threads in the serving pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Serves one batch of requests, one response per request in request
+    /// order.
+    pub fn rank_batch(&mut self, requests: &[RankRequest]) -> Vec<RankResponse> {
+        let mut out = Vec::new();
+        self.rank_batch_into(requests, &mut out);
+        out
+    }
+
+    /// [`Ranker::rank_batch`] into a reused response buffer (cleared and
+    /// refilled; response-internal buffers are recycled across batches).
+    pub fn rank_batch_into(&mut self, requests: &[RankRequest], out: &mut Vec<RankResponse>) {
+        out.resize_with(requests.len(), RankResponse::default);
+        let artifact = &self.artifact;
+        let config = &self.config;
+        self.pool
+            .zip_chunks(requests, out, |_, reqs, resps, state| {
+                let ws = state.get_or_default::<ServeWorkspace>();
+                for (req, resp) in reqs.iter().zip(resps.iter_mut()) {
+                    serve_one(artifact, config, ws, req, resp);
+                }
+            });
+    }
+
+    /// Serves a single request on the caller thread (no pool dispatch) —
+    /// the low-latency path for un-batched traffic.
+    pub fn rank_one(&mut self, request: &RankRequest) -> RankResponse {
+        let mut resp = RankResponse::default();
+        let ws = self.pool.caller_state().get_or_default::<ServeWorkspace>();
+        serve_one(&self.artifact, &self.config, ws, request, &mut resp);
+        resp
+    }
+
+    /// Aggregate `(hits, misses)` of the per-worker kernel caches observed
+    /// from the caller's worker; other workers' counters are summed in via
+    /// a pool dispatch.
+    pub fn cache_stats(&mut self) -> (u64, u64) {
+        let totals = std::sync::Mutex::new((0u64, 0u64));
+        self.pool.run(|_, state| {
+            let ws = state.get_or_default::<ServeWorkspace>();
+            let (h, m) = ws.cache.stats();
+            let mut guard = totals.lock().expect("stats lock");
+            guard.0 += h;
+            guard.1 += m;
+        });
+        totals.into_inner().expect("stats lock")
+    }
+}
+
+impl<M> std::fmt::Debug for Ranker<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ranker")
+            .field("threads", &self.pool.threads())
+            .finish()
+    }
+}
+
+/// Serves one request into `resp` using the worker's scratch.
+fn serve_one<M: Recommender>(
+    artifact: &RankingArtifact<M>,
+    config: &ServeConfig,
+    ws: &mut ServeWorkspace,
+    req: &RankRequest,
+    resp: &mut RankResponse,
+) {
+    resp.user = req.user;
+    resp.items.clear();
+    resp.log_det = 0.0;
+    resp.cache_hit = false;
+
+    let n_items = artifact.n_items();
+    if req.candidates.is_empty()
+        || req.top_n == 0
+        || req.user >= artifact.n_users()
+        || req.candidates.iter().any(|&i| i >= n_items)
+    {
+        return;
+    }
+
+    // Duplicate candidate ids would let greedy MAP pick the same item
+    // twice (a duplicate row's residual decays only to the jitter floor,
+    // above the rank cutoff). Deduplicate, keeping first occurrences; the
+    // sorted scratch makes the common clean case an O(|C| log |C|) check.
+    ws.sorted.clear();
+    ws.sorted.extend_from_slice(&req.candidates);
+    ws.sorted.sort_unstable();
+    let candidates: &[usize] = if ws.sorted.windows(2).any(|w| w[0] == w[1]) {
+        ws.dedup.clear();
+        for &item in &req.candidates {
+            if !ws.dedup.contains(&item) {
+                ws.dedup.push(item);
+            }
+        }
+        &ws.dedup
+    } else {
+        &req.candidates
+    };
+    let c = candidates.len();
+
+    // Scores → quality, exactly the training-side map q = exp(clamp(ŷ)).
+    artifact
+        .model()
+        .score_items_into(req.user, candidates, &mut ws.scores);
+    ws.q.clear();
+    ws.q.extend(
+        ws.scores
+            .iter()
+            .map(|&s| s.clamp(-config.score_clamp, config.score_clamp).exp()),
+    );
+
+    // Diversity submatrix K_C (cached per user), then the tailored kernel
+    // L = Diag(q)·K_C·Diag(q) + ε·I assembled into the reused buffer. The
+    // off-diagonal entries average the two factorization orders — the same
+    // arithmetic as `DppKernel::from_quality_diversity` + `symmetrize` —
+    // so the serve-side kernel matches the offline
+    // `lkp_core::objective::tailored_kernel` bit for bit, not merely up to
+    // round-off.
+    let (k_sub, hit) = ws.cache.get_or_assemble(
+        req.user,
+        candidates,
+        artifact.kernel(),
+        config.kernel_cache_capacity,
+    );
+    resp.cache_hit = hit;
+    ws.l.reset(c, c);
+    for i in 0..c {
+        let qi = ws.q[i];
+        ws.l[(i, i)] = qi * k_sub[(i, i)] * qi + config.jitter;
+        for j in (i + 1)..c {
+            let qj = ws.q[j];
+            let kij = k_sub[(i, j)];
+            let avg = 0.5 * (qi * kij * qj + qj * kij * qi);
+            ws.l[(i, j)] = avg;
+            ws.l[(j, i)] = avg;
+        }
+    }
+
+    // Greedy MAP under the tailored kernel; selection order is the list.
+    let k = req.top_n.min(c);
+    if greedy_map_with(&ws.l, k, &mut ws.map).is_err() {
+        return;
+    }
+    resp.items
+        .extend(ws.map.items().iter().map(|&idx| candidates[idx]));
+    resp.log_det = ws.map.log_det();
+}

@@ -1,0 +1,283 @@
+//! Serving-layer integration tests: the batched `Ranker` must reproduce
+//! offline greedy MAP exactly, at any pool width, cache state, and batch
+//! shape.
+
+use lkp_core::objective::{LkpKind, LkpObjective};
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig, TrainConfig, Trainer};
+use lkp_data::{Dataset, SyntheticConfig};
+use lkp_dpp::{map, DppKernel, LowRankKernel};
+use lkp_models::{MatrixFactorization, Recommender};
+use lkp_nn::AdamConfig;
+use lkp_serve::{RankRequest, RankResponse, Ranker, RankingArtifact, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn data() -> Dataset {
+    lkp_data::synthetic::generate(&SyntheticConfig {
+        n_users: 30,
+        n_items: 80,
+        n_categories: 8,
+        mean_interactions: 16.0,
+        ..Default::default()
+    })
+}
+
+/// A briefly-trained model + kernel — enough structure that scores are not
+/// symmetric and ties cannot mask ordering bugs.
+fn trained(data: &Dataset) -> (MatrixFactorization, LowRankKernel) {
+    let kernel = train_diversity_kernel(
+        data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 48,
+            dim: 6,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        12,
+        AdamConfig {
+            lr: 0.02,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let mut obj = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 3,
+        eval_every: 0,
+        patience: 0,
+        k: 4,
+        n: 4,
+        threads: 2,
+        ..Default::default()
+    });
+    trainer.fit(&mut model, &mut obj, data);
+    (model, kernel)
+}
+
+/// Deterministic pseudo-random candidate pool for a user.
+fn candidates(user: usize, n_items: usize, count: usize) -> Vec<usize> {
+    (0..count)
+        .map(|j| (user * 31 + j * 17 + 7) % n_items)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+fn requests(data: &Dataset, top_n: usize) -> Vec<RankRequest> {
+    (0..data.n_users())
+        .map(|u| RankRequest::new(u, candidates(u, data.n_items(), 24), top_n))
+        .collect()
+}
+
+/// The offline reference: assemble the tailored kernel through the training
+/// side's own helper and run the allocating greedy MAP on it.
+fn offline_reference(
+    model: &MatrixFactorization,
+    kernel: &LowRankKernel,
+    req: &RankRequest,
+) -> Vec<usize> {
+    let normalized = kernel.normalized();
+    let scores = model.score_items(req.user, &req.candidates);
+    let k_sub = normalized.submatrix(&req.candidates).unwrap();
+    let tailored: DppKernel = lkp_core::objective::tailored_kernel(&scores, &k_sub).unwrap();
+    let result = map::greedy_map(&tailored, req.top_n.min(req.candidates.len())).unwrap();
+    result
+        .items
+        .iter()
+        .map(|&idx| req.candidates[idx])
+        .collect()
+}
+
+#[test]
+fn served_lists_match_offline_greedy_map() {
+    // Acceptance: the lkp-serve path must produce top-N lists identical to
+    // offline greedy_map over the same tailored kernels.
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let artifact = RankingArtifact::snapshot(&model, &kernel);
+    let mut ranker = Ranker::new(
+        artifact,
+        ServeConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let reqs = requests(&data, 8);
+    let responses = ranker.rank_batch(&reqs);
+    assert_eq!(responses.len(), reqs.len());
+    for (req, resp) in reqs.iter().zip(&responses) {
+        assert_eq!(resp.user, req.user);
+        let expected = offline_reference(&model, &kernel, req);
+        assert_eq!(
+            resp.items, expected,
+            "user {} served list diverged from offline MAP",
+            req.user
+        );
+        assert!(
+            !resp.items.is_empty(),
+            "user {} got an empty list",
+            req.user
+        );
+    }
+}
+
+#[test]
+fn serving_is_identical_at_every_pool_width() {
+    // Acceptance: pool determinism — 1, 2 and 4 worker threads must serve
+    // byte-identical responses (items, log_det bits), cold and warm cache.
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let reqs = requests(&data, 6);
+    let mut reference: Option<Vec<RankResponse>> = None;
+    for threads in [1usize, 2, 4] {
+        let artifact = RankingArtifact::snapshot(&model, &kernel);
+        let mut ranker = Ranker::new(
+            artifact,
+            ServeConfig {
+                threads,
+                ..Default::default()
+            },
+        );
+        for pass in 0..2 {
+            let responses = ranker.rank_batch(&reqs);
+            match &reference {
+                None => reference = Some(responses),
+                Some(want) => {
+                    for (got, want) in responses.iter().zip(want) {
+                        assert_eq!(
+                            got.items, want.items,
+                            "threads={threads} pass={pass}: items diverged"
+                        );
+                        assert_eq!(
+                            got.log_det.to_bits(),
+                            want.log_det.to_bits(),
+                            "threads={threads} pass={pass}: log_det diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn repeat_batches_hit_the_kernel_cache() {
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let mut ranker = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let reqs = requests(&data, 5);
+    let cold = ranker.rank_batch(&reqs);
+    assert!(cold.iter().all(|r| !r.cache_hit));
+    let warm = ranker.rank_batch(&reqs);
+    assert!(warm.iter().all(|r| r.cache_hit));
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.log_det.to_bits(), b.log_det.to_bits());
+    }
+    let (hits, misses) = ranker.cache_stats();
+    assert_eq!(hits as usize, reqs.len());
+    assert_eq!(misses as usize, reqs.len());
+}
+
+#[test]
+fn rank_one_matches_batch_path() {
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let mut ranker = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 3,
+            ..Default::default()
+        },
+    );
+    let reqs = requests(&data, 7);
+    let batch = ranker.rank_batch(&reqs);
+    for (req, want) in reqs.iter().zip(&batch) {
+        let got = ranker.rank_one(req);
+        assert_eq!(got.items, want.items);
+        assert_eq!(got.log_det.to_bits(), want.log_det.to_bits());
+    }
+}
+
+#[test]
+fn degenerate_requests_serve_empty_lists() {
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let mut ranker = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let n_items = data.n_items();
+    let reqs = vec![
+        RankRequest::new(0, vec![], 5),                      // no candidates
+        RankRequest::new(0, vec![1, 2, 3], 0),               // zero-length list
+        RankRequest::new(data.n_users() + 5, vec![1, 2], 2), // unknown user
+        RankRequest::new(0, vec![1, n_items + 3], 2),        // out-of-catalog item
+        RankRequest::new(1, vec![4, 9, 2], 2),               // valid control
+    ];
+    let responses = ranker.rank_batch(&reqs);
+    for resp in &responses[..4] {
+        assert!(resp.items.is_empty());
+        assert_eq!(resp.log_det, 0.0);
+    }
+    assert_eq!(responses[4].items.len(), 2);
+}
+
+#[test]
+fn duplicate_candidates_never_produce_duplicate_items() {
+    // A duplicated candidate row's residual decays only to the jitter
+    // floor, which is above greedy's rank cutoff — without dedup the same
+    // item could be recommended twice.
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let mut ranker = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let resp = ranker.rank_one(&RankRequest::new(3, vec![5, 9, 5, 14, 9, 22], 4));
+    let unique: std::collections::BTreeSet<_> = resp.items.iter().collect();
+    assert_eq!(
+        unique.len(),
+        resp.items.len(),
+        "duplicates in {:?}",
+        resp.items
+    );
+    assert_eq!(resp.items.len(), 4);
+    // Deduped request must serve exactly like its clean equivalent.
+    let clean = ranker.rank_one(&RankRequest::new(3, vec![5, 9, 14, 22], 4));
+    assert_eq!(resp.items, clean.items);
+    assert_eq!(resp.log_det.to_bits(), clean.log_det.to_bits());
+}
+
+#[test]
+fn top_n_larger_than_candidates_is_clamped() {
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let mut ranker = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let resp = ranker.rank_one(&RankRequest::new(2, vec![3, 8, 13], 10));
+    assert!(resp.items.len() <= 3);
+    assert!(!resp.items.is_empty());
+}

@@ -8,6 +8,12 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+# Never clobber an earlier point of the trajectory: suffix same-day reruns.
+if [ -z "${1:-}" ] && [ -e "$out" ]; then
+  n=2
+  while [ -e "${out%.json}.$n.json" ]; do n=$((n + 1)); done
+  out="${out%.json}.$n.json"
+fi
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -16,6 +22,9 @@ CRITERION_JSON="$tmp" cargo bench -p lkp-bench >&2
 
 echo "==> hotpath probe" >&2
 cargo run --release -p lkp-bench --bin hotpath_probe >> "$tmp"
+
+echo "==> serving probe" >&2
+cargo run --release -p lkp-bench --bin serve_probe >> "$tmp"
 
 {
   printf '{"snapshot_meta":{"date":"%s","host_cores":%s,"rustc":"%s"}}\n' \

@@ -60,6 +60,8 @@
 //! | [`models`] | `lkp-models` | MF, GCN, NeuMF, GCMC |
 //! | [`eval`] | `lkp-eval` | Recall/NDCG/CC/F/ILD, parallel evaluation |
 //! | [`core`] | `lkp-core` | the LkP criterion, baselines, trainer, probes |
+//! | [`runtime`] | `lkp-runtime` | persistent worker pool, per-worker state |
+//! | [`serve`] | `lkp-serve` | model snapshots, batched top-N MAP serving |
 
 pub use lkp_core as core;
 pub use lkp_data as data;
@@ -68,6 +70,8 @@ pub use lkp_eval as eval;
 pub use lkp_linalg as linalg;
 pub use lkp_models as models;
 pub use lkp_nn as nn;
+pub use lkp_runtime as runtime;
+pub use lkp_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -86,6 +90,8 @@ pub mod prelude {
     pub use lkp_dpp::{DppKernel, KDpp, LowRankKernel};
     pub use lkp_models::{Gcmc, Gcn, ItemEmbeddings, MatrixFactorization, NeuMf, Recommender};
     pub use lkp_nn::AdamConfig;
+    pub use lkp_runtime::WorkerPool;
+    pub use lkp_serve::{RankRequest, RankResponse, Ranker, RankingArtifact, ServeConfig};
 
     /// Convenience: generate a synthetic dataset from its config in one call.
     pub trait GenerateExt {
