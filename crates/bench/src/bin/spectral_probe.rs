@@ -1,0 +1,223 @@
+//! Spectral-cache probe: eigen-stage cost on recurring ground sets at
+//! several cache tolerances, plus direct cold-vs-warm eigen timings.
+//!
+//! The workload is the cache's target shape: a fixed set of ground sets
+//! revisited round after round with a tiny deterministic score drift
+//! (~1e-6), as happens epoch-to-epoch late in training and request-to-
+//! request when serving. For each `spectral_tol ∈ {0, 1e-8, 1e-4}` the
+//! probe drives the cached workspace entry point (dense path) over all
+//! revisits, records the skip/warm-start/cold counters and the pipeline
+//! time, and derives the eigen-stage time from directly measured
+//! per-decomposition costs (`compute_into` cold vs `compute_warm` from a
+//! one-revisit-old seed; a skip costs no eigen at all).
+//!
+//! Prints one JSON object; `scripts/bench_snapshot.sh` appends it to the
+//! `BENCH_<date>.json` trajectory snapshot. Flags: `--rounds N` (default
+//! 40) controls the revisit count per tolerance.
+
+use lkp_core::objective::tailored_kernel;
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig};
+use lkp_data::{GroundSetInstance, SyntheticConfig};
+use lkp_dpp::{DppWorkspace, SpectralCache};
+use lkp_linalg::eigen::{EigenScratch, SymmetricEigen};
+use lkp_models::{MatrixFactorization, Recommender};
+use lkp_nn::AdamConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const KERNEL_JITTER: f64 = 1e-6;
+const SCORE_CLAMP: f64 = 30.0;
+
+/// Deterministic per-round score drift (~1e-6 ∞-norm on q): below 1e-4,
+/// above 1e-8 — so the three probed tolerances exercise cold, warm-start,
+/// and skip respectively.
+fn drifted(base: &[f64], round: usize) -> Vec<f64> {
+    let amp = 1e-6 * (((round % 7) as f64) - 3.0) / 3.0;
+    base.iter().map(|s| s + amp).collect()
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .skip_while(|a| a != "--rounds")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+
+    let data = lkp_data::synthetic::generate(&SyntheticConfig {
+        n_users: 80,
+        n_items: 200,
+        n_categories: 12,
+        mean_interactions: 20.0,
+        ..Default::default()
+    });
+    let kernel = train_diversity_kernel(
+        &data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 64,
+            dim: 8,
+            ..Default::default()
+        },
+    )
+    .normalized();
+    let model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        32,
+        AdamConfig::default(),
+        &mut StdRng::seed_from_u64(5),
+    );
+
+    // 64 recurring ground sets at the paper's shape (m = 10, k = 5).
+    let instances: Vec<GroundSetInstance> = (0..64)
+        .map(|i| GroundSetInstance {
+            user: i % data.n_users(),
+            positives: (0..5).map(|j| (i * 3 + j * 7) % 100).collect(),
+            negatives: (0..5).map(|j| 100 + (i * 5 + j * 11) % 100).collect(),
+        })
+        .collect();
+    let base_scores: Vec<Vec<f64>> = instances
+        .iter()
+        .map(|inst| model.score_items(inst.user, &inst.ground_set()))
+        .collect();
+
+    // --- Direct eigen-stage timings (dense 10×10 tailored kernels). ---
+    let tailored = |inst: &GroundSetInstance, scores: &[f64]| {
+        let k_sub = kernel.submatrix(&inst.ground_set()).expect("in range");
+        tailored_kernel(scores, &k_sub)
+            .expect("well-conditioned")
+            .into_matrix()
+    };
+    let l_base: Vec<_> = instances
+        .iter()
+        .zip(&base_scores)
+        .map(|(inst, s)| tailored(inst, s))
+        .collect();
+    let l_drift: Vec<_> = instances
+        .iter()
+        .zip(&base_scores)
+        .map(|(inst, s)| tailored(inst, &drifted(s, 1)))
+        .collect();
+    let seeds: Vec<SymmetricEigen> = l_base
+        .iter()
+        .map(|l| SymmetricEigen::new(l).expect("psd"))
+        .collect();
+
+    let mut scratch = EigenScratch::default();
+    let mut eig = SymmetricEigen::default();
+    let reps = 200usize;
+    // Warm-up, then timed cold decompositions.
+    for l in &l_drift {
+        eig.compute_into(l, &mut scratch).unwrap();
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        for l in &l_drift {
+            eig.compute_into(l, &mut scratch).unwrap();
+        }
+    }
+    let eigen_cold_ns = t.elapsed().as_nanos() as f64 / (reps * l_drift.len()) as f64;
+    // Timed warm decompositions from one-revisit-old seeds.
+    let mut warm_used = 0usize;
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (l, seed) in l_drift.iter().zip(&seeds) {
+            if eig.compute_warm(l, seed, &mut scratch).unwrap() {
+                warm_used += 1;
+            }
+        }
+    }
+    let eigen_warm_ns = t.elapsed().as_nanos() as f64 / (reps * l_drift.len()) as f64;
+    let warm_hit_rate = warm_used as f64 / (reps * l_drift.len()) as f64;
+
+    // --- Cached pipeline at each tolerance. ---
+    let mut per_tol = Vec::new();
+    for &tol in &[0.0_f64, 1e-8, 1e-4] {
+        let mut ws = DppWorkspace::new();
+        let mut cache = SpectralCache::new(tol, 1024);
+        let run_round = |round: usize, ws: &mut DppWorkspace, cache: &mut SpectralCache| {
+            for (inst, base) in instances.iter().zip(&base_scores) {
+                let items = inst.ground_set();
+                let scores = drifted(base, round);
+                kernel.submatrix_into(&items, &mut ws.k_sub).unwrap();
+                let result = if tol > 0.0 {
+                    ws.tailored_loss_grad_cached(
+                        cache,
+                        inst.user,
+                        &items,
+                        &scores,
+                        inst.k(),
+                        true,
+                        false,
+                        KERNEL_JITTER,
+                        SCORE_CLAMP,
+                    )
+                } else {
+                    // Trainer semantics: tol = 0 bypasses the cache.
+                    ws.tailored_loss_grad_staged(
+                        &scores,
+                        inst.k(),
+                        true,
+                        false,
+                        KERNEL_JITTER,
+                        SCORE_CLAMP,
+                    )
+                };
+                assert!(result.is_some(), "probe instances are well-conditioned");
+            }
+        };
+        // Populate the cache (and warm the buffers), then reset counters so
+        // the measured window is steady-state revisits only.
+        run_round(0, &mut ws, &mut cache);
+        cache.reset_stats();
+        let t = Instant::now();
+        for round in 1..=rounds {
+            run_round(round, &mut ws, &mut cache);
+        }
+        let pipeline_ns = t.elapsed().as_nanos() as f64 / (rounds * instances.len()) as f64;
+        let stats = cache.stats();
+        let lookups = (rounds * instances.len()) as f64;
+        // Eigen-stage time per instance under this tolerance: skips cost no
+        // eigen, warm-starts cost the measured warm solve, everything else
+        // (including the uncached tol = 0 path) a cold solve.
+        let cold_solves = if tol > 0.0 {
+            stats.cold as f64
+        } else {
+            lookups
+        };
+        let eigen_stage_ns =
+            (cold_solves * eigen_cold_ns + stats.warm_starts as f64 * eigen_warm_ns) / lookups;
+        per_tol.push((tol, pipeline_ns, stats, eigen_stage_ns));
+    }
+
+    let eigen_stage_t0 = per_tol[0].3;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tol_rows: Vec<String> = per_tol
+        .iter()
+        .map(|(tol, pipeline_ns, stats, eigen_ns)| {
+            format!(
+                "{{\"tol\":{tol:e},\"pipeline_ns_per_instance\":{pipeline_ns:.0},\
+\"skips\":{},\"warm_starts\":{},\"cold\":{},\
+\"eigen_stage_ns_per_instance\":{eigen_ns:.1},\
+\"eigen_stage_reduction\":{:.2}}}",
+                stats.skips,
+                stats.warm_starts,
+                stats.cold,
+                // All-skip rounds have a zero eigen stage; floor the
+                // denominator at 1 ns to keep the ratio a finite JSON number.
+                eigen_stage_t0 / eigen_ns.max(1.0),
+            )
+        })
+        .collect();
+    println!(
+        "{{\"probe\":\"spectral\",\"eigen_cold_ns\":{eigen_cold_ns:.0},\
+\"eigen_warm_ns\":{eigen_warm_ns:.0},\
+\"warm_vs_cold_speedup\":{:.3},\"warm_path_rate\":{warm_hit_rate:.3},\
+\"tols\":[{}],\"host_cores\":{cores}}}",
+        eigen_cold_ns / eigen_warm_ns,
+        tol_rows.join(","),
+    );
+}

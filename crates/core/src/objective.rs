@@ -18,7 +18,7 @@
 
 use crate::{KERNEL_JITTER, SCORE_CLAMP};
 use lkp_data::GroundSetInstance;
-use lkp_dpp::{DppWorkspace, LowRankKernel};
+use lkp_dpp::{DppWorkspace, LowRankKernel, SpectralCache};
 use lkp_linalg::Matrix;
 use lkp_models::{ItemEmbeddings, Recommender};
 
@@ -89,6 +89,26 @@ pub trait Objective<M: Recommender>: Sync {
         out: &mut InstanceGrad,
     );
 
+    /// [`Objective::compute_into`] with access to an epoch-persistent
+    /// [`SpectralCache`] (one per pool worker). Criteria whose per-instance
+    /// cost is dominated by a kernel eigendecomposition override this to
+    /// reuse/warm-start cached spectra on revisited ground sets; the default
+    /// ignores the cache, so pointwise/pairwise baselines and criteria with
+    /// non-cacheable kernels (e.g. trainable-embedding RBF) are unaffected.
+    /// The trainer only routes through this entry point when
+    /// `TrainConfig::spectral_tol > 0`.
+    fn compute_cached_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        ws: &mut DppWorkspace,
+        cache: &mut SpectralCache,
+        out: &mut InstanceGrad,
+    ) {
+        let _ = cache;
+        self.compute_into(model, instance, ws, out);
+    }
+
     /// Accumulates a computed gradient into the model.
     fn accumulate(&self, model: &mut M, grad: &InstanceGrad) {
         if !grad.dscores.is_empty() {
@@ -158,10 +178,10 @@ impl LkpObjective {
     pub fn kind(&self) -> LkpKind {
         self.kind
     }
-}
 
-impl<M: Recommender> Objective<M> for LkpObjective {
-    fn compute_into(
+    /// Shared prologue of both compute paths: resets `out`, scores the
+    /// ground set, and stages the kernel inputs in the workspace.
+    fn stage<M: Recommender>(
         &self,
         model: &M,
         instance: &GroundSetInstance,
@@ -176,21 +196,67 @@ impl<M: Recommender> Objective<M> for LkpObjective {
         self.kernel
             .gather_rows_into(&out.items, &mut ws.factor_rows)
             .expect("ground items in kernel range");
-        let negative_aware = self.kind == LkpKind::NegativeAware;
-        match ws.tailored_loss_grad_staged(
-            &out.scores,
-            instance.k(),
-            negative_aware,
-            true,
-            KERNEL_JITTER,
-            SCORE_CLAMP,
-        ) {
+    }
+
+    /// Shared epilogue: copies the workspace result into `out`, or marks the
+    /// instance skipped when the kernel degenerated.
+    fn collect(ws: &DppWorkspace, result: Option<lkp_dpp::TailoredResult>, out: &mut InstanceGrad) {
+        match result {
             Some(result) => {
                 out.loss = result.loss;
                 out.dscores.extend_from_slice(ws.dscores());
             }
             None => out.mark_skipped(),
         }
+    }
+}
+
+impl<M: Recommender> Objective<M> for LkpObjective {
+    fn compute_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        ws: &mut DppWorkspace,
+        out: &mut InstanceGrad,
+    ) {
+        self.stage(model, instance, ws, out);
+        let result = ws.tailored_loss_grad_staged(
+            &out.scores,
+            instance.k(),
+            self.kind == LkpKind::NegativeAware,
+            true,
+            KERNEL_JITTER,
+            SCORE_CLAMP,
+        );
+        Self::collect(ws, result, out);
+    }
+
+    /// The pre-learned kernel is frozen for the whole run, so a ground set's
+    /// tailored spectrum depends only on `(items, q)` — exactly what the
+    /// spectral cache keys and drift-checks. Revisits within
+    /// `cache.tol()` reuse the cached `(λ, V)` outright; drifted revisits
+    /// warm-start the eigen solver from it.
+    fn compute_cached_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        ws: &mut DppWorkspace,
+        cache: &mut SpectralCache,
+        out: &mut InstanceGrad,
+    ) {
+        self.stage(model, instance, ws, out);
+        let result = ws.tailored_loss_grad_cached(
+            cache,
+            instance.user,
+            &out.items,
+            &out.scores,
+            instance.k(),
+            self.kind == LkpKind::NegativeAware,
+            true,
+            KERNEL_JITTER,
+            SCORE_CLAMP,
+        );
+        Self::collect(ws, result, out);
     }
 
     fn name(&self) -> &'static str {

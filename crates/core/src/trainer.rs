@@ -13,7 +13,7 @@
 
 use crate::objective::{InstanceGrad, Objective};
 use lkp_data::{Dataset, GroundSetInstance, InstanceSampler, TargetSelection};
-use lkp_dpp::DppWorkspace;
+use lkp_dpp::{DppWorkspace, SpectralCache, SpectralCacheStats};
 use lkp_models::Recommender;
 use lkp_runtime::WorkerPool;
 use rand::rngs::StdRng;
@@ -55,6 +55,26 @@ pub struct TrainConfig {
     /// `WorkerPool::new`, it does **not** mean host parallelism; pass
     /// `lkp_runtime::resolve_threads(0)` to request that explicitly.
     pub threads: usize,
+    /// Quality-drift tolerance of the epoch-persistent spectral cache
+    /// (∞-norm on the per-instance quality vector `q = exp(clamp(ŷ))`).
+    ///
+    /// `0.0` (the default) **disables the cache entirely**: every instance
+    /// recomputes its eigendecomposition and training trajectories are
+    /// bitwise identical to the pre-cache trainer at any thread count. With
+    /// a positive tolerance, each pool worker keeps the spectra of recently
+    /// seen `(user, ground set)` pairs across batches and epochs: a revisit
+    /// whose `q` moved at most this much reuses the cached spectrum outright
+    /// (the `O(m³)` eigen stage is skipped), and a larger drift warm-starts
+    /// the solver from the cached basis. Spectra then differ from exact
+    /// recomputation by `O(tol)` (skips) / solver round-off (warm starts),
+    /// so trajectories are no longer bitwise pinned — validation metrics
+    /// remain within tolerance of the exact run (see
+    /// `crates/core/tests/spectral_cache_equivalence.rs`).
+    ///
+    /// Only objectives that override `Objective::compute_cached_into`
+    /// (the frozen-kernel LkP criteria) consult the cache; baselines and
+    /// trainable-kernel criteria are unaffected at any value.
+    pub spectral_tol: f64,
     /// Evaluation threads (deprecated alias — see [`TrainConfig::threads`]).
     #[deprecated(note = "use `threads`: one pool now serves training and evaluation")]
     pub eval_threads: usize,
@@ -80,6 +100,7 @@ impl Default for TrainConfig {
             patience: 3,
             eval_cutoff: 10,
             threads: 0,
+            spectral_tol: 0.0,
             eval_threads: 4,
             train_threads: 4,
             seed: 17,
@@ -124,6 +145,10 @@ pub struct TrainReport {
     pub best_val_ndcg: f64,
     /// Per-epoch history.
     pub history: Vec<EpochStat>,
+    /// Spectral-cache counters summed over the run's pool workers — all
+    /// zeros when the cache was disabled (`spectral_tol = 0`) or the
+    /// objective never consulted it.
+    pub spectral_cache: SpectralCacheStats,
 }
 
 /// The training loop.
@@ -203,7 +228,14 @@ impl Trainer {
             let mut count = 0usize;
             let objective_ref: &O = objective;
             for batch in instances.chunks(batch_size) {
-                compute_batch(objective_ref, &*model, batch, &mut pool, &mut grads);
+                compute_batch(
+                    objective_ref,
+                    &*model,
+                    batch,
+                    &mut pool,
+                    &mut grads,
+                    cfg.spectral_tol,
+                );
                 // Serial, in-order accumulation keeps results independent of
                 // the thread count (bit-for-bit).
                 for grad in &grads[..batch.len()] {
@@ -273,8 +305,24 @@ impl Trainer {
             best_epoch,
             best_val_ndcg: if best_val.is_finite() { best_val } else { 0.0 },
             history,
+            spectral_cache: collect_spectral_stats(&mut pool, cfg.spectral_tol),
         }
     }
+}
+
+/// Sums the spectral-cache counters held in the pool workers' state. Runs
+/// one (cheap) extra dispatch; skipped entirely when the cache was disabled.
+fn collect_spectral_stats(pool: &mut WorkerPool, spectral_tol: f64) -> SpectralCacheStats {
+    if spectral_tol <= 0.0 {
+        return SpectralCacheStats::default();
+    }
+    let totals = std::sync::Mutex::new(SpectralCacheStats::default());
+    pool.run(|_, state| {
+        if let Some(cache) = state.get_mut::<SpectralCache>() {
+            totals.lock().expect("stats lock").merge(&cache.stats());
+        }
+    });
+    totals.into_inner().expect("stats lock")
 }
 
 /// Computes one batch's instance gradients into `grads[..batch.len()]`.
@@ -285,23 +333,41 @@ impl Trainer {
 /// immutably — `compute_into` never mutates it. Because every gradient slot
 /// is computed from its instance alone, slot *values* are independent of the
 /// pool width — only wall-clock changes with the thread count.
+///
+/// With `spectral_tol > 0` each worker additionally threads its persistent
+/// [`SpectralCache`] through the objective, so revisited ground sets reuse
+/// or warm-start their eigendecompositions across batches *and epochs*
+/// (worker state outlives both). The `spectral_tol = 0` branch is exactly
+/// the historical path — not even a disabled cache sits on it — preserving
+/// bitwise trajectories.
 fn compute_batch<M, O>(
     objective: &O,
     model: &M,
     batch: &[GroundSetInstance],
     pool: &mut WorkerPool,
     grads: &mut [InstanceGrad],
+    spectral_tol: f64,
 ) where
     M: Recommender + Sync,
     O: Objective<M>,
 {
     let grads = &mut grads[..batch.len()];
-    pool.zip_chunks(batch, grads, |_, inst_chunk, grad_chunk, state| {
-        let ws = state.get_or_default::<DppWorkspace>();
-        for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
-            objective.compute_into(model, inst, ws, out);
-        }
-    });
+    if spectral_tol > 0.0 {
+        pool.zip_chunks(batch, grads, |_, inst_chunk, grad_chunk, state| {
+            let (ws, cache) = state.get_or_default_pair::<DppWorkspace, SpectralCache>();
+            cache.set_tol(spectral_tol);
+            for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
+                objective.compute_cached_into(model, inst, ws, cache, out);
+            }
+        });
+    } else {
+        pool.zip_chunks(batch, grads, |_, inst_chunk, grad_chunk, state| {
+            let ws = state.get_or_default::<DppWorkspace>();
+            for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
+                objective.compute_into(model, inst, ws, out);
+            }
+        });
+    }
 }
 
 fn shuffle<T, R: rand::Rng + ?Sized>(v: &mut [T], rng: &mut R) {

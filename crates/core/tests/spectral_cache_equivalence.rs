@@ -1,0 +1,332 @@
+//! Spectral-cache equivalence suite.
+//!
+//! Three contracts:
+//!
+//! 1. `spectral_tol = 0.0` (the default) leaves the trainer on the exact
+//!    path: trajectories are **bitwise identical** to the pinned pre-cache
+//!    path at every thread count (`parallel_equivalence.rs` pins that path
+//!    against the retired scoped-thread trainer).
+//! 2. With `spectral_tol > 0`, training results stay within tolerance of
+//!    the exact run — validated both through `Trainer::fit` (final
+//!    validation NDCG) and through a recurring-ground-set mini-trainer that
+//!    actually exercises the skip and warm-start paths (epoch-resampled
+//!    negatives make full `fit` runs mostly cold; recurrence is the cache's
+//!    target workload, so it is driven explicitly here).
+//! 3. Cached runs are deterministic: same seed, same width, same results.
+
+use lkp_core::objective::{InstanceGrad, LkpKind, LkpObjective, Objective};
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig, TrainConfig, Trainer};
+use lkp_data::{Dataset, GroundSetInstance, SyntheticConfig, TargetSelection};
+use lkp_dpp::{DppWorkspace, SpectralCache};
+use lkp_models::{MatrixFactorization, Recommender};
+use lkp_nn::AdamConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smoke_data() -> Dataset {
+    lkp_data::synthetic::generate(&SyntheticConfig {
+        n_users: 40,
+        n_items: 100,
+        n_categories: 8,
+        mean_interactions: 18.0,
+        ..Default::default()
+    })
+}
+
+fn model(data: &Dataset, seed: u64) -> MatrixFactorization {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        16,
+        AdamConfig {
+            lr: 0.02,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+}
+
+fn kernel(data: &Dataset) -> lkp_dpp::LowRankKernel {
+    train_diversity_kernel(
+        data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 48,
+            dim: 8,
+            ..Default::default()
+        },
+    )
+}
+
+/// Full `fit` with the given spectral tolerance; returns per-epoch losses,
+/// final user-0 scores, best validation NDCG, and the cache counters.
+fn run_fit(
+    data: &Dataset,
+    threads: usize,
+    epochs: usize,
+    eval_every: usize,
+    spectral_tol: f64,
+) -> (Vec<f64>, Vec<f64>, f64, lkp_dpp::SpectralCacheStats) {
+    let mut m = model(data, 1);
+    let mut obj = LkpObjective::new(LkpKind::NegativeAware, kernel(data));
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 32,
+        k: 4,
+        n: 4,
+        mode: TargetSelection::Sequential,
+        eval_every,
+        patience: 0,
+        threads,
+        spectral_tol,
+        seed: 99,
+        ..Default::default()
+    });
+    let report = trainer.fit(&mut m, &mut obj, data);
+    let losses = report.history.iter().map(|h| h.mean_loss).collect();
+    let items: Vec<usize> = (0..data.n_items()).collect();
+    (
+        losses,
+        m.score_items(0, &items),
+        report.best_val_ndcg,
+        report.spectral_cache,
+    )
+}
+
+/// `LkpObjective` with `compute_cached_into` forced back to the *default*
+/// pass-through (cache ignored, plain `compute_into`). Training this under
+/// `spectral_tol > 0` drives the trainer's cached dispatch branch (pair
+/// slot accessor, `set_tol`, `compute_cached_into` routing) while computing
+/// every instance exactly — the reference the tol = 0 branch must match.
+struct UncachedLkp(LkpObjective);
+
+impl<M: Recommender> Objective<M> for UncachedLkp {
+    fn compute_into(
+        &self,
+        model: &M,
+        instance: &GroundSetInstance,
+        ws: &mut DppWorkspace,
+        out: &mut InstanceGrad,
+    ) {
+        <LkpObjective as Objective<M>>::compute_into(&self.0, model, instance, ws, out);
+    }
+    // Deliberately NOT overriding compute_cached_into: the trait default
+    // ignores the cache and calls compute_into.
+    fn name(&self) -> &'static str {
+        "LkP-NPS-uncached"
+    }
+}
+
+#[test]
+fn tol_zero_trajectories_are_bitwise_identical_to_the_pinned_path() {
+    // `spectral_tol: 0.0` must not merely be "close" to the exact
+    // computation — it must be the *same* trajectory, bit for bit, at every
+    // thread count. The reference here is a genuinely different code path:
+    // the trainer's cached dispatch branch (spectral_tol > 0) driving an
+    // objective that computes every instance exactly. (The pre-runtime
+    // scoped-thread trainer itself is pinned in parallel_equivalence.rs,
+    // which `Trainer::fit` — including the tol = 0 branch — must match.)
+    let data = smoke_data();
+    let epochs = 2;
+    for threads in [1usize, 2, 4] {
+        let (tol0_losses, tol0_scores, _, stats) = run_fit(&data, threads, epochs, 0, 0.0);
+        assert_eq!(stats.lookups(), 0, "tol=0 must bypass the cache entirely");
+
+        // Reference: cached dispatch branch + exact per-instance compute.
+        let mut m = model(&data, 1);
+        let mut obj = UncachedLkp(LkpObjective::new(LkpKind::NegativeAware, kernel(&data)));
+        let trainer = Trainer::new(TrainConfig {
+            epochs,
+            batch_size: 32,
+            k: 4,
+            n: 4,
+            mode: TargetSelection::Sequential,
+            eval_every: 0,
+            patience: 0,
+            threads,
+            spectral_tol: 1e-8,
+            seed: 99,
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut m, &mut obj, &data);
+        let ref_losses: Vec<f64> = report.history.iter().map(|h| h.mean_loss).collect();
+        let items: Vec<usize> = (0..data.n_items()).collect();
+        let ref_scores = m.score_items(0, &items);
+
+        for (e, (a, b)) in ref_losses.iter().zip(&tol0_losses).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} epoch {e}");
+        }
+        for (a, b) in ref_scores.iter().zip(&tol0_scores) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads={threads}: model diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_fit_ndcg_is_within_tolerance_of_exact() {
+    let data = smoke_data();
+    let epochs = 4;
+    let (exact_losses, _, exact_ndcg, _) = run_fit(&data, 2, epochs, 2, 0.0);
+    let (cached_losses, _, cached_ndcg, stats) = run_fit(&data, 2, epochs, 2, 1e-8);
+    assert!(
+        stats.lookups() > 0,
+        "positive tol must route instances through the cache"
+    );
+    assert!(
+        (exact_ndcg - cached_ndcg).abs() <= 1e-3,
+        "validation NDCG drifted: exact {exact_ndcg} vs cached {cached_ndcg}"
+    );
+    for (e, (a, b)) in exact_losses.iter().zip(&cached_losses).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+            "epoch {e}: loss drifted {a} vs {b}"
+        );
+    }
+}
+
+/// Fixed recurring instances — the cache's target workload. Trains a model
+/// by iterating the same ground sets for several "epochs" with per-instance
+/// optimizer steps, through either the exact or the cached objective path.
+fn run_recurring(
+    data: &Dataset,
+    kernel: &lkp_dpp::LowRankKernel,
+    instances: &[GroundSetInstance],
+    epochs: usize,
+    lr: f64,
+    spectral_tol: Option<f64>,
+) -> (Vec<f64>, Vec<f64>, lkp_dpp::SpectralCacheStats) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut m = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        16,
+        AdamConfig {
+            lr,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let obj = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+    let mut ws = DppWorkspace::new();
+    let mut cache = SpectralCache::new(spectral_tol.unwrap_or(0.0), 1024);
+    let mut out = InstanceGrad::default();
+    let mut epoch_losses = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let mut loss_sum = 0.0;
+        for inst in instances {
+            match spectral_tol {
+                Some(_) => obj.compute_cached_into(&m, inst, &mut ws, &mut cache, &mut out),
+                None => obj.compute_into(&m, inst, &mut ws, &mut out),
+            }
+            loss_sum += out.loss;
+            obj.accumulate(&mut m, &out);
+            m.step();
+        }
+        epoch_losses.push(loss_sum / instances.len() as f64);
+    }
+    let items: Vec<usize> = (0..data.n_items()).collect();
+    (epoch_losses, m.score_items(0, &items), cache.stats())
+}
+
+fn recurring_instances(data: &Dataset) -> Vec<GroundSetInstance> {
+    // Deterministic, recurring ground sets: k = n = 3 per instance.
+    (0..8)
+        .map(|i| GroundSetInstance {
+            user: i % data.n_users(),
+            positives: vec![i, i + 3, i + 6],
+            negatives: vec![40 + i, 50 + i, 60 + i],
+        })
+        .collect()
+}
+
+#[test]
+fn warm_start_training_tracks_exact_training_on_recurring_sets() {
+    // Tiny tolerance: revisits drift past it (the optimizer moves scores
+    // every step), so the cache warm-starts — the eigen solver agrees with
+    // cold to round-off, and the trajectory stays glued to the exact one.
+    let data = smoke_data();
+    let kern = kernel(&data);
+    let instances = recurring_instances(&data);
+    let epochs = 12;
+    let (exact_losses, exact_scores, _) =
+        run_recurring(&data, &kern, &instances, epochs, 0.02, None);
+    let (warm_losses, warm_scores, stats) =
+        run_recurring(&data, &kern, &instances, epochs, 0.02, Some(1e-12));
+    assert!(
+        stats.warm_starts > 0,
+        "recurring drifting sets must warm-start: {stats:?}"
+    );
+    assert_eq!(
+        stats.cold, 8,
+        "only the first visit of each ground set is cold"
+    );
+    for (e, (a, b)) in exact_losses.iter().zip(&warm_losses).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-7 * a.abs().max(1.0),
+            "epoch {e}: warm loss drifted {a} vs {b}"
+        );
+    }
+    for (a, b) in exact_scores.iter().zip(&warm_scores) {
+        assert!((a - b).abs() <= 1e-6, "final scores drifted: {a} vs {b}");
+    }
+}
+
+#[test]
+fn skip_training_stays_within_tolerance_on_recurring_sets() {
+    // Loose tolerance: once per-step score drift falls below it, revisits
+    // reuse the cached spectrum outright. The spectrum is then stale by up
+    // to tol, so the trajectory is approximate — but must stay within a
+    // tolerance commensurate with tol, and the final models must agree on
+    // what they learned.
+    let data = smoke_data();
+    let kern = kernel(&data);
+    let instances = recurring_instances(&data);
+    // A small learning rate keeps per-revisit score drift below the
+    // tolerance, so revisits actually skip (a big-step model warm-starts
+    // instead — covered above). Adam's per-step parameter change is ~lr
+    // regardless of gradient scale, so this is the knob that controls drift.
+    let epochs = 16;
+    let lr = 1e-4;
+    let (exact_losses, exact_scores, _) = run_recurring(&data, &kern, &instances, epochs, lr, None);
+    let (skip_losses, skip_scores, stats) =
+        run_recurring(&data, &kern, &instances, epochs, lr, Some(1e-3));
+    assert!(
+        stats.skips > 0,
+        "a loose tolerance must produce skips: {stats:?}"
+    );
+    let exact_last = *exact_losses.last().unwrap();
+    let skip_last = *skip_losses.last().unwrap();
+    assert!(
+        (exact_last - skip_last).abs() <= 1e-2 * exact_last.abs().max(1.0),
+        "final losses diverged: exact {exact_last} vs skip {skip_last}"
+    );
+    let max_score_diff = exact_scores
+        .iter()
+        .zip(&skip_scores)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    assert!(
+        max_score_diff <= 5e-2,
+        "learned scores diverged by {max_score_diff}"
+    );
+    // Training must still have learned (loss decreased substantially).
+    assert!(skip_last < skip_losses[0]);
+}
+
+#[test]
+fn cached_runs_are_deterministic_at_fixed_settings() {
+    let data = smoke_data();
+    let (a_losses, a_scores, _, a_stats) = run_fit(&data, 4, 2, 0, 1e-8);
+    let (b_losses, b_scores, _, b_stats) = run_fit(&data, 4, 2, 0, 1e-8);
+    assert_eq!(
+        a_losses.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        b_losses.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(a_scores, b_scores);
+    assert_eq!(a_stats, b_stats);
+}

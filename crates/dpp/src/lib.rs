@@ -24,6 +24,10 @@
 //! * [`workspace`] — the allocation-free per-instance training hot path:
 //!   one reusable [`DppWorkspace`] fuses kernel assembly, (dense or dual)
 //!   eigendecomposition, ESP normalizer, and gradient chain per instance.
+//! * [`spectral_cache`] — epoch-persistent cache of tailored-kernel
+//!   spectra keyed by `(user, ground set)`: revisits within a quality-drift
+//!   tolerance skip the eigen stage outright, drifted revisits warm-start
+//!   the solver from the cached basis.
 
 pub mod conditional;
 pub mod dual;
@@ -34,6 +38,7 @@ pub mod kernel;
 pub mod lowrank;
 pub mod map;
 pub mod sampling;
+pub mod spectral_cache;
 pub mod workspace;
 
 pub use dual::DualSpectrum;
@@ -41,6 +46,7 @@ pub use kdpp::KDpp;
 pub use kernel::DppKernel;
 pub use lowrank::LowRankKernel;
 pub use map::{greedy_map_with, MapResult, MapWorkspace};
+pub use spectral_cache::{SpectralCache, SpectralCacheStats, SpectralDecision};
 pub use workspace::{DppWorkspace, SpectrumPath, TailoredResult};
 
 /// Errors raised by DPP construction and inference.

@@ -1,0 +1,529 @@
+//! Epoch-persistent cache of per-instance spectral decompositions.
+//!
+//! The dominant per-instance cost of LkP training is the eigendecomposition
+//! of the tailored kernel `L = Diag(q)·K_T·Diag(q) + ε·I` (paper Eq. 6/12) —
+//! `O(m³)` on the dense path, `O(d³)` on the dual path. Ground sets recur
+//! epoch to epoch (and request to request when serving) with only small
+//! drift in the model scores, so their spectra barely move. This module
+//! keeps the last decomposition of every recently seen `(user, ground set)`
+//! pair alive across batches and epochs — one [`SpectralCache`] per pool
+//! worker, held in `lkp-runtime` `WorkerState` — and classifies each revisit
+//! by the ∞-norm drift of the quality vector `q = exp(clamp(ŷ))`:
+//!
+//! * **skip** — drift ≤ `tol`: the cached `(λ, V)` is reused outright and
+//!   the eigen stage vanishes from the instance entirely;
+//! * **warm-start** — drift > `tol`: the eigen solver is seeded with the
+//!   cached basis ([`lkp_linalg::SymmetricEigen::compute_warm`]), finishing
+//!   in a few Jacobi sweeps instead of a full Householder + QL pass;
+//! * **cold** — unseen or changed ground set, non-finite scores, mismatched
+//!   spectral path/jitter, or an invalidated cached decomposition
+//!   ([`lkp_linalg::SymmetricEigen::is_valid`] false after a solver
+//!   failure): full recomputation, after which the entry is (re)stored.
+//!
+//! With `tol = 0.0` a skip only happens when `q` is **bitwise identical** to
+//! the cached visit, in which case the cached spectrum is bitwise the one a
+//! recompute would produce — trajectories cannot move. (The trainer goes one
+//! step further and bypasses the cache entirely at `tol = 0.0`, which also
+//! avoids warm-starts; warm-started spectra agree with cold ones only to
+//! solver round-off, not bit for bit.)
+//!
+//! Entries are bounded by a least-recently-used budget and evicted **down
+//! to** capacity on every store, so lowering the capacity of a long-lived
+//! cache takes effect immediately instead of leaving it over its bound.
+
+use crate::workspace::SpectrumPath;
+use lkp_linalg::{Matrix, SymmetricEigen};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Default entry budget: at the paper's shape (`m = 10`, dense) an entry is
+/// ~1.5 kB, so the default bounds a worker's cache at a few MB.
+pub const DEFAULT_SPECTRAL_CACHE_CAPACITY: usize = 4096;
+
+/// How a revisited instance's spectrum will be obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpectralDecision {
+    /// Quality drift within tolerance: reuse the cached `(λ, V)` outright.
+    Skip,
+    /// Ground set seen but drifted: warm-start the solver from the cached
+    /// basis.
+    WarmStart,
+    /// No usable entry: full recomputation (and a fresh store).
+    Cold,
+}
+
+/// Monotonic counters describing how the cache resolved lookups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpectralCacheStats {
+    /// Revisits whose cached spectrum was reused outright (eigen skipped).
+    pub skips: u64,
+    /// Revisits that warm-started the eigen solver from the cached basis.
+    pub warm_starts: u64,
+    /// Lookups that required a full recomputation (first visit, changed
+    /// ground set, non-finite scores, or a retired/invalid entry).
+    pub cold: u64,
+    /// Entries evicted to keep the cache within its capacity.
+    pub evictions: u64,
+}
+
+impl SpectralCacheStats {
+    /// Accumulates `other` into `self` (merging per-worker counters).
+    pub fn merge(&mut self, other: &SpectralCacheStats) {
+        self.skips += other.skips;
+        self.warm_starts += other.warm_starts;
+        self.cold += other.cold;
+        self.evictions += other.evictions;
+    }
+
+    /// Total lookups classified.
+    pub fn lookups(&self) -> u64 {
+        self.skips + self.warm_starts + self.cold
+    }
+
+    /// Fraction of lookups that avoided a cold eigendecomposition.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            (self.skips + self.warm_starts) as f64 / total as f64
+        }
+    }
+}
+
+/// One cached spectrum. `eigen` is the decomposition of `L` itself on the
+/// dense path and of the `d × d` dual Gram `BᵀB` on the dual path;
+/// `lambda`/`item_vectors` hold the workspace-ready spectral data either way.
+struct Entry {
+    user: usize,
+    items: Vec<usize>,
+    /// Quality vector at cache time (drift reference).
+    q: Vec<f64>,
+    path: SpectrumPath,
+    /// The jitter `ε` baked into `lambda`; a config change invalidates.
+    jitter: f64,
+    /// All `m` eigenvalues of `L`, exactly as the workspace consumes them.
+    lambda: Vec<f64>,
+    /// Dense: eigen of `L` (basis for `∇log Z_k`). Dual: eigen of `BᵀB`
+    /// (warm-start seed only).
+    eigen: SymmetricEigen,
+    /// Dual only: item-space eigenvectors (`m × r`); empty on dense.
+    item_vectors: Matrix,
+    last_used: u64,
+}
+
+/// Bounded per-worker cache of tailored-kernel spectra, keyed by
+/// `(user, ground set)` identity.
+///
+/// Create one per worker (it is intentionally not shareable across threads
+/// without external synchronization) and thread it through
+/// [`crate::DppWorkspace::tailored_loss_grad_cached`]. The tolerance can be
+/// adjusted at any time with [`SpectralCache::set_tol`]; entries persist
+/// across tolerance changes.
+pub struct SpectralCache {
+    tol: f64,
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+    stats: SpectralCacheStats,
+}
+
+impl Default for SpectralCache {
+    fn default() -> Self {
+        SpectralCache::new(0.0, DEFAULT_SPECTRAL_CACHE_CAPACITY)
+    }
+}
+
+impl SpectralCache {
+    /// Creates a cache with the given quality-drift tolerance (∞-norm on
+    /// `q`) and entry capacity. `capacity = 0` disables caching entirely:
+    /// every lookup classifies as [`SpectralDecision::Cold`] and stores
+    /// nothing.
+    pub fn new(tol: f64, capacity: usize) -> Self {
+        SpectralCache {
+            tol,
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            stats: SpectralCacheStats::default(),
+        }
+    }
+
+    /// The current drift tolerance.
+    pub fn tol(&self) -> f64 {
+        self.tol
+    }
+
+    /// Updates the drift tolerance (entries are kept).
+    pub fn set_tol(&mut self, tol: f64) {
+        self.tol = tol;
+    }
+
+    /// Counters accumulated since construction (or the last
+    /// [`SpectralCache::reset_stats`]).
+    pub fn stats(&self) -> SpectralCacheStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = SpectralCacheStats::default();
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The cache key of a `(user, ground set)` identity. Collisions are
+    /// harmless: entries also store the exact identity and a mismatch
+    /// classifies as a cold recompute that replaces the colliding entry.
+    pub(crate) fn key_of(user: usize, items: &[usize]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        user.hash(&mut h);
+        items.hash(&mut h);
+        h.finish()
+    }
+
+    /// Classifies a lookup and bumps the matching counter. `q` is the
+    /// instance's current quality vector, `path` the spectrum path the
+    /// workspace is about to take, `jitter` the `ε` of the tailored kernel.
+    pub(crate) fn classify(
+        &mut self,
+        key: u64,
+        user: usize,
+        items: &[usize],
+        q: &[f64],
+        path: SpectrumPath,
+        jitter: f64,
+    ) -> SpectralDecision {
+        self.tick += 1;
+        if self.capacity == 0 || q.iter().any(|v| !v.is_finite()) {
+            self.stats.cold += 1;
+            return SpectralDecision::Cold;
+        }
+        let decision = match self.entries.get_mut(&key) {
+            Some(e)
+                if e.user == user
+                    && e.items == items
+                    && e.path == path
+                    && e.jitter.to_bits() == jitter.to_bits()
+                    && e.q.len() == q.len()
+                    && e.eigen.is_valid() =>
+            {
+                e.last_used = self.tick;
+                let drift = q
+                    .iter()
+                    .zip(&e.q)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0_f64, f64::max);
+                if drift <= self.tol {
+                    SpectralDecision::Skip
+                } else {
+                    SpectralDecision::WarmStart
+                }
+            }
+            _ => SpectralDecision::Cold,
+        };
+        match decision {
+            SpectralDecision::Skip => self.stats.skips += 1,
+            SpectralDecision::WarmStart => self.stats.warm_starts += 1,
+            SpectralDecision::Cold => self.stats.cold += 1,
+        }
+        decision
+    }
+
+    /// Immutable access to a classified entry (skip path).
+    pub(crate) fn entry(&self, key: u64) -> Option<EntryRef<'_>> {
+        self.entries.get(&key).map(|e| EntryRef {
+            lambda: &e.lambda,
+            eigen: &e.eigen,
+            item_vectors: &e.item_vectors,
+        })
+    }
+
+    /// Removes an entry outright — called when the spectrum computation for
+    /// its ground set failed, so the next visit is a forced cold recompute.
+    pub(crate) fn remove(&mut self, key: u64) {
+        self.entries.remove(&key);
+    }
+
+    /// Stores (or refreshes) an entry from freshly computed spectral data,
+    /// then evicts least-recently-used entries until the cache is within
+    /// capacity. No-op when caching is disabled (`capacity = 0`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn store(
+        &mut self,
+        key: u64,
+        user: usize,
+        items: &[usize],
+        q: &[f64],
+        path: SpectrumPath,
+        jitter: f64,
+        lambda: &[f64],
+        eigen: &SymmetricEigen,
+        item_vectors: Option<&Matrix>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        debug_assert!(eigen.is_valid() || eigen.dim() == 0);
+        // Bump the LRU clock so the stored entry is strictly the newest and
+        // survives the shrink below at any `capacity ≥ 1`.
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.entry(key).or_insert_with(|| Entry {
+            user,
+            items: Vec::new(),
+            q: Vec::new(),
+            path,
+            jitter,
+            lambda: Vec::new(),
+            eigen: SymmetricEigen::default(),
+            item_vectors: Matrix::zeros(0, 0),
+            last_used: tick,
+        });
+        entry.user = user;
+        entry.items.clear();
+        entry.items.extend_from_slice(items);
+        entry.q.clear();
+        entry.q.extend_from_slice(q);
+        entry.path = path;
+        entry.jitter = jitter;
+        entry.lambda.clear();
+        entry.lambda.extend_from_slice(lambda);
+        entry.eigen.values.clear();
+        entry.eigen.values.extend_from_slice(&eigen.values);
+        entry.eigen.vectors.copy_from(&eigen.vectors);
+        match item_vectors {
+            Some(v) => entry.item_vectors.copy_from(v),
+            None => entry.item_vectors.reset(0, 0),
+        }
+        entry.last_used = self.tick;
+        self.shrink_to_capacity();
+    }
+
+    /// Evicts least-recently-used entries until `len() ≤ capacity`. The
+    /// entry touched most recently (the one just stored or classified) has
+    /// the newest tick and therefore survives any `capacity ≥ 1`.
+    fn shrink_to_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            let evict = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty cache over capacity");
+            self.entries.remove(&evict);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for SpectralCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpectralCache")
+            .field("tol", &self.tol)
+            .field("capacity", &self.capacity)
+            .field("entries", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Borrowed view of a cached spectrum, consumed by the workspace skip path.
+pub(crate) struct EntryRef<'a> {
+    pub lambda: &'a [f64],
+    pub eigen: &'a SymmetricEigen,
+    pub item_vectors: &'a Matrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eig2() -> SymmetricEigen {
+        SymmetricEigen::new(&Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])).unwrap()
+    }
+
+    #[test]
+    fn classify_walks_cold_then_skip_then_warm() {
+        let mut cache = SpectralCache::new(1e-6, 8);
+        let items = [3usize, 7];
+        let q = [1.0, 2.0];
+        let key = SpectralCache::key_of(0, &items);
+        assert_eq!(
+            cache.classify(key, 0, &items, &q, SpectrumPath::Dense, 1e-6),
+            SpectralDecision::Cold
+        );
+        cache.store(
+            key,
+            0,
+            &items,
+            &q,
+            SpectrumPath::Dense,
+            1e-6,
+            &[1.0, 3.0],
+            &eig2(),
+            None,
+        );
+        // Within tolerance → skip.
+        let close = [1.0 + 1e-9, 2.0];
+        assert_eq!(
+            cache.classify(key, 0, &items, &close, SpectrumPath::Dense, 1e-6),
+            SpectralDecision::Skip
+        );
+        // Beyond tolerance → warm start.
+        let far = [1.0 + 1e-3, 2.0];
+        assert_eq!(
+            cache.classify(key, 0, &items, &far, SpectrumPath::Dense, 1e-6),
+            SpectralDecision::WarmStart
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.cold, stats.skips, stats.warm_starts), (1, 1, 1));
+    }
+
+    #[test]
+    fn mismatches_force_cold() {
+        let mut cache = SpectralCache::new(1.0, 8);
+        let items = [1usize, 2];
+        let q = [1.0, 1.0];
+        let key = SpectralCache::key_of(5, &items);
+        cache.store(
+            key,
+            5,
+            &items,
+            &q,
+            SpectrumPath::Dense,
+            1e-6,
+            &[1.0, 1.0],
+            &eig2(),
+            None,
+        );
+        // Different jitter.
+        assert_eq!(
+            cache.classify(key, 5, &items, &q, SpectrumPath::Dense, 1e-7),
+            SpectralDecision::Cold
+        );
+        // Different path.
+        assert_eq!(
+            cache.classify(key, 5, &items, &q, SpectrumPath::Dual, 1e-6),
+            SpectralDecision::Cold
+        );
+        // Non-finite quality.
+        assert_eq!(
+            cache.classify(key, 5, &items, &[f64::NAN, 1.0], SpectrumPath::Dense, 1e-6),
+            SpectralDecision::Cold
+        );
+        // Different ground set under the same key.
+        let other = [1usize, 3];
+        let other_key = SpectralCache::key_of(5, &other);
+        assert_eq!(
+            cache.classify(other_key, 5, &other, &q, SpectrumPath::Dense, 1e-6),
+            SpectralDecision::Cold
+        );
+    }
+
+    #[test]
+    fn invalidated_entry_forces_cold_recompute() {
+        let mut cache = SpectralCache::new(1.0, 8);
+        let items = [4usize, 9];
+        let q = [1.0, 1.0];
+        let key = SpectralCache::key_of(2, &items);
+        let mut eig = eig2();
+        eig.invalidate();
+        cache.store(
+            key,
+            2,
+            &items,
+            &q,
+            SpectrumPath::Dense,
+            1e-6,
+            &[],
+            &eig,
+            None,
+        );
+        assert_eq!(
+            cache.classify(key, 2, &items, &q, SpectrumPath::Dense, 1e-6),
+            SpectralDecision::Cold,
+            "an invalidated cached decomposition must never be reused"
+        );
+    }
+
+    #[test]
+    fn eviction_shrinks_down_to_capacity() {
+        let mut cache = SpectralCache::new(1.0, 4);
+        for u in 0..4usize {
+            let items = [u, u + 1];
+            let key = SpectralCache::key_of(u, &items);
+            cache.store(
+                key,
+                u,
+                &items,
+                &[1.0, 1.0],
+                SpectrumPath::Dense,
+                1e-6,
+                &[1.0, 1.0],
+                &eig2(),
+                None,
+            );
+        }
+        assert_eq!(cache.len(), 4);
+        // Shrink the budget and store once more: the cache must come down to
+        // the *new* capacity immediately, not just stay one-in-one-out.
+        cache.capacity = 2;
+        let items = [9usize, 10];
+        let key = SpectralCache::key_of(9, &items);
+        cache.store(
+            key,
+            9,
+            &items,
+            &[1.0, 1.0],
+            SpectrumPath::Dense,
+            1e-6,
+            &[1.0, 1.0],
+            &eig2(),
+            None,
+        );
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().evictions >= 3);
+        // The just-stored entry survives.
+        assert_eq!(
+            cache.classify(key, 9, &items, &[1.0, 1.0], SpectrumPath::Dense, 1e-6),
+            SpectralDecision::Skip
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = SpectralCache::new(1.0, 0);
+        let items = [0usize, 1];
+        let key = SpectralCache::key_of(0, &items);
+        cache.store(
+            key,
+            0,
+            &items,
+            &[1.0, 1.0],
+            SpectrumPath::Dense,
+            1e-6,
+            &[1.0, 1.0],
+            &eig2(),
+            None,
+        );
+        assert_eq!(cache.len(), 0);
+        assert_eq!(
+            cache.classify(key, 0, &items, &[1.0, 1.0], SpectrumPath::Dense, 1e-6),
+            SpectralDecision::Cold
+        );
+    }
+}

@@ -112,9 +112,13 @@ impl MetricSet {
 
 /// Computes the metrics of a single user's top-N list.
 ///
-/// `top` is the (already truncated) recommendation list, `test` the held-out
-/// ground truth, `n` the nominal cutoff (used for IDCG normalization).
+/// `top` is the recommendation list, `test` the held-out ground truth, `n`
+/// the nominal cutoff. A list longer than `n` is truncated here: every
+/// metric@n must only see the first `n` positions — an unclamped tail would
+/// inflate recall/coverage and push DCG past the positions IDCG normalizes
+/// over (NDCG > 1).
 pub fn user_metrics(top: &[usize], test: &[usize], data: &Dataset, n: usize) -> Metrics {
+    let top = &top[..top.len().min(n)];
     let hits: usize = top.iter().filter(|i| test.contains(i)).count();
     let recall = if test.is_empty() {
         0.0
@@ -245,6 +249,53 @@ mod tests {
         assert_eq!(harmonic(0.0, 0.5), 0.0);
         assert!((harmonic(0.4, 0.4) - 0.4).abs() < 1e-12);
         assert!(harmonic(0.2, 0.8) < 0.5); // dominated by the smaller value
+    }
+
+    #[test]
+    fn overlong_list_cannot_inflate_ndcg_past_one() {
+        let d = data();
+        // 8 recommendations, all of them hits, against a nominal cutoff of
+        // n = 5: positions 5..8 must NOT contribute DCG (IDCG only covers
+        // the first 5), or NDCG would exceed 1.
+        let top: Vec<usize> = (0..8).collect();
+        let test: Vec<usize> = (0..8).collect();
+        let m = user_metrics(&top, &test, &d, 5);
+        assert!(
+            (m.ndcg - 1.0).abs() < 1e-12,
+            "over-long all-hit list must clamp to NDCG 1, got {}",
+            m.ndcg
+        );
+        // Also with partial hits: the over-long tail hit is ignored by
+        // every metric — NDCG, recall, and coverage agree on the cutoff.
+        let m = user_metrics(&[0, 9, 9, 9, 9, 1], &[0, 1], &d, 5);
+        let expected = (1.0 / 2.0_f64.log2()) / (1.0 / 2.0_f64.log2() + 1.0 / 3.0_f64.log2());
+        assert!(
+            (m.ndcg - expected).abs() < 1e-12,
+            "tail position must not count: {} vs {expected}",
+            m.ndcg
+        );
+        assert!(m.ndcg <= 1.0);
+        assert!(
+            (m.recall - 0.5).abs() < 1e-12,
+            "tail hit must not count toward recall: {}",
+            m.recall
+        );
+        // Truncated list {0, 9} covers categories {0, 4}: 2 of 5 — the
+        // tail's category 1 (item 1) is excluded.
+        assert!((m.category_coverage - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlong_list_matches_pre_truncated_call() {
+        // user_metrics(long, n) ≡ user_metrics(&long[..n], n) — the
+        // documented contract that `top` is the top-n list, enforced
+        // internally.
+        let d = data();
+        let long: Vec<usize> = vec![3, 0, 7, 1, 9, 2, 4];
+        let test = vec![3, 7, 2];
+        let a = user_metrics(&long, &test, &d, 4);
+        let b = user_metrics(&long[..4], &test, &d, 4);
+        assert_eq!(a, b);
     }
 
     #[test]

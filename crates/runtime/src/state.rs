@@ -38,6 +38,47 @@ impl WorkerState {
         self.get_or_insert_with(T::default)
     }
 
+    /// Borrows two *distinct* slots simultaneously, creating either with its
+    /// `Default` on first use — the shape consumers need when one job
+    /// threads two pieces of persistent state through the same call (e.g.
+    /// the trainer's `DppWorkspace` plus its `SpectralCache`).
+    ///
+    /// Panics if `A` and `B` are the same type (one slot cannot be borrowed
+    /// mutably twice).
+    pub fn get_or_default_pair<A, B>(&mut self) -> (&mut A, &mut B)
+    where
+        A: Any + Send + Default,
+        B: Any + Send + Default,
+    {
+        let (ka, kb) = (TypeId::of::<A>(), TypeId::of::<B>());
+        assert_ne!(ka, kb, "get_or_default_pair requires two distinct types");
+        self.slots
+            .entry(ka)
+            .or_insert_with(|| Box::new(A::default()));
+        self.slots
+            .entry(kb)
+            .or_insert_with(|| Box::new(B::default()));
+        let [a, b] = self.slots.get_disjoint_mut([&ka, &kb]);
+        (
+            a.expect("slot A just ensured")
+                .downcast_mut::<A>()
+                .expect("slot type is keyed by TypeId"),
+            b.expect("slot B just ensured")
+                .downcast_mut::<B>()
+                .expect("slot type is keyed by TypeId"),
+        )
+    }
+
+    /// Borrows the worker's `T` slot if some earlier job created it —
+    /// without materializing one. Used by post-run aggregation (e.g.
+    /// collecting per-worker cache statistics) where creating empty state on
+    /// workers that never ran the consumer would be misleading.
+    pub fn get_mut<T: Any + Send>(&mut self) -> Option<&mut T> {
+        self.slots
+            .get_mut(&TypeId::of::<T>())
+            .map(|b| b.downcast_mut::<T>().expect("slot type is keyed by TypeId"))
+    }
+
     /// Whether a `T` slot already exists (i.e. some earlier job created it).
     pub fn contains<T: Any + Send>(&self) -> bool {
         self.slots.contains_key(&TypeId::of::<T>())
@@ -67,5 +108,39 @@ mod tests {
         *s.get_or_insert_with::<usize, _>(|| 7) += 1;
         assert_eq!(*s.get_or_default::<usize>(), 8);
         assert!(s.contains::<Vec<f64>>());
+    }
+
+    #[test]
+    fn pair_accessor_borrows_two_slots_at_once() {
+        let mut s = WorkerState::new();
+        // Creation on first use, both slots at once.
+        let (v, n) = s.get_or_default_pair::<Vec<f64>, usize>();
+        v.push(1.5);
+        *n = 3;
+        // Both survive and stay consistent with the single accessors.
+        assert_eq!(s.get_or_default::<Vec<f64>>(), &vec![1.5]);
+        assert_eq!(*s.get_or_default::<usize>(), 3);
+        // Order of the type parameters does not matter.
+        let (n, v) = s.get_or_default_pair::<usize, Vec<f64>>();
+        *n += 1;
+        v.push(2.5);
+        assert_eq!(*s.get_or_default::<usize>(), 4);
+        assert_eq!(s.get_or_default::<Vec<f64>>().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct types")]
+    fn pair_accessor_rejects_identical_types() {
+        let mut s = WorkerState::new();
+        let _ = s.get_or_default_pair::<usize, usize>();
+    }
+
+    #[test]
+    fn get_mut_does_not_materialize_slots() {
+        let mut s = WorkerState::new();
+        assert!(s.get_mut::<Vec<f64>>().is_none());
+        assert!(!s.contains::<Vec<f64>>());
+        s.get_or_default::<Vec<f64>>().push(9.0);
+        assert_eq!(s.get_mut::<Vec<f64>>().unwrap().len(), 1);
     }
 }

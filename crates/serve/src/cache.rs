@@ -17,8 +17,10 @@ struct CacheEntry {
 /// stable across requests) the `O(|C|²·d)` assembly is paid once per user
 /// and amortized afterwards. Entries are keyed by user and validated
 /// against the exact candidate list: a changed pool replaces the entry
-/// instead of serving a stale kernel. Eviction is least-recently-used once
-/// `capacity` users are resident.
+/// instead of serving a stale kernel. Eviction is least-recently-used, and
+/// every call shrinks the cache **down to** the current `capacity` — so
+/// lowering the capacity of a long-lived cache takes effect on the next
+/// access instead of leaving it permanently over its bound.
 ///
 /// Cached matrices are bit-exact copies of what a miss recomputes
 /// ([`LowRankKernel::submatrix_into`] is deterministic), so cache hits can
@@ -31,6 +33,9 @@ pub(crate) struct KernelCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// `capacity == 0` passthrough assemblies — deliberate cache bypasses,
+    /// counted separately so they cannot skew hit-rate reporting.
+    bypasses: u64,
 }
 
 impl KernelCache {
@@ -45,7 +50,10 @@ impl KernelCache {
     ) -> (&Matrix, bool) {
         self.tick += 1;
         if capacity == 0 {
-            self.misses += 1;
+            // Caching disabled: a deliberate bypass, not a miss — entries
+            // from an earlier non-zero capacity are dropped eagerly.
+            self.bypasses += 1;
+            self.entries.clear();
             kernel
                 .submatrix_into(candidates, &mut self.uncached)
                 .expect("candidates validated by caller");
@@ -55,21 +63,14 @@ impl KernelCache {
             if entry.candidates == candidates {
                 entry.last_used = self.tick;
                 self.hits += 1;
-                // Reborrow immutably for the return value.
+                // The hit has the newest tick, so it survives the shrink at
+                // any capacity ≥ 1 even if the budget was just lowered.
+                self.shrink_to(capacity);
                 let entry = &self.entries[&user];
                 return (&entry.k_sub, true);
             }
         }
         self.misses += 1;
-        if !self.entries.contains_key(&user) && self.entries.len() >= capacity {
-            let evict = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&u, _)| u)
-                .expect("non-empty cache over capacity");
-            self.entries.remove(&evict);
-        }
         let entry = self.entries.entry(user).or_insert_with(|| CacheEntry {
             candidates: Vec::new(),
             k_sub: Matrix::zeros(0, 0),
@@ -81,12 +82,36 @@ impl KernelCache {
             .submatrix_into(candidates, &mut entry.k_sub)
             .expect("candidates validated by caller");
         entry.last_used = self.tick;
+        self.shrink_to(capacity);
         (&self.entries[&user].k_sub, false)
     }
 
-    /// `(hits, misses)` counters since construction.
+    /// Evicts least-recently-used entries until at most `bound` users are
+    /// resident. The entry touched in the current call holds the newest tick
+    /// and is therefore the last candidate for eviction.
+    fn shrink_to(&mut self, bound: usize) {
+        while self.entries.len() > bound {
+            let evict = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&u, _)| u)
+                .expect("non-empty cache over capacity");
+            self.entries.remove(&evict);
+        }
+    }
+
+    /// `(hits, misses)` counters since construction. Disabled-cache
+    /// passthroughs (`capacity == 0`) are counted in
+    /// [`KernelCache::bypasses`], not here, so a hit rate derived from these
+    /// two reflects only lookups the cache was actually allowed to serve.
     pub(crate) fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Assemblies that bypassed the cache because it was disabled.
+    pub(crate) fn bypasses(&self) -> u64 {
+        self.bypasses
     }
 
     /// Resident users.
@@ -155,6 +180,41 @@ mod tests {
         let (_, hit2) = cache.get_or_assemble(0, &[1, 2], &kern, 0);
         assert!(!hit1 && !hit2);
         assert_eq!(cache.len(), 0);
-        assert_eq!(cache.stats(), (0, 2));
+        // Deliberate bypasses must not read as misses in hit-rate stats.
+        assert_eq!(cache.stats(), (0, 0));
+        assert_eq!(cache.bypasses(), 2);
+    }
+
+    #[test]
+    fn lowering_capacity_shrinks_an_over_full_cache() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        for u in 0..4 {
+            cache.get_or_assemble(u, &[u, u + 1], &kern, 4);
+        }
+        assert_eq!(cache.len(), 4);
+        // Capacity lowered between calls: the next access (here a hit on
+        // user 3) must evict down to the new bound, keeping the hit entry.
+        let (_, hit) = cache.get_or_assemble(3, &[3, 4], &kern, 1);
+        assert!(hit, "the touched entry survives the shrink");
+        assert_eq!(cache.len(), 1, "cache must come down to capacity");
+        // And a miss-path access under the lowered bound also stays bounded.
+        cache.get_or_assemble(7, &[7, 8], &kern, 1);
+        assert_eq!(cache.len(), 1);
+        let (_, hit7) = cache.get_or_assemble(7, &[7, 8], &kern, 1);
+        assert!(hit7, "the freshly inserted entry is the resident one");
+    }
+
+    #[test]
+    fn toggling_capacity_to_zero_drops_residents() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        cache.get_or_assemble(0, &[1, 2], &kern, 4);
+        assert_eq!(cache.len(), 1);
+        cache.get_or_assemble(0, &[1, 2], &kern, 0);
+        assert_eq!(cache.len(), 0, "disabled cache must not retain entries");
+        // Re-enabling starts cold.
+        let (_, hit) = cache.get_or_assemble(0, &[1, 2], &kern, 4);
+        assert!(!hit);
     }
 }

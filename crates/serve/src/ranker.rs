@@ -137,7 +137,10 @@ impl<M: Recommender + Sync> Ranker<M> {
 
     /// Aggregate `(hits, misses)` of the per-worker kernel caches observed
     /// from the caller's worker; other workers' counters are summed in via
-    /// a pool dispatch.
+    /// a pool dispatch. Disabled-cache passthroughs
+    /// (`kernel_cache_capacity = 0`) are **not** misses — they are counted
+    /// separately in [`Ranker::cache_bypasses`], so a hit rate derived from
+    /// this pair reflects only lookups the cache was allowed to serve.
     pub fn cache_stats(&mut self) -> (u64, u64) {
         let totals = std::sync::Mutex::new((0u64, 0u64));
         self.pool.run(|_, state| {
@@ -148,6 +151,17 @@ impl<M: Recommender + Sync> Ranker<M> {
             guard.1 += m;
         });
         totals.into_inner().expect("stats lock")
+    }
+
+    /// Aggregate count of kernel assemblies that deliberately bypassed the
+    /// cache because it was disabled (`kernel_cache_capacity = 0`).
+    pub fn cache_bypasses(&mut self) -> u64 {
+        let total = std::sync::Mutex::new(0u64);
+        self.pool.run(|_, state| {
+            let ws = state.get_or_default::<ServeWorkspace>();
+            *total.lock().expect("stats lock") += ws.cache.bypasses();
+        });
+        total.into_inner().expect("stats lock")
     }
 }
 

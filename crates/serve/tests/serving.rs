@@ -188,6 +188,11 @@ fn repeat_batches_hit_the_kernel_cache() {
     let (hits, misses) = ranker.cache_stats();
     assert_eq!(hits as usize, reqs.len());
     assert_eq!(misses as usize, reqs.len());
+    assert_eq!(
+        ranker.cache_bypasses(),
+        0,
+        "an enabled cache never bypasses"
+    );
 }
 
 #[test]

@@ -87,7 +87,7 @@ pub mod prelude {
         TargetSelection,
     };
     pub use lkp_dpp::DppWorkspace;
-    pub use lkp_dpp::{DppKernel, KDpp, LowRankKernel};
+    pub use lkp_dpp::{DppKernel, KDpp, LowRankKernel, SpectralCache, SpectralCacheStats};
     pub use lkp_models::{Gcmc, Gcn, ItemEmbeddings, MatrixFactorization, NeuMf, Recommender};
     pub use lkp_nn::AdamConfig;
     pub use lkp_runtime::WorkerPool;
