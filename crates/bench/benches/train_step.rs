@@ -86,7 +86,7 @@ fn bench_train_step(c: &mut Criterion) {
     let lkp_ps = LkpObjective::new(LkpKind::PositiveOnly, kernel.clone());
     group.bench_function("lkp_ps_k5", |b| {
         b.iter(|| {
-            lkp_ps.compute_into(&model, black_box(&set_inst), &mut ws, &mut out);
+            lkp_ps.compute_into(&model, black_box(set_inst.as_ref()), &mut ws, &mut out);
             lkp_ps.accumulate(&mut model, &out);
             model.step();
             out.loss
@@ -95,7 +95,7 @@ fn bench_train_step(c: &mut Criterion) {
     let lkp_nps = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
     group.bench_function("lkp_nps_k5", |b| {
         b.iter(|| {
-            lkp_nps.compute_into(&model, black_box(&set_inst), &mut ws, &mut out);
+            lkp_nps.compute_into(&model, black_box(set_inst.as_ref()), &mut ws, &mut out);
             lkp_nps.accumulate(&mut model, &out);
             model.step();
             out.loss
@@ -104,7 +104,7 @@ fn bench_train_step(c: &mut Criterion) {
     group.bench_function("bpr", |b| {
         let mut obj = Bpr;
         b.iter(|| {
-            let loss = obj.apply(&mut model, black_box(&pair_inst));
+            let loss = obj.apply(&mut model, black_box(pair_inst.as_ref()));
             model.step();
             loss
         })
@@ -112,7 +112,7 @@ fn bench_train_step(c: &mut Criterion) {
     group.bench_function("setrank_n5", |b| {
         let mut obj = SetRank;
         b.iter(|| {
-            let loss = obj.apply(&mut model, black_box(&list_inst));
+            let loss = obj.apply(&mut model, black_box(list_inst.as_ref()));
             model.step();
             loss
         })
@@ -120,7 +120,7 @@ fn bench_train_step(c: &mut Criterion) {
     group.bench_function("s2srank_k5n5", |b| {
         let mut obj = S2SRank::default();
         b.iter(|| {
-            let loss = obj.apply(&mut model, black_box(&set_inst));
+            let loss = obj.apply(&mut model, black_box(set_inst.as_ref()));
             model.step();
             loss
         })

@@ -112,13 +112,13 @@ fn main() {
     let mut ws = DppWorkspace::new();
     let mut out = InstanceGrad::default();
     for _ in 0..iters / 10 {
-        obj.compute_into(&model, &inst, &mut ws, &mut out);
+        obj.compute_into(&model, inst.as_ref(), &mut ws, &mut out);
         obj.accumulate(&mut model, &out);
         model.step();
     }
     let t = Instant::now();
     for _ in 0..iters {
-        obj.compute_into(&model, &inst, &mut ws, &mut out);
+        obj.compute_into(&model, inst.as_ref(), &mut ws, &mut out);
         obj.accumulate(&mut model, &out);
         model.step();
     }

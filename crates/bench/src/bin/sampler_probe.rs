@@ -1,0 +1,121 @@
+//! Sampling-policy probe: spectral-cache hit/skip rates and per-epoch wall
+//! time for each `SamplingPolicy` at `spectral_tol ∈ {0, 1e-8}`.
+//!
+//! Runs `Trainer::fit` on a fixed synthetic workload once per
+//! (policy, tolerance) cell and reports, per cell: per-epoch wall time, the
+//! spectral-cache counters (skips / warm starts / cold) with the derived
+//! reuse rate, and the plan counters (resampled vs reused epochs,
+//! instances per epoch). The interesting row is `frozen` at `tol = 1e-8`:
+//! every revisit from epoch 2 onward must resolve in the cache, so
+//! `reuse_rate ≥ (epochs − 1)/epochs` — the acceptance bar asserted by
+//! `crates/core/tests/plan_equivalence.rs` and checked here too.
+//!
+//! Prints one JSON object; `scripts/bench_snapshot.sh` appends it to the
+//! `BENCH_<date>.json` trajectory snapshot. Flags: `--epochs N` (default 6).
+
+use lkp_core::objective::{LkpKind, LkpObjective};
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig, TrainConfig, Trainer};
+use lkp_data::{SamplingPolicy, SyntheticConfig, TargetSelection};
+use lkp_models::MatrixFactorization;
+use lkp_nn::AdamConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let epochs: usize = std::env::args()
+        .skip_while(|a| a != "--epochs")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+
+    let data = lkp_data::synthetic::generate(&SyntheticConfig {
+        n_users: 80,
+        n_items: 200,
+        n_categories: 12,
+        mean_interactions: 20.0,
+        ..Default::default()
+    });
+    let kernel = train_diversity_kernel(
+        &data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 64,
+            dim: 8,
+            ..Default::default()
+        },
+    );
+
+    let policies: [(&str, SamplingPolicy); 3] = [
+        ("resample", SamplingPolicy::ResampleEachEpoch),
+        ("frozen", SamplingPolicy::FrozenNegatives),
+        ("periodic4", SamplingPolicy::PeriodicRefresh { period: 4 }),
+    ];
+    let tols = [0.0_f64, 1e-8];
+
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        for &tol in &tols {
+            let mut model = MatrixFactorization::new(
+                data.n_users(),
+                data.n_items(),
+                32,
+                AdamConfig {
+                    lr: 0.02,
+                    ..Default::default()
+                },
+                &mut StdRng::seed_from_u64(5),
+            );
+            let mut obj = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+            let trainer = Trainer::new(TrainConfig {
+                epochs,
+                batch_size: 64,
+                k: 5,
+                n: 5,
+                mode: TargetSelection::Sequential,
+                sampling_policy: policy,
+                eval_every: 0,
+                patience: 0,
+                threads: 1,
+                spectral_tol: tol,
+                seed: 17,
+                ..Default::default()
+            });
+            let t = Instant::now();
+            let report = trainer.fit(&mut model, &mut obj, &data);
+            let epoch_ms = t.elapsed().as_secs_f64() * 1e3 / epochs as f64;
+            let cache = report.spectral_cache;
+            let plan = report.plan;
+            if name == "frozen" && tol > 0.0 {
+                // The acceptance bar, enforced where it is measured.
+                let want = (epochs as u64 - 1) * plan.instances as u64;
+                assert!(
+                    cache.skips + cache.warm_starts >= want,
+                    "frozen@{tol:e}: {} hits < {want} revisits",
+                    cache.skips + cache.warm_starts
+                );
+            }
+            rows.push(format!(
+                "{{\"policy\":\"{name}\",\"tol\":{tol:e},\
+\"epoch_ms\":{epoch_ms:.2},\
+\"skips\":{},\"warm_starts\":{},\"cold\":{},\"reuse_rate\":{:.4},\
+\"plan_resamples\":{},\"plan_reuses\":{},\"instances_per_epoch\":{}}}",
+                cache.skips,
+                cache.warm_starts,
+                cache.cold,
+                cache.reuse_rate(),
+                plan.resamples,
+                plan.reuses,
+                plan.instances,
+            ));
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "{{\"probe\":\"sampler\",\"epochs\":{epochs},\"rows\":[{}],\"host_cores\":{cores}}}",
+        rows.join(","),
+    );
+}

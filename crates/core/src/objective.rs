@@ -8,17 +8,28 @@
 //!   inside a caller-provided [`DppWorkspace`], and writes the instance's
 //!   loss and gradients into a reusable [`InstanceGrad`]. Because it takes
 //!   `&self`/`&M`, mini-batches parallelize freely across instances.
+//!   Instances arrive as borrowed [`InstanceRef`] views, resolved either
+//!   from owned [`lkp_data::GroundSetInstance`]s or zero-copy from an
+//!   [`lkp_data::EpochPlan`]'s flat arena.
 //! * [`Objective::accumulate`] — pushes one computed [`InstanceGrad`] into
 //!   the model's parameter gradients. The trainer calls it serially, in
 //!   instance order, so batch results are bitwise identical at any thread
 //!   count.
 //!
-//! [`Objective::apply`] composes the two with a scratch workspace for
-//! callers that process single instances (tests, probes, examples).
+//! [`Objective::compute_batch_into`] is the dispatch-level entry point: the
+//! trainer hands each uniform-size run of a scheduled batch to it, and
+//! criteria whose cost is dominated by the kernel eigendecomposition
+//! (the frozen-kernel LkP objectives) override it to stage every instance
+//! into a [`DppBatchArena`] and solve the run's eigenproblems back-to-back
+//! from one scratch allocation. The default loops [`Objective::compute_into`].
+//!
+//! [`Objective::apply`] composes compute + accumulate with a scratch
+//! workspace for callers that process single instances (tests, probes,
+//! examples).
 
 use crate::{KERNEL_JITTER, SCORE_CLAMP};
-use lkp_data::GroundSetInstance;
-use lkp_dpp::{DppWorkspace, LowRankKernel, SpectralCache};
+use lkp_data::{InstanceBlock, InstanceRef};
+use lkp_dpp::{DppBatchArena, DppWorkspace, LowRankKernel, SpectralCache};
 use lkp_linalg::Matrix;
 use lkp_models::{ItemEmbeddings, Recommender};
 
@@ -48,11 +59,11 @@ pub struct InstanceGrad {
 
 impl InstanceGrad {
     /// Resets the buffers for a new instance (capacity retained).
-    pub fn reset_for(&mut self, instance: &GroundSetInstance) {
+    pub fn reset_for(&mut self, instance: InstanceRef<'_>) {
         self.user = instance.user;
         self.items.clear();
-        self.items.extend_from_slice(&instance.positives);
-        self.items.extend_from_slice(&instance.negatives);
+        self.items.extend_from_slice(instance.positives);
+        self.items.extend_from_slice(instance.negatives);
         self.scores.clear();
         self.dscores.clear();
         self.loss = 0.0;
@@ -84,7 +95,7 @@ pub trait Objective<M: Recommender>: Sync {
     fn compute_into(
         &self,
         model: &M,
-        instance: &GroundSetInstance,
+        instance: InstanceRef<'_>,
         ws: &mut DppWorkspace,
         out: &mut InstanceGrad,
     );
@@ -100,13 +111,40 @@ pub trait Objective<M: Recommender>: Sync {
     fn compute_cached_into(
         &self,
         model: &M,
-        instance: &GroundSetInstance,
+        instance: InstanceRef<'_>,
         ws: &mut DppWorkspace,
         cache: &mut SpectralCache,
         out: &mut InstanceGrad,
     ) {
         let _ = cache;
         self.compute_into(model, instance, ws, out);
+    }
+
+    /// Computes a uniform-size run of plan instances into
+    /// `outs[..block.len()]` — the dispatch-level entry point the trainer
+    /// routes every scheduled run through.
+    ///
+    /// The default loops [`Objective::compute_into`] and touches neither the
+    /// arena nor any batching machinery, so pointwise/pairwise baselines are
+    /// unaffected. Criteria dominated by the eigen stage override this to
+    /// stage all of the run's kernels into the [`DppBatchArena`] and solve
+    /// the eigenproblems back-to-back from the arena's shared scratch
+    /// (`lkp_linalg::eigen::compute_batch`). Overrides must produce results
+    /// **bitwise identical** to the default loop — batching may reorder
+    /// work, never arithmetic.
+    fn compute_batch_into(
+        &self,
+        model: &M,
+        block: InstanceBlock<'_>,
+        ws: &mut DppWorkspace,
+        arena: &mut DppBatchArena,
+        outs: &mut [InstanceGrad],
+    ) {
+        let _ = arena;
+        debug_assert_eq!(block.len(), outs.len());
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.compute_into(model, block.get(i), ws, out);
+        }
     }
 
     /// Accumulates a computed gradient into the model.
@@ -119,7 +157,7 @@ pub trait Objective<M: Recommender>: Sync {
     /// Convenience single-instance path: compute + accumulate with scratch
     /// buffers. Allocates; hot loops should hold their own workspace and use
     /// the two-phase API directly.
-    fn apply(&mut self, model: &mut M, instance: &GroundSetInstance) -> f64 {
+    fn apply(&mut self, model: &mut M, instance: InstanceRef<'_>) -> f64 {
         let mut ws = DppWorkspace::new();
         let mut out = InstanceGrad::default();
         self.compute_into(model, instance, &mut ws, &mut out);
@@ -184,7 +222,7 @@ impl LkpObjective {
     fn stage<M: Recommender>(
         &self,
         model: &M,
-        instance: &GroundSetInstance,
+        instance: InstanceRef<'_>,
         ws: &mut DppWorkspace,
         out: &mut InstanceGrad,
     ) {
@@ -215,7 +253,7 @@ impl<M: Recommender> Objective<M> for LkpObjective {
     fn compute_into(
         &self,
         model: &M,
-        instance: &GroundSetInstance,
+        instance: InstanceRef<'_>,
         ws: &mut DppWorkspace,
         out: &mut InstanceGrad,
     ) {
@@ -239,7 +277,7 @@ impl<M: Recommender> Objective<M> for LkpObjective {
     fn compute_cached_into(
         &self,
         model: &M,
-        instance: &GroundSetInstance,
+        instance: InstanceRef<'_>,
         ws: &mut DppWorkspace,
         cache: &mut SpectralCache,
         out: &mut InstanceGrad,
@@ -257,6 +295,53 @@ impl<M: Recommender> Objective<M> for LkpObjective {
             SCORE_CLAMP,
         );
         Self::collect(ws, result, out);
+    }
+
+    /// Batched dispatch path: stage every instance's staged kernel into an
+    /// arena slot, solve the run's eigenproblems back-to-back from the
+    /// arena's shared scratch, then walk the gradient tails. Each phase is a
+    /// pure function of its instance's inputs, so the results are bitwise
+    /// the default per-instance loop's — the batching only tightens the
+    /// eigen stage's inner loop over cold first visits (revisits are the
+    /// spectral cache's job, on the `spectral_tol > 0` path).
+    fn compute_batch_into(
+        &self,
+        model: &M,
+        block: InstanceBlock<'_>,
+        ws: &mut DppWorkspace,
+        arena: &mut DppBatchArena,
+        outs: &mut [InstanceGrad],
+    ) {
+        let n = block.len();
+        debug_assert_eq!(n, outs.len());
+        let negative_aware = self.kind == LkpKind::NegativeAware;
+        arena.begin(n);
+        for (i, out) in outs.iter_mut().enumerate() {
+            let instance = block.get(i);
+            out.reset_for(instance);
+            model.score_items_into(instance.user, &out.items, &mut out.scores);
+            self.kernel
+                .gather_rows_into(&out.items, &mut ws.factor_rows)
+                .expect("ground items in kernel range");
+            let slot = arena.slot_mut(i);
+            self.kernel
+                .submatrix_into(&out.items, &mut slot.k_sub)
+                .expect("ground items in kernel range");
+            ws.stage_slot(
+                slot,
+                &out.scores,
+                instance.k(),
+                negative_aware,
+                true,
+                KERNEL_JITTER,
+                SCORE_CLAMP,
+            );
+        }
+        arena.solve_all();
+        for (i, out) in outs.iter_mut().enumerate() {
+            let result = ws.finish_slot(arena.slot(i), negative_aware, KERNEL_JITTER);
+            Self::collect(ws, result, out);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -289,7 +374,7 @@ impl<M: Recommender + ItemEmbeddings> Objective<M> for LkpRbfObjective {
     fn compute_into(
         &self,
         model: &M,
-        instance: &GroundSetInstance,
+        instance: InstanceRef<'_>,
         ws: &mut DppWorkspace,
         out: &mut InstanceGrad,
     ) {
@@ -435,6 +520,7 @@ pub fn lkp_core_apply_for_tests(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lkp_data::GroundSetInstance;
     use lkp_dpp::{grad, DppKernel, KDpp};
     use lkp_nn::AdamConfig;
     use rand::rngs::StdRng;
@@ -552,7 +638,7 @@ mod tests {
         let mut obj = LkpObjective::new(LkpKind::NegativeAware, kernel(10, 4));
         let inst = instance();
         for _ in 0..200 {
-            obj.apply(&mut model, &inst);
+            obj.apply(&mut model, inst.as_ref());
             model.step();
         }
         let ground = inst.ground_set();
@@ -593,10 +679,14 @@ mod tests {
         let mut ws = DppWorkspace::new();
         let mut out = InstanceGrad::default();
         for _ in 0..5 {
-            let loss_a = obj.apply(&mut model_a, &inst);
+            let loss_a = obj.apply(&mut model_a, inst.as_ref());
             model_a.step();
             <LkpObjective as Objective<lkp_models::MatrixFactorization>>::compute_into(
-                &obj, &model_b, &inst, &mut ws, &mut out,
+                &obj,
+                &model_b,
+                inst.as_ref(),
+                &mut ws,
+                &mut out,
             );
             <LkpObjective as Objective<lkp_models::MatrixFactorization>>::accumulate(
                 &obj,
@@ -625,7 +715,7 @@ mod tests {
         };
         let mut ws = DppWorkspace::new();
         let mut out = InstanceGrad::default();
-        out.reset_for(&inst);
+        out.reset_for(inst.as_ref());
         model.score_items_into(inst.user, &out.items, &mut out.scores);
         obj.kernel()
             .submatrix_into(&out.items, &mut ws.k_sub)
@@ -653,14 +743,14 @@ mod tests {
         let loss_of = |m: &lkp_models::MatrixFactorization| {
             let mut ws = DppWorkspace::new();
             let mut out = InstanceGrad::default();
-            obj.compute_into(m, &inst, &mut ws, &mut out);
+            obj.compute_into(m, inst.as_ref(), &mut ws, &mut out);
             out.loss
         };
 
         // Analytic embedding gradient for ground index 1 via compute_into.
         let mut ws = DppWorkspace::new();
         let mut out = InstanceGrad::default();
-        obj.compute_into(&model, &inst, &mut ws, &mut out);
+        obj.compute_into(&model, inst.as_ref(), &mut ws, &mut out);
         let dim = out.embed_dim;
         let i = 1;
         let de = &out.embed_grads[i * dim..(i + 1) * dim];

@@ -1,19 +1,34 @@
 //! The epoch/mini-batch training loop shared by every criterion.
 //!
+//! Instance generation lives in `lkp-data`'s planning layer: an
+//! [`EpochPlanner`] produces each epoch's [`lkp_data::EpochPlan`] — one
+//! contiguous flat arena of ground sets — under a [`SamplingPolicy`]
+//! ([`SamplingPolicy::ResampleEachEpoch`] reproduces the historical inline
+//! sampler draw-for-draw; [`SamplingPolicy::FrozenNegatives`] /
+//! [`SamplingPolicy::PeriodicRefresh`] reuse plans across epochs so
+//! revisited ground sets hit the per-worker spectral cache). The plan's
+//! [`lkp_data::BatchSchedule`] cuts it into optimizer batches and buckets
+//! each batch by ground-set size, so every pool dispatch run is uniform-`m`
+//! and the objective's batched entry point can solve a run's eigenproblems
+//! back-to-back.
+//!
 //! Mini-batches are **batch-parallel** on a persistent
 //! [`lkp_runtime::WorkerPool`] created once per `fit` call: within a batch,
 //! instance gradients are computed concurrently by the pool's workers, each
-//! owning its [`DppWorkspace`] in pool worker state **across batches** (the
-//! model is only *read* during this phase). The computed gradients are then
-//! accumulated into the model serially, in instance order, before the
-//! optimizer step — so the result is **bitwise identical** at any thread
-//! count, including the serial `threads = 1` path (which spawns no thread at
-//! all). Validation passes run on the *same* pool, so one `fit` spawns its
-//! workers exactly once.
+//! owning its [`DppWorkspace`] (plus batch arena or spectral cache) in pool
+//! worker state **across batches** (the model is only *read* during this
+//! phase). The computed gradients are then accumulated into the model
+//! serially, in plan order, before the optimizer step — so the result is
+//! **bitwise identical** at any thread count, including the serial
+//! `threads = 1` path (which spawns no thread at all). Validation passes
+//! run on the *same* pool, so one `fit` spawns its workers exactly once.
 
 use crate::objective::{InstanceGrad, Objective};
-use lkp_data::{Dataset, GroundSetInstance, InstanceSampler, TargetSelection};
-use lkp_dpp::{DppWorkspace, SpectralCache, SpectralCacheStats};
+use lkp_data::{
+    Dataset, EpochPlan, EpochPlanner, InstanceBlock, InstanceSampler, PlanStats, SamplingPolicy,
+    ScheduledBatch, TargetSelection,
+};
+use lkp_dpp::{DppBatchArena, DppWorkspace, SpectralCache, SpectralCacheStats};
 use lkp_models::Recommender;
 use lkp_runtime::WorkerPool;
 use rand::rngs::StdRng;
@@ -32,6 +47,16 @@ pub struct TrainConfig {
     pub n: usize,
     /// Target construction (S vs R).
     pub mode: TargetSelection,
+    /// When epoch plans are (re)sampled. The default,
+    /// [`SamplingPolicy::ResampleEachEpoch`], draws fresh negatives every
+    /// epoch and keeps trajectories bitwise identical to the historical
+    /// inline sampler. [`SamplingPolicy::FrozenNegatives`] samples once and
+    /// reuses the identical plan — same instances, same order — for the
+    /// whole run, so with `spectral_tol > 0` every revisit from epoch 2
+    /// onward hits the per-worker spectral cache (each instance lands on the
+    /// same worker every epoch; see `TrainReport::spectral_cache`).
+    /// [`SamplingPolicy::PeriodicRefresh`] resamples every `period` epochs.
+    pub sampling_policy: SamplingPolicy,
     /// Validate every this many epochs (0 disables validation entirely).
     pub eval_every: usize,
     /// Early-stopping patience: stop after this many non-improving
@@ -96,6 +121,7 @@ impl Default for TrainConfig {
             k: 5,
             n: 5,
             mode: TargetSelection::Sequential,
+            sampling_policy: SamplingPolicy::ResampleEachEpoch,
             eval_every: 5,
             patience: 3,
             eval_cutoff: 10,
@@ -149,6 +175,10 @@ pub struct TrainReport {
     /// zeros when the cache was disabled (`spectral_tol = 0`) or the
     /// objective never consulted it.
     pub spectral_cache: SpectralCacheStats,
+    /// Epoch-plan counters: resampled vs reused epochs, instances per
+    /// epoch, and the number of distinct ground-set sizes the batch
+    /// scheduler bucketed by.
+    pub plan: PlanStats,
 }
 
 /// The training loop.
@@ -199,6 +229,8 @@ impl Trainer {
         let cfg = &self.config;
         let (k, n) = objective.instance_shape(cfg.k, cfg.n);
         let sampler = InstanceSampler::new(k, n, cfg.mode);
+        let batch_size = cfg.batch_size.max(1);
+        let mut planner = EpochPlanner::new(sampler, cfg.sampling_policy, batch_size);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut history = Vec::with_capacity(cfg.epochs);
         let mut best_val = f64::NEG_INFINITY;
@@ -209,9 +241,9 @@ impl Trainer {
 
         // One persistent worker pool for the whole run: batch gradient
         // computation and validation passes share it, and each worker keeps
-        // its `DppWorkspace` in pool state across every batch (steady-state
-        // allocation-free, spawn cost paid once instead of per batch).
-        let batch_size = cfg.batch_size.max(1);
+        // its `DppWorkspace` (plus batch arena / spectral cache) in pool
+        // state across every batch (steady-state allocation-free, spawn cost
+        // paid once instead of per batch).
         let mut pool = WorkerPool::new(cfg.thread_budget());
         let mut grads: Vec<InstanceGrad> =
             (0..batch_size).map(|_| InstanceGrad::default()).collect();
@@ -221,24 +253,31 @@ impl Trainer {
         for epoch in 1..=cfg.epochs {
             epochs_run = epoch;
             model.begin_epoch();
-            let mut instances = sampler.epoch_instances(data, &mut rng);
-            shuffle(&mut instances, &mut rng);
+            // The plan: fresh or reused per the sampling policy. Reused
+            // plans keep instance identity *and order*, so batch and chunk
+            // boundaries — and therefore each instance's worker, whose
+            // spectral cache is per-worker state — repeat exactly.
+            let (plan, schedule) = planner.plan_for_epoch(data, epoch, &mut rng);
 
             let mut loss_sum = 0.0;
             let mut count = 0usize;
             let objective_ref: &O = objective;
-            for batch in instances.chunks(batch_size) {
+            for batch in schedule.iter() {
                 compute_batch(
                     objective_ref,
                     &*model,
+                    plan,
                     batch,
                     &mut pool,
                     &mut grads,
                     cfg.spectral_tol,
                 );
-                // Serial, in-order accumulation keeps results independent of
-                // the thread count (bit-for-bit).
-                for grad in &grads[..batch.len()] {
+                // Serial accumulation in *plan order* (`slot_of` maps each
+                // plan position to its dispatch slot) keeps results
+                // independent of both the thread count and the size
+                // bucketing (bit-for-bit).
+                for &slot in batch.slot_of {
+                    let grad = &grads[slot];
                     loss_sum += grad.loss;
                     count += 1;
                     objective_ref.accumulate(model, grad);
@@ -306,6 +345,7 @@ impl Trainer {
             best_val_ndcg: if best_val.is_finite() { best_val } else { 0.0 },
             history,
             spectral_cache: collect_spectral_stats(&mut pool, cfg.spectral_tol),
+            plan: planner.stats(),
         }
     }
 }
@@ -325,25 +365,33 @@ fn collect_spectral_stats(pool: &mut WorkerPool, spectral_tol: f64) -> SpectralC
     totals.into_inner().expect("stats lock")
 }
 
-/// Computes one batch's instance gradients into `grads[..batch.len()]`.
+/// Computes one scheduled batch's instance gradients into
+/// `grads[..batch.len()]`, indexed by **dispatch slot**.
 ///
-/// The batch is cut into contiguous chunks, one pool worker per chunk; each
-/// worker reuses the `DppWorkspace` held in its persistent pool state and
-/// writes the matching disjoint slice of gradient slots. The model is shared
-/// immutably — `compute_into` never mutates it. Because every gradient slot
-/// is computed from its instance alone, slot *values* are independent of the
-/// pool width — only wall-clock changes with the thread count.
+/// The batch's dispatch list (record indices, bucketed so uniform-size runs
+/// are contiguous) is cut into contiguous chunks, one pool worker per chunk;
+/// the bounded dispatch additionally splits each worker's chunk at size
+/// boundaries, so every `f` call sees a uniform-`m` run. Each worker reuses
+/// the state held in its persistent pool slots and writes the matching
+/// disjoint slice of gradient slots. The model is shared immutably —
+/// `compute_*` never mutates it. Because every gradient slot is computed
+/// from its instance alone, slot *values* are independent of the pool width
+/// and of the bucketing — only wall-clock changes.
 ///
-/// With `spectral_tol > 0` each worker additionally threads its persistent
-/// [`SpectralCache`] through the objective, so revisited ground sets reuse
-/// or warm-start their eigendecompositions across batches *and epochs*
-/// (worker state outlives both). The `spectral_tol = 0` branch is exactly
-/// the historical path — not even a disabled cache sits on it — preserving
-/// bitwise trajectories.
+/// With `spectral_tol = 0` (the default) each uniform run goes through
+/// [`Objective::compute_batch_into`], whose LkP override stages the run into
+/// the worker's persistent [`DppBatchArena`] and solves its eigenproblems
+/// back-to-back — bitwise identical to the historical per-instance loop.
+/// With `spectral_tol > 0` each worker instead threads its persistent
+/// [`SpectralCache`] through [`Objective::compute_cached_into`], so
+/// revisited ground sets reuse or warm-start their eigendecompositions
+/// across batches *and epochs* (worker state outlives both; frozen plans
+/// pin each instance to one worker, making every revisit a cache hit).
 fn compute_batch<M, O>(
     objective: &O,
     model: &M,
-    batch: &[GroundSetInstance],
+    plan: &EpochPlan,
+    batch: ScheduledBatch<'_>,
     pool: &mut WorkerPool,
     grads: &mut [InstanceGrad],
     spectral_tol: f64,
@@ -353,26 +401,29 @@ fn compute_batch<M, O>(
 {
     let grads = &mut grads[..batch.len()];
     if spectral_tol > 0.0 {
-        pool.zip_chunks(batch, grads, |_, inst_chunk, grad_chunk, state| {
+        pool.zip_chunks(batch.dispatch, grads, |_, idx_chunk, grad_chunk, state| {
             let (ws, cache) = state.get_or_default_pair::<DppWorkspace, SpectralCache>();
             cache.set_tol(spectral_tol);
-            for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
-                objective.compute_cached_into(model, inst, ws, cache, out);
+            for (&idx, out) in idx_chunk.iter().zip(grad_chunk.iter_mut()) {
+                objective.compute_cached_into(model, plan.instance(idx), ws, cache, out);
             }
         });
     } else {
-        pool.zip_chunks(batch, grads, |_, inst_chunk, grad_chunk, state| {
-            let ws = state.get_or_default::<DppWorkspace>();
-            for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
-                objective.compute_into(model, inst, ws, out);
-            }
-        });
-    }
-}
-
-fn shuffle<T, R: rand::Rng + ?Sized>(v: &mut [T], rng: &mut R) {
-    for i in (1..v.len()).rev() {
-        v.swap(i, rng.random_range(0..=i));
+        pool.zip_chunks_bounded(
+            batch.dispatch,
+            grads,
+            batch.bounds,
+            |_, idx_chunk, grad_chunk, state| {
+                let (ws, arena) = state.get_or_default_pair::<DppWorkspace, DppBatchArena>();
+                objective.compute_batch_into(
+                    model,
+                    InstanceBlock::new(plan, idx_chunk),
+                    ws,
+                    arena,
+                    grad_chunk,
+                );
+            },
+        );
     }
 }
 

@@ -97,7 +97,7 @@ fn steady_state_lkp_apply_path_does_not_allocate() {
         // pending-gradient pool, Adam rows) to steady-state capacity.
         for _ in 0..20 {
             for inst in &instances {
-                obj.compute_into(&model, inst, &mut ws, &mut out);
+                obj.compute_into(&model, inst.as_ref(), &mut ws, &mut out);
                 obj.accumulate(&mut model, &out);
                 model.step();
             }
@@ -106,7 +106,7 @@ fn steady_state_lkp_apply_path_does_not_allocate() {
         let before = allocation_count();
         for _ in 0..100 {
             for inst in &instances {
-                obj.compute_into(&model, inst, &mut ws, &mut out);
+                obj.compute_into(&model, inst.as_ref(), &mut ws, &mut out);
                 assert!(!out.dscores.is_empty(), "instance unexpectedly skipped");
                 obj.accumulate(&mut model, &out);
                 model.step();
@@ -159,7 +159,7 @@ fn first_instance_allocates_then_reuse_kicks_in() {
     let mut out = InstanceGrad::default();
 
     let before = allocation_count();
-    obj.compute_into(&model, &inst, &mut ws, &mut out);
+    obj.compute_into(&model, inst.as_ref(), &mut ws, &mut out);
     obj.accumulate(&mut model, &out);
     model.step();
     assert!(

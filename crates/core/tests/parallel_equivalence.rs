@@ -131,7 +131,7 @@ fn scoped_compute_batch(
     if workspaces.len() == 1 || batch.len() == 1 {
         let ws = &mut workspaces[0];
         for (inst, out) in batch.iter().zip(grads.iter_mut()) {
-            objective.compute_into(model, inst, ws, out);
+            objective.compute_into(model, inst.as_ref(), ws, out);
         }
         return;
     }
@@ -144,7 +144,7 @@ fn scoped_compute_batch(
         {
             scope.spawn(move || {
                 for (inst, out) in inst_chunk.iter().zip(grad_chunk.iter_mut()) {
-                    objective.compute_into(model, inst, ws, out);
+                    objective.compute_into(model, inst.as_ref(), ws, out);
                 }
             });
         }

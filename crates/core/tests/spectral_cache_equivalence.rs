@@ -105,7 +105,7 @@ impl<M: Recommender> Objective<M> for UncachedLkp {
     fn compute_into(
         &self,
         model: &M,
-        instance: &GroundSetInstance,
+        instance: lkp_data::InstanceRef<'_>,
         ws: &mut DppWorkspace,
         out: &mut InstanceGrad,
     ) {
@@ -220,8 +220,10 @@ fn run_recurring(
         let mut loss_sum = 0.0;
         for inst in instances {
             match spectral_tol {
-                Some(_) => obj.compute_cached_into(&m, inst, &mut ws, &mut cache, &mut out),
-                None => obj.compute_into(&m, inst, &mut ws, &mut out),
+                Some(_) => {
+                    obj.compute_cached_into(&m, inst.as_ref(), &mut ws, &mut cache, &mut out)
+                }
+                None => obj.compute_into(&m, inst.as_ref(), &mut ws, &mut out),
             }
             loss_sum += out.loss;
             obj.accumulate(&mut m, &out);

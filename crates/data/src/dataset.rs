@@ -192,6 +192,11 @@ impl Dataset {
     }
 
     /// Samples `n` distinct unobserved items for the user.
+    ///
+    /// Convenience wrapper that builds a fresh [`NegativeMask`] per call;
+    /// hot loops (the epoch planner, samplers) should hold a mask and use
+    /// [`Dataset::sample_negatives_avoiding_into`] so the membership
+    /// structure is reused across instances.
     pub fn sample_negatives<R: Rng + ?Sized>(
         &self,
         user: usize,
@@ -199,13 +204,57 @@ impl Dataset {
         rng: &mut R,
     ) -> Vec<usize> {
         let mut out = Vec::with_capacity(n);
-        while out.len() < n {
+        let mut mask = NegativeMask::default();
+        self.sample_negatives_avoiding_into(user, n, &[], rng, &mut mask, &mut out);
+        out
+    }
+
+    /// Appends `n` distinct unobserved items for `user` to `out`, also
+    /// avoiding everything in `avoid` (typically the instance's positives).
+    ///
+    /// Membership of already-drawn candidates is tracked in the caller's
+    /// reusable [`NegativeMask`] — an `O(1)` bitset test per draw — so large
+    /// ground sets cost `O(n)` expected draws instead of the `O(n²)`
+    /// rejection scan a `Vec::contains` check degrades to. The draw sequence
+    /// (and therefore the RNG stream) is identical to the historical scan:
+    /// a candidate is rejected exactly when it is already drawn or avoided.
+    pub fn sample_negatives_avoiding_into<R: Rng + ?Sized>(
+        &self,
+        user: usize,
+        n: usize,
+        avoid: &[usize],
+        rng: &mut R,
+        mask: &mut NegativeMask,
+        out: &mut Vec<usize>,
+    ) {
+        mask.prepare(self.n_items);
+        for &item in avoid {
+            mask.mark(item);
+        }
+        self.sample_negatives_masked_into(user, n, rng, mask, out);
+    }
+
+    /// Appends `n` distinct unobserved items to `out`, rejecting anything
+    /// already marked in `mask` (and marking each accepted draw). The caller
+    /// must have [`NegativeMask::prepare`]d the mask and marked the items to
+    /// avoid — this low-level form lets the epoch planner sample straight
+    /// into a flat arena whose earlier entries can't be re-borrowed.
+    pub fn sample_negatives_masked_into<R: Rng + ?Sized>(
+        &self,
+        user: usize,
+        n: usize,
+        rng: &mut R,
+        mask: &mut NegativeMask,
+        out: &mut Vec<usize>,
+    ) {
+        let mut drawn = 0;
+        while drawn < n {
             let cand = self.sample_negative(user, rng);
-            if !out.contains(&cand) {
+            if mask.mark(cand) {
                 out.push(cand);
+                drawn += 1;
             }
         }
-        out
     }
 
     /// Number of distinct categories covered by a set of items.
@@ -223,11 +272,65 @@ impl Dataset {
     }
 }
 
+/// Reusable bitset over item ids for rejection-free membership tests during
+/// negative sampling.
+///
+/// Clearing is `O(touched)` — only the words actually written since the last
+/// [`NegativeMask::prepare`] are zeroed — so per-instance reuse costs
+/// `O(k + n)` regardless of catalog size, while the one-time backing
+/// allocation is `n_items / 8` bytes.
+#[derive(Debug, Clone, Default)]
+pub struct NegativeMask {
+    words: Vec<u64>,
+    /// Indices of words with at least one set bit (cleared lazily).
+    touched: Vec<usize>,
+}
+
+impl NegativeMask {
+    /// Creates an empty mask (backing storage grows on first `prepare`).
+    pub fn new() -> Self {
+        NegativeMask::default()
+    }
+
+    /// Sizes the mask for a catalog of `n_items` and clears every mark.
+    pub fn prepare(&mut self, n_items: usize) {
+        let words = n_items.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+        for &w in &self.touched {
+            self.words[w] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Marks `item`; returns `true` when it was not already marked.
+    pub fn mark(&mut self, item: usize) -> bool {
+        let (word, bit) = (item / 64, 1u64 << (item % 64));
+        let slot = &mut self.words[word];
+        if *slot & bit != 0 {
+            return false;
+        }
+        if *slot == 0 {
+            self.touched.push(word);
+        }
+        *slot |= bit;
+        true
+    }
+
+    /// Whether `item` is currently marked.
+    pub fn contains(&self, item: usize) -> bool {
+        self.words
+            .get(item / 64)
+            .is_some_and(|w| w & (1 << (item % 64)) != 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn tiny_dataset() -> Dataset {
         let mut rng = StdRng::seed_from_u64(5);
@@ -304,6 +407,55 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 3, "negatives must be distinct");
+    }
+
+    #[test]
+    fn masked_sampling_matches_the_historical_rejection_scan() {
+        // The bitset path must consume the *identical* RNG stream as the
+        // retired `out.contains` scan: same accept/reject decision per draw.
+        let d = tiny_dataset();
+        let naive = |user: usize, n: usize, avoid: &[usize], rng: &mut StdRng| {
+            let mut out: Vec<usize> = Vec::new();
+            while out.len() < n {
+                let cand = d.sample_negative(user, rng);
+                if !out.contains(&cand) && !avoid.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+            out
+        };
+        let mut mask = NegativeMask::new();
+        // (user, n, avoid) chosen so enough unobserved items remain.
+        for (user, n, avoid) in [
+            (0usize, 2usize, vec![]),
+            (1, 3, vec![0, 5]),
+            (2, 2, vec![3]),
+        ] {
+            let mut rng_a = StdRng::seed_from_u64(7 + user as u64);
+            let mut rng_b = StdRng::seed_from_u64(7 + user as u64);
+            let reference = naive(user, n, &avoid, &mut rng_a);
+            let mut fast = Vec::new();
+            d.sample_negatives_avoiding_into(user, n, &avoid, &mut rng_b, &mut mask, &mut fast);
+            assert_eq!(reference, fast, "user {user}");
+            // Both RNGs must end in the same state.
+            assert_eq!(rng_a.random_range(0..1000), rng_b.random_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn negative_mask_marks_and_clears() {
+        let mut mask = NegativeMask::new();
+        mask.prepare(200);
+        assert!(mask.mark(3));
+        assert!(mask.mark(130));
+        assert!(!mask.mark(3), "double mark must report already-present");
+        assert!(mask.contains(130));
+        assert!(!mask.contains(64));
+        // prepare clears only touched words but all marks are gone.
+        mask.prepare(200);
+        assert!(!mask.contains(3));
+        assert!(!mask.contains(130));
+        assert!(mask.mark(3));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! least once per epoch, which keeps the number of set-level instances no
 //! greater than pointwise/BPR epochs use — the paper's fairness argument.
 
-use crate::dataset::{Dataset, Split};
+use crate::dataset::{Dataset, NegativeMask, Split};
 use rand::Rng;
 
 /// How the k targets of each instance are chosen.
@@ -57,6 +57,66 @@ impl GroundSetInstance {
     pub fn n(&self) -> usize {
         self.negatives.len()
     }
+
+    /// Borrowed view of this instance — the form the objective layer
+    /// consumes, shared with instances resolved out of a
+    /// [`crate::plan::EpochPlan`]'s flat arena.
+    pub fn as_ref(&self) -> InstanceRef<'_> {
+        InstanceRef {
+            user: self.user,
+            positives: &self.positives,
+            negatives: &self.negatives,
+        }
+    }
+}
+
+/// Borrowed view of one training instance: a user plus target/negative item
+/// slices. This is the common currency of the objective layer — produced
+/// either from an owned [`GroundSetInstance`]
+/// ([`GroundSetInstance::as_ref`]) or zero-copy from an
+/// [`crate::plan::EpochPlan`]'s contiguous item arena
+/// ([`crate::plan::EpochPlan::instance`]).
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceRef<'a> {
+    /// The user this ground set belongs to.
+    pub user: usize,
+    /// The k observed target items.
+    pub positives: &'a [usize],
+    /// The n sampled unobserved items.
+    pub negatives: &'a [usize],
+}
+
+impl<'a> InstanceRef<'a> {
+    /// `k`, the target-set cardinality.
+    pub fn k(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// `n`, the negative count.
+    pub fn n(&self) -> usize {
+        self.negatives.len()
+    }
+
+    /// The ground-set size `m = k + n`.
+    pub fn m(&self) -> usize {
+        self.positives.len() + self.negatives.len()
+    }
+
+    /// Materializes an owned instance (tests and builders; the training hot
+    /// path never needs one).
+    pub fn to_owned(&self) -> GroundSetInstance {
+        GroundSetInstance {
+            user: self.user,
+            positives: self.positives.to_vec(),
+            negatives: self.negatives.to_vec(),
+        }
+    }
+}
+
+impl<'a> From<&'a GroundSetInstance> for InstanceRef<'a> {
+    fn from(inst: &'a GroundSetInstance) -> Self {
+        inst.as_ref()
+    }
 }
 
 /// Epoch-level sampler of ground-set instances.
@@ -95,10 +155,19 @@ impl InstanceSampler {
             TargetSelection::Sequential => sliding_windows(train, self.k),
             TargetSelection::Random => random_chunks(train, self.k, rng),
         };
+        let mut mask = NegativeMask::new();
         windows
             .into_iter()
             .map(|positives| {
-                let negatives = sample_negatives_avoiding(data, user, self.n, &positives, rng);
+                let mut negatives = Vec::with_capacity(self.n);
+                data.sample_negatives_avoiding_into(
+                    user,
+                    self.n,
+                    &positives,
+                    rng,
+                    &mut mask,
+                    &mut negatives,
+                );
                 GroundSetInstance {
                     user,
                     positives,
@@ -139,42 +208,34 @@ fn sliding_windows(items: &[usize], k: usize) -> Vec<Vec<usize>> {
 /// drawn uniformly without replacement. Guarantees each item appears as a
 /// target at least once while keeping the instance count at `len`.
 fn random_chunks<R: Rng + ?Sized>(items: &[usize], k: usize, rng: &mut R) -> Vec<Vec<usize>> {
-    let len = items.len();
-    debug_assert!(len >= k);
-    let mut chunks = Vec::with_capacity(len);
-    for (anchor_pos, &anchor) in items.iter().enumerate() {
-        let mut set = Vec::with_capacity(k);
-        set.push(anchor);
-        while set.len() < k {
-            let cand = items[rng.random_range(0..len)];
-            if !set.contains(&cand) {
-                set.push(cand);
-            }
-        }
-        // Anchor position varies so the target subset is order-free.
-        let _ = anchor_pos;
-        chunks.push(set);
-    }
-    chunks
+    let mut flat = Vec::with_capacity(items.len() * k);
+    random_chunks_into(items, k, rng, &mut flat);
+    flat.chunks_exact(k).map(|c| c.to_vec()).collect()
 }
 
-/// Samples `n` distinct unobserved items, also avoiding the given positives
-/// (redundant — positives are observed — but cheap and explicit).
-fn sample_negatives_avoiding<R: Rng + ?Sized>(
-    data: &Dataset,
-    user: usize,
-    n: usize,
-    positives: &[usize],
+/// [`random_chunks`] writing the `len` chunks of size `k` back-to-back into
+/// a flat buffer — the form the epoch planner consumes (no per-chunk `Vec`).
+/// Draw-for-draw identical to the nested form: within-chunk duplicate
+/// candidates are rejected over the same RNG stream.
+pub(crate) fn random_chunks_into<R: Rng + ?Sized>(
+    items: &[usize],
+    k: usize,
     rng: &mut R,
-) -> Vec<usize> {
-    let mut out = Vec::with_capacity(n);
-    while out.len() < n {
-        let cand = data.sample_negative(user, rng);
-        if !out.contains(&cand) && !positives.contains(&cand) {
-            out.push(cand);
+    out: &mut Vec<usize>,
+) {
+    let len = items.len();
+    debug_assert!(len >= k);
+    out.clear();
+    for &anchor in items {
+        let start = out.len();
+        out.push(anchor);
+        while out.len() - start < k {
+            let cand = items[rng.random_range(0..len)];
+            if !out[start..].contains(&cand) {
+                out.push(cand);
+            }
         }
     }
-    out
 }
 
 #[cfg(test)]

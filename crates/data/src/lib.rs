@@ -16,6 +16,10 @@
 //! * [`instances`] — ground-set samplers: each training instance is a user
 //!   plus `k` observed items and `n` sampled unobserved items (Section
 //!   III-B1), built either sequentially (S) or randomly (R).
+//! * [`plan`] — the epoch planning layer: flat-arena [`plan::EpochPlan`]s
+//!   produced under a [`plan::SamplingPolicy`] (resample / frozen /
+//!   periodic negatives) and cut into size-bucketed
+//!   [`plan::BatchSchedule`]s for uniform-size pool dispatches.
 //! * [`diverse`] — `(T⁺, T⁻)` set pairs for pre-training the diversity
 //!   kernel (Eq. 3).
 //! * [`stats`] — dataset statistics (Table I).
@@ -23,10 +27,15 @@
 pub mod dataset;
 pub mod diverse;
 pub mod instances;
+pub mod plan;
 pub mod stats;
 pub mod synthetic;
 
-pub use dataset::{Dataset, Split};
-pub use instances::{GroundSetInstance, InstanceSampler, TargetSelection};
+pub use dataset::{Dataset, NegativeMask, Split};
+pub use instances::{GroundSetInstance, InstanceRef, InstanceSampler, TargetSelection};
+pub use plan::{
+    BatchSchedule, EpochPlan, EpochPlanner, InstanceBlock, InstanceRecord, PlanStats,
+    SamplingPolicy, ScheduledBatch,
+};
 pub use stats::DatasetStats;
 pub use synthetic::{SyntheticConfig, SyntheticPreset};

@@ -1,0 +1,142 @@
+//! Batched per-dispatch eigen arena — uniform-size instance batches solve
+//! their eigenproblems back-to-back.
+//!
+//! The per-instance pipeline in [`crate::workspace`] interleaves kernel
+//! assembly, eigendecomposition, and the ESP/gradient tail for each instance
+//! in turn. When a pool dispatch carries a *uniform-size* run of instances
+//! (the shape the size-bucketed batch scheduler guarantees), the eigen stage
+//! can instead run as one tight loop over pre-assembled matrices: a
+//! [`DppBatchArena`] stages every instance's kernel inputs into per-slot
+//! buffers, hands all of the dispatch's eigenproblems to
+//! [`lkp_linalg::eigen::compute_batch`] with **one shared scratch
+//! allocation**, and only then walks the gradient tails. Assembly, solve,
+//! and finish are each pure functions of their instance's inputs, so the
+//! phase-split pipeline is **bitwise identical** to the interleaved one —
+//! it reorders work, not arithmetic.
+//!
+//! Slots (and the scratch) grow to the dispatch's steady-state shape on
+//! first use and are reused for every subsequent batch, keeping the hot
+//! path allocation-free; one arena lives in each pool worker's state.
+
+use crate::workspace::SpectrumPath;
+use lkp_linalg::{eigen, eigen::EigenScratch, Matrix, SymmetricEigen};
+
+/// Lifecycle of one arena slot within a dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlotState {
+    /// Not yet staged this dispatch.
+    #[default]
+    Empty,
+    /// Shape-invalid instance — excluded from the solve and finished as a
+    /// skip, exactly as the inline path skips it.
+    Skipped,
+    /// Staged: `mat` holds the matrix the eigen stage must decompose. Not
+    /// yet finishable — the slot's `eigen` may still hold a *previous*
+    /// dispatch's decomposition.
+    Staged,
+    /// The solve pass ran on this slot ([`DppBatchArena::solve_all`]); its
+    /// `eigen` now belongs to this dispatch (invalidated on failure).
+    Solved,
+}
+
+/// Per-instance staging buffers for one batched dispatch.
+///
+/// `k_sub` is filled by the caller (objective layer) when gathering the
+/// instance's diversity submatrix; everything else is written by
+/// [`crate::DppWorkspace::stage_slot`] and consumed by
+/// [`crate::DppWorkspace::finish_slot`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchSlot {
+    /// The instance's diversity submatrix `K_T` (`m × m`), staged by the
+    /// caller before `stage_slot`.
+    pub k_sub: Matrix,
+    /// Quality vector `q = exp(clamp(ŷ))`.
+    pub(crate) q: Vec<f64>,
+    /// The eigenproblem input: the tailored kernel `L` (dense path) or the
+    /// dual Gram `BᵀB` (dual path).
+    pub(crate) mat: Matrix,
+    /// Dual path only: `B = Diag(q)·V_T` (item-vector recovery).
+    pub(crate) b: Matrix,
+    /// The slot's decomposition, solved in the arena's batched pass.
+    pub(crate) eigen: SymmetricEigen,
+    /// Which spectral path `mat` belongs to.
+    pub(crate) path: SpectrumPath,
+    /// Target cardinality `k` of the staged instance.
+    pub(crate) k: usize,
+    /// Ground-set size `m` of the staged instance.
+    pub(crate) m: usize,
+    /// Dispatch lifecycle state.
+    pub(crate) state: SlotState,
+}
+
+/// Reusable arena of [`BatchSlot`]s plus the one [`EigenScratch`] their
+/// decompositions share.
+#[derive(Debug, Default)]
+pub struct DppBatchArena {
+    slots: Vec<BatchSlot>,
+    scratch: EigenScratch,
+    len: usize,
+}
+
+impl DppBatchArena {
+    /// Creates an empty arena (slots grow on first use).
+    pub fn new() -> Self {
+        DppBatchArena::default()
+    }
+
+    /// Opens a dispatch of `n` instances: ensures `n` slots exist and resets
+    /// their lifecycle state (buffers are retained).
+    pub fn begin(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, BatchSlot::default);
+        }
+        for slot in &mut self.slots[..n] {
+            slot.state = SlotState::Empty;
+        }
+        self.len = n;
+    }
+
+    /// Instances in the open dispatch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the open dispatch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrows the `i`-th slot of the open dispatch.
+    pub fn slot_mut(&mut self, i: usize) -> &mut BatchSlot {
+        debug_assert!(i < self.len, "slot {i} outside the open dispatch");
+        &mut self.slots[i]
+    }
+
+    /// Borrows the `i`-th slot immutably.
+    pub fn slot(&self, i: usize) -> &BatchSlot {
+        debug_assert!(i < self.len);
+        &self.slots[i]
+    }
+
+    /// Solves every staged slot's eigenproblem back-to-back through
+    /// [`lkp_linalg::eigen::compute_batch`], sharing the arena's scratch,
+    /// and advances those slots to [`SlotState::Solved`] — only solved slots
+    /// are finishable, so a slot the solve pass never reached can never
+    /// serve a stale decomposition. Failed decompositions leave their
+    /// slot's eigen invalidated (the finish pass skips those instances);
+    /// returns the failure count.
+    pub fn solve_all(&mut self) -> usize {
+        let scratch = &mut self.scratch;
+        eigen::compute_batch(
+            self.slots[..self.len].iter_mut().filter_map(|slot| {
+                if slot.state == SlotState::Staged {
+                    slot.state = SlotState::Solved;
+                    Some((&slot.mat, &mut slot.eigen))
+                } else {
+                    None
+                }
+            }),
+            scratch,
+        )
+    }
+}

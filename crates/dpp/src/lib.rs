@@ -29,6 +29,7 @@
 //!   tolerance skip the eigen stage outright, drifted revisits warm-start
 //!   the solver from the cached basis.
 
+pub mod batch;
 pub mod conditional;
 pub mod dual;
 pub mod esp;
@@ -41,6 +42,7 @@ pub mod sampling;
 pub mod spectral_cache;
 pub mod workspace;
 
+pub use batch::{BatchSlot, DppBatchArena};
 pub use dual::DualSpectrum;
 pub use kdpp::KDpp;
 pub use kernel::DppKernel;

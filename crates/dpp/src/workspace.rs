@@ -28,6 +28,7 @@
 //! correspondence, which is why the workspace defines the tailored kernel
 //! this way.)
 
+use crate::batch::{BatchSlot, SlotState};
 use crate::esp::{self, LeaveOneOutScratch};
 use crate::spectral_cache::{SpectralCache, SpectralDecision};
 use lkp_linalg::{cholesky, eigen::EigenScratch, Matrix, SymmetricEigen};
@@ -84,9 +85,10 @@ pub struct DppWorkspace {
 }
 
 /// How the workspace computed the spectrum of the last instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SpectrumPath {
     /// Full `m × m` eigendecomposition.
+    #[default]
     Dense,
     /// `d × d` dual Gram eigendecomposition plus `ε`-eigenspace completion.
     Dual,
@@ -262,12 +264,7 @@ impl DppWorkspace {
 
     /// Fills `self.q` with `exp(clamp(ŷ))` (paper Eq. 13).
     fn prepare_quality(&mut self, scores: &[f64], score_clamp: f64) {
-        self.q.clear();
-        self.q.extend(
-            scores
-                .iter()
-                .map(|&s| s.clamp(-score_clamp, score_clamp).exp()),
-        );
+        quality_into(scores, score_clamp, &mut self.q);
     }
 
     /// [`DppWorkspace::tailored_loss_grad`] reading the kernel inputs from
@@ -462,6 +459,96 @@ impl DppWorkspace {
         self.finish_from_spectrum(k_sub, k, negative_aware, jitter, path)
     }
 
+    /// Stages one instance of a uniform-shape dispatch into an arena `slot`
+    /// (see [`crate::batch::DppBatchArena`]): computes the quality vector and
+    /// assembles the matrix the eigen stage must decompose — the full
+    /// tailored kernel `L` on the dense path, the dual Gram `BᵀB` on the
+    /// dual path. The caller must have filled `slot.k_sub` (and, when
+    /// `use_factor`, [`DppWorkspace::factor_rows`]) beforehand. Instances
+    /// whose shape is invalid (`k > m`, or a negative-aware instance with
+    /// `m ≠ 2k`) mark the slot skipped, exactly as the inline path returns
+    /// `None` for them.
+    ///
+    /// The staged math is operation-for-operation the inline
+    /// [`DppWorkspace::tailored_loss_grad_staged`] prologue, so a
+    /// stage → batched-solve → [`DppWorkspace::finish_slot`] pipeline is
+    /// bitwise identical to interleaved per-instance computation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_slot(
+        &mut self,
+        slot: &mut BatchSlot,
+        scores: &[f64],
+        k: usize,
+        negative_aware: bool,
+        use_factor: bool,
+        jitter: f64,
+        score_clamp: f64,
+    ) {
+        let m = scores.len();
+        debug_assert_eq!(slot.k_sub.shape(), (m, m));
+        slot.k = k;
+        slot.m = m;
+        if k > m || (negative_aware && m != 2 * k) {
+            slot.state = SlotState::Skipped;
+            return;
+        }
+        // Same helpers as the inline prologue (`prepare_quality`,
+        // `assemble_dense`, `assemble_dual`), writing into the slot's
+        // buffers — the stage/inline bitwise identity is structural.
+        quality_into(scores, score_clamp, &mut slot.q);
+        slot.path = match use_factor {
+            true if self.factor_rows.cols() < m => {
+                debug_assert_eq!(self.factor_rows.rows(), m);
+                assemble_b_into(&slot.q, &self.factor_rows, &mut slot.b);
+                slot.b.gram_into(&mut slot.mat);
+                SpectrumPath::Dual
+            }
+            _ => {
+                assemble_tailored_into(&slot.q, &slot.k_sub, jitter, &mut slot.mat);
+                SpectrumPath::Dense
+            }
+        };
+        slot.state = SlotState::Staged;
+    }
+
+    /// Runs everything downstream of the eigen stage for a staged-and-solved
+    /// arena slot: loads the slot's spectrum into the workspace and completes
+    /// the pipeline via the shared [`DppWorkspace::finish_from_spectrum`].
+    /// Returns `None` for skipped slots, failed (invalidated)
+    /// decompositions — the same instances the inline path skips — and for
+    /// slots the arena's solve pass never reached (`solve_all` advances
+    /// slots to [`SlotState::Solved`]; a merely staged slot may still hold a
+    /// *previous* dispatch's valid decomposition, which must never be
+    /// combined with this dispatch's inputs).
+    pub fn finish_slot(
+        &mut self,
+        slot: &BatchSlot,
+        negative_aware: bool,
+        jitter: f64,
+    ) -> Option<TailoredResult> {
+        if slot.state != SlotState::Solved || !slot.eigen.is_valid() {
+            return None;
+        }
+        self.q.clear();
+        self.q.extend_from_slice(&slot.q);
+        match slot.path {
+            SpectrumPath::Dense => {
+                self.eigen.values.clear();
+                self.eigen.values.extend_from_slice(&slot.eigen.values);
+                self.eigen.vectors.copy_from(&slot.eigen.vectors);
+                self.eigen.clamped_nonnegative_values_into(&mut self.lambda);
+            }
+            SpectrumPath::Dual => {
+                self.b.copy_from(&slot.b);
+                self.dual_eigen.values.clear();
+                self.dual_eigen.values.extend_from_slice(&slot.eigen.values);
+                self.dual_eigen.vectors.copy_from(&slot.eigen.vectors);
+                self.dual_finish(slot.m, jitter);
+            }
+        }
+        self.finish_from_spectrum(&slot.k_sub, slot.k, negative_aware, jitter, slot.path)
+    }
+
     /// Score gradient `∂loss/∂ŷ` of the last successful call.
     pub fn dscores(&self) -> &[f64] {
         &self.dscores
@@ -481,17 +568,7 @@ impl DppWorkspace {
     /// Assembles the full tailored kernel `L = Diag(q)·K_T·Diag(q) + ε·I`
     /// into `self.l`.
     fn assemble_dense(&mut self, k_sub: &Matrix, jitter: f64) {
-        let m = self.q.len();
-        self.l.reset(m, m);
-        for i in 0..m {
-            let qi = self.q[i];
-            let krow = k_sub.row(i);
-            let lrow = self.l.row_mut(i);
-            for ((slot, &kij), &qj) in lrow.iter_mut().zip(krow).zip(&self.q) {
-                *slot = qi * kij * qj;
-            }
-            lrow[i] += jitter;
-        }
+        assemble_tailored_into(&self.q, k_sub, jitter, &mut self.l);
     }
 
     /// Dense spectrum: assemble the full `L` and eigendecompose it.
@@ -523,17 +600,7 @@ impl DppWorkspace {
     /// Assembles `B = Diag(q)·V_T` and the dual Gram `BᵀB` into
     /// `self.b`/`self.dual`.
     fn assemble_dual(&mut self, v_t: &Matrix) {
-        let m = v_t.rows();
-        let d = v_t.cols();
-        self.b.reset(m, d);
-        for i in 0..m {
-            let qi = self.q[i];
-            let src = v_t.row(i);
-            let dst = self.b.row_mut(i);
-            for (slot, &v) in dst.iter_mut().zip(src) {
-                *slot = qi * v;
-            }
-        }
+        assemble_b_into(&self.q, v_t, &mut self.b);
         self.b.gram_into(&mut self.dual);
     }
 
@@ -719,6 +786,50 @@ impl DppWorkspace {
             for (b, j) in range.clone().enumerate() {
                 self.g_loss[(i, j)] += alpha * self.inv[(a, b)];
             }
+        }
+    }
+}
+
+/// Fills `out` with the quality vector `q_i = exp(clamp(ŷ_i))` (paper
+/// Eq. 13). Shared by the inline prologue and the batched stage path so the
+/// two are the same arithmetic by construction.
+fn quality_into(scores: &[f64], score_clamp: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        scores
+            .iter()
+            .map(|&s| s.clamp(-score_clamp, score_clamp).exp()),
+    );
+}
+
+/// Assembles the tailored kernel `L = Diag(q)·K_T·Diag(q) + ε·I` into `out`.
+/// Shared by the inline dense path and the batched stage path.
+fn assemble_tailored_into(q: &[f64], k_sub: &Matrix, jitter: f64, out: &mut Matrix) {
+    let m = q.len();
+    out.reset(m, m);
+    for i in 0..m {
+        let qi = q[i];
+        let krow = k_sub.row(i);
+        let lrow = out.row_mut(i);
+        for ((slot, &kij), &qj) in lrow.iter_mut().zip(krow).zip(q) {
+            *slot = qi * kij * qj;
+        }
+        lrow[i] += jitter;
+    }
+}
+
+/// Assembles `B = Diag(q)·V_T` into `out` (the dual path's factor; callers
+/// follow with `gram_into` for `BᵀB`). Shared by the inline dual path and
+/// the batched stage path.
+fn assemble_b_into(q: &[f64], v_t: &Matrix, out: &mut Matrix) {
+    let m = v_t.rows();
+    let d = v_t.cols();
+    out.reset(m, d);
+    for (i, &qi) in q.iter().enumerate().take(m) {
+        let src = v_t.row(i);
+        let dst = out.row_mut(i);
+        for (slot, &v) in dst.iter_mut().zip(src) {
+            *slot = qi * v;
         }
     }
 }
@@ -1139,6 +1250,169 @@ mod tests {
         assert_eq!(stats.skips, 0);
         // Both ground sets are now resident (distinct keys).
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn batched_arena_pipeline_is_bitwise_identical_to_inline() {
+        // stage-all → solve-all → finish-all must reproduce the interleaved
+        // per-instance pipeline bit for bit, on both spectral paths.
+        use crate::batch::DppBatchArena;
+        for use_factor in [false, true] {
+            let m = 8;
+            let d = if use_factor { 4 } else { 10 };
+            let kernel = example_kernel(24, d);
+            let instance_sets: Vec<Vec<usize>> = (0..5).map(|i| (i..i + m).collect()).collect();
+            let score_sets: Vec<Vec<f64>> = (0..5)
+                .map(|i| {
+                    example_scores(m)
+                        .iter()
+                        .map(|s| s + 0.05 * i as f64)
+                        .collect()
+                })
+                .collect();
+
+            // Inline reference.
+            let mut ws_ref = DppWorkspace::new();
+            let mut reference = Vec::new();
+            for (items, scores) in instance_sets.iter().zip(&score_sets) {
+                kernel.submatrix_into(items, &mut ws_ref.k_sub).unwrap();
+                kernel
+                    .gather_rows_into(items, &mut ws_ref.factor_rows)
+                    .unwrap();
+                let res = ws_ref
+                    .tailored_loss_grad_staged(scores, 4, true, use_factor, 1e-6, 30.0)
+                    .expect("well-conditioned");
+                reference.push((res.loss, ws_ref.dscores().to_vec(), res.path));
+            }
+
+            // Batched arena pipeline.
+            let mut ws = DppWorkspace::new();
+            let mut arena = DppBatchArena::new();
+            for _round in 0..2 {
+                // Round 2 reuses the grown buffers — results must not move.
+                arena.begin(instance_sets.len());
+                for (i, (items, scores)) in instance_sets.iter().zip(&score_sets).enumerate() {
+                    kernel.gather_rows_into(items, &mut ws.factor_rows).unwrap();
+                    let slot = arena.slot_mut(i);
+                    kernel.submatrix_into(items, &mut slot.k_sub).unwrap();
+                    ws.stage_slot(slot, scores, 4, true, use_factor, 1e-6, 30.0);
+                }
+                assert_eq!(arena.solve_all(), 0);
+                for (i, (want_loss, want_dscores, want_path)) in reference.iter().enumerate() {
+                    let res = ws
+                        .finish_slot(arena.slot(i), true, 1e-6)
+                        .expect("well-conditioned");
+                    assert_eq!(res.path, *want_path, "use_factor={use_factor}");
+                    assert_eq!(
+                        res.loss.to_bits(),
+                        want_loss.to_bits(),
+                        "use_factor={use_factor} instance {i}"
+                    );
+                    for (a, b) in ws.dscores().iter().zip(want_dscores) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "use_factor={use_factor}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_arena_skips_invalid_shapes_and_failed_solves() {
+        use crate::batch::DppBatchArena;
+        let m = 6;
+        let kernel = example_kernel(12, 8);
+        let items: Vec<usize> = (0..m).collect();
+        let good = example_scores(m);
+        let poisoned = vec![f64::NAN; m];
+        let mut ws = DppWorkspace::new();
+        let mut arena = DppBatchArena::new();
+        arena.begin(3);
+        // Slot 0: negative-aware shape mismatch (m ≠ 2k) → skipped pre-solve.
+        kernel
+            .submatrix_into(&items, &mut arena.slot_mut(0).k_sub)
+            .unwrap();
+        ws.stage_slot(arena.slot_mut(0), &good, 2, true, false, 1e-6, 30.0);
+        // Slot 1: NaN scores → eigen fails, slot invalidated.
+        kernel
+            .submatrix_into(&items, &mut arena.slot_mut(1).k_sub)
+            .unwrap();
+        ws.stage_slot(arena.slot_mut(1), &poisoned, 3, false, false, 1e-6, 30.0);
+        // Slot 2: healthy.
+        kernel
+            .submatrix_into(&items, &mut arena.slot_mut(2).k_sub)
+            .unwrap();
+        ws.stage_slot(arena.slot_mut(2), &good, 3, false, false, 1e-6, 30.0);
+        let failures = arena.solve_all();
+        assert_eq!(failures, 1, "only the NaN slot fails");
+        assert!(ws.finish_slot(arena.slot(0), true, 1e-6).is_none());
+        assert!(ws.finish_slot(arena.slot(1), false, 1e-6).is_none());
+        let ok = ws
+            .finish_slot(arena.slot(2), false, 1e-6)
+            .expect("healthy slot unaffected by neighbors");
+        let mut ws_ref = DppWorkspace::new();
+        let exact = ws_ref
+            .tailored_loss_grad(
+                &good,
+                &kernel.submatrix(&items).unwrap(),
+                None,
+                3,
+                false,
+                1e-6,
+                30.0,
+            )
+            .unwrap();
+        assert_eq!(ok.loss.to_bits(), exact.loss.to_bits());
+    }
+
+    #[test]
+    fn unsolved_slots_never_serve_stale_decompositions() {
+        // A staged slot whose eigen still holds a *previous* dispatch's
+        // valid decomposition must not finish: skipping `solve_all` (or
+        // staging after it) has to fail closed, not combine fresh inputs
+        // with a stale spectrum.
+        use crate::batch::DppBatchArena;
+        let m = 6;
+        let kernel = example_kernel(12, 8);
+        let items: Vec<usize> = (0..m).collect();
+        let scores = example_scores(m);
+        let mut ws = DppWorkspace::new();
+        let mut arena = DppBatchArena::new();
+        // Dispatch 1: full stage → solve → finish cycle succeeds.
+        arena.begin(1);
+        kernel
+            .submatrix_into(&items, &mut arena.slot_mut(0).k_sub)
+            .unwrap();
+        ws.stage_slot(arena.slot_mut(0), &scores, 3, false, false, 1e-6, 30.0);
+        assert_eq!(arena.solve_all(), 0);
+        assert!(ws.finish_slot(arena.slot(0), false, 1e-6).is_some());
+        // Dispatch 2: stage only — the slot's eigen is still dispatch 1's
+        // valid decomposition, but finish must refuse without a solve.
+        arena.begin(1);
+        kernel
+            .submatrix_into(&items, &mut arena.slot_mut(0).k_sub)
+            .unwrap();
+        let drifted: Vec<f64> = scores.iter().map(|s| s + 0.5).collect();
+        ws.stage_slot(arena.slot_mut(0), &drifted, 3, false, false, 1e-6, 30.0);
+        assert!(
+            ws.finish_slot(arena.slot(0), false, 1e-6).is_none(),
+            "staged-but-unsolved slot must fail closed"
+        );
+        // After the solve it finishes, and matches the inline pipeline.
+        assert_eq!(arena.solve_all(), 0);
+        let res = ws.finish_slot(arena.slot(0), false, 1e-6).unwrap();
+        let mut ws_ref = DppWorkspace::new();
+        let exact = ws_ref
+            .tailored_loss_grad(
+                &drifted,
+                &kernel.submatrix(&items).unwrap(),
+                None,
+                3,
+                false,
+                1e-6,
+                30.0,
+            )
+            .unwrap();
+        assert_eq!(res.loss.to_bits(), exact.loss.to_bits());
     }
 
     #[test]

@@ -352,6 +352,30 @@ impl SymmetricEigen {
     }
 }
 
+/// Solves a batch of symmetric eigenproblems back-to-back from one shared
+/// [`EigenScratch`] allocation.
+///
+/// This is the uniform-size dispatch entry point: callers that bucket their
+/// work by matrix dimension (e.g. the trainer's size-bucketed instance
+/// batches) hand every problem of one dispatch to a single call, so the
+/// solver's scratch is sized once and the tridiagonalization/QL inner loops
+/// run consecutively over hot buffers instead of interleaving with unrelated
+/// per-item work. Each failed decomposition leaves its output **invalidated**
+/// (exactly as [`SymmetricEigen::compute_into`] does) without aborting the
+/// rest of the batch; the return value counts the failures.
+pub fn compute_batch<'a, I>(problems: I, scratch: &mut EigenScratch) -> usize
+where
+    I: IntoIterator<Item = (&'a Matrix, &'a mut SymmetricEigen)>,
+{
+    let mut failures = 0;
+    for (matrix, out) in problems {
+        if out.compute_into(matrix, scratch).is_err() {
+            failures += 1;
+        }
+    }
+    failures
+}
+
 /// Householder reduction of `v` (symmetric) to tridiagonal form.
 ///
 /// On exit `d` holds the diagonal, `e[1..]` the sub-diagonal, and `v` the
@@ -794,6 +818,48 @@ mod tests {
         eig.compute_into(&good, &mut scratch).unwrap();
         assert!(eig.is_valid());
         assert_close(eig.values[0], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn batched_solve_is_bitwise_the_individual_solves() {
+        let mats: Vec<Matrix> = (0..6)
+            .map(|s| {
+                let mut a = Matrix::from_fn(5, 5, |r, c| {
+                    (((r * 3 + c * 7 + s * 11) % 13) as f64) * 0.25 - 1.0
+                });
+                a.symmetrize();
+                a
+            })
+            .collect();
+        let mut batched: Vec<SymmetricEigen> = (0..6).map(|_| SymmetricEigen::default()).collect();
+        let mut scratch = EigenScratch::default();
+        let failures = compute_batch(mats.iter().zip(batched.iter_mut()), &mut scratch);
+        assert_eq!(failures, 0);
+        for (a, out) in mats.iter().zip(&batched) {
+            let mut solo = SymmetricEigen::default();
+            solo.compute_into(a, &mut EigenScratch::default()).unwrap();
+            assert_eq!(
+                solo.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert!(solo.vectors.max_abs_diff(&out.vectors) == 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_solve_isolates_failures() {
+        let good = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let poisoned = Matrix::from_rows(&[&[1.0, f64::NAN], &[f64::NAN, 1.0]]);
+        let mats = [good.clone(), poisoned, good.clone()];
+        let mut outs: Vec<SymmetricEigen> = (0..3).map(|_| SymmetricEigen::default()).collect();
+        let mut scratch = EigenScratch::default();
+        let failures = compute_batch(mats.iter().zip(outs.iter_mut()), &mut scratch);
+        assert_eq!(failures, 1);
+        assert!(outs[0].is_valid());
+        assert!(!outs[1].is_valid(), "failed slot must be invalidated");
+        assert!(outs[2].is_valid(), "failure must not poison later solves");
+        assert_close(outs[2].values[0], 1.0, 1e-12);
+        assert_close(outs[2].values[1], 3.0, 1e-12);
     }
 
     #[test]

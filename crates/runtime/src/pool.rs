@@ -168,10 +168,42 @@ impl WorkerPool {
         U: Send,
         F: Fn(usize, &[T], &mut [U], &mut WorkerState) + Sync,
     {
+        self.zip_chunks_bounded(input, out, &[], f);
+    }
+
+    /// [`WorkerPool::zip_chunks`] with uniform-run dispatch: `bounds` are
+    /// ascending split points strictly inside `(0, input.len())`, and `f` is
+    /// invoked once per maximal sub-run of a worker's chunk that crosses no
+    /// bound — so when bounds separate groups of like-shaped work (e.g.
+    /// instances bucketed by ground-set size), every `f` call sees a slice
+    /// drawn from exactly one group and can take a batched fast path over
+    /// it. One pool dispatch covers all groups; with `bounds` empty this is
+    /// exactly [`WorkerPool::zip_chunks`].
+    ///
+    /// Chunk boundaries (and therefore which worker computes which element)
+    /// depend only on `input.len()` and the pool width, never on `bounds`,
+    /// and each output element is still written by exactly one worker —
+    /// element values remain independent of both the thread count and the
+    /// grouping.
+    pub fn zip_chunks_bounded<T, U, F>(
+        &mut self,
+        input: &[T],
+        out: &mut [U],
+        bounds: &[usize],
+        f: F,
+    ) where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T], &mut [U], &mut WorkerState) + Sync,
+    {
         assert_eq!(
             input.len(),
             out.len(),
             "zip_chunks input/output lengths differ"
+        );
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]) && bounds.iter().all(|&b| b < input.len()),
+            "bounds must ascend within (0, len)"
         );
         let len = input.len();
         let chunk = len.div_ceil(self.threads).max(1);
@@ -182,12 +214,30 @@ impl WorkerPool {
             if start >= end {
                 return;
             }
-            // Safety: [start, end) ranges are disjoint across workers and
-            // `run` does not return before every worker is done, so each
-            // sub-slice is exclusively borrowed for the dispatch.
-            let out_chunk =
-                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(start), end - start) };
-            f(start, &input[start..end], out_chunk, state);
+            let mut next_bound = bounds.partition_point(|&b| b <= start);
+            let mut run_start = start;
+            while run_start < end {
+                while next_bound < bounds.len() && bounds[next_bound] <= run_start {
+                    next_bound += 1;
+                }
+                let run_end = if next_bound < bounds.len() {
+                    bounds[next_bound].min(end)
+                } else {
+                    end
+                };
+                // Safety: [run_start, run_end) sub-ranges are disjoint both
+                // across workers (chunks) and within a worker (runs), and
+                // `run` does not return before every worker is done, so each
+                // sub-slice is exclusively borrowed for the dispatch.
+                let out_chunk = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        out_ptr.get().add(run_start),
+                        run_end - run_start,
+                    )
+                };
+                f(run_start, &input[run_start..run_end], out_chunk, state);
+                run_start = run_end;
+            }
         });
     }
 
@@ -356,6 +406,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn bounded_zip_runs_never_straddle_bounds_and_cover_once() {
+        for threads in [1usize, 2, 3, 4, 7] {
+            for len in [1usize, 5, 16, 33] {
+                let input: Vec<usize> = (0..len).collect();
+                let bounds: Vec<usize> = (1..len).filter(|b| b % 5 == 0).collect();
+                let mut out = vec![usize::MAX; len];
+                let mut pool = WorkerPool::new(threads);
+                pool.zip_chunks_bounded(&input, &mut out, &bounds, |offset, inp, outp, _| {
+                    assert_eq!(inp[0], offset);
+                    // The run crosses no bound: all elements in one segment.
+                    let seg = |i: usize| bounds.partition_point(|&b| b <= i);
+                    assert!(
+                        inp.iter().all(|&i| seg(i) == seg(offset)),
+                        "run {offset}..{} straddles bounds {bounds:?}",
+                        offset + inp.len()
+                    );
+                    for (slot, &v) in outp.iter_mut().zip(inp) {
+                        *slot = v * 3 + 1;
+                    }
+                });
+                assert_eq!(
+                    out,
+                    input.iter().map(|v| v * 3 + 1).collect::<Vec<_>>(),
+                    "threads={threads} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_zip_with_empty_bounds_equals_zip_chunks() {
+        // zip_chunks delegates to the bounded form; the f-call pattern must
+        // be one call per worker chunk in both spellings.
+        let input: Vec<usize> = (0..20).collect();
+        for threads in [1usize, 3, 4] {
+            let mut pool = WorkerPool::new(threads);
+            let mut out_a = vec![0usize; 20];
+            let calls_a = Mutex::new(Vec::new());
+            pool.zip_chunks(&input, &mut out_a, |offset, inp, outp, _| {
+                calls_a.lock().unwrap().push((offset, inp.len()));
+                for (slot, &v) in outp.iter_mut().zip(inp) {
+                    *slot = v + 7;
+                }
+            });
+            let mut out_b = vec![0usize; 20];
+            let calls_b = Mutex::new(Vec::new());
+            pool.zip_chunks_bounded(&input, &mut out_b, &[], |offset, inp, outp, _| {
+                calls_b.lock().unwrap().push((offset, inp.len()));
+                for (slot, &v) in outp.iter_mut().zip(inp) {
+                    *slot = v + 7;
+                }
+            });
+            assert_eq!(out_a, out_b);
+            let mut a = calls_a.into_inner().unwrap();
+            let mut b = calls_b.into_inner().unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bounded_zip_tolerates_duplicate_bounds() {
+        let input: Vec<usize> = (0..10).collect();
+        let mut out = vec![0usize; 10];
+        let mut pool = WorkerPool::new(2);
+        pool.zip_chunks_bounded(&input, &mut out, &[4, 4, 7], |_, inp, outp, _| {
+            assert!(!inp.is_empty(), "no empty runs");
+            for (slot, &v) in outp.iter_mut().zip(inp) {
+                *slot = v * 2;
+            }
+        });
+        assert_eq!(out, input.iter().map(|v| v * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -29,6 +29,9 @@ cargo run --release -p lkp-bench --bin serve_probe >> "$tmp"
 echo "==> spectral-cache probe" >&2
 cargo run --release -p lkp-bench --bin spectral_probe >> "$tmp"
 
+echo "==> sampling-policy probe" >&2
+cargo run --release -p lkp-bench --bin sampler_probe >> "$tmp"
+
 {
   printf '{"snapshot_meta":{"date":"%s","host_cores":%s,"rustc":"%s"}}\n' \
     "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \

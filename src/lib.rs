@@ -83,10 +83,10 @@ pub mod prelude {
         train_diversity_kernel, DiversityKernelConfig, LkpVariant, TrainConfig, Trainer,
     };
     pub use lkp_data::{
-        Dataset, GroundSetInstance, InstanceSampler, Split, SyntheticConfig, SyntheticPreset,
-        TargetSelection,
+        Dataset, EpochPlan, EpochPlanner, GroundSetInstance, InstanceRef, InstanceSampler,
+        PlanStats, SamplingPolicy, Split, SyntheticConfig, SyntheticPreset, TargetSelection,
     };
-    pub use lkp_dpp::DppWorkspace;
+    pub use lkp_dpp::{DppBatchArena, DppWorkspace};
     pub use lkp_dpp::{DppKernel, KDpp, LowRankKernel, SpectralCache, SpectralCacheStats};
     pub use lkp_models::{Gcmc, Gcn, ItemEmbeddings, MatrixFactorization, NeuMf, Recommender};
     pub use lkp_nn::AdamConfig;
