@@ -1,22 +1,33 @@
 //! Serving probe: batched top-N throughput and latency of the `lkp-serve`
-//! path (snapshot → per-user tailored kernel → greedy MAP on the pool).
+//! path (snapshot → per-user tailored kernel → greedy MAP on the pool),
+//! plus a sharded-vs-per-worker cache replay and the micro-batching
+//! frontend.
 //!
-//! Prints one JSON object; `scripts/bench_snapshot.sh` appends it to the
+//! Prints three JSON objects (rows `serving`, `serving_cache_modes`,
+//! `serving_frontend`); `scripts/bench_snapshot.sh` appends them to the
 //! `BENCH_<date>.json` trajectory snapshot. Flags:
 //!
 //! * `--batches N`  — timed batches per configuration (default 30)
 //! * `--batch N`    — requests per batch (default 64)
 //! * `--candidates N` — candidate-pool size per request (default 100)
 //! * `--top N`      — list length (default 10)
+//!
+//! The cache-mode row asserts the PR-5 acceptance bars: on a multi-worker
+//! replay of a skewed user distribution the sharded cache's hit rate is ≥
+//! the per-worker backend's, and prewarmed traffic serves its first batch
+//! with zero kernel-assembly misses.
 
 use lkp_core::{train_diversity_kernel, DiversityKernelConfig};
 use lkp_data::SyntheticConfig;
 use lkp_models::MatrixFactorization;
 use lkp_nn::AdamConfig;
-use lkp_serve::{RankRequest, Ranker, RankingArtifact, ServeConfig};
+use lkp_serve::{
+    CacheMode, FrontendConfig, ManualClock, RankRequest, Ranker, RankingArtifact, ServeConfig,
+    ServeFrontend,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn flag(name: &str, default: usize) -> usize {
     std::env::args()
@@ -53,18 +64,18 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(9);
     let model = MatrixFactorization::new(n_users, n_items, 32, AdamConfig::default(), &mut rng);
 
-    // Request stream: users round-robin, per-user stable candidate pools
-    // (the cache-friendly shape), deterministic.
+    // Per-user stable candidate pools (the cache-friendly shape).
+    let pool_for = |user: usize| -> Vec<usize> {
+        (0..n_candidates)
+            .map(|j| (user * 37 + j * 101 + 13) % n_items)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    };
+
+    // Request stream: users round-robin, deterministic.
     let reqs: Vec<RankRequest> = (0..batch)
-        .map(|i| {
-            let user = (i * 131) % n_users;
-            let candidates: Vec<usize> = (0..n_candidates)
-                .map(|j| (user * 37 + j * 101 + 13) % n_items)
-                .collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect();
-            RankRequest::new(user, candidates, top_n)
-        })
+        .map(|i| RankRequest::new((i * 131) % n_users, pool_for((i * 131) % n_users), top_n))
         .collect();
 
     let cores = std::thread::available_parallelism()
@@ -111,5 +122,185 @@ fn main() {
         t1 / t4,
         results[1].3,
         results[1].4,
+    );
+
+    // ---- Cache-mode replay: skewed users at shuffled positions ----
+    // ~80% of requests come from a 50-user hot set, the rest from the long
+    // tail, and every round draws fresh positions — so a hot user lands on
+    // different workers across rounds. That is exactly the shape that
+    // defeats per-worker caches (one re-assembly per worker per user) and
+    // that the sharded cross-worker cache amortizes process-wide.
+    let threads = 4usize;
+    let rounds = (batches / 2).max(4);
+    let hot_users = 50usize;
+    let mut seed = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 33) as usize
+    };
+    let replay: Vec<Vec<RankRequest>> = (0..rounds)
+        .map(|_| {
+            (0..batch)
+                .map(|_| {
+                    let r = next();
+                    let user = if r % 5 < 4 {
+                        (r / 5) % hot_users
+                    } else {
+                        hot_users + (r / 5) % (n_users - hot_users)
+                    };
+                    RankRequest::new(user, pool_for(user), top_n)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut mode_rows = Vec::new();
+    let mut last_round: Vec<Vec<lkp_serve::RankResponse>> = Vec::new();
+    for cache_mode in [CacheMode::PerWorker, CacheMode::Sharded { shards: 8 }] {
+        let mut ranker = Ranker::new(
+            RankingArtifact::snapshot(&model, &kernel),
+            ServeConfig {
+                threads,
+                cache_mode,
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        let t = Instant::now();
+        for round in &replay {
+            ranker.rank_batch_into(round, &mut out);
+        }
+        let ns_per_request = t.elapsed().as_nanos() as f64 / (rounds * batch) as f64;
+        last_round.push(out);
+        let stats = ranker.cache_stats_detailed();
+        mode_rows.push((ns_per_request, stats));
+    }
+    // The cache mode must never change a served list.
+    for (a, b) in last_round[0].iter().zip(&last_round[1]) {
+        assert_eq!(a.items, b.items, "cache mode changed a served list");
+        assert_eq!(a.log_det.to_bits(), b.log_det.to_bits());
+    }
+    let (pw_ns, pw) = (&mode_rows[0].0, &mode_rows[0].1);
+    let (sh_ns, sh) = (&mode_rows[1].0, &mode_rows[1].1);
+    assert!(
+        sh.hit_rate() >= pw.hit_rate(),
+        "sharded hit rate {} fell below per-worker {}",
+        sh.hit_rate(),
+        pw.hit_rate()
+    );
+    println!(
+        "{{\"probe\":\"serving_cache_modes\",\"threads\":{threads},\"rounds\":{rounds},\
+\"batch\":{batch},\"candidates\":{n_candidates},\"hot_users\":{hot_users},\
+\"per_worker_hit_rate\":{:.4},\"sharded_hit_rate\":{:.4},\
+\"per_worker_ns_per_request\":{:.0},\"sharded_ns_per_request\":{:.0},\
+\"per_worker_resident\":{},\"sharded_resident\":{},\"shards\":8}}",
+        pw.hit_rate(),
+        sh.hit_rate(),
+        pw_ns,
+        sh_ns,
+        pw.aggregate.resident,
+        sh.aggregate.resident,
+    );
+
+    // ---- Frontend: one-at-a-time submission, micro-batched cuts ----
+    // Same stream as the direct-batch row, pushed through the bounded
+    // queue (cuts by size; the manual clock keeps deadline checks out of
+    // the timed loop). Overhead = frontend ns/request − direct ns/request
+    // at the same width AND the same cache mode, so the difference
+    // isolates the queue/ticket plumbing rather than the cache backend;
+    // the two sides are timed in interleaved rounds so slow machine drift
+    // (thermals, scheduling) cancels instead of landing on one side.
+    let mut direct_ranker = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads,
+            cache_mode: CacheMode::Sharded { shards: 8 },
+            ..Default::default()
+        },
+    );
+    let mut direct_out = Vec::new();
+    for _ in 0..3 {
+        direct_ranker.rank_batch_into(&reqs, &mut direct_out);
+    }
+    let mut frontend = ServeFrontend::with_clock(
+        Ranker::new(
+            RankingArtifact::snapshot(&model, &kernel),
+            ServeConfig {
+                threads,
+                cache_mode: CacheMode::Sharded { shards: 8 },
+                ..Default::default()
+            },
+        ),
+        FrontendConfig {
+            max_batch: batch,
+            max_wait: Duration::from_millis(2),
+        },
+        Box::new(ManualClock::new()),
+    );
+    // Prewarm the stream's (user, pool) pairs: the first served batch must
+    // pay zero kernel-assembly misses.
+    let prewarm_pairs: Vec<(usize, Vec<usize>)> = reqs
+        .iter()
+        .map(|r| (r.user, r.candidates.clone()))
+        .collect();
+    let prewarmed = frontend.prewarm(&prewarm_pairs);
+    let mut tickets = Vec::with_capacity(batch);
+    for req in &reqs {
+        tickets.push(frontend.submit(req.clone()));
+    }
+    frontend.flush();
+    let mut served = 0usize;
+    for ticket in tickets.drain(..) {
+        served += frontend.try_take(ticket).is_some() as usize;
+    }
+    assert_eq!(served, batch, "every ticket redeems exactly once");
+    let first_batch = frontend.ranker().cache_stats_detailed();
+    assert_eq!(
+        first_batch.aggregate.misses, 0,
+        "prewarmed pairs must serve their first batch without assembly"
+    );
+    // The frontend side of each round is the full consumer cycle —
+    // submit, cut, redeem — so the reported overhead includes ticket
+    // redemption and the completed-response map stays flat. Each side
+    // reports its *fastest* round: the per-request serve cost (tens of µs)
+    // dwarfs the plumbing overhead (hundreds of ns), so sums would drown
+    // the difference in scheduling/thermal noise, while the per-side
+    // minimum over interleaved rounds is the interference-free estimate.
+    let mut direct_best = u128::MAX;
+    let mut frontend_best = u128::MAX;
+    for _ in 0..batches {
+        let t = Instant::now();
+        direct_ranker.rank_batch_into(&reqs, &mut direct_out);
+        direct_best = direct_best.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        for req in &reqs {
+            tickets.push(frontend.submit(req.clone()));
+        }
+        frontend.flush();
+        for ticket in tickets.drain(..) {
+            std::hint::black_box(frontend.try_take(ticket));
+        }
+        frontend_best = frontend_best.min(t.elapsed().as_nanos());
+    }
+    let direct_ns = direct_best as f64 / batch as f64;
+    let frontend_ns = frontend_best as f64 / batch as f64;
+    assert_eq!(frontend.completed_len(), 0, "no unclaimed responses leak");
+    let fstats = frontend.stats();
+    println!(
+        "{{\"probe\":\"serving_frontend\",\"threads\":{threads},\"max_batch\":{batch},\
+\"ns_per_request_direct\":{:.0},\"ns_per_request_frontend\":{:.0},\
+\"frontend_overhead_ns\":{:.0},\"batches_cut\":{},\"cuts_full\":{},\"cuts_flush\":{},\
+\"prewarmed_pairs\":{prewarmed},\"prewarm_first_batch_misses\":{},\
+\"prewarm_first_batch_hits\":{}}}",
+        direct_ns,
+        frontend_ns,
+        frontend_ns - direct_ns,
+        fstats.batches,
+        fstats.cuts_full,
+        fstats.cuts_flush,
+        first_batch.aggregate.misses,
+        first_batch.aggregate.hits,
     );
 }

@@ -1,220 +1,152 @@
-//! Bounded per-user cache of assembled diversity submatrices.
+//! Bounded caches of assembled diversity submatrices, in two backends.
+//!
+//! The `O(|C|²·d)` candidate-kernel assembly is the dominant per-request
+//! cost, and `K_C = V_C·V_Cᵀ` depends only on the candidate set — so for the
+//! common serving shape (each user's candidate pool is stable across
+//! requests) it is worth paying once and amortizing. Two backends share the
+//! same entry layout and eviction policy:
+//!
+//! * [`per_worker::KernelCache`] — one private cache per pool worker, no
+//!   locks (the PR-2 design, still the default). A user's kernel is
+//!   re-assembled once *per worker* that serves them.
+//! * [`shared::SharedKernelCache`] — one cache for the whole pool, sharded
+//!   `N` ways by user hash with one lock per shard. A user's kernel is
+//!   assembled once *per process*, whichever worker gets there first.
+//!
+//! Both store bit-exact copies of what a miss recomputes
+//! ([`lkp_dpp::LowRankKernel::submatrix_into`] is deterministic), so cache
+//! hits — from either backend, at any pool width — can never change a
+//! served list.
+
+pub(crate) mod per_worker;
+pub(crate) mod shared;
+
+pub(crate) use per_worker::KernelCache;
+pub(crate) use shared::SharedKernelCache;
 
 use lkp_dpp::LowRankKernel;
 use lkp_linalg::Matrix;
 use std::collections::HashMap;
 
-struct CacheEntry {
-    candidates: Vec<usize>,
-    k_sub: Matrix,
-    last_used: u64,
+/// One cached `(user, candidate-set)` kernel. Entries are keyed by user and
+/// validated against the exact candidate list: a changed pool replaces the
+/// entry instead of serving a stale kernel.
+pub(crate) struct CacheEntry {
+    pub(crate) candidates: Vec<usize>,
+    pub(crate) k_sub: Matrix,
+    pub(crate) last_used: u64,
 }
 
-/// A bounded per-user cache of candidate-set diversity submatrices `K_C`.
-///
-/// `K_C = V_C·V_Cᵀ` depends only on the candidate set — not on the user's
-/// scores — so for the common serving shape (each user's candidate pool is
-/// stable across requests) the `O(|C|²·d)` assembly is paid once per user
-/// and amortized afterwards. Entries are keyed by user and validated
-/// against the exact candidate list: a changed pool replaces the entry
-/// instead of serving a stale kernel. Eviction is least-recently-used, and
-/// every call shrinks the cache **down to** the current `capacity` — so
-/// lowering the capacity of a long-lived cache takes effect on the next
-/// access instead of leaving it permanently over its bound.
-///
-/// Cached matrices are bit-exact copies of what a miss recomputes
-/// ([`LowRankKernel::submatrix_into`] is deterministic), so cache hits can
-/// never change a served list.
-#[derive(Default)]
-pub(crate) struct KernelCache {
-    entries: HashMap<usize, CacheEntry>,
-    /// Assembly target when caching is disabled (`capacity == 0`).
-    uncached: Matrix,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    /// `capacity == 0` passthrough assemblies — deliberate cache bypasses,
-    /// counted separately so they cannot skew hit-rate reporting.
-    bypasses: u64,
-}
-
-impl KernelCache {
-    /// Returns the diversity submatrix for `(user, candidates)` and whether
-    /// it was served from cache.
-    pub(crate) fn get_or_assemble(
-        &mut self,
-        user: usize,
-        candidates: &[usize],
-        kernel: &LowRankKernel,
-        capacity: usize,
-    ) -> (&Matrix, bool) {
-        self.tick += 1;
-        if capacity == 0 {
-            // Caching disabled: a deliberate bypass, not a miss — entries
-            // from an earlier non-zero capacity are dropped eagerly.
-            self.bypasses += 1;
-            self.entries.clear();
-            kernel
-                .submatrix_into(candidates, &mut self.uncached)
-                .expect("candidates validated by caller");
-            return (&self.uncached, false);
-        }
-        if let Some(entry) = self.entries.get_mut(&user) {
-            if entry.candidates == candidates {
-                entry.last_used = self.tick;
-                self.hits += 1;
-                // The hit has the newest tick, so it survives the shrink at
-                // any capacity ≥ 1 even if the budget was just lowered.
-                self.shrink_to(capacity);
-                let entry = &self.entries[&user];
-                return (&entry.k_sub, true);
-            }
-        }
-        self.misses += 1;
-        let entry = self.entries.entry(user).or_insert_with(|| CacheEntry {
+impl CacheEntry {
+    pub(crate) fn empty() -> Self {
+        CacheEntry {
             candidates: Vec::new(),
             k_sub: Matrix::zeros(0, 0),
             last_used: 0,
-        });
-        entry.candidates.clear();
-        entry.candidates.extend_from_slice(candidates);
-        kernel
-            .submatrix_into(candidates, &mut entry.k_sub)
-            .expect("candidates validated by caller");
-        entry.last_used = self.tick;
-        self.shrink_to(capacity);
-        (&self.entries[&user].k_sub, false)
-    }
-
-    /// Evicts least-recently-used entries until at most `bound` users are
-    /// resident. The entry touched in the current call holds the newest tick
-    /// and is therefore the last candidate for eviction.
-    fn shrink_to(&mut self, bound: usize) {
-        while self.entries.len() > bound {
-            let evict = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&u, _)| u)
-                .expect("non-empty cache over capacity");
-            self.entries.remove(&evict);
         }
     }
 
-    /// `(hits, misses)` counters since construction. Disabled-cache
-    /// passthroughs (`capacity == 0`) are counted in
-    /// [`KernelCache::bypasses`], not here, so a hit rate derived from these
-    /// two reflects only lookups the cache was actually allowed to serve.
-    pub(crate) fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
-    /// Assemblies that bypassed the cache because it was disabled.
-    pub(crate) fn bypasses(&self) -> u64 {
-        self.bypasses
-    }
-
-    /// Resident users.
-    #[cfg(test)]
-    pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+    /// (Re)fills the entry for `candidates`, assembling into the reused
+    /// matrix buffer.
+    pub(crate) fn fill(&mut self, candidates: &[usize], kernel: &LowRankKernel, tick: u64) {
+        self.candidates.clear();
+        self.candidates.extend_from_slice(candidates);
+        kernel
+            .submatrix_into(candidates, &mut self.k_sub)
+            .expect("candidates validated by caller");
+        self.last_used = tick;
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn kernel() -> LowRankKernel {
-        let v = Matrix::from_fn(10, 3, |r, c| (((r * 7 + c * 5) % 9) as f64) * 0.3 - 1.0);
-        LowRankKernel::new(v).normalized()
+/// Evicts least-recently-used entries until at most `bound` remain — in one
+/// pass over the map, not one scan per eviction. The `excess` oldest
+/// `(last_used, user)` pairs are partial-selected into `scratch` and removed
+/// oldest-first; ticks are unique per cache, so the order is total and the
+/// survivor set is exactly the `bound` newest entries. After the call
+/// `scratch` holds the evicted pairs in eviction order (oldest first).
+pub(crate) fn evict_lru(
+    entries: &mut HashMap<usize, CacheEntry>,
+    bound: usize,
+    scratch: &mut Vec<(u64, usize)>,
+) {
+    let excess = entries.len().saturating_sub(bound);
+    if excess == 0 {
+        scratch.clear();
+        return;
     }
-
-    #[test]
-    fn hit_returns_bit_exact_matrix() {
-        let kern = kernel();
-        let mut cache = KernelCache::default();
-        let cands = vec![1, 4, 7];
-        let (first, hit1) = cache.get_or_assemble(0, &cands, &kern, 4);
-        let first = first.clone();
-        assert!(!hit1);
-        let (second, hit2) = cache.get_or_assemble(0, &cands, &kern, 4);
-        assert!(hit2);
-        assert_eq!(first.as_slice(), second.as_slice());
-        let fresh = kern.submatrix(&cands).unwrap();
-        assert_eq!(first.as_slice(), fresh.as_slice());
+    scratch.clear();
+    scratch.extend(entries.iter().map(|(&user, e)| (e.last_used, user)));
+    if excess < scratch.len() {
+        scratch.select_nth_unstable(excess - 1);
+        scratch.truncate(excess);
     }
-
-    #[test]
-    fn changed_candidates_invalidate_entry() {
-        let kern = kernel();
-        let mut cache = KernelCache::default();
-        cache.get_or_assemble(0, &[1, 2], &kern, 4);
-        let (m, hit) = cache.get_or_assemble(0, &[2, 3], &kern, 4);
-        assert!(!hit);
-        assert_eq!(m.as_slice(), kern.submatrix(&[2, 3]).unwrap().as_slice());
-        assert_eq!(cache.len(), 1);
+    scratch.sort_unstable();
+    for &(_, user) in scratch.iter() {
+        entries.remove(&user);
     }
+}
 
-    #[test]
-    fn eviction_keeps_cache_bounded_and_lru() {
-        let kern = kernel();
-        let mut cache = KernelCache::default();
-        cache.get_or_assemble(0, &[1], &kern, 2);
-        cache.get_or_assemble(1, &[2], &kern, 2);
-        // Touch user 0 so user 1 is the LRU.
-        cache.get_or_assemble(0, &[1], &kern, 2);
-        cache.get_or_assemble(2, &[3], &kern, 2);
-        assert_eq!(cache.len(), 2);
-        let (_, hit_user0) = cache.get_or_assemble(0, &[1], &kern, 2);
-        assert!(hit_user0, "recently used entry must survive eviction");
-        let (_, hit_user1) = cache.get_or_assemble(1, &[2], &kern, 2);
-        assert!(!hit_user1, "LRU entry must have been evicted");
+/// Counters of one cache shard: a worker's private cache in
+/// [`crate::CacheMode::PerWorker`] mode, one hash shard of the shared cache
+/// in [`crate::CacheMode::Sharded`] mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that paid the `O(|C|²·d)` assembly.
+    pub misses: u64,
+    /// Assemblies that deliberately bypassed a disabled cache
+    /// (`kernel_cache_capacity = 0`) — counted separately so they cannot
+    /// skew hit-rate reporting.
+    pub bypasses: u64,
+    /// Entries inserted by [`crate::Ranker::prewarm`] (not misses: the
+    /// assembly was requested ahead of traffic, not forced by it).
+    pub prewarmed: u64,
+    /// Entries currently resident.
+    pub resident: usize,
+}
+
+impl ShardStats {
+    pub(crate) fn absorb(&mut self, other: &ShardStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.bypasses += other.bypasses;
+        self.prewarmed += other.prewarmed;
+        self.resident += other.resident;
     }
+}
 
-    #[test]
-    fn zero_capacity_disables_caching() {
-        let kern = kernel();
-        let mut cache = KernelCache::default();
-        let (_, hit1) = cache.get_or_assemble(0, &[1, 2], &kern, 0);
-        let (_, hit2) = cache.get_or_assemble(0, &[1, 2], &kern, 0);
-        assert!(!hit1 && !hit2);
-        assert_eq!(cache.len(), 0);
-        // Deliberate bypasses must not read as misses in hit-rate stats.
-        assert_eq!(cache.stats(), (0, 0));
-        assert_eq!(cache.bypasses(), 2);
-    }
+/// Kernel-cache counters, per shard plus aggregate, as reported by
+/// [`crate::Ranker::cache_stats_detailed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// One row per shard — per pool worker in `PerWorker` mode (index =
+    /// worker index; idle workers report a zero row without being
+    /// materialized), per hash shard in `Sharded` mode.
+    pub per_shard: Vec<ShardStats>,
+    /// Sum over `per_shard`.
+    pub aggregate: ShardStats,
+}
 
-    #[test]
-    fn lowering_capacity_shrinks_an_over_full_cache() {
-        let kern = kernel();
-        let mut cache = KernelCache::default();
-        for u in 0..4 {
-            cache.get_or_assemble(u, &[u, u + 1], &kern, 4);
+impl CacheStats {
+    pub(crate) fn from_shards(per_shard: Vec<ShardStats>) -> Self {
+        let mut aggregate = ShardStats::default();
+        for s in &per_shard {
+            aggregate.absorb(s);
         }
-        assert_eq!(cache.len(), 4);
-        // Capacity lowered between calls: the next access (here a hit on
-        // user 3) must evict down to the new bound, keeping the hit entry.
-        let (_, hit) = cache.get_or_assemble(3, &[3, 4], &kern, 1);
-        assert!(hit, "the touched entry survives the shrink");
-        assert_eq!(cache.len(), 1, "cache must come down to capacity");
-        // And a miss-path access under the lowered bound also stays bounded.
-        cache.get_or_assemble(7, &[7, 8], &kern, 1);
-        assert_eq!(cache.len(), 1);
-        let (_, hit7) = cache.get_or_assemble(7, &[7, 8], &kern, 1);
-        assert!(hit7, "the freshly inserted entry is the resident one");
+        CacheStats {
+            per_shard,
+            aggregate,
+        }
     }
 
-    #[test]
-    fn toggling_capacity_to_zero_drops_residents() {
-        let kern = kernel();
-        let mut cache = KernelCache::default();
-        cache.get_or_assemble(0, &[1, 2], &kern, 4);
-        assert_eq!(cache.len(), 1);
-        cache.get_or_assemble(0, &[1, 2], &kern, 0);
-        assert_eq!(cache.len(), 0, "disabled cache must not retain entries");
-        // Re-enabling starts cold.
-        let (_, hit) = cache.get_or_assemble(0, &[1, 2], &kern, 4);
-        assert!(!hit);
+    /// `hits / (hits + misses)` over all shards (0 when no lookups ran).
+    pub fn hit_rate(&self) -> f64 {
+        let looked = self.aggregate.hits + self.aggregate.misses;
+        if looked == 0 {
+            0.0
+        } else {
+            self.aggregate.hits as f64 / looked as f64
+        }
     }
 }

@@ -1,0 +1,324 @@
+//! The per-worker (lock-free) kernel-cache backend.
+
+use super::{evict_lru, CacheEntry, ShardStats};
+use lkp_dpp::LowRankKernel;
+use lkp_linalg::Matrix;
+use std::collections::HashMap;
+
+/// A bounded per-user cache of candidate-set diversity submatrices `K_C`,
+/// owned by one pool worker (no locks; see the module docs for the
+/// shared-backend alternative).
+///
+/// Eviction is least-recently-used, and every call shrinks the cache
+/// **down to** the current `capacity` — so lowering the capacity of a
+/// long-lived cache takes effect on the next access instead of leaving it
+/// permanently over its bound.
+#[derive(Default)]
+pub(crate) struct KernelCache {
+    entries: HashMap<usize, CacheEntry>,
+    /// Assembly target when caching is disabled (`capacity == 0`).
+    uncached: Matrix,
+    /// Eviction scratch: reused by [`evict_lru`], retains the pairs evicted
+    /// by the most recent shrink (oldest first).
+    evicted: Vec<(u64, usize)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    /// `capacity == 0` passthrough assemblies — deliberate cache bypasses,
+    /// counted separately so they cannot skew hit-rate reporting.
+    bypasses: u64,
+    /// Entries inserted by prewarming (not misses).
+    prewarmed: u64,
+}
+
+impl KernelCache {
+    /// Returns the diversity submatrix for `(user, candidates)` and whether
+    /// it was served from cache.
+    pub(crate) fn get_or_assemble(
+        &mut self,
+        user: usize,
+        candidates: &[usize],
+        kernel: &LowRankKernel,
+        capacity: usize,
+    ) -> (&Matrix, bool) {
+        self.tick += 1;
+        if capacity == 0 {
+            // Caching disabled: a deliberate bypass, not a miss — entries
+            // from an earlier non-zero capacity are dropped eagerly.
+            self.bypasses += 1;
+            self.entries.clear();
+            kernel
+                .submatrix_into(candidates, &mut self.uncached)
+                .expect("candidates validated by caller");
+            return (&self.uncached, false);
+        }
+        if let Some(entry) = self.entries.get_mut(&user) {
+            if entry.candidates == candidates {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                // The hit has the newest tick, so it survives the shrink at
+                // any capacity ≥ 1 even if the budget was just lowered.
+                evict_lru(&mut self.entries, capacity, &mut self.evicted);
+                let entry = &self.entries[&user];
+                return (&entry.k_sub, true);
+            }
+        }
+        self.misses += 1;
+        let tick = self.tick;
+        self.entries
+            .entry(user)
+            .or_insert_with(CacheEntry::empty)
+            .fill(candidates, kernel, tick);
+        evict_lru(&mut self.entries, capacity, &mut self.evicted);
+        (&self.entries[&user].k_sub, false)
+    }
+
+    /// Inserts `(user, candidates)` ahead of traffic. Counts as a prewarm,
+    /// not a miss, and is strictly *monotone*: it only fills empty capacity
+    /// (touching an already-resident matching entry), never evicting or
+    /// overwriting a resident entry — a full cache refuses new users and a
+    /// resident user with a different pool keeps its pool. Anything else
+    /// would silently break the "first request hits" guarantee for a pair
+    /// an earlier prewarm already reported warmed. Returns whether the
+    /// pair is warm (resident with exactly these candidates) when the
+    /// call returns — assembled now or already resident; only fresh
+    /// assemblies bump the `prewarmed` counter.
+    pub(crate) fn prewarm(
+        &mut self,
+        user: usize,
+        candidates: &[usize],
+        kernel: &LowRankKernel,
+        capacity: usize,
+    ) -> bool {
+        if capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&user) {
+            if entry.candidates == candidates {
+                entry.last_used = self.tick;
+                return true;
+            }
+            return false;
+        }
+        if self.entries.len() >= capacity {
+            return false;
+        }
+        self.prewarmed += 1;
+        let tick = self.tick;
+        self.entries
+            .entry(user)
+            .or_insert_with(CacheEntry::empty)
+            .fill(candidates, kernel, tick);
+        evict_lru(&mut self.entries, capacity, &mut self.evicted);
+        true
+    }
+
+    /// Full counter row for aggregate reporting. Disabled-cache
+    /// passthroughs (`capacity == 0`) are counted as `bypasses`, not
+    /// misses, so a hit rate derived from the row reflects only lookups the
+    /// cache was actually allowed to serve.
+    pub(crate) fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            hits: self.hits,
+            misses: self.misses,
+            bypasses: self.bypasses,
+            prewarmed: self.prewarmed,
+            resident: self.entries.len(),
+        }
+    }
+
+    /// Resident users.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The `(last_used, user)` pairs evicted by the most recent shrink, in
+    /// eviction order (oldest first).
+    #[cfg(test)]
+    pub(crate) fn last_evicted(&self) -> &[(u64, usize)] {
+        &self.evicted
+    }
+
+    /// Whether `user` is resident (any candidate list).
+    #[cfg(test)]
+    pub(crate) fn contains(&self, user: usize) -> bool {
+        self.entries.contains_key(&user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> LowRankKernel {
+        let v = Matrix::from_fn(300, 3, |r, c| (((r * 7 + c * 5) % 9) as f64) * 0.3 - 1.0);
+        LowRankKernel::new(v).normalized()
+    }
+
+    #[test]
+    fn hit_returns_bit_exact_matrix() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        let cands = vec![1, 4, 7];
+        let (first, hit1) = cache.get_or_assemble(0, &cands, &kern, 4);
+        let first = first.clone();
+        assert!(!hit1);
+        let (second, hit2) = cache.get_or_assemble(0, &cands, &kern, 4);
+        assert!(hit2);
+        assert_eq!(first.as_slice(), second.as_slice());
+        let fresh = kern.submatrix(&cands).unwrap();
+        assert_eq!(first.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn changed_candidates_invalidate_entry() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        cache.get_or_assemble(0, &[1, 2], &kern, 4);
+        let (m, hit) = cache.get_or_assemble(0, &[2, 3], &kern, 4);
+        assert!(!hit);
+        assert_eq!(m.as_slice(), kern.submatrix(&[2, 3]).unwrap().as_slice());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_keeps_cache_bounded_and_lru() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        cache.get_or_assemble(0, &[1], &kern, 2);
+        cache.get_or_assemble(1, &[2], &kern, 2);
+        // Touch user 0 so user 1 is the LRU.
+        cache.get_or_assemble(0, &[1], &kern, 2);
+        cache.get_or_assemble(2, &[3], &kern, 2);
+        assert_eq!(cache.len(), 2);
+        let (_, hit_user0) = cache.get_or_assemble(0, &[1], &kern, 2);
+        assert!(hit_user0, "recently used entry must survive eviction");
+        let (_, hit_user1) = cache.get_or_assemble(1, &[2], &kern, 2);
+        assert!(!hit_user1, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        let (_, hit1) = cache.get_or_assemble(0, &[1, 2], &kern, 0);
+        let (_, hit2) = cache.get_or_assemble(0, &[1, 2], &kern, 0);
+        assert!(!hit1 && !hit2);
+        assert_eq!(cache.len(), 0);
+        // Deliberate bypasses must not read as misses in hit-rate stats.
+        let stats = cache.shard_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!(stats.bypasses, 2);
+    }
+
+    #[test]
+    fn lowering_capacity_shrinks_an_over_full_cache() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        for u in 0..4 {
+            cache.get_or_assemble(u, &[u, u + 1], &kern, 4);
+        }
+        assert_eq!(cache.len(), 4);
+        // Capacity lowered between calls: the next access (here a hit on
+        // user 3) must evict down to the new bound, keeping the hit entry.
+        let (_, hit) = cache.get_or_assemble(3, &[3, 4], &kern, 1);
+        assert!(hit, "the touched entry survives the shrink");
+        assert_eq!(cache.len(), 1, "cache must come down to capacity");
+        // And a miss-path access under the lowered bound also stays bounded.
+        cache.get_or_assemble(7, &[7, 8], &kern, 1);
+        assert_eq!(cache.len(), 1);
+        let (_, hit7) = cache.get_or_assemble(7, &[7, 8], &kern, 1);
+        assert!(hit7, "the freshly inserted entry is the resident one");
+    }
+
+    #[test]
+    fn sharp_capacity_drop_evicts_in_one_pass_oldest_first() {
+        // Regression: shrink used to rescan all entries once per eviction —
+        // O(entries²) when the capacity drops sharply. The one-pass path
+        // must keep exactly the newest entries and report the evicted set
+        // oldest-first. 256 → 4 is the shape from the bug report.
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        for u in 0..256 {
+            cache.get_or_assemble(u, &[u], &kern, 256);
+        }
+        assert_eq!(cache.len(), 256);
+        // The shrink happens on the next access; touch user 255 (a hit, so
+        // it carries the newest tick) under the new bound.
+        let (_, hit) = cache.get_or_assemble(255, &[255], &kern, 4);
+        assert!(hit);
+        assert_eq!(cache.len(), 4);
+        // Survivors: the 4 newest ticks = users 253, 254, 255 (touched
+        // twice) and 252 — insertion ticks were 1..=256, the touch is 257.
+        for survivor in [252, 253, 254, 255] {
+            assert!(cache.contains(survivor), "user {survivor} must survive");
+        }
+        // Eviction order: strictly ascending last_used ticks, i.e. users
+        // 0, 1, …, 251 in insertion order.
+        let evicted = cache.last_evicted().to_vec();
+        assert_eq!(evicted.len(), 252);
+        assert!(
+            evicted.windows(2).all(|w| w[0].0 < w[1].0),
+            "evictions must run oldest-first"
+        );
+        assert_eq!(
+            evicted.iter().map(|&(_, u)| u).collect::<Vec<_>>(),
+            (0..252).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn toggling_capacity_to_zero_drops_residents() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        cache.get_or_assemble(0, &[1, 2], &kern, 4);
+        assert_eq!(cache.len(), 1);
+        cache.get_or_assemble(0, &[1, 2], &kern, 0);
+        assert_eq!(cache.len(), 0, "disabled cache must not retain entries");
+        // Re-enabling starts cold.
+        let (_, hit) = cache.get_or_assemble(0, &[1, 2], &kern, 4);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn prewarm_inserts_without_counting_misses() {
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        assert!(cache.prewarm(3, &[1, 4], &kern, 4));
+        // Re-prewarming a resident pair reports it warm without a second
+        // assembly, and a resident user is never overwritten by a
+        // different pool.
+        assert!(cache.prewarm(3, &[1, 4], &kern, 4));
+        assert!(!cache.prewarm(3, &[2, 6], &kern, 4));
+        let stats = cache.shard_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!(stats.prewarmed, 1);
+        // Traffic on the prewarmed pair is a pure hit.
+        let (m, hit) = cache.get_or_assemble(3, &[1, 4], &kern, 4);
+        assert!(hit);
+        assert_eq!(m.as_slice(), kern.submatrix(&[1, 4]).unwrap().as_slice());
+        let stats = cache.shard_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        // Disabled cache ignores prewarm.
+        assert!(!cache.prewarm(9, &[2], &kern, 0));
+    }
+
+    #[test]
+    fn prewarm_overflow_refuses_instead_of_evicting() {
+        // A plan larger than the capacity must warm a prefix and keep it —
+        // not churn the warm set so that *no* pair survives.
+        let kern = kernel();
+        let mut cache = KernelCache::default();
+        let warmed = (0..8)
+            .filter(|&u| cache.prewarm(u, &[u, u + 1], &kern, 3))
+            .count();
+        assert_eq!(warmed, 3, "only the first `capacity` pairs are accepted");
+        assert_eq!(cache.len(), 3);
+        for u in 0..3 {
+            let (_, hit) = cache.get_or_assemble(u, &[u, u + 1], &kern, 3);
+            assert!(hit, "accepted pair {u} must keep its first-request hit");
+        }
+    }
+}

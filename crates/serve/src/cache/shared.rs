@@ -1,0 +1,308 @@
+//! The sharded cross-worker kernel-cache backend.
+
+use super::{evict_lru, CacheEntry, ShardStats};
+use lkp_dpp::LowRankKernel;
+use lkp_linalg::Matrix;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Mutable state of one hash shard, behind that shard's lock.
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<usize, CacheEntry>,
+    evicted: Vec<(u64, usize)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    prewarmed: u64,
+}
+
+/// One kernel cache for the whole pool, sharded `N` ways by user hash with
+/// one lock per shard.
+///
+/// Versus the per-worker backend this removes the `threads×` memory
+/// multiplier (each resident user holds one `|C|²·8`-byte matrix total, not
+/// one per worker) and the per-worker cold-start tax (a user's kernel is
+/// assembled once per process, whichever worker gets there first). Lookups
+/// copy the cached matrix into the worker's staging buffer under the shard
+/// lock — an `O(|C|²)` copy, not the `O(|C|²·d)` assembly — and misses
+/// assemble *outside* the lock, so concurrent misses on one shard never
+/// serialize the expensive work (two racing workers may both assemble the
+/// same entry; both produce identical bits, so whichever insert lands is
+/// correct).
+///
+/// Entries are bit-exact copies of what a miss recomputes, so served lists
+/// are pinned at any pool width and identical to the per-worker backend's.
+pub(crate) struct SharedKernelCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl SharedKernelCache {
+    /// Creates a cache with `shards` shards (clamped to ≥ 1).
+    pub(crate) fn new(shards: usize) -> Self {
+        SharedKernelCache {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// Fibonacci multiplicative hash of the user id → shard index. User ids
+    /// are typically dense small integers; the multiply spreads consecutive
+    /// ids across shards so hot user ranges don't pile onto one lock.
+    fn shard_of(&self, user: usize) -> usize {
+        let h = (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Per-shard entry bound for a total `capacity`: ceiling-divided so the
+    /// shards together hold at least `capacity` entries (and at most
+    /// `capacity + shards − 1` under adversarial skew).
+    fn shard_bound(&self, capacity: usize) -> usize {
+        capacity.div_ceil(self.shards.len()).max(1)
+    }
+
+    /// Copies the diversity submatrix for `(user, candidates)` into `out`
+    /// and returns whether it was served from cache. `capacity` is the
+    /// total entry budget across shards and must be non-zero (a disabled
+    /// cache is handled by the caller's per-worker bypass path).
+    pub(crate) fn get_or_assemble_into(
+        &self,
+        user: usize,
+        candidates: &[usize],
+        kernel: &LowRankKernel,
+        capacity: usize,
+        out: &mut Matrix,
+    ) -> bool {
+        debug_assert!(capacity > 0, "capacity 0 bypasses the shared cache");
+        let bound = self.shard_bound(capacity);
+        let shard = &self.shards[self.shard_of(user)];
+        {
+            let mut guard = shard.lock().expect("shard lock");
+            guard.tick += 1;
+            let tick = guard.tick;
+            if let Some(entry) = guard.entries.get_mut(&user) {
+                if entry.candidates == candidates {
+                    entry.last_used = tick;
+                    out.copy_from(&entry.k_sub);
+                    guard.hits += 1;
+                    return true;
+                }
+            }
+            guard.misses += 1;
+        }
+        // Miss: assemble outside the lock, then publish a copy.
+        kernel
+            .submatrix_into(candidates, out)
+            .expect("candidates validated by caller");
+        let mut guard = shard.lock().expect("shard lock");
+        guard.tick += 1;
+        let tick = guard.tick;
+        let entry = guard.entries.entry(user).or_insert_with(CacheEntry::empty);
+        entry.candidates.clear();
+        entry.candidates.extend_from_slice(candidates);
+        entry.k_sub.copy_from(out);
+        entry.last_used = tick;
+        let Shard {
+            entries, evicted, ..
+        } = &mut *guard;
+        evict_lru(entries, bound, evicted);
+        false
+    }
+
+    /// Inserts `(user, candidates)` ahead of traffic. Counts as a prewarm,
+    /// not a miss, and is strictly *monotone*: it only fills empty shard
+    /// capacity (touching an already-resident matching entry), never
+    /// evicting or overwriting a resident entry — a full shard refuses new
+    /// users and a resident user with a different pool keeps its pool.
+    /// Anything else would silently break the "first request hits"
+    /// guarantee for a pair an earlier prewarm already reported warmed.
+    /// Returns whether the pair is warm (resident with exactly these
+    /// candidates) when the call returns — assembled now or already
+    /// resident; only fresh assemblies bump the `prewarmed` counter.
+    pub(crate) fn prewarm(
+        &self,
+        user: usize,
+        candidates: &[usize],
+        kernel: &LowRankKernel,
+        capacity: usize,
+    ) -> bool {
+        if capacity == 0 {
+            return false;
+        }
+        let bound = self.shard_bound(capacity);
+        let mut guard = self.shards[self.shard_of(user)].lock().expect("shard lock");
+        guard.tick += 1;
+        let tick = guard.tick;
+        if let Some(entry) = guard.entries.get_mut(&user) {
+            if entry.candidates == candidates {
+                entry.last_used = tick;
+                return true;
+            }
+            return false;
+        }
+        if guard.entries.len() >= bound {
+            return false;
+        }
+        guard.prewarmed += 1;
+        guard
+            .entries
+            .entry(user)
+            .or_insert_with(CacheEntry::empty)
+            .fill(candidates, kernel, tick);
+        let Shard {
+            entries, evicted, ..
+        } = &mut *guard;
+        evict_lru(entries, bound, evicted);
+        true
+    }
+
+    /// One counter row per shard (bypasses are always 0 here — a disabled
+    /// cache never reaches the shared backend).
+    pub(crate) fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.lock().expect("shard lock");
+                ShardStats {
+                    hits: guard.hits,
+                    misses: guard.misses,
+                    bypasses: 0,
+                    prewarmed: guard.prewarmed,
+                    resident: guard.entries.len(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for SharedKernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedKernelCache")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> LowRankKernel {
+        let v = Matrix::from_fn(40, 3, |r, c| (((r * 7 + c * 5) % 9) as f64) * 0.3 - 1.0);
+        LowRankKernel::new(v).normalized()
+    }
+
+    #[test]
+    fn hit_is_bit_exact_across_shards() {
+        let kern = kernel();
+        let cache = SharedKernelCache::new(4);
+        let mut out = Matrix::zeros(0, 0);
+        for user in 0..16 {
+            let cands = vec![user % 5, user % 5 + 3, user % 5 + 9];
+            assert!(!cache.get_or_assemble_into(user, &cands, &kern, 64, &mut out));
+            let fresh = kern.submatrix(&cands).unwrap();
+            assert_eq!(out.as_slice(), fresh.as_slice());
+            let mut again = Matrix::zeros(0, 0);
+            assert!(cache.get_or_assemble_into(user, &cands, &kern, 64, &mut again));
+            assert_eq!(again.as_slice(), fresh.as_slice());
+        }
+        let stats = super::super::CacheStats::from_shards(cache.stats());
+        assert_eq!(stats.aggregate.hits, 16);
+        assert_eq!(stats.aggregate.misses, 16);
+        assert_eq!(stats.aggregate.resident, 16);
+    }
+
+    #[test]
+    fn changed_candidates_invalidate_entry() {
+        let kern = kernel();
+        let cache = SharedKernelCache::new(2);
+        let mut out = Matrix::zeros(0, 0);
+        cache.get_or_assemble_into(7, &[1, 2], &kern, 8, &mut out);
+        assert!(!cache.get_or_assemble_into(7, &[2, 3], &kern, 8, &mut out));
+        assert_eq!(out.as_slice(), kern.submatrix(&[2, 3]).unwrap().as_slice());
+    }
+
+    #[test]
+    fn capacity_is_distributed_and_enforced_per_shard() {
+        let kern = kernel();
+        let cache = SharedKernelCache::new(2);
+        let mut out = Matrix::zeros(0, 0);
+        // Total capacity 4 → 2 per shard; 20 distinct users can leave at
+        // most 2 residents per shard.
+        for user in 0..20 {
+            cache.get_or_assemble_into(user, &[user % 7], &kern, 4, &mut out);
+        }
+        for s in cache.stats() {
+            assert!(s.resident <= 2, "shard over bound: {s:?}");
+        }
+    }
+
+    #[test]
+    fn prewarmed_pairs_hit_on_first_lookup() {
+        let kern = kernel();
+        let cache = SharedKernelCache::new(3);
+        let pairs: Vec<(usize, Vec<usize>)> = (0..6).map(|u| (u, vec![u, u + 2, u + 11])).collect();
+        for (user, cands) in &pairs {
+            assert!(cache.prewarm(*user, cands, &kern, 16));
+            // Idempotent: a resident pair reports warm, no re-assembly.
+            assert!(cache.prewarm(*user, cands, &kern, 16));
+            // A resident user is never overwritten by a different pool.
+            assert!(!cache.prewarm(*user, &[37, 38], &kern, 16));
+        }
+        let mut out = Matrix::zeros(0, 0);
+        for (user, cands) in &pairs {
+            assert!(
+                cache.get_or_assemble_into(*user, cands, &kern, 16, &mut out),
+                "prewarmed pair must hit on first traffic"
+            );
+            assert_eq!(out.as_slice(), kern.submatrix(cands).unwrap().as_slice());
+        }
+        let stats = super::super::CacheStats::from_shards(cache.stats());
+        assert_eq!(stats.aggregate.misses, 0);
+        assert_eq!(stats.aggregate.prewarmed, 6);
+        assert_eq!(stats.aggregate.hits, 6);
+    }
+
+    #[test]
+    fn prewarm_overflow_refuses_instead_of_evicting() {
+        // Single shard → shard bound == total capacity: a 10-pair plan
+        // against capacity 4 must warm the first 4 pairs and keep them.
+        let kern = kernel();
+        let cache = SharedKernelCache::new(1);
+        let warmed = (0..10)
+            .filter(|&u| cache.prewarm(u, &[u, u + 1], &kern, 4))
+            .count();
+        assert_eq!(warmed, 4, "only the first `capacity` pairs are accepted");
+        let mut out = Matrix::zeros(0, 0);
+        for u in 0..4 {
+            assert!(
+                cache.get_or_assemble_into(u, &[u, u + 1], &kern, 4, &mut out),
+                "accepted pair {u} must keep its first-request hit"
+            );
+        }
+        let stats = super::super::CacheStats::from_shards(cache.stats());
+        assert_eq!(stats.aggregate.prewarmed, 4);
+        assert_eq!(stats.aggregate.misses, 0);
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_stays_bit_exact() {
+        let kern = kernel();
+        let cache = SharedKernelCache::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                let kern = &kern;
+                scope.spawn(move || {
+                    let mut out = Matrix::zeros(0, 0);
+                    for round in 0..50 {
+                        let user = (t * 13 + round * 7) % 10;
+                        let cands = vec![user, user + 5, user + 20];
+                        cache.get_or_assemble_into(user, &cands, kern, 8, &mut out);
+                        let fresh = kern.submatrix(&cands).unwrap();
+                        assert_eq!(out.as_slice(), fresh.as_slice());
+                    }
+                });
+            }
+        });
+    }
+}

@@ -15,22 +15,55 @@
 //!    incremental-Cholesky greedy MAP ([`lkp_dpp::greedy_map_with`]) to pick
 //!    the top-N list — `O(|C|·N²)` per request after the `O(|C|²·d)` kernel
 //!    assembly.
-//! 3. Each pool worker keeps a [`ServeWorkspace`] in its worker state: score
-//!    and quality buffers, the kernel staging matrix, the MAP workspace, and
-//!    a **bounded per-user kernel cache** — the diversity submatrix `K_C`
-//!    depends only on the candidate set, so a user with a stable candidate
-//!    pool skips the dominant `O(|C|²·d)` assembly on repeat requests.
+//! 3. The dominant assembly is amortized by a **bounded per-user kernel
+//!    cache** in one of two backends ([`ServeConfig::cache_mode`]): private
+//!    per-worker caches (default, lock-free) or one cache for the whole
+//!    pool, sharded by user hash — the latter removes both the `threads×`
+//!    memory multiplier and the per-worker cold-start tax, and can be
+//!    pre-warmed with popular pairs via [`Ranker::prewarm`].
+//! 4. [`ServeFrontend`] accepts individually submitted requests into a
+//!    bounded queue and cuts micro-batches by size/deadline
+//!    ([`FrontendConfig`]), so callers that see one request at a time still
+//!    ride the batched pool path.
 //!
-//! Serving results are **identical at any pool width**: requests are
-//! independent, the cache stores bit-exact copies of what a cache miss would
-//! recompute, and greedy MAP breaks ties by candidate order.
+//! Serving results are **identical at any pool width, in either cache
+//! mode, and through the frontend**: requests are independent, both cache
+//! backends store bit-exact copies of what a cache miss would recompute,
+//! and greedy MAP breaks ties by candidate order.
 
 mod artifact;
 mod cache;
+mod frontend;
 mod ranker;
 
 pub use artifact::RankingArtifact;
+pub use cache::{CacheStats, ShardStats};
+pub use frontend::{
+    Clock, FrontendConfig, FrontendStats, ManualClock, MonotonicClock, ServeFrontend, Ticket,
+};
 pub use ranker::{RankRequest, RankResponse, Ranker, ServeWorkspace};
+
+/// Which backend amortizes the `O(|C|²·d)` candidate-kernel assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Every pool worker owns a private cache (lock-free; the default).
+    /// A user's kernel is re-assembled once per worker that serves them,
+    /// and each worker's cache is bounded by
+    /// [`ServeConfig::kernel_cache_capacity`] on its own.
+    #[default]
+    PerWorker,
+    /// One cache for the whole pool, sharded `shards` ways by user hash
+    /// with one lock per shard. [`ServeConfig::kernel_cache_capacity`] is
+    /// the *total* entry budget (each shard holds at most
+    /// `ceil(capacity / shards)`); a user's kernel is assembled once per
+    /// process and hit from any worker. `shards` is clamped to ≥ 1; size it
+    /// at or above the pool width so concurrent lookups rarely contend on
+    /// one lock.
+    Sharded {
+        /// Number of hash shards (= independent locks).
+        shards: usize,
+    },
+}
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -44,15 +77,21 @@ pub struct ServeConfig {
     /// Score clamp applied before `exp` in the quality map (defaults to the
     /// training-side [`lkp_core::SCORE_CLAMP`]).
     pub score_clamp: f64,
-    /// Per-worker kernel-cache capacity in users (0 disables caching).
+    /// Kernel-cache capacity in users (0 disables caching).
     ///
     /// The bound is an entry count, not a byte budget: each entry holds a
     /// `|C| × |C|` f64 matrix, i.e. `|C|²·8` bytes (~80 KB at `|C| = 100`,
-    /// ~2 MB at `|C| = 500`), and every pool worker owns its own cache.
-    /// Size it as `capacity ≈ budget_bytes / (threads · |C|² · 8)`; the
-    /// default (256 entries ≈ 20 MB/worker at `|C| = 100`) favors small
-    /// candidate pools.
+    /// ~2 MB at `|C| = 500`). In [`CacheMode::PerWorker`] every pool worker
+    /// owns its own cache of this capacity — size it as
+    /// `capacity ≈ budget_bytes / (threads · |C|² · 8)`; in
+    /// [`CacheMode::Sharded`] this is the total budget across shards —
+    /// `capacity ≈ budget_bytes / (|C|² · 8)`, a `threads×` larger resident
+    /// set for the same bytes. The default (256 entries ≈ 20 MB/worker at
+    /// `|C| = 100`) favors small candidate pools.
     pub kernel_cache_capacity: usize,
+    /// Kernel-cache backend (default [`CacheMode::PerWorker`], the exact
+    /// pre-sharding behavior).
+    pub cache_mode: CacheMode,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +101,7 @@ impl Default for ServeConfig {
             jitter: lkp_core::KERNEL_JITTER,
             score_clamp: lkp_core::SCORE_CLAMP,
             kernel_cache_capacity: 256,
+            cache_mode: CacheMode::PerWorker,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The batched ranker: requests in, diversified top-N lists out.
 
-use crate::cache::KernelCache;
-use crate::{RankingArtifact, ServeConfig};
+use crate::cache::{CacheStats, KernelCache, ShardStats, SharedKernelCache};
+use crate::{CacheMode, RankingArtifact, ServeConfig};
 use lkp_dpp::{greedy_map_with, MapWorkspace};
 use lkp_linalg::Matrix;
 use lkp_models::Recommender;
@@ -50,7 +50,8 @@ pub struct RankResponse {
     pub items: Vec<usize>,
     /// `log det(L_S)` of the selected set under the tailored kernel.
     pub log_det: f64,
-    /// Whether the diversity submatrix came from the per-worker cache.
+    /// Whether the diversity submatrix came from the kernel cache
+    /// (per-worker or shared, per [`ServeConfig::cache_mode`]).
     pub cache_hit: bool,
 }
 
@@ -65,9 +66,14 @@ pub struct ServeWorkspace {
     l: Matrix,
     map: MapWorkspace,
     cache: KernelCache,
-    /// Sorted copy of the candidate list (duplicate detection) and the
-    /// deduplicated list when duplicates are present.
-    sorted: Vec<usize>,
+    /// Staging copy of a shared-cache submatrix (held while the shard lock
+    /// is already released).
+    shared_sub: Matrix,
+    /// Duplicate-candidate scratch: index permutation sorted by
+    /// `(item, position)`, per-position duplicate mask, and the rebuilt
+    /// first-occurrence list when duplicates are present.
+    order: Vec<u32>,
+    dup: Vec<bool>,
     dedup: Vec<usize>,
 }
 
@@ -80,16 +86,27 @@ pub struct Ranker<M> {
     artifact: RankingArtifact<M>,
     pool: WorkerPool,
     config: ServeConfig,
+    /// The cross-worker cache when [`ServeConfig::cache_mode`] is
+    /// [`CacheMode::Sharded`] (and caching is enabled); `None` keeps the
+    /// per-worker backend.
+    shared: Option<SharedKernelCache>,
 }
 
 impl<M: Recommender + Sync> Ranker<M> {
     /// Builds a ranker (spawning the pool) from a frozen artifact.
     pub fn new(artifact: RankingArtifact<M>, config: ServeConfig) -> Self {
         let pool = WorkerPool::new(config.threads);
+        let shared = match config.cache_mode {
+            CacheMode::Sharded { shards } if config.kernel_cache_capacity > 0 => {
+                Some(SharedKernelCache::new(shards))
+            }
+            _ => None,
+        };
         Ranker {
             artifact,
             pool,
             config,
+            shared,
         }
     }
 
@@ -117,11 +134,12 @@ impl<M: Recommender + Sync> Ranker<M> {
         out.resize_with(requests.len(), RankResponse::default);
         let artifact = &self.artifact;
         let config = &self.config;
+        let shared = self.shared.as_ref();
         self.pool
             .zip_chunks(requests, out, |_, reqs, resps, state| {
                 let ws = state.get_or_default::<ServeWorkspace>();
                 for (req, resp) in reqs.iter().zip(resps.iter_mut()) {
-                    serve_one(artifact, config, ws, req, resp);
+                    serve_one(artifact, config, shared, ws, req, resp);
                 }
             });
     }
@@ -130,38 +148,146 @@ impl<M: Recommender + Sync> Ranker<M> {
     /// the low-latency path for un-batched traffic.
     pub fn rank_one(&mut self, request: &RankRequest) -> RankResponse {
         let mut resp = RankResponse::default();
+        let shared = self.shared.as_ref();
         let ws = self.pool.caller_state().get_or_default::<ServeWorkspace>();
-        serve_one(&self.artifact, &self.config, ws, request, &mut resp);
+        serve_one(&self.artifact, &self.config, shared, ws, request, &mut resp);
         resp
     }
 
-    /// Aggregate `(hits, misses)` of the per-worker kernel caches observed
-    /// from the caller's worker; other workers' counters are summed in via
-    /// a pool dispatch. Disabled-cache passthroughs
+    /// Assembles popular `(user, candidates)` pairs into the kernel cache
+    /// before traffic, so their first request already hits. Candidate lists
+    /// are deduplicated exactly like the serving path (entries must match
+    /// the key a request will look up); pairs with unknown users or
+    /// out-of-catalog items are skipped, and a disabled cache
+    /// (`kernel_cache_capacity = 0`) warms nothing.
+    ///
+    /// In [`CacheMode::Sharded`] mode each pair is assembled once into the
+    /// shared cache. In [`CacheMode::PerWorker`] mode every pool worker
+    /// assembles every pair into its own cache — chunk assignment depends
+    /// on future batch shapes, so all workers must hold a pair for its
+    /// first request to be a guaranteed hit. Prewarm assemblies are counted
+    /// as `prewarmed` in [`Ranker::cache_stats_detailed`], never as misses.
+    ///
+    /// Prewarming is strictly *monotone*: it fills empty cache capacity
+    /// and never evicts or overwrites a resident entry. A full cache (or
+    /// hash shard) refuses further pairs rather than churning earlier
+    /// ones, and a user already resident with a different candidate pool
+    /// keeps that pool (the new pool refreshes via its first, missing,
+    /// request). Plans larger than `kernel_cache_capacity` (or whose users
+    /// hash unevenly across shards) therefore warm only a prefix; compare
+    /// the returned count against `pairs.len()` to detect that. Warm
+    /// entries stay warm as long as the working set fits the budget —
+    /// *traffic* eviction is still plain LRU, so if enough cold-user
+    /// misses land between prewarm and a warm pair's first request, that
+    /// pair can be evicted before it hits; size the capacity for the
+    /// prewarm plan plus the expected cold interleave.
+    ///
+    /// Returns the number of pairs that are warm (resident with exactly
+    /// the requested pool) when the call returns — whether assembled now
+    /// or already resident. In `PerWorker` mode this is the minimum across
+    /// workers, i.e. the number of pairs guaranteed warm on *every*
+    /// worker, so the `pairs.len()` comparison is valid in both modes.
+    pub fn prewarm(&mut self, pairs: &[(usize, Vec<usize>)]) -> usize {
+        if self.config.kernel_cache_capacity == 0 {
+            return 0;
+        }
+        let capacity = self.config.kernel_cache_capacity;
+        let artifact = &self.artifact;
+        match &self.shared {
+            Some(cache) => {
+                let (mut order, mut dup, mut dedup) = (Vec::new(), Vec::new(), Vec::new());
+                let mut warmed = 0;
+                for (user, candidates) in pairs {
+                    if !prewarmable(artifact, *user, candidates) {
+                        continue;
+                    }
+                    let key = dedup_first_occurrence(candidates, &mut order, &mut dup, &mut dedup);
+                    if cache.prewarm(*user, key, artifact.kernel(), capacity) {
+                        warmed += 1;
+                    }
+                }
+                warmed
+            }
+            None => {
+                // Workers can disagree (earlier traffic left different
+                // residents), so report the minimum: pairs warm everywhere.
+                let warmed = std::sync::atomic::AtomicUsize::new(usize::MAX);
+                self.pool.run(|_, state| {
+                    let ws = state.get_or_default::<ServeWorkspace>();
+                    let mut local = 0;
+                    for (user, candidates) in pairs {
+                        if !prewarmable(artifact, *user, candidates) {
+                            continue;
+                        }
+                        let key = dedup_first_occurrence(
+                            candidates,
+                            &mut ws.order,
+                            &mut ws.dup,
+                            &mut ws.dedup,
+                        );
+                        if ws.cache.prewarm(*user, key, artifact.kernel(), capacity) {
+                            local += 1;
+                        }
+                    }
+                    warmed.fetch_min(local, std::sync::atomic::Ordering::Relaxed);
+                });
+                warmed.into_inner()
+            }
+        }
+    }
+
+    /// Aggregate `(hits, misses)` of the kernel cache (per-worker caches
+    /// summed, or the shared cache's shards summed, per
+    /// [`ServeConfig::cache_mode`]). Disabled-cache passthroughs
     /// (`kernel_cache_capacity = 0`) are **not** misses — they are counted
     /// separately in [`Ranker::cache_bypasses`], so a hit rate derived from
     /// this pair reflects only lookups the cache was allowed to serve.
+    /// Reading stats never materializes serving state on idle workers.
     pub fn cache_stats(&mut self) -> (u64, u64) {
-        let totals = std::sync::Mutex::new((0u64, 0u64));
-        self.pool.run(|_, state| {
-            let ws = state.get_or_default::<ServeWorkspace>();
-            let (h, m) = ws.cache.stats();
-            let mut guard = totals.lock().expect("stats lock");
-            guard.0 += h;
-            guard.1 += m;
-        });
-        totals.into_inner().expect("stats lock")
+        let stats = self.cache_stats_detailed();
+        (stats.aggregate.hits, stats.aggregate.misses)
     }
 
     /// Aggregate count of kernel assemblies that deliberately bypassed the
     /// cache because it was disabled (`kernel_cache_capacity = 0`).
     pub fn cache_bypasses(&mut self) -> u64 {
-        let total = std::sync::Mutex::new(0u64);
+        self.cache_stats_detailed().aggregate.bypasses
+    }
+
+    /// Full per-shard + aggregate kernel-cache counters. In `PerWorker`
+    /// mode `per_shard[i]` is worker `i`'s cache (a worker that never
+    /// served a request reports a zero row — the read uses the pool's
+    /// optional-state accessor and does not create workspaces); in
+    /// `Sharded` mode `per_shard[i]` is hash shard `i`.
+    pub fn cache_stats_detailed(&mut self) -> CacheStats {
+        match &self.shared {
+            Some(cache) => CacheStats::from_shards(cache.stats()),
+            None => {
+                let rows = std::sync::Mutex::new(vec![ShardStats::default(); self.pool.threads()]);
+                self.pool.run(|worker, state| {
+                    // Optional accessor: idle workers stay untouched instead
+                    // of materializing an empty workspace (and its cache)
+                    // just to report zeros.
+                    if let Some(ws) = state.get_mut::<ServeWorkspace>() {
+                        rows.lock().expect("stats lock")[worker] = ws.cache.shard_stats();
+                    }
+                });
+                CacheStats::from_shards(rows.into_inner().expect("stats lock"))
+            }
+        }
+    }
+
+    /// How many pool workers currently hold a materialized
+    /// [`ServeWorkspace`] — observability for the invariant that stats
+    /// reads leave idle workers untouched.
+    pub fn resident_workspaces(&mut self) -> usize {
+        let count = std::sync::atomic::AtomicUsize::new(0);
         self.pool.run(|_, state| {
-            let ws = state.get_or_default::<ServeWorkspace>();
-            *total.lock().expect("stats lock") += ws.cache.bypasses();
+            if state.contains::<ServeWorkspace>() {
+                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
         });
-        total.into_inner().expect("stats lock")
+        count.into_inner()
     }
 }
 
@@ -169,14 +295,66 @@ impl<M> std::fmt::Debug for Ranker<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ranker")
             .field("threads", &self.pool.threads())
+            .field("cache_mode", &self.config.cache_mode)
             .finish()
     }
+}
+
+/// Whether a prewarm pair is servable (mirrors `serve_one`'s validation).
+fn prewarmable<M: Recommender>(
+    artifact: &RankingArtifact<M>,
+    user: usize,
+    candidates: &[usize],
+) -> bool {
+    !candidates.is_empty()
+        && user < artifact.n_users()
+        && candidates.iter().all(|&i| i < artifact.n_items())
+}
+
+/// Returns `candidates` with second and later occurrences of each item
+/// removed, preserving first-occurrence order. Sorting an index permutation
+/// by `(item, position)` finds duplicates and rebuilds the deduplicated
+/// list in `O(|C| log |C|)`; the clean common case pays one sort and no
+/// rebuild (the input slice is returned untouched).
+fn dedup_first_occurrence<'a>(
+    candidates: &'a [usize],
+    order: &mut Vec<u32>,
+    dup: &mut Vec<bool>,
+    dedup: &'a mut Vec<usize>,
+) -> &'a [usize] {
+    order.clear();
+    order.extend(0..candidates.len() as u32);
+    order.sort_unstable_by_key(|&i| (candidates[i as usize], i));
+    dup.clear();
+    dup.resize(candidates.len(), false);
+    let mut any = false;
+    // Within a run of equal items the permutation ascends by position, so
+    // the run's first element is the first occurrence; mark the rest.
+    for w in order.windows(2) {
+        if candidates[w[0] as usize] == candidates[w[1] as usize] {
+            dup[w[1] as usize] = true;
+            any = true;
+        }
+    }
+    if !any {
+        return candidates;
+    }
+    dedup.clear();
+    dedup.extend(
+        candidates
+            .iter()
+            .zip(dup.iter())
+            .filter(|&(_, &d)| !d)
+            .map(|(&item, _)| item),
+    );
+    dedup
 }
 
 /// Serves one request into `resp` using the worker's scratch.
 fn serve_one<M: Recommender>(
     artifact: &RankingArtifact<M>,
     config: &ServeConfig,
+    shared: Option<&SharedKernelCache>,
     ws: &mut ServeWorkspace,
     req: &RankRequest,
     resp: &mut RankResponse,
@@ -197,22 +375,9 @@ fn serve_one<M: Recommender>(
 
     // Duplicate candidate ids would let greedy MAP pick the same item
     // twice (a duplicate row's residual decays only to the jitter floor,
-    // above the rank cutoff). Deduplicate, keeping first occurrences; the
-    // sorted scratch makes the common clean case an O(|C| log |C|) check.
-    ws.sorted.clear();
-    ws.sorted.extend_from_slice(&req.candidates);
-    ws.sorted.sort_unstable();
-    let candidates: &[usize] = if ws.sorted.windows(2).any(|w| w[0] == w[1]) {
-        ws.dedup.clear();
-        for &item in &req.candidates {
-            if !ws.dedup.contains(&item) {
-                ws.dedup.push(item);
-            }
-        }
-        &ws.dedup
-    } else {
-        &req.candidates
-    };
+    // above the rank cutoff). Deduplicate, keeping first occurrences.
+    let candidates =
+        dedup_first_occurrence(&req.candidates, &mut ws.order, &mut ws.dup, &mut ws.dedup);
     let c = candidates.len();
 
     // Scores → quality, exactly the training-side map q = exp(clamp(ŷ)).
@@ -226,19 +391,33 @@ fn serve_one<M: Recommender>(
             .map(|&s| s.clamp(-config.score_clamp, config.score_clamp).exp()),
     );
 
-    // Diversity submatrix K_C (cached per user), then the tailored kernel
+    // Diversity submatrix K_C (cached per user — worker-private or shared
+    // per `cache_mode`), then the tailored kernel
     // L = Diag(q)·K_C·Diag(q) + ε·I assembled into the reused buffer. The
     // off-diagonal entries average the two factorization orders — the same
     // arithmetic as `DppKernel::from_quality_diversity` + `symmetrize` —
     // so the serve-side kernel matches the offline
     // `lkp_core::objective::tailored_kernel` bit for bit, not merely up to
-    // round-off.
-    let (k_sub, hit) = ws.cache.get_or_assemble(
-        req.user,
-        candidates,
-        artifact.kernel(),
-        config.kernel_cache_capacity,
-    );
+    // round-off. Both cache backends store bit-exact copies of what a miss
+    // recomputes, so the mode can never change a served list.
+    let (k_sub, hit): (&Matrix, bool) = match shared {
+        Some(cache) => {
+            let hit = cache.get_or_assemble_into(
+                req.user,
+                candidates,
+                artifact.kernel(),
+                config.kernel_cache_capacity,
+                &mut ws.shared_sub,
+            );
+            (&ws.shared_sub, hit)
+        }
+        None => ws.cache.get_or_assemble(
+            req.user,
+            candidates,
+            artifact.kernel(),
+            config.kernel_cache_capacity,
+        ),
+    };
     resp.cache_hit = hit;
     ws.l.reset(c, c);
     for i in 0..c {

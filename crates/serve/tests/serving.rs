@@ -8,7 +8,7 @@ use lkp_data::{Dataset, SyntheticConfig};
 use lkp_dpp::{map, DppKernel, LowRankKernel};
 use lkp_models::{MatrixFactorization, Recommender};
 use lkp_nn::AdamConfig;
-use lkp_serve::{RankRequest, RankResponse, Ranker, RankingArtifact, ServeConfig};
+use lkp_serve::{CacheMode, RankRequest, RankResponse, Ranker, RankingArtifact, ServeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -269,6 +269,193 @@ fn duplicate_candidates_never_produce_duplicate_items() {
     let clean = ranker.rank_one(&RankRequest::new(3, vec![5, 9, 14, 22], 4));
     assert_eq!(resp.items, clean.items);
     assert_eq!(resp.log_det.to_bits(), clean.log_det.to_bits());
+}
+
+#[test]
+fn heavily_duplicated_candidates_keep_first_occurrence_order() {
+    // Regression for the O(|C|²) dedup fallback: the sort-based rebuild
+    // must produce exactly the list the old linear-scan dedup produced —
+    // first occurrences, in original request order — so served lists stay
+    // bitwise unchanged.
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let mut ranker = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    // Duplicates of several multiplicities, interleaved, including
+    // back-to-back runs and a duplicate of the final element.
+    let dirty = vec![9, 5, 9, 9, 22, 5, 14, 22, 9, 3, 14, 3, 3, 5];
+    let clean = vec![9, 5, 22, 14, 3]; // first occurrences, request order
+    let got = ranker.rank_one(&RankRequest::new(4, dirty, 4));
+    let want = ranker.rank_one(&RankRequest::new(4, clean, 4));
+    assert_eq!(got.items, want.items);
+    assert_eq!(got.log_det.to_bits(), want.log_det.to_bits());
+    let unique: std::collections::BTreeSet<_> = got.items.iter().collect();
+    assert_eq!(
+        unique.len(),
+        got.items.len(),
+        "duplicates in {:?}",
+        got.items
+    );
+}
+
+#[test]
+fn mixed_rank_one_and_batch_traffic_is_equivalent() {
+    // rank_one must serve the same lists as the batch path, and the
+    // caller-worker cache state it leaves behind must not change any
+    // subsequent batched list — at widths 1/2/4, in both cache modes.
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let reqs = requests(&data, 6);
+    // Pure-batch reference (width 1, per-worker cache).
+    let mut reference = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let want = reference.rank_batch(&reqs);
+    for cache_mode in [CacheMode::PerWorker, CacheMode::Sharded { shards: 4 }] {
+        for threads in [1usize, 2, 4] {
+            let mut ranker = Ranker::new(
+                RankingArtifact::snapshot(&model, &kernel),
+                ServeConfig {
+                    threads,
+                    cache_mode,
+                    ..Default::default()
+                },
+            );
+            // Interleave: a few rank_one calls (warming the caller worker's
+            // cache for users that batches will later route to *other*
+            // workers), then a batch, then more singles, then a batch.
+            for req in reqs.iter().take(5) {
+                let got = ranker.rank_one(req);
+                let reference = &want[reqs.iter().position(|r| r.user == req.user).unwrap()];
+                assert_eq!(
+                    got.items, reference.items,
+                    "mode {cache_mode:?} threads {threads}: rank_one diverged"
+                );
+                assert_eq!(got.log_det.to_bits(), reference.log_det.to_bits());
+            }
+            for pass in 0..2 {
+                let batch = ranker.rank_batch(&reqs);
+                for (got, reference) in batch.iter().zip(&want) {
+                    assert_eq!(
+                        got.items, reference.items,
+                        "mode {cache_mode:?} threads {threads} pass {pass}: batch diverged"
+                    );
+                    assert_eq!(got.log_det.to_bits(), reference.log_det.to_bits());
+                }
+                // More singles between the batches.
+                for req in reqs.iter().skip(10).take(4) {
+                    let got = ranker.rank_one(req);
+                    let reference = &want[reqs.iter().position(|r| r.user == req.user).unwrap()];
+                    assert_eq!(got.items, reference.items);
+                    assert_eq!(got.log_det.to_bits(), reference.log_det.to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_reads_never_materialize_workspaces() {
+    // Regression: cache_stats/cache_bypasses used get_or_default on every
+    // worker, so a stats read on an idle ranker created empty workspaces
+    // (and their caches) and skewed per-worker accounting.
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let mut ranker = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
+    assert_eq!(ranker.resident_workspaces(), 0);
+    assert_eq!(ranker.cache_stats(), (0, 0));
+    assert_eq!(ranker.cache_bypasses(), 0);
+    let detailed = ranker.cache_stats_detailed();
+    assert_eq!(detailed.per_shard.len(), 4, "one zero row per worker");
+    assert!(detailed
+        .per_shard
+        .iter()
+        .all(|s| *s == lkp_serve::ShardStats::default()));
+    assert_eq!(
+        ranker.resident_workspaces(),
+        0,
+        "stats reads must not create serving state on idle workers"
+    );
+    // Traffic materializes workspaces as before; stats then see them.
+    let reqs = requests(&data, 4);
+    ranker.rank_batch(&reqs);
+    let resident = ranker.resident_workspaces();
+    assert!(resident > 0);
+    ranker.cache_stats();
+    assert_eq!(ranker.resident_workspaces(), resident);
+}
+
+#[test]
+fn sharded_cache_beats_per_worker_on_shuffled_replays() {
+    // The same users replayed at different batch positions land on
+    // different workers; per-worker caches re-miss once per worker, the
+    // shared cache hits from any worker.
+    let data = data();
+    let (model, kernel) = trained(&data);
+    let reqs = requests(&data, 5);
+    let mut shuffled: Vec<RankRequest> = reqs.iter().rev().cloned().collect();
+    shuffled.rotate_left(7);
+    let mut rates = Vec::new();
+    for cache_mode in [CacheMode::PerWorker, CacheMode::Sharded { shards: 4 }] {
+        let mut ranker = Ranker::new(
+            RankingArtifact::snapshot(&model, &kernel),
+            ServeConfig {
+                threads: 4,
+                cache_mode,
+                ..Default::default()
+            },
+        );
+        let first = ranker.rank_batch(&reqs);
+        let second = ranker.rank_batch(&shuffled);
+        // Both orders serve the same per-user lists.
+        for resp in &second {
+            let want = first.iter().find(|r| r.user == resp.user).unwrap();
+            assert_eq!(resp.items, want.items, "mode {cache_mode:?}");
+            assert_eq!(resp.log_det.to_bits(), want.log_det.to_bits());
+        }
+        let stats = ranker.cache_stats_detailed();
+        assert_eq!(
+            stats.aggregate.hits + stats.aggregate.misses,
+            2 * reqs.len() as u64
+        );
+        rates.push(stats.hit_rate());
+    }
+    assert!(
+        rates[1] > rates[0],
+        "sharded hit rate {} must beat per-worker {} on the shuffled replay",
+        rates[1],
+        rates[0]
+    );
+    // Sharded: every distinct pair misses exactly once, process-wide.
+    let (_, sharded_misses) = {
+        let mut ranker = Ranker::new(
+            RankingArtifact::snapshot(&model, &kernel),
+            ServeConfig {
+                threads: 4,
+                cache_mode: CacheMode::Sharded { shards: 4 },
+                ..Default::default()
+            },
+        );
+        ranker.rank_batch(&reqs);
+        ranker.rank_batch(&shuffled);
+        ranker.cache_stats()
+    };
+    assert_eq!(sharded_misses as usize, reqs.len());
 }
 
 #[test]

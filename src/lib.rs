@@ -91,7 +91,10 @@ pub mod prelude {
     pub use lkp_models::{Gcmc, Gcn, ItemEmbeddings, MatrixFactorization, NeuMf, Recommender};
     pub use lkp_nn::AdamConfig;
     pub use lkp_runtime::WorkerPool;
-    pub use lkp_serve::{RankRequest, RankResponse, Ranker, RankingArtifact, ServeConfig};
+    pub use lkp_serve::{
+        CacheMode, FrontendConfig, RankRequest, RankResponse, Ranker, RankingArtifact, ServeConfig,
+        ServeFrontend,
+    };
 
     /// Convenience: generate a synthetic dataset from its config in one call.
     pub trait GenerateExt {
