@@ -3,9 +3,9 @@
 //! plus a sharded-vs-per-worker cache replay and the micro-batching
 //! frontend.
 //!
-//! Prints three JSON objects (rows `serving`, `serving_cache_modes`,
-//! `serving_frontend`); `scripts/bench_snapshot.sh` appends them to the
-//! `BENCH_<date>.json` trajectory snapshot. Flags:
+//! Prints four JSON objects (rows `serving`, `serving_cache_modes`,
+//! `serving_frontend`, `serving_robustness`); `scripts/bench_snapshot.sh`
+//! appends them to the `BENCH_<date>.json` trajectory snapshot. Flags:
 //!
 //! * `--batches N`  — timed batches per configuration (default 30)
 //! * `--batch N`    — requests per batch (default 64)
@@ -22,8 +22,8 @@ use lkp_data::SyntheticConfig;
 use lkp_models::MatrixFactorization;
 use lkp_nn::AdamConfig;
 use lkp_serve::{
-    CacheMode, FrontendConfig, ManualClock, RankRequest, Ranker, RankingArtifact, ServeConfig,
-    ServeFrontend,
+    CacheMode, FrontendConfig, FrontendDriver, ManualClock, RankRequest, Ranker, RankingArtifact,
+    ServeConfig, ServeFrontend, SubmitError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -236,6 +236,7 @@ fn main() {
         FrontendConfig {
             max_batch: batch,
             max_wait: Duration::from_millis(2),
+            ..Default::default()
         },
         Box::new(ManualClock::new()),
     );
@@ -302,5 +303,116 @@ fn main() {
         fstats.cuts_flush,
         first_batch.aggregate.misses,
         first_batch.aggregate.hits,
+    );
+
+    // ---- Robustness: driven frontend, mixed-SLO load, mid-run swap ----
+    // The same stream under the production shell: the pump thread owns the
+    // cuts (wall clock), every request carries an SLO, submission runs
+    // through bounded-queue admission (sheds are counted, not retried),
+    // and the artifact is hot-swapped halfway through. The row records the
+    // operational numbers an SRE would watch — shed rate, queue-wait
+    // percentiles vs the SLO, the swap's commit pause — and asserts the
+    // structural bars: every accepted ticket completes, and the prewarmed
+    // caches (initial and staged) serve the whole run with zero assembly
+    // misses, before and after the swap.
+    let robust_rounds = (batches / 2).max(4);
+    let slo = Duration::from_millis(50);
+    let mut frontend = ServeFrontend::new(
+        Ranker::new(
+            RankingArtifact::snapshot(&model, &kernel),
+            ServeConfig {
+                threads,
+                cache_mode: CacheMode::Sharded { shards: 8 },
+                ..Default::default()
+            },
+        ),
+        FrontendConfig {
+            max_batch: batch,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: batch * 4,
+            ..Default::default()
+        },
+    );
+    let warmed = frontend.prewarm(&prewarm_pairs);
+    assert_eq!(warmed, prewarm_pairs.len(), "robustness plan fully warm");
+    let driver = FrontendDriver::spawn(frontend);
+    let client = driver.client();
+    let mut swap_model_rng = StdRng::seed_from_u64(17);
+    let swap_model = MatrixFactorization::new(
+        n_users,
+        n_items,
+        32,
+        AdamConfig::default(),
+        &mut swap_model_rng,
+    );
+    let mut accepted = Vec::new();
+    let mut swap_report = None;
+    for round in 0..robust_rounds {
+        if round == robust_rounds / 2 {
+            // Staging (prewarm of the new generation) runs off the
+            // frontend lock; only the commit pauses traffic.
+            let report = client.swap_artifact(
+                RankingArtifact::snapshot(&swap_model, &kernel),
+                &prewarm_pairs,
+            );
+            assert_eq!(report.warmed, prewarm_pairs.len());
+            swap_report = Some(report);
+        }
+        for req in &reqs {
+            match client.submit(req.clone().with_slo(slo)) {
+                Ok(ticket) => accepted.push(ticket),
+                Err(SubmitError::QueueFull { .. }) => {} // counted in stats.shed
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    let mut completed = (0u64, 0u64); // (served, expired)
+    for ticket in accepted.drain(..) {
+        let resp = client
+            .take_deadline(ticket, Duration::from_secs(60))
+            .expect("every accepted ticket completes");
+        match resp.outcome {
+            lkp_serve::RankOutcome::Expired => completed.1 += 1,
+            lkp_serve::RankOutcome::Served => completed.0 += 1,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    let rstats = client.stats();
+    drop(client);
+    let mut frontend = driver.shutdown().expect("no surviving clients");
+    assert_eq!(rstats.served, completed.0, "no ticket lost");
+    assert_eq!(rstats.expired, completed.1);
+    assert_eq!(rstats.panicked, 0);
+    assert_eq!(rstats.failed, 0);
+    let (robust_hits, robust_misses) = frontend.ranker().cache_stats();
+    assert_eq!(
+        robust_misses, 0,
+        "prewarmed generations must serve the whole run without assembly"
+    );
+    let swap_report = swap_report.expect("swap committed mid-run");
+    let submitted_total = (robust_rounds * batch) as u64;
+    let shed_rate = rstats.shed as f64 / submitted_total as f64;
+    println!(
+        "{{\"probe\":\"serving_robustness\",\"threads\":{threads},\"rounds\":{robust_rounds},\
+\"batch\":{batch},\"slo_ms\":{},\"submitted\":{},\"served\":{},\"shed\":{},\
+\"shed_rate\":{:.4},\"expired\":{},\"queue_wait_p50_us\":{:.1},\"queue_wait_p95_us\":{:.1},\
+\"queue_wait_p99_us\":{:.1},\"p99_within_slo\":{},\"swap_generation\":{},\
+\"swap_commit_pause_us\":{:.1},\"swap_warmed\":{},\"swap_retired\":{},\
+\"cache_hits\":{robust_hits},\"cache_misses\":{robust_misses},\"batches_cut\":{}}}",
+        slo.as_millis(),
+        submitted_total,
+        rstats.served,
+        rstats.shed,
+        shed_rate,
+        rstats.expired,
+        rstats.latency.p50().as_nanos() as f64 / 1e3,
+        rstats.latency.p95().as_nanos() as f64 / 1e3,
+        rstats.latency.p99().as_nanos() as f64 / 1e3,
+        rstats.latency.p99() <= slo,
+        swap_report.generation,
+        swap_report.commit_pause.as_nanos() as f64 / 1e3,
+        swap_report.warmed,
+        swap_report.retired,
+        rstats.batches,
     );
 }

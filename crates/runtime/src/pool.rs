@@ -41,6 +41,10 @@ struct PoolState {
     remaining: usize,
     /// Spawned workers whose job closure panicked this dispatch.
     panicked: usize,
+    /// The first panic payload captured from a spawned worker this
+    /// dispatch, resumed on the caller after the barrier so the original
+    /// panic message survives the pool boundary.
+    payload: Option<Box<dyn std::any::Any + Send>>,
     /// Tells workers to exit their loop.
     shutdown: bool,
 }
@@ -83,6 +87,7 @@ impl WorkerPool {
                 epoch: 0,
                 remaining: 0,
                 panicked: 0,
+                payload: None,
                 shutdown: false,
             }),
             start: Condvar::new(),
@@ -129,6 +134,7 @@ impl WorkerPool {
             guard.epoch += 1;
             guard.remaining = spawned;
             guard.panicked = 0;
+            guard.payload = None;
             drop(guard);
             self.shared.start.notify_all();
         }
@@ -138,18 +144,24 @@ impl WorkerPool {
         // spawned workers still hold a pointer into this frame.
         let caller_result = catch_unwind(AssertUnwindSafe(|| job(0, &mut self.caller_state)));
 
-        let worker_panics = if spawned > 0 {
+        let (worker_panics, worker_payload) = if spawned > 0 {
             let mut guard = self.shared.state.lock().expect("pool lock");
             while guard.remaining > 0 {
                 guard = self.shared.done.wait(guard).expect("pool lock");
             }
             guard.job = None;
-            guard.panicked
+            (guard.panicked, guard.payload.take())
         } else {
-            0
+            (0, None)
         };
 
+        // Caller-side panics take precedence (they already carry the
+        // original payload); otherwise re-raise the first spawned worker's
+        // payload so the message is not lost at the pool boundary.
         if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_payload {
             resume_unwind(payload);
         }
         if worker_panics > 0 {
@@ -335,8 +347,11 @@ fn worker_loop(shared: &Shared, index: usize) {
             (job.call)(job.data, index, &mut state)
         }));
         let mut guard = shared.state.lock().expect("pool lock");
-        if result.is_err() {
+        if let Err(payload) = result {
             guard.panicked += 1;
+            if guard.payload.is_none() {
+                guard.payload = Some(payload);
+            }
         }
         guard.remaining -= 1;
         if guard.remaining == 0 {

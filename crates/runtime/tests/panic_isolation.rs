@@ -1,0 +1,120 @@
+//! Regression gate for the pool's panic path: a panicking job must leave
+//! the condvar barrier usable (the very next dispatch runs on every
+//! worker), must not corrupt per-worker state, and must surface the
+//! original panic payload to the caller instead of a generic "worker
+//! panicked" message.
+
+use lkp_runtime::WorkerPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f` with the default panic hook silenced so the intentional panics
+/// in these tests don't spam the harness output with backtraces. The hook
+/// is process-global, so concurrent tests serialize on a lock.
+fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string payload>")
+}
+
+#[test]
+fn panicking_job_surfaces_payload_and_leaves_barrier_usable() {
+    quiet_panics(|| {
+        for threads in [1usize, 2, 4] {
+            let mut pool = WorkerPool::new(threads);
+            // Panic on the highest worker index so at width 1 the caller
+            // itself panics and at widths 2/4 a spawned worker does — both
+            // payload paths are exercised.
+            let bad = threads - 1;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(|w, _| {
+                    if w == bad {
+                        panic!("injected fault on worker {w}");
+                    }
+                });
+            }));
+            let payload = result.expect_err("the injected panic must propagate");
+            assert_eq!(
+                payload_text(payload.as_ref()),
+                format!("injected fault on worker {bad}"),
+                "threads={threads}: original payload must cross the pool boundary"
+            );
+
+            // The barrier is intact: the next dispatch reaches every worker.
+            let count = AtomicUsize::new(0);
+            pool.run(|_, _| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                threads,
+                "threads={threads}: dispatch after a panic must cover all workers"
+            );
+        }
+    });
+}
+
+#[test]
+fn worker_state_survives_a_panicking_dispatch() {
+    quiet_panics(|| {
+        for threads in [1usize, 2, 4] {
+            let mut pool = WorkerPool::new(threads);
+            pool.run(|_, state| {
+                *state.get_or_default::<usize>() = 41;
+            });
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(|_, state| {
+                    *state.get_or_default::<usize>() += 1;
+                    panic!("boom after mutating state");
+                });
+            }));
+            let seen = std::sync::Mutex::new(Vec::new());
+            pool.run(|_, state| {
+                seen.lock().unwrap().push(*state.get_or_default::<usize>());
+            });
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(
+                seen,
+                vec![42usize; threads],
+                "threads={threads}: state mutated before the panic must persist"
+            );
+        }
+    });
+}
+
+#[test]
+fn caller_payload_takes_precedence_over_worker_payload() {
+    quiet_panics(|| {
+        let mut pool = WorkerPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|w, _| match w {
+                0 => panic!("caller fault"),
+                _ => panic!("worker fault"),
+            });
+        }));
+        let payload = result.expect_err("everyone panicked");
+        assert_eq!(
+            payload_text(payload.as_ref()),
+            "caller fault",
+            "the caller's own payload must win when both sides panic"
+        );
+        // And the pool still works.
+        let count = AtomicUsize::new(0);
+        pool.run(|_, _| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    });
+}

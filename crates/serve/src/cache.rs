@@ -31,6 +31,7 @@ use std::collections::HashMap;
 /// One cached `(user, candidate-set)` kernel. Entries are keyed by user and
 /// validated against the exact candidate list: a changed pool replaces the
 /// entry instead of serving a stale kernel.
+#[derive(Clone)]
 pub(crate) struct CacheEntry {
     pub(crate) candidates: Vec<usize>,
     pub(crate) k_sub: Matrix,

@@ -114,6 +114,25 @@ impl KernelCache {
         true
     }
 
+    /// Replaces this worker's resident set with a clone of `staged` (the
+    /// prewarmed template of a new artifact generation), retiring every
+    /// old-generation entry. Traffic counters (`hits`/`misses`/`bypasses`)
+    /// survive the swap — they describe the worker's lifetime, not one
+    /// generation — while `prewarmed` absorbs the template's count once per
+    /// worker (each worker really does hold its own warm copy). The tick
+    /// clock only moves forward so adopted `last_used` stamps stay ordered
+    /// against future accesses. Returns how many entries were retired.
+    pub(crate) fn adopt(&mut self, staged: &KernelCache) -> usize {
+        let retired = self.entries.len();
+        self.entries.clear();
+        for (&user, entry) in &staged.entries {
+            self.entries.insert(user, entry.clone());
+        }
+        self.tick = self.tick.max(staged.tick);
+        self.prewarmed += staged.prewarmed;
+        retired
+    }
+
     /// Full counter row for aggregate reporting. Disabled-cache
     /// passthroughs (`capacity == 0`) are counted as `bypasses`, not
     /// misses, so a hit rate derived from the row reflects only lookups the

@@ -155,6 +155,28 @@ impl SharedKernelCache {
         true
     }
 
+    /// Folds the retiring `old` cache's traffic counters into this staged
+    /// one — hit/miss/prewarm totals describe the service's lifetime, not
+    /// one artifact generation, so reporting must survive a swap — and
+    /// returns how many old-generation entries are being retired with it.
+    /// Entries are *not* carried over: they were assembled from the old
+    /// artifact's kernel.
+    pub(crate) fn carry_stats_from(&self, old: &SharedKernelCache) -> usize {
+        let mut retired = 0;
+        for (i, shard) in old.shards.iter().enumerate() {
+            let o = shard.lock().expect("shard lock");
+            let mut n = self.shards[i % self.shards.len()]
+                .lock()
+                .expect("shard lock");
+            n.hits += o.hits;
+            n.misses += o.misses;
+            n.prewarmed += o.prewarmed;
+            n.tick = n.tick.max(o.tick);
+            retired += o.entries.len();
+        }
+        retired
+    }
+
     /// One counter row per shard (bypasses are always 0 here — a disabled
     /// cache never reaches the shared backend).
     pub(crate) fn stats(&self) -> Vec<ShardStats> {

@@ -1,341 +1,42 @@
 //! The request frontend: individually submitted requests, micro-batched
-//! onto the pool.
+//! onto the pool — plus the production shell around that core.
 //!
 //! Production traffic arrives one request at a time, but the pool path is
 //! batched. [`ServeFrontend`] bridges the two: [`ServeFrontend::submit`]
-//! enqueues a request into a bounded queue and returns a [`Ticket`]
-//! immediately; micro-batches are cut when the queue reaches
-//! [`FrontendConfig::max_batch`] (throughput bound) or when the oldest
-//! pending request has waited [`FrontendConfig::max_wait`] (latency bound,
-//! checked by [`ServeFrontend::pump`]), and driven through
-//! [`Ranker::rank_batch_into`]. Responses are claimed by ticket.
+//! (or the admission-checked [`ServeFrontend::try_submit`]) enqueues a
+//! request and returns a [`Ticket`] immediately; micro-batches are cut
+//! when the queue reaches [`FrontendConfig::max_batch`] (throughput bound)
+//! or when the oldest pending deadline passes (latency bound — `max_wait`,
+//! or a tighter per-request [`crate::RankRequest::slo`]), and driven
+//! through [`crate::Ranker::rank_batch_into`]. Responses are claimed by
+//! ticket.
 //!
 //! Time is read through an injected [`Clock`], so deadline behavior is
 //! deterministic in tests ([`ManualClock`]) and wall-clock in production
 //! ([`MonotonicClock`], the default). Batch composition never affects
 //! served lists — requests are independent — so frontend output is bitwise
-//! identical to a direct [`Ranker::rank_batch`] over the same requests, in
-//! any submission/pump interleaving.
+//! identical to a direct [`crate::Ranker::rank_batch`] over the same
+//! requests, in any submission/pump interleaving.
+//!
+//! The module splits along the production concerns:
+//!
+//! * `core` — the deterministic frontend above: clocks, cut policy, SLO
+//!   expiry, degraded mode, TTL sweep, ticket redemption.
+//! * `admission` — [`SubmitError`], the fixed-bucket [`LatencyHistogram`],
+//!   and the [`FrontendStats`] counter block.
+//! * `swap` — zero-downtime artifact replacement:
+//!   [`ServeFrontend::swap_artifact`] / [`ServeFrontend::commit_swap`],
+//!   [`SwapReport`], and the swap log.
+//! * `driver` — the threaded shell: [`FrontendDriver`] owns the pump loop
+//!   on a spawned thread; [`DriverClient`] handles submit/redeem/swap from
+//!   any thread.
 
-use crate::{RankRequest, RankResponse, Ranker};
-use lkp_models::Recommender;
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+mod admission;
+mod core;
+mod driver;
+mod swap;
 
-/// A monotonic time source for micro-batch deadlines.
-///
-/// Implementations report elapsed time since an arbitrary fixed origin;
-/// the frontend only ever compares differences.
-pub trait Clock: Send {
-    /// Time since the clock's origin.
-    fn now(&self) -> Duration;
-}
-
-/// Wall-clock [`Clock`] backed by [`Instant`] (the production default).
-#[derive(Debug, Clone)]
-pub struct MonotonicClock {
-    origin: Instant,
-}
-
-impl Default for MonotonicClock {
-    fn default() -> Self {
-        MonotonicClock {
-            origin: Instant::now(),
-        }
-    }
-}
-
-impl Clock for MonotonicClock {
-    fn now(&self) -> Duration {
-        self.origin.elapsed()
-    }
-}
-
-/// A hand-advanced [`Clock`] for deterministic tests: clone a handle, give
-/// one clone to the frontend, and drive time with [`ManualClock::advance`].
-#[derive(Debug, Clone, Default)]
-pub struct ManualClock {
-    nanos: Arc<AtomicU64>,
-}
-
-impl ManualClock {
-    /// A clock at t = 0.
-    pub fn new() -> Self {
-        ManualClock::default()
-    }
-
-    /// Moves the clock forward by `by`.
-    pub fn advance(&self, by: Duration) {
-        self.nanos.fetch_add(by.as_nanos() as u64, Ordering::SeqCst);
-    }
-}
-
-impl Clock for ManualClock {
-    fn now(&self) -> Duration {
-        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
-    }
-}
-
-/// Micro-batch cut policy of a [`ServeFrontend`].
-#[derive(Debug, Clone)]
-pub struct FrontendConfig {
-    /// Cut a batch as soon as this many requests are pending (clamped to
-    /// ≥ 1). Also the size of every non-final batch, so per-batch pool
-    /// dispatch overhead is amortized over exactly this many requests.
-    pub max_batch: usize,
-    /// Cut a batch (of whatever is pending) once the oldest pending request
-    /// has waited this long. Deadlines are checked by
-    /// [`ServeFrontend::pump`] against the injected [`Clock`].
-    pub max_wait: Duration,
-}
-
-impl Default for FrontendConfig {
-    fn default() -> Self {
-        FrontendConfig {
-            max_batch: 64,
-            max_wait: Duration::from_millis(2),
-        }
-    }
-}
-
-/// Handle to one submitted request; claim the response with
-/// [`ServeFrontend::try_take`] after the batch containing it was cut.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Ticket(u64);
-
-/// Frontend traffic counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FrontendStats {
-    /// Requests accepted by [`ServeFrontend::submit`].
-    pub submitted: u64,
-    /// Requests served (moved to completed responses).
-    pub served: u64,
-    /// Micro-batches cut.
-    pub batches: u64,
-    /// Batches cut because `max_batch` requests were pending.
-    pub cuts_full: u64,
-    /// Batches cut because the oldest pending request reached `max_wait`.
-    pub cuts_deadline: u64,
-    /// Batches cut by an explicit [`ServeFrontend::flush`].
-    pub cuts_flush: u64,
-    /// Tickets abandoned via [`ServeFrontend::discard`] (pending requests
-    /// dropped before serving plus completed responses dropped unclaimed).
-    pub discarded: u64,
-}
-
-enum CutReason {
-    Full,
-    Deadline,
-    Flush,
-}
-
-struct Pending {
-    ticket: Ticket,
-    request: RankRequest,
-    submitted: Duration,
-}
-
-/// The async serving frontend: a bounded submission queue over a
-/// [`Ranker`], cutting micro-batches by size and deadline. See the module
-/// docs for the lifecycle.
-pub struct ServeFrontend<M> {
-    ranker: Ranker<M>,
-    config: FrontendConfig,
-    clock: Box<dyn Clock>,
-    pending: VecDeque<Pending>,
-    /// Completed responses awaiting [`ServeFrontend::try_take`]. Unclaimed
-    /// responses accumulate here — callers own ticket redemption, and must
-    /// [`ServeFrontend::discard`] tickets they stop waiting on.
-    done: HashMap<u64, RankResponse>,
-    /// Batch-cut scratch, reused across cuts.
-    batch_requests: Vec<RankRequest>,
-    batch_tickets: Vec<Ticket>,
-    batch_out: Vec<RankResponse>,
-    next_ticket: u64,
-    stats: FrontendStats,
-}
-
-impl<M: Recommender + Sync> ServeFrontend<M> {
-    /// Wraps a ranker with the wall-clock [`MonotonicClock`].
-    pub fn new(ranker: Ranker<M>, config: FrontendConfig) -> Self {
-        ServeFrontend::with_clock(ranker, config, Box::new(MonotonicClock::default()))
-    }
-
-    /// Wraps a ranker with an injected clock (tests use [`ManualClock`]).
-    pub fn with_clock(
-        ranker: Ranker<M>,
-        mut config: FrontendConfig,
-        clock: Box<dyn Clock>,
-    ) -> Self {
-        config.max_batch = config.max_batch.max(1);
-        ServeFrontend {
-            ranker,
-            config,
-            clock,
-            pending: VecDeque::new(),
-            done: HashMap::new(),
-            batch_requests: Vec::new(),
-            batch_tickets: Vec::new(),
-            batch_out: Vec::new(),
-            next_ticket: 0,
-            stats: FrontendStats::default(),
-        }
-    }
-
-    /// Enqueues one request and returns its ticket. Cuts a micro-batch
-    /// inline when the queue reaches `max_batch` — so the queue holds at
-    /// most `max_batch − 1` requests between calls and submission is never
-    /// an error: backpressure shows up as inline served latency, not as
-    /// drops or unbounded growth.
-    pub fn submit(&mut self, request: RankRequest) -> Ticket {
-        let ticket = Ticket(self.next_ticket);
-        self.next_ticket += 1;
-        self.pending.push_back(Pending {
-            ticket,
-            request,
-            submitted: self.clock.now(),
-        });
-        self.stats.submitted += 1;
-        if self.pending.len() >= self.config.max_batch {
-            self.cut_batch(CutReason::Full);
-        }
-        ticket
-    }
-
-    /// Cuts every due micro-batch: full batches first, then a partial batch
-    /// if the oldest pending request has waited `max_wait` or longer.
-    /// Returns the number of requests served. Call this from the serving
-    /// loop whenever the clock may have crossed a deadline.
-    pub fn pump(&mut self) -> usize {
-        let mut served = 0;
-        loop {
-            let full = self.pending.len() >= self.config.max_batch;
-            let overdue = !full
-                && self.pending.front().is_some_and(|p| {
-                    self.clock.now().saturating_sub(p.submitted) >= self.config.max_wait
-                });
-            if !full && !overdue {
-                return served;
-            }
-            served += self.cut_batch(if full {
-                CutReason::Full
-            } else {
-                CutReason::Deadline
-            });
-        }
-    }
-
-    /// Serves everything pending regardless of deadlines (shutdown /
-    /// end-of-stream). Returns the number of requests served.
-    pub fn flush(&mut self) -> usize {
-        let mut served = 0;
-        while !self.pending.is_empty() {
-            served += self.cut_batch(CutReason::Flush);
-        }
-        served
-    }
-
-    /// Claims the response for `ticket`, if its batch has been cut. Each
-    /// ticket redeems at most once.
-    pub fn try_take(&mut self, ticket: Ticket) -> Option<RankResponse> {
-        self.done.remove(&ticket.0)
-    }
-
-    /// Peeks at the response for `ticket` without claiming it.
-    pub fn peek(&self, ticket: Ticket) -> Option<&RankResponse> {
-        self.done.get(&ticket.0)
-    }
-
-    /// Abandons a ticket the caller stopped waiting on (e.g. its request
-    /// timed out upstream): drops the completed response if the batch was
-    /// already cut, or pulls the request out of the pending queue if not —
-    /// without this, responses for dropped tickets would accumulate in the
-    /// completed map for the frontend's lifetime. Returns whether the
-    /// ticket was found (`false`: already taken, already discarded, or
-    /// never issued).
-    pub fn discard(&mut self, ticket: Ticket) -> bool {
-        let found = self.done.remove(&ticket.0).is_some()
-            || self
-                .pending
-                .iter()
-                .position(|p| p.ticket == ticket)
-                .map(|at| self.pending.remove(at))
-                .is_some();
-        self.stats.discarded += found as u64;
-        found
-    }
-
-    /// Pre-warms the ranker's kernel cache with popular pairs (see
-    /// [`Ranker::prewarm`]); their first served request then skips the
-    /// `O(|C|²·d)` assembly entirely. Returns the number of assemblies.
-    pub fn prewarm(&mut self, pairs: &[(usize, Vec<usize>)]) -> usize {
-        self.ranker.prewarm(pairs)
-    }
-
-    /// Requests submitted but not yet served.
-    pub fn pending_len(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// Responses served but not yet claimed.
-    pub fn completed_len(&self) -> usize {
-        self.done.len()
-    }
-
-    /// Traffic counters since construction.
-    pub fn stats(&self) -> FrontendStats {
-        self.stats
-    }
-
-    /// The wrapped ranker (cache stats, prewarm, direct batches).
-    pub fn ranker(&mut self) -> &mut Ranker<M> {
-        &mut self.ranker
-    }
-
-    /// Unwraps the frontend, dropping any unserved submissions and
-    /// unclaimed responses.
-    pub fn into_ranker(self) -> Ranker<M> {
-        self.ranker
-    }
-
-    /// Cuts one micro-batch of up to `max_batch` requests off the queue
-    /// front (submission order) and serves it on the pool.
-    fn cut_batch(&mut self, reason: CutReason) -> usize {
-        let n = self.pending.len().min(self.config.max_batch);
-        if n == 0 {
-            return 0;
-        }
-        self.batch_requests.clear();
-        self.batch_tickets.clear();
-        for _ in 0..n {
-            let p = self.pending.pop_front().expect("n ≤ pending");
-            self.batch_tickets.push(p.ticket);
-            self.batch_requests.push(p.request);
-        }
-        self.ranker
-            .rank_batch_into(&self.batch_requests, &mut self.batch_out);
-        for (ticket, response) in self.batch_tickets.drain(..).zip(self.batch_out.drain(..)) {
-            self.done.insert(ticket.0, response);
-        }
-        self.stats.batches += 1;
-        self.stats.served += n as u64;
-        match reason {
-            CutReason::Full => self.stats.cuts_full += 1,
-            CutReason::Deadline => self.stats.cuts_deadline += 1,
-            CutReason::Flush => self.stats.cuts_flush += 1,
-        }
-        n
-    }
-}
-
-impl<M> std::fmt::Debug for ServeFrontend<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServeFrontend")
-            .field("pending", &self.pending.len())
-            .field("completed", &self.done.len())
-            .field("stats", &self.stats)
-            .finish()
-    }
-}
+pub use self::admission::{FrontendStats, LatencyHistogram, SubmitError, LATENCY_BUCKETS};
+pub use self::core::{Clock, FrontendConfig, ManualClock, MonotonicClock, ServeFrontend, Ticket};
+pub use self::driver::{DriverClient, FrontendDriver};
+pub use self::swap::{SwapRecord, SwapReport};

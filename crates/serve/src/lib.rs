@@ -25,6 +25,14 @@
 //!    bounded queue and cuts micro-batches by size/deadline
 //!    ([`FrontendConfig`]), so callers that see one request at a time still
 //!    ride the batched pool path.
+//! 5. The production shell hardens that core: [`FrontendDriver`] pumps the
+//!    frontend from its own thread; admission control sheds overload with
+//!    a typed [`SubmitError`]; per-request SLOs expire stale work at cut
+//!    time; a degraded mode caps the DPP rerank head under pressure; panics
+//!    and numerical failures poison only their own ticket
+//!    ([`RankOutcome`]); and [`ServeFrontend::swap_artifact`] replaces the
+//!    model between cuts with the new generation's cache prewarmed
+//!    ([`StagedSwap`]).
 //!
 //! Serving results are **identical at any pool width, in either cache
 //! mode, and through the frontend**: requests are independent, both cache
@@ -39,9 +47,11 @@ mod ranker;
 pub use artifact::RankingArtifact;
 pub use cache::{CacheStats, ShardStats};
 pub use frontend::{
-    Clock, FrontendConfig, FrontendStats, ManualClock, MonotonicClock, ServeFrontend, Ticket,
+    Clock, DriverClient, FrontendConfig, FrontendDriver, FrontendStats, LatencyHistogram,
+    ManualClock, MonotonicClock, ServeFrontend, SubmitError, SwapRecord, SwapReport, Ticket,
+    LATENCY_BUCKETS,
 };
-pub use ranker::{RankRequest, RankResponse, Ranker, ServeWorkspace};
+pub use ranker::{RankOutcome, RankRequest, RankResponse, Ranker, ServeWorkspace, StagedSwap};
 
 /// Which backend amortizes the `O(|C|²·d)` candidate-kernel assembly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

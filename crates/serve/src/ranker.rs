@@ -6,6 +6,9 @@ use lkp_dpp::{greedy_map_with, MapWorkspace};
 use lkp_linalg::Matrix;
 use lkp_models::Recommender;
 use lkp_runtime::WorkerPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// One top-N request: rank `candidates` for `user` and keep the best
 /// `top_n` under the tailored k-DPP MAP objective.
@@ -17,6 +20,18 @@ pub struct RankRequest {
     pub candidates: Vec<usize>,
     /// List length to produce (clamped to the candidate count).
     pub top_n: usize,
+    /// Optional latency budget. The frontend sheds a request still queued
+    /// past its SLO at cut time with [`RankOutcome::Expired`] instead of
+    /// serving it late, and cuts a partial batch early when the SLO is
+    /// tighter than [`crate::FrontendConfig::max_wait`]. `None` (the
+    /// default) keeps the frontend's batch deadline as the only clock.
+    pub slo: Option<Duration>,
+    /// DPP rerank head: `0` (the default) runs greedy MAP over the full
+    /// candidate set; a non-zero value reranks only the `rerank_head`
+    /// highest-quality candidates — the degraded mode the frontend switches
+    /// on under overload, trading list optimality for `O(head²)` instead of
+    /// `O(|C|²)` kernel work.
+    pub rerank_head: usize,
 }
 
 impl RankRequest {
@@ -26,6 +41,8 @@ impl RankRequest {
             user,
             candidates,
             top_n,
+            slo: None,
+            rerank_head: 0,
         }
     }
 
@@ -33,15 +50,45 @@ impl RankRequest {
     pub fn full_catalog(user: usize, n_items: usize, top_n: usize) -> Self {
         RankRequest::new(user, (0..n_items).collect(), top_n)
     }
+
+    /// Attaches a latency budget (see [`RankRequest::slo`]).
+    pub fn with_slo(mut self, slo: Duration) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Caps the DPP rerank head (see [`RankRequest::rerank_head`]).
+    pub fn with_rerank_head(mut self, head: usize) -> Self {
+        self.rerank_head = head;
+        self
+    }
+}
+
+/// What happened to a request, stamped on its [`RankResponse`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RankOutcome {
+    /// A list was produced (possibly empty for `top_n = 0`).
+    #[default]
+    Served,
+    /// The request was malformed: no candidates, unknown user, or an
+    /// out-of-catalog candidate id. Deterministic — retrying cannot help.
+    Invalid,
+    /// A numerical failure poisoned this request only: NaN quality scores,
+    /// a degenerate/NaN kernel, or a failed MAP factorization.
+    Failed,
+    /// The request's closure panicked; the panic was contained to this
+    /// ticket (the batch, pool, and pump thread are unaffected).
+    Panicked,
+    /// Still queued past the request's SLO at cut time; shed unserved.
+    Expired,
 }
 
 /// One served list.
 ///
 /// `items` is in greedy selection order (position 1 first), which is also
 /// the presentation order: each item maximizes the marginal determinant
-/// gain given everything above it. Empty when the request was degenerate
-/// (no candidates, unknown user, out-of-catalog candidate id, or a
-/// numerically vanished kernel).
+/// gain given everything above it. Empty unless `outcome` is
+/// [`RankOutcome::Served`] (and then still empty for `top_n = 0`).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankResponse {
     /// Requesting user (copied from the request).
@@ -53,6 +100,16 @@ pub struct RankResponse {
     /// Whether the diversity submatrix came from the kernel cache
     /// (per-worker or shared, per [`ServeConfig::cache_mode`]).
     pub cache_hit: bool,
+    /// What happened to the request (served / invalid / failed / panicked /
+    /// expired).
+    pub outcome: RankOutcome,
+    /// Whether the list was produced with a truncated rerank head
+    /// ([`RankRequest::rerank_head`], set by the request or by the
+    /// frontend's overload policy).
+    pub degraded: bool,
+    /// The artifact generation that produced this response (bumped by every
+    /// [`Ranker::commit_swap`]; the first artifact is generation 1).
+    pub generation: u64,
 }
 
 /// Per-worker serving scratch, persisted in pool worker state across
@@ -75,6 +132,13 @@ pub struct ServeWorkspace {
     order: Vec<u32>,
     dup: Vec<bool>,
     dedup: Vec<usize>,
+    /// Degraded-mode scratch: the quality-sorted head selection and its
+    /// directly-assembled kernel (degraded requests bypass both cache
+    /// backends so a transient overload cannot churn the warm set).
+    head_order: Vec<u32>,
+    head_cands: Vec<usize>,
+    head_q: Vec<f64>,
+    head_sub: Matrix,
 }
 
 /// The serving engine: an immutable [`RankingArtifact`] plus a persistent
@@ -90,6 +154,91 @@ pub struct Ranker<M> {
     /// [`CacheMode::Sharded`] (and caching is enabled); `None` keeps the
     /// per-worker backend.
     shared: Option<SharedKernelCache>,
+    /// Artifact generation, stamped on every response and bumped by
+    /// [`Ranker::commit_swap`].
+    generation: u64,
+}
+
+/// A new artifact with its generation cache pre-assembled — the expensive
+/// half of a hot swap, built *off* the serving path (no pool, no frontend
+/// lock) via [`StagedSwap::prepare`] or [`Ranker::stage_swap`], then
+/// installed by the cheap [`Ranker::commit_swap`] /
+/// [`crate::ServeFrontend::commit_swap`].
+pub struct StagedSwap<M> {
+    artifact: RankingArtifact<M>,
+    shared: Option<SharedKernelCache>,
+    per_worker: Option<KernelCache>,
+    warmed: usize,
+}
+
+impl<M: Recommender> StagedSwap<M> {
+    /// Stages `artifact` with `plan`'s `(user, candidate-set)` pairs
+    /// prewarmed into a fresh cache of the backend `config` selects. The
+    /// config must be the serving ranker's own (capacity and cache mode
+    /// decide what is staged); plan pairs follow the same validation,
+    /// dedup, and monotone-fill rules as [`Ranker::prewarm`].
+    pub fn prepare(
+        config: &ServeConfig,
+        artifact: RankingArtifact<M>,
+        plan: &[(usize, Vec<usize>)],
+    ) -> Self {
+        let capacity = config.kernel_cache_capacity;
+        let (mut order, mut dup, mut dedup) = (Vec::new(), Vec::new(), Vec::new());
+        let mut warmed = 0;
+        let mut shared = None;
+        let mut per_worker = None;
+        if capacity > 0 {
+            match config.cache_mode {
+                CacheMode::Sharded { shards } => {
+                    let cache = SharedKernelCache::new(shards);
+                    for (user, candidates) in plan {
+                        if !prewarmable(&artifact, *user, candidates) {
+                            continue;
+                        }
+                        let key =
+                            dedup_first_occurrence(candidates, &mut order, &mut dup, &mut dedup);
+                        if cache.prewarm(*user, key, artifact.kernel(), capacity) {
+                            warmed += 1;
+                        }
+                    }
+                    shared = Some(cache);
+                }
+                CacheMode::PerWorker => {
+                    // One template cache, assembled once; commit clones it
+                    // into every worker (same warm set everywhere, exactly
+                    // like a plain per-worker prewarm).
+                    let mut cache = KernelCache::default();
+                    for (user, candidates) in plan {
+                        if !prewarmable(&artifact, *user, candidates) {
+                            continue;
+                        }
+                        let key =
+                            dedup_first_occurrence(candidates, &mut order, &mut dup, &mut dedup);
+                        if cache.prewarm(*user, key, artifact.kernel(), capacity) {
+                            warmed += 1;
+                        }
+                    }
+                    per_worker = Some(cache);
+                }
+            }
+        }
+        StagedSwap {
+            artifact,
+            shared,
+            per_worker,
+            warmed,
+        }
+    }
+
+    /// The staged artifact.
+    pub fn artifact(&self) -> &RankingArtifact<M> {
+        &self.artifact
+    }
+
+    /// Pairs warm in the staged cache.
+    pub fn warmed(&self) -> usize {
+        self.warmed
+    }
 }
 
 impl<M: Recommender + Sync> Ranker<M> {
@@ -107,12 +256,24 @@ impl<M: Recommender + Sync> Ranker<M> {
             pool,
             config,
             shared,
+            generation: 1,
         }
     }
 
     /// The frozen artifact this ranker serves.
     pub fn artifact(&self) -> &RankingArtifact<M> {
         &self.artifact
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The current artifact generation (starts at 1, bumped by every
+    /// [`Ranker::commit_swap`]). Stamped on each response.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Worker threads in the serving pool.
@@ -130,28 +291,112 @@ impl<M: Recommender + Sync> Ranker<M> {
 
     /// [`Ranker::rank_batch`] into a reused response buffer (cleared and
     /// refilled; response-internal buffers are recycled across batches).
+    ///
+    /// Failures are isolated per request: a panicking or numerically-failed
+    /// request poisons only its own response slot
+    /// ([`RankOutcome::Panicked`] / [`RankOutcome::Failed`]) — sibling
+    /// requests in the same batch, the pool barrier, and later batches are
+    /// untouched and bit-exact.
     pub fn rank_batch_into(&mut self, requests: &[RankRequest], out: &mut Vec<RankResponse>) {
         out.resize_with(requests.len(), RankResponse::default);
         let artifact = &self.artifact;
         let config = &self.config;
         let shared = self.shared.as_ref();
+        let generation = self.generation;
         self.pool
             .zip_chunks(requests, out, |_, reqs, resps, state| {
                 let ws = state.get_or_default::<ServeWorkspace>();
                 for (req, resp) in reqs.iter().zip(resps.iter_mut()) {
-                    serve_one(artifact, config, shared, ws, req, resp);
+                    serve_request(artifact, config, shared, ws, req, resp, generation);
                 }
             });
     }
 
     /// Serves a single request on the caller thread (no pool dispatch) —
-    /// the low-latency path for un-batched traffic.
+    /// the low-latency path for un-batched traffic. Panic/failure isolation
+    /// matches [`Ranker::rank_batch_into`].
     pub fn rank_one(&mut self, request: &RankRequest) -> RankResponse {
         let mut resp = RankResponse::default();
         let shared = self.shared.as_ref();
+        let generation = self.generation;
         let ws = self.pool.caller_state().get_or_default::<ServeWorkspace>();
-        serve_one(&self.artifact, &self.config, shared, ws, request, &mut resp);
+        serve_request(
+            &self.artifact,
+            &self.config,
+            shared,
+            ws,
+            request,
+            &mut resp,
+            generation,
+        );
         resp
+    }
+
+    /// Stages a replacement artifact for a hot swap: the new generation's
+    /// cache is fully assembled here, off the serving path, so
+    /// [`Ranker::commit_swap`] only has to install pointers (and, in
+    /// per-worker mode, clone the warm template into each worker).
+    pub fn stage_swap(
+        &self,
+        artifact: RankingArtifact<M>,
+        prewarm_plan: &[(usize, Vec<usize>)],
+    ) -> StagedSwap<M> {
+        StagedSwap::prepare(&self.config, artifact, prewarm_plan)
+    }
+
+    /// Atomically installs a staged artifact between batches. In-flight
+    /// semantics are the caller's (the frontend swaps only between cuts, so
+    /// no batch ever sees two artifacts); every response carries the
+    /// generation that produced it. Old-generation cache entries are
+    /// retired wholesale — they were assembled from the old kernel — while
+    /// lifetime traffic counters carry over. Returns
+    /// `(pairs warm in the new generation's cache, entries retired)`.
+    pub fn commit_swap(&mut self, staged: StagedSwap<M>) -> (usize, usize) {
+        let StagedSwap {
+            artifact,
+            shared,
+            per_worker,
+            warmed,
+        } = staged;
+        assert_eq!(
+            artifact.n_items(),
+            self.artifact.n_items(),
+            "swap must keep the catalog size (candidate ids would dangle)"
+        );
+        let mut retired = 0;
+        if let Some(old) = self.shared.take() {
+            let fresh = shared.unwrap_or_else(|| {
+                let shards = match self.config.cache_mode {
+                    CacheMode::Sharded { shards } => shards,
+                    CacheMode::PerWorker => 1,
+                };
+                SharedKernelCache::new(shards)
+            });
+            retired += fresh.carry_stats_from(&old);
+            self.shared = Some(fresh);
+        } else if self.config.kernel_cache_capacity > 0 {
+            let template = per_worker.unwrap_or_default();
+            let retired_pw = AtomicUsize::new(0);
+            self.pool.run(|_, state| {
+                let ws = state.get_or_default::<ServeWorkspace>();
+                retired_pw.fetch_add(ws.cache.adopt(&template), Ordering::Relaxed);
+            });
+            retired += retired_pw.into_inner();
+        }
+        self.artifact = artifact;
+        self.generation += 1;
+        (warmed, retired)
+    }
+
+    /// [`Ranker::stage_swap`] + [`Ranker::commit_swap`] in one call, for
+    /// callers without concurrent traffic to hide the staging cost from.
+    pub fn swap_artifact(
+        &mut self,
+        artifact: RankingArtifact<M>,
+        prewarm_plan: &[(usize, Vec<usize>)],
+    ) -> (usize, usize) {
+        let staged = self.stage_swap(artifact, prewarm_plan);
+        self.commit_swap(staged)
     }
 
     /// Assembles popular `(user, candidates)` pairs into the kernel cache
@@ -211,7 +456,7 @@ impl<M: Recommender + Sync> Ranker<M> {
             None => {
                 // Workers can disagree (earlier traffic left different
                 // residents), so report the minimum: pairs warm everywhere.
-                let warmed = std::sync::atomic::AtomicUsize::new(usize::MAX);
+                let warmed = AtomicUsize::new(usize::MAX);
                 self.pool.run(|_, state| {
                     let ws = state.get_or_default::<ServeWorkspace>();
                     let mut local = 0;
@@ -229,7 +474,7 @@ impl<M: Recommender + Sync> Ranker<M> {
                             local += 1;
                         }
                     }
-                    warmed.fetch_min(local, std::sync::atomic::Ordering::Relaxed);
+                    warmed.fetch_min(local, Ordering::Relaxed);
                 });
                 warmed.into_inner()
             }
@@ -281,10 +526,10 @@ impl<M: Recommender + Sync> Ranker<M> {
     /// [`ServeWorkspace`] — observability for the invariant that stats
     /// reads leave idle workers untouched.
     pub fn resident_workspaces(&mut self) -> usize {
-        let count = std::sync::atomic::AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
         self.pool.run(|_, state| {
             if state.contains::<ServeWorkspace>() {
-                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
             }
         });
         count.into_inner()
@@ -296,6 +541,7 @@ impl<M> std::fmt::Debug for Ranker<M> {
         f.debug_struct("Ranker")
             .field("threads", &self.pool.threads())
             .field("cache_mode", &self.config.cache_mode)
+            .field("generation", &self.generation)
             .finish()
     }
 }
@@ -350,6 +596,33 @@ fn dedup_first_occurrence<'a>(
     dedup
 }
 
+/// [`serve_one`] behind a per-request panic shield: a panicking request
+/// poisons only its own response slot ([`RankOutcome::Panicked`]), never
+/// the batch, the pool barrier, or the pump thread. The workspace is safe
+/// to reuse afterwards — every scratch buffer is clear-and-refill.
+fn serve_request<M: Recommender>(
+    artifact: &RankingArtifact<M>,
+    config: &ServeConfig,
+    shared: Option<&SharedKernelCache>,
+    ws: &mut ServeWorkspace,
+    req: &RankRequest,
+    resp: &mut RankResponse,
+    generation: u64,
+) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        serve_one(artifact, config, shared, ws, req, resp, generation);
+    }));
+    if result.is_err() {
+        resp.user = req.user;
+        resp.items.clear();
+        resp.log_det = 0.0;
+        resp.cache_hit = false;
+        resp.degraded = false;
+        resp.generation = generation;
+        resp.outcome = RankOutcome::Panicked;
+    }
+}
+
 /// Serves one request into `resp` using the worker's scratch.
 fn serve_one<M: Recommender>(
     artifact: &RankingArtifact<M>,
@@ -358,18 +631,25 @@ fn serve_one<M: Recommender>(
     ws: &mut ServeWorkspace,
     req: &RankRequest,
     resp: &mut RankResponse,
+    generation: u64,
 ) {
     resp.user = req.user;
     resp.items.clear();
     resp.log_det = 0.0;
     resp.cache_hit = false;
+    resp.outcome = RankOutcome::Served;
+    resp.degraded = false;
+    resp.generation = generation;
 
     let n_items = artifact.n_items();
     if req.candidates.is_empty()
-        || req.top_n == 0
         || req.user >= artifact.n_users()
         || req.candidates.iter().any(|&i| i >= n_items)
     {
+        resp.outcome = RankOutcome::Invalid;
+        return;
+    }
+    if req.top_n == 0 {
         return;
     }
 
@@ -384,12 +664,47 @@ fn serve_one<M: Recommender>(
     artifact
         .model()
         .score_items_into(req.user, candidates, &mut ws.scores);
+    if ws.scores.iter().any(|s| s.is_nan()) {
+        resp.outcome = RankOutcome::Failed;
+        return;
+    }
     ws.q.clear();
     ws.q.extend(
         ws.scores
             .iter()
             .map(|&s| s.clamp(-config.score_clamp, config.score_clamp).exp()),
     );
+
+    // Degraded mode: rerank only the `head` highest-quality candidates.
+    // Ordering is by (score desc, position asc) via `total_cmp`, then the
+    // survivors are re-sorted back into candidate order so greedy-MAP
+    // tie-breaks match what the same head would produce as a direct
+    // request. The head kernel is assembled directly — bypassing both
+    // cache backends — so a transient overload cannot churn the warm set
+    // keyed on full candidate pools.
+    let degraded = req.rerank_head > 0 && req.rerank_head < c;
+    if degraded {
+        ws.head_order.clear();
+        ws.head_order.extend(0..c as u32);
+        ws.head_order.sort_unstable_by(|&a, &b| {
+            ws.scores[b as usize]
+                .total_cmp(&ws.scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        ws.head_order.truncate(req.rerank_head);
+        ws.head_order.sort_unstable();
+        ws.head_cands.clear();
+        ws.head_q.clear();
+        for &i in &ws.head_order {
+            ws.head_cands.push(candidates[i as usize]);
+            ws.head_q.push(ws.q[i as usize]);
+        }
+        artifact
+            .kernel()
+            .submatrix_into(&ws.head_cands, &mut ws.head_sub)
+            .expect("candidates validated above");
+        resp.degraded = true;
+    }
 
     // Diversity submatrix K_C (cached per user — worker-private or shared
     // per `cache_mode`), then the tailored kernel
@@ -400,31 +715,37 @@ fn serve_one<M: Recommender>(
     // `lkp_core::objective::tailored_kernel` bit for bit, not merely up to
     // round-off. Both cache backends store bit-exact copies of what a miss
     // recomputes, so the mode can never change a served list.
-    let (k_sub, hit): (&Matrix, bool) = match shared {
-        Some(cache) => {
-            let hit = cache.get_or_assemble_into(
+    let (cands_used, q_used, k_sub, hit): (&[usize], &[f64], &Matrix, bool) = if degraded {
+        (&ws.head_cands, &ws.head_q, &ws.head_sub, false)
+    } else {
+        let (k_sub, hit) = match shared {
+            Some(cache) => {
+                let hit = cache.get_or_assemble_into(
+                    req.user,
+                    candidates,
+                    artifact.kernel(),
+                    config.kernel_cache_capacity,
+                    &mut ws.shared_sub,
+                );
+                (&ws.shared_sub, hit)
+            }
+            None => ws.cache.get_or_assemble(
                 req.user,
                 candidates,
                 artifact.kernel(),
                 config.kernel_cache_capacity,
-                &mut ws.shared_sub,
-            );
-            (&ws.shared_sub, hit)
-        }
-        None => ws.cache.get_or_assemble(
-            req.user,
-            candidates,
-            artifact.kernel(),
-            config.kernel_cache_capacity,
-        ),
+            ),
+        };
+        (candidates, &ws.q, k_sub, hit)
     };
     resp.cache_hit = hit;
-    ws.l.reset(c, c);
-    for i in 0..c {
-        let qi = ws.q[i];
+    let m = cands_used.len();
+    ws.l.reset(m, m);
+    for i in 0..m {
+        let qi = q_used[i];
         ws.l[(i, i)] = qi * k_sub[(i, i)] * qi + config.jitter;
-        for j in (i + 1)..c {
-            let qj = ws.q[j];
+        for j in (i + 1)..m {
+            let qj = q_used[j];
             let kij = k_sub[(i, j)];
             let avg = 0.5 * (qi * kij * qj + qj * kij * qi);
             ws.l[(i, j)] = avg;
@@ -432,12 +753,20 @@ fn serve_one<M: Recommender>(
         }
     }
 
-    // Greedy MAP under the tailored kernel; selection order is the list.
-    let k = req.top_n.min(c);
+    // Greedy MAP under the tailored kernel; selection order is the list. A
+    // factorization error or a non-finite objective (a NaN/degenerate
+    // diversity block) fails this request only.
+    let k = req.top_n.min(m);
     if greedy_map_with(&ws.l, k, &mut ws.map).is_err() {
+        resp.outcome = RankOutcome::Failed;
+        return;
+    }
+    if !ws.map.log_det().is_finite() {
+        resp.items.clear();
+        resp.outcome = RankOutcome::Failed;
         return;
     }
     resp.items
-        .extend(ws.map.items().iter().map(|&idx| candidates[idx]));
+        .extend(ws.map.items().iter().map(|&idx| cands_used[idx]));
     resp.log_det = ws.map.log_det();
 }

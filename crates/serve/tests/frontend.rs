@@ -125,6 +125,7 @@ fn frontend_cache_mode_and_width_equivalence() {
                     FrontendConfig {
                         max_batch: 7,
                         max_wait: Duration::from_millis(2),
+                        ..Default::default()
                     },
                     Box::new(clock.clone()),
                 );
@@ -186,6 +187,7 @@ fn batches_cut_by_size_deadline_and_flush() {
         FrontendConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(10),
+            ..Default::default()
         },
         Box::new(clock.clone()),
     );
@@ -237,6 +239,7 @@ fn queue_never_grows_past_max_batch() {
         FrontendConfig {
             max_batch: 16,
             max_wait: Duration::from_secs(3600),
+            ..Default::default()
         },
         Box::new(ManualClock::new()),
     );
@@ -346,6 +349,7 @@ fn discarded_tickets_do_not_accumulate() {
         FrontendConfig {
             max_batch: 8,
             max_wait: Duration::from_secs(3600),
+            ..Default::default()
         },
         Box::new(ManualClock::new()),
     );

@@ -108,6 +108,7 @@ fn main() {
         FrontendConfig {
             max_batch: 32,
             max_wait: Duration::from_millis(2),
+            ..Default::default()
         },
         Box::new(clock.clone()),
     );
