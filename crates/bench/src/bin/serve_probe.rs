@@ -3,9 +3,10 @@
 //! plus a sharded-vs-per-worker cache replay and the micro-batching
 //! frontend.
 //!
-//! Prints four JSON objects (rows `serving`, `serving_cache_modes`,
-//! `serving_frontend`, `serving_robustness`); `scripts/bench_snapshot.sh`
-//! appends them to the `BENCH_<date>.json` trajectory snapshot. Flags:
+//! Prints five JSON objects (rows `serving`, `serving_dual_path`,
+//! `serving_cache_modes`, `serving_frontend`, `serving_robustness`);
+//! `scripts/bench_snapshot.sh` appends them to the `BENCH_<date>.json`
+//! trajectory snapshot. Flags:
 //!
 //! * `--batches N`  — timed batches per configuration (default 30)
 //! * `--batch N`    — requests per batch (default 64)
@@ -22,8 +23,8 @@ use lkp_data::SyntheticConfig;
 use lkp_models::MatrixFactorization;
 use lkp_nn::AdamConfig;
 use lkp_serve::{
-    CacheMode, FrontendConfig, FrontendDriver, ManualClock, RankRequest, Ranker, RankingArtifact,
-    ServeConfig, ServeFrontend, SubmitError,
+    CacheMode, FrontendConfig, FrontendDriver, KernelForm, ManualClock, RankRequest, Ranker,
+    RankingArtifact, ServeConfig, ServeFrontend, SubmitError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,6 +123,151 @@ fn main() {
         t1 / t4,
         results[1].3,
         results[1].4,
+    );
+
+    // ---- Low-rank dual serving path: dense vs dual over a |C| × d grid ----
+    // Cold numbers (cache disabled) isolate the per-request kernel work the
+    // two forms actually do: the dense path pays `O(|C|²·d)` assembly +
+    // `O(|C|·N²)` selection, the dual path `O(|C|·N·(d + N))` total. The
+    // acceptance bar is ≥ 3× at |C| = 1600, top-10, d ≤ 32; the probe also
+    // asserts the forms serve identical lists on this workload.
+    let dual_top = 10usize;
+    let dual_batch = 8usize;
+    let dual_kernels: Vec<(usize, _)> = [8usize, 32]
+        .iter()
+        .map(|&dim| {
+            (
+                dim,
+                train_diversity_kernel(
+                    &data,
+                    &DiversityKernelConfig {
+                        epochs: 3,
+                        pairs_per_epoch: 64,
+                        dim,
+                        ..Default::default()
+                    },
+                ),
+            )
+        })
+        .collect();
+    let mut grid = Vec::new();
+    for (kdim, kernel_d) in &dual_kernels {
+        for &c in &[100usize, 400, 1600] {
+            let dual_pool = |user: usize| -> Vec<usize> {
+                (0..c)
+                    .map(|j| (user * 37 + j * 101 + 13) % n_items)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            };
+            let dual_reqs: Vec<RankRequest> = (0..dual_batch)
+                .map(|i| {
+                    let u = (i * 61 + 3) % n_users;
+                    RankRequest::new(u, dual_pool(u), dual_top)
+                })
+                .collect();
+            let time_form = |form: KernelForm| {
+                let mut ranker = Ranker::new(
+                    RankingArtifact::snapshot(&model, kernel_d),
+                    ServeConfig {
+                        threads: 1,
+                        kernel_cache_bytes: 0, // cold: every request pays full kernel work
+                        kernel_form: form,
+                        ..Default::default()
+                    },
+                );
+                let mut out = Vec::new();
+                ranker.rank_batch_into(&dual_reqs, &mut out); // warm buffers only
+                let mut best = u128::MAX;
+                for _ in 0..2 {
+                    let t = Instant::now();
+                    ranker.rank_batch_into(&dual_reqs, &mut out);
+                    best = best.min(t.elapsed().as_nanos());
+                }
+                assert_eq!(ranker.dual_fallbacks(), 0, "no breakdowns on this workload");
+                (best as f64 / dual_batch as f64, out)
+            };
+            let (dense_ns, dense_out) = time_form(KernelForm::Dense);
+            let (dual_ns, dual_out) = time_form(KernelForm::LowRankDual { min_candidates: 0 });
+            for (a, b) in dense_out.iter().zip(&dual_out) {
+                assert_eq!(a.items, b.items, "dual changed a list (c={c} d={kdim})");
+            }
+            let speedup = dense_ns / dual_ns;
+            if c == 1600 {
+                assert!(
+                    speedup >= 3.0,
+                    "dual speedup {speedup:.2}x at |C|=1600 d={kdim} under the 3x bar"
+                );
+            }
+            grid.push(format!(
+                "{{\"candidates\":{c},\"kernel_dim\":{kdim},\
+\"dense_ns_per_request\":{dense_ns:.0},\"dual_ns_per_request\":{dual_ns:.0},\
+\"speedup\":{speedup:.2}}}"
+            ));
+        }
+    }
+    // Warm replay at |C| = 400, d = 32, default byte budget: factor entries
+    // are ~d/|C| the size of dense ones, so the same budget keeps the whole
+    // 24-user working set resident where the dense form thrashes.
+    let (warm_c, warm_users) = (400usize, 24usize);
+    let warm_kernel = &dual_kernels.last().expect("d=32 kernel trained").1;
+    let warm_reqs: Vec<RankRequest> = (0..warm_users)
+        .map(|u| {
+            let pool: Vec<usize> = (0..warm_c)
+                .map(|j| (u * 37 + j * 101 + 13) % n_items)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            RankRequest::new(u, pool, dual_top)
+        })
+        .collect();
+    let mut warm_rows = Vec::new();
+    for form in [
+        KernelForm::Dense,
+        KernelForm::LowRankDual { min_candidates: 0 },
+    ] {
+        let mut ranker = Ranker::new(
+            RankingArtifact::snapshot(&model, warm_kernel),
+            ServeConfig {
+                threads: 1,
+                kernel_form: form,
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        ranker.rank_batch_into(&warm_reqs, &mut out); // round 1: populate
+        let before = ranker.cache_stats_detailed();
+        ranker.rank_batch_into(&warm_reqs, &mut out); // round 2: replay
+        let after = ranker.cache_stats_detailed();
+        let hits = after.aggregate.hits - before.aggregate.hits;
+        let misses = after.aggregate.misses - before.aggregate.misses;
+        let resident = after.aggregate.resident;
+        let bytes_per_entry = after
+            .aggregate
+            .resident_bytes
+            .checked_div(resident)
+            .unwrap_or(0);
+        warm_rows.push((hits, misses, resident, bytes_per_entry));
+    }
+    let (dense_warm, dual_warm) = (&warm_rows[0], &warm_rows[1]);
+    assert!(
+        dual_warm.0 >= dense_warm.0 && dual_warm.2 >= dense_warm.2,
+        "factor entries must not hit or fit worse than dense ones"
+    );
+    println!(
+        "{{\"probe\":\"serving_dual_path\",\"top_n\":{dual_top},\"batch\":{dual_batch},\
+\"grid\":[{}],\"warm_candidates\":{warm_c},\"warm_users\":{warm_users},\"warm_kernel_dim\":32,\
+\"dense_warm_hits\":{},\"dense_warm_misses\":{},\"dense_resident\":{},\"dense_bytes_per_entry\":{},\
+\"dual_warm_hits\":{},\"dual_warm_misses\":{},\"dual_resident\":{},\"dual_bytes_per_entry\":{}}}",
+        grid.join(","),
+        dense_warm.0,
+        dense_warm.1,
+        dense_warm.2,
+        dense_warm.3,
+        dual_warm.0,
+        dual_warm.1,
+        dual_warm.2,
+        dual_warm.3,
     );
 
     // ---- Cache-mode replay: skewed users at shuffled positions ----

@@ -14,6 +14,9 @@
 //!   with respect to the kernel entries (Eq. 12).
 //! * [`sampling`] — exact DPP and k-DPP sampling (Kulesza & Taskar).
 //! * [`map`] — fast greedy MAP inference (Chen et al., NeurIPS 2018).
+//! * [`map_dual`] — the same greedy recursion run directly on a thin row
+//!   factor `B` (kernel `B·Bᵀ + ε·I` never materialized): `O(m·d·N)` serving
+//!   MAP with a numerical-breakdown guard for dense fallback.
 //! * [`lowrank`] — low-rank diversity kernels `K = V·Vᵀ` with log-det
 //!   gradients, used to pre-train the paper's diversity kernel (Eq. 3).
 //! * [`conditional`] — DPPs conditioned on inclusion/exclusion of item sets
@@ -38,6 +41,7 @@ pub mod kdpp;
 pub mod kernel;
 pub mod lowrank;
 pub mod map;
+pub mod map_dual;
 pub mod sampling;
 pub mod spectral_cache;
 pub mod workspace;
@@ -48,6 +52,7 @@ pub use kdpp::KDpp;
 pub use kernel::DppKernel;
 pub use lowrank::LowRankKernel;
 pub use map::{greedy_map_with, MapResult, MapWorkspace};
+pub use map_dual::{greedy_map_dual_with, DualMapWorkspace, DUAL_BREAKDOWN_GUARD};
 pub use spectral_cache::{SpectralCache, SpectralCacheStats, SpectralDecision};
 pub use workspace::{DppWorkspace, SpectrumPath, TailoredResult};
 
@@ -65,6 +70,10 @@ pub enum DppError {
     /// The kernel's spectrum is entirely (numerically) zero, so no k-DPP with
     /// k >= 1 exists.
     DegenerateKernel,
+    /// An incremental recursion (the dual greedy MAP) lost numerical footing:
+    /// a residual drifted beyond its guard or turned non-finite. The result
+    /// is meaningless; callers should fall back to a dense-path computation.
+    NumericalBreakdown,
 }
 
 impl From<lkp_linalg::LinalgError> for DppError {
@@ -90,6 +99,9 @@ impl std::fmt::Display for DppError {
                 write!(f, "subset has size {got}, the k-DPP requires {expected}")
             }
             DppError::DegenerateKernel => write!(f, "kernel spectrum is numerically zero"),
+            DppError::NumericalBreakdown => {
+                write!(f, "incremental recursion lost numerical footing")
+            }
         }
     }
 }

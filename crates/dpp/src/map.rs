@@ -39,6 +39,8 @@ pub struct MapWorkspace {
     cj: Vec<f64>,
     in_set: Vec<bool>,
     selected: Vec<usize>,
+    /// Marginal gain accepted at each greedy step, in selection order.
+    gains: Vec<f64>,
     log_det: f64,
 }
 
@@ -52,6 +54,12 @@ impl MapWorkspace {
     /// order.
     pub fn items(&self) -> &[usize] {
         &self.selected
+    }
+
+    /// Marginal gain accepted at each step of the last call, in selection
+    /// order (`gains()[t]` is the `d²` of the item picked at step `t`).
+    pub fn gains(&self) -> &[f64] {
+        &self.gains
     }
 
     /// `log det(L_S)` of the last selection.
@@ -90,6 +98,7 @@ pub fn greedy_map_with(l: &Matrix, k: usize, ws: &mut MapWorkspace) -> Result<()
     ws.in_set.clear();
     ws.in_set.resize(m, false);
     ws.selected.clear();
+    ws.gains.clear();
     ws.log_det = 0.0;
 
     while ws.selected.len() < k {
@@ -132,6 +141,7 @@ pub fn greedy_map_with(l: &Matrix, k: usize, ws: &mut MapWorkspace) -> Result<()
             ws.d2[i] -= e * e;
         }
         ws.selected.push(j);
+        ws.gains.push(gain);
     }
     Ok(())
 }

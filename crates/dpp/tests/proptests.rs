@@ -1,9 +1,30 @@
 //! Property-based tests for the DPP crate: invariants that must hold for any
 //! PSD kernel, not just the hand-picked examples in the unit tests.
 
-use lkp_dpp::{enumerate_subsets, esp, grad, kdpp::KDpp, map, DppKernel};
+use lkp_dpp::{
+    enumerate_subsets, esp, grad, greedy_map_dual_with, kdpp::KDpp, map, DppError, DppKernel,
+    DualMapWorkspace, DUAL_BREAKDOWN_GUARD,
+};
 use lkp_linalg::Matrix;
 use proptest::prelude::*;
+
+/// Random `m × d` row factor with continuous entries (coarse grids would
+/// manufacture exact greedy ties that a dense-vs-dual comparison could not
+/// tell apart from real agreement).
+fn low_rank_factor(m: usize, d: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0..1.0_f64, m * d)
+        .prop_map(move |data| Matrix::from_vec(m, d, data))
+}
+
+/// Dense `B·Bᵀ + jitter·I` — exactly the kernel the dual path serves implicitly.
+fn densify(b: &Matrix, jitter: f64) -> Matrix {
+    let m = b.rows();
+    let mut l = Matrix::from_fn(m, m, |i, j| lkp_linalg::ops::dot(b.row(i), b.row(j)));
+    for i in 0..m {
+        l[(i, i)] += jitter;
+    }
+    l
+}
 
 /// Random PSD kernel `GᵀG + 0.2·I` of size n.
 fn psd_kernel(n: usize) -> impl Strategy<Value = DppKernel> {
@@ -141,6 +162,65 @@ proptest! {
         let fresh = map::greedy_map(&kernel, k).unwrap();
         prop_assert_eq!(ws.items(), &fresh.items[..]);
         prop_assert_eq!(ws.log_det().to_bits(), fresh.log_det.to_bits());
+    }
+
+    #[test]
+    fn dual_greedy_matches_dense_greedy_step_for_step(b in low_rank_factor(16, 4), k in 1usize..=10) {
+        // The dual recursion reassociates the dense path's arithmetic but
+        // must make the same decisions: identical selections and per-step
+        // marginal gains within 1e-10 relative.
+        let l = densify(&b, 0.05);
+        let mut dense = map::MapWorkspace::new();
+        map::greedy_map_with(&l, k, &mut dense).unwrap();
+        let mut dual = DualMapWorkspace::new();
+        greedy_map_dual_with(&b, 0.05, k, &mut dual).unwrap();
+        prop_assert_eq!(dense.items(), dual.items());
+        prop_assert_eq!(dense.gains().len(), dual.gains().len());
+        for (t, (gd, gl)) in dense.gains().iter().zip(dual.gains()).enumerate() {
+            prop_assert!(
+                (gd - gl).abs() <= 1e-10 * gd.abs().max(1.0),
+                "step {t}: dense gain {gd} vs dual {gl}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_greedy_never_beats_exhaustive_on_small_ground_sets(b in low_rank_factor(12, 5), k in 1usize..=4) {
+        // m = 12 keeps exhaustive enumeration cheap (C(12,4) = 495). The
+        // dual greedy must never beat the optimum, must select exactly k
+        // items on these jittered full-rank kernels, and must *be* the
+        // optimum at k = 1 (both are the diagonal argmax).
+        let kernel = DppKernel::new(densify(&b, 0.2)).unwrap();
+        let opt = map::exhaustive_map(&kernel, k).unwrap();
+        let mut dual = DualMapWorkspace::new();
+        greedy_map_dual_with(&b, 0.2, k, &mut dual).unwrap();
+        prop_assert!(dual.log_det() <= opt.log_det + 1e-8,
+            "dual {} beats exhaustive {}", dual.log_det(), opt.log_det);
+        prop_assert_eq!(dual.items().len(), k);
+        if k == 1 {
+            prop_assert_eq!(dual.items(), &opt.items[..]);
+            prop_assert!((dual.log_det() - opt.log_det).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dual_breakdown_injection_errors_then_recovers(b in low_rank_factor(10, 6), k in 1usize..=6) {
+        // A negative guard makes floor > 0, so the first residual update
+        // trips NumericalBreakdown deterministically — the fault-injection
+        // lever the serving fallback tests rely on. The same workspace must
+        // then serve correctly once the guard is sane again.
+        let mut ws = DualMapWorkspace::new();
+        ws.guard = -1.0;
+        prop_assert!(matches!(
+            greedy_map_dual_with(&b, 1e-6, k, &mut ws),
+            Err(DppError::NumericalBreakdown)
+        ));
+        ws.guard = DUAL_BREAKDOWN_GUARD;
+        greedy_map_dual_with(&b, 1e-6, k, &mut ws).unwrap();
+        prop_assert_eq!(ws.items().len(), k);
+        let mut dense = map::MapWorkspace::new();
+        map::greedy_map_with(&densify(&b, 1e-6), k, &mut dense).unwrap();
+        prop_assert_eq!(dense.items(), ws.items());
     }
 
     #[test]

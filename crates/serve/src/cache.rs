@@ -1,20 +1,28 @@
-//! Bounded caches of assembled diversity submatrices, in two backends.
+//! Bounded caches of per-candidate-set kernel blocks, in two backends.
 //!
-//! The `O(|C|²·d)` candidate-kernel assembly is the dominant per-request
-//! cost, and `K_C = V_C·V_Cᵀ` depends only on the candidate set — so for the
-//! common serving shape (each user's candidate pool is stable across
-//! requests) it is worth paying once and amortizing. Two backends share the
-//! same entry layout and eviction policy:
+//! The per-request kernel work depends only on the candidate set — `K_C =
+//! V_C·V_Cᵀ` for the dense path, the raw factor rows `V_C` for the dual path
+//! — so for the common serving shape (each user's candidate pool is stable
+//! across requests) it is worth paying once and amortizing. Two backends
+//! share the same entry layout and eviction policy:
 //!
 //! * [`per_worker::KernelCache`] — one private cache per pool worker, no
-//!   locks (the PR-2 design, still the default). A user's kernel is
-//!   re-assembled once *per worker* that serves them.
+//!   locks (the PR-2 design, still the default). A user's block is rebuilt
+//!   once *per worker* that serves them.
 //! * [`shared::SharedKernelCache`] — one cache for the whole pool, sharded
-//!   `N` ways by user hash with one lock per shard. A user's kernel is
-//!   assembled once *per process*, whichever worker gets there first.
+//!   `N` ways by user hash with one lock per shard. A user's block is built
+//!   once *per process*, whichever worker gets there first.
 //!
-//! Both store bit-exact copies of what a miss recomputes
-//! ([`lkp_dpp::LowRankKernel::submatrix_into`] is deterministic), so cache
+//! An entry holds one of two [`EntryForm`]s: a `|C|×|C|` dense submatrix
+//! (`O(|C|²)` bytes) or a `|C|×d` factor block (`O(|C|·d)` bytes). Because
+//! the forms differ in size by orders of magnitude at catalog-scale `|C|`,
+//! capacity is a **byte budget**, not an entry count: eviction shrinks the
+//! resident set oldest-first until it fits the budget in bytes, so one dense
+//! entry no longer costs the same as a factor entry ~`|C|/d` times smaller.
+//!
+//! Both backends store bit-exact copies of what a miss recomputes
+//! ([`lkp_dpp::LowRankKernel::submatrix_into`] and
+//! [`lkp_dpp::LowRankKernel::gather_rows_into`] are deterministic), so cache
 //! hits — from either backend, at any pool width — can never change a
 //! served list.
 
@@ -28,13 +36,38 @@ use lkp_dpp::LowRankKernel;
 use lkp_linalg::Matrix;
 use std::collections::HashMap;
 
-/// One cached `(user, candidate-set)` kernel. Entries are keyed by user and
-/// validated against the exact candidate list: a changed pool replaces the
-/// entry instead of serving a stale kernel.
+/// Which block a cache entry (or a lookup) carries. The form is part of hit
+/// validation alongside the exact candidate list: a mode flip between
+/// requests rebuilds the entry instead of serving the wrong shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EntryForm {
+    /// Dense diversity submatrix `K_C = V_C·V_Cᵀ` (`|C| × |C|`).
+    Dense,
+    /// Raw factor rows `V_C` (`|C| × d`) for the dual MAP path.
+    Factor,
+}
+
+/// Bytes an entry of `form` occupies for `c` candidates against a rank-`d`
+/// kernel: the candidate list plus the block, both 8-byte elements. Used to
+/// size prospective entries *before* paying the assembly (prewarm refusal).
+pub(crate) fn entry_bytes(form: EntryForm, c: usize, d: usize) -> usize {
+    let block = match form {
+        EntryForm::Dense => c * c,
+        EntryForm::Factor => c * d,
+    };
+    8 * (c + block)
+}
+
+/// One cached `(user, candidate-set)` block. Entries are keyed by user and
+/// validated against the exact candidate list **and** form: a changed pool
+/// (or a dense↔dual mode flip) replaces the entry instead of serving a
+/// stale or wrong-shaped block.
 #[derive(Clone)]
 pub(crate) struct CacheEntry {
     pub(crate) candidates: Vec<usize>,
-    pub(crate) k_sub: Matrix,
+    pub(crate) form: EntryForm,
+    /// `K_C` (Dense) or `V_C` (Factor).
+    pub(crate) block: Matrix,
     pub(crate) last_used: u64,
 }
 
@@ -42,49 +75,86 @@ impl CacheEntry {
     pub(crate) fn empty() -> Self {
         CacheEntry {
             candidates: Vec::new(),
-            k_sub: Matrix::zeros(0, 0),
+            form: EntryForm::Dense,
+            block: Matrix::zeros(0, 0),
             last_used: 0,
         }
     }
 
-    /// (Re)fills the entry for `candidates`, assembling into the reused
-    /// matrix buffer.
-    pub(crate) fn fill(&mut self, candidates: &[usize], kernel: &LowRankKernel, tick: u64) {
+    /// Resident bytes of this entry (candidate list + block).
+    pub(crate) fn bytes(&self) -> usize {
+        8 * (self.candidates.len() + self.block.rows() * self.block.cols())
+    }
+
+    /// (Re)fills the entry for `candidates` in `form`, building into the
+    /// reused matrix buffer.
+    pub(crate) fn fill(
+        &mut self,
+        candidates: &[usize],
+        kernel: &LowRankKernel,
+        form: EntryForm,
+        tick: u64,
+    ) {
         self.candidates.clear();
         self.candidates.extend_from_slice(candidates);
-        kernel
-            .submatrix_into(candidates, &mut self.k_sub)
-            .expect("candidates validated by caller");
+        self.form = form;
+        match form {
+            EntryForm::Dense => kernel.submatrix_into(candidates, &mut self.block),
+            EntryForm::Factor => kernel.gather_rows_into(candidates, &mut self.block),
+        }
+        .expect("candidates validated by caller");
+        self.last_used = tick;
+    }
+
+    /// Fills the entry with a copy of an externally built block (the shared
+    /// backend assembles outside the shard lock, then publishes).
+    pub(crate) fn fill_from(
+        &mut self,
+        candidates: &[usize],
+        block: &Matrix,
+        form: EntryForm,
+        tick: u64,
+    ) {
+        self.candidates.clear();
+        self.candidates.extend_from_slice(candidates);
+        self.form = form;
+        self.block.copy_from(block);
         self.last_used = tick;
     }
 }
 
-/// Evicts least-recently-used entries until at most `bound` remain — in one
-/// pass over the map, not one scan per eviction. The `excess` oldest
-/// `(last_used, user)` pairs are partial-selected into `scratch` and removed
-/// oldest-first; ticks are unique per cache, so the order is total and the
-/// survivor set is exactly the `bound` newest entries. After the call
-/// `scratch` holds the evicted pairs in eviction order (oldest first).
+/// Evicts least-recently-used entries until the resident set fits `bound`
+/// bytes — in one pass over the map, not one scan per eviction. All
+/// `(last_used, user)` pairs are collected into `scratch`, sorted ascending
+/// (ticks are unique per cache, so the order is total), and removed
+/// oldest-first until `*bytes ≤ bound` — except the single newest entry,
+/// which always survives: the hit path touches an entry and then re-reads it
+/// after the shrink, so the freshest tick must stay resident even when one
+/// entry alone exceeds the budget. After the call `scratch` holds the
+/// evicted pairs in eviction order (oldest first) and `*bytes` the resident
+/// total.
 pub(crate) fn evict_lru(
     entries: &mut HashMap<usize, CacheEntry>,
+    bytes: &mut usize,
     bound: usize,
     scratch: &mut Vec<(u64, usize)>,
 ) {
-    let excess = entries.len().saturating_sub(bound);
-    if excess == 0 {
-        scratch.clear();
+    scratch.clear();
+    if *bytes <= bound {
         return;
     }
-    scratch.clear();
     scratch.extend(entries.iter().map(|(&user, e)| (e.last_used, user)));
-    if excess < scratch.len() {
-        scratch.select_nth_unstable(excess - 1);
-        scratch.truncate(excess);
-    }
     scratch.sort_unstable();
+    let mut removed = 0;
     for &(_, user) in scratch.iter() {
-        entries.remove(&user);
+        if *bytes <= bound || entries.len() == 1 {
+            break;
+        }
+        let entry = entries.remove(&user).expect("listed resident entry");
+        *bytes -= entry.bytes();
+        removed += 1;
     }
+    scratch.truncate(removed);
 }
 
 /// Counters of one cache shard: a worker's private cache in
@@ -94,10 +164,10 @@ pub(crate) fn evict_lru(
 pub struct ShardStats {
     /// Lookups served from the cache.
     pub hits: u64,
-    /// Lookups that paid the `O(|C|²·d)` assembly.
+    /// Lookups that paid the kernel-block build.
     pub misses: u64,
-    /// Assemblies that deliberately bypassed a disabled cache
-    /// (`kernel_cache_capacity = 0`) — counted separately so they cannot
+    /// Builds that deliberately bypassed a disabled cache
+    /// (`kernel_cache_bytes = 0`) — counted separately so they cannot
     /// skew hit-rate reporting.
     pub bypasses: u64,
     /// Entries inserted by [`crate::Ranker::prewarm`] (not misses: the
@@ -105,6 +175,9 @@ pub struct ShardStats {
     pub prewarmed: u64,
     /// Entries currently resident.
     pub resident: usize,
+    /// Bytes currently resident (candidate lists + blocks); dense entries
+    /// cost `O(|C|²)`, factor entries `O(|C|·d)`.
+    pub resident_bytes: usize,
 }
 
 impl ShardStats {
@@ -114,6 +187,7 @@ impl ShardStats {
         self.bypasses += other.bypasses;
         self.prewarmed += other.prewarmed;
         self.resident += other.resident;
+        self.resident_bytes += other.resident_bytes;
     }
 }
 

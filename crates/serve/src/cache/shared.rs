@@ -1,6 +1,6 @@
 //! The sharded cross-worker kernel-cache backend.
 
-use super::{evict_lru, CacheEntry, ShardStats};
+use super::{entry_bytes, evict_lru, CacheEntry, EntryForm, ShardStats};
 use lkp_dpp::LowRankKernel;
 use lkp_linalg::Matrix;
 use std::collections::HashMap;
@@ -10,6 +10,8 @@ use std::sync::Mutex;
 #[derive(Default)]
 struct Shard {
     entries: HashMap<usize, CacheEntry>,
+    /// Resident bytes across `entries` (kept in lockstep by fill/evict).
+    bytes: usize,
     evicted: Vec<(u64, usize)>,
     tick: u64,
     hits: u64,
@@ -21,15 +23,15 @@ struct Shard {
 /// one lock per shard.
 ///
 /// Versus the per-worker backend this removes the `threads×` memory
-/// multiplier (each resident user holds one `|C|²·8`-byte matrix total, not
-/// one per worker) and the per-worker cold-start tax (a user's kernel is
-/// assembled once per process, whichever worker gets there first). Lookups
-/// copy the cached matrix into the worker's staging buffer under the shard
-/// lock — an `O(|C|²)` copy, not the `O(|C|²·d)` assembly — and misses
-/// assemble *outside* the lock, so concurrent misses on one shard never
-/// serialize the expensive work (two racing workers may both assemble the
-/// same entry; both produce identical bits, so whichever insert lands is
-/// correct).
+/// multiplier (each resident user holds one block total — `|C|²·8` bytes
+/// dense, `|C|·d·8` factor — not one per worker) and the per-worker
+/// cold-start tax (a user's block is built once per process, whichever
+/// worker gets there first). Lookups copy the cached block into the
+/// worker's staging buffer under the shard lock — an `O(block)` copy, not
+/// the build — and misses build *outside* the lock, so concurrent misses on
+/// one shard never serialize the expensive work (two racing workers may
+/// both build the same entry; both produce identical bits, so whichever
+/// insert lands is correct).
 ///
 /// Entries are bit-exact copies of what a miss recomputes, so served lists
 /// are pinned at any pool width and identical to the per-worker backend's.
@@ -53,105 +55,109 @@ impl SharedKernelCache {
         ((h >> 32) as usize) % self.shards.len()
     }
 
-    /// Per-shard entry bound for a total `capacity`: ceiling-divided so the
-    /// shards together hold at least `capacity` entries (and at most
-    /// `capacity + shards − 1` under adversarial skew).
-    fn shard_bound(&self, capacity: usize) -> usize {
-        capacity.div_ceil(self.shards.len()).max(1)
+    /// Per-shard byte bound for a total `budget`: ceiling-divided so the
+    /// shards together cover at least `budget` bytes.
+    fn shard_bound(&self, budget: usize) -> usize {
+        budget.div_ceil(self.shards.len()).max(1)
     }
 
-    /// Copies the diversity submatrix for `(user, candidates)` into `out`
-    /// and returns whether it was served from cache. `capacity` is the
-    /// total entry budget across shards and must be non-zero (a disabled
+    /// Copies the kernel block for `(user, candidates)` in `form` into
+    /// `out` and returns whether it was served from cache. `budget` is the
+    /// total byte budget across shards and must be non-zero (a disabled
     /// cache is handled by the caller's per-worker bypass path).
-    pub(crate) fn get_or_assemble_into(
+    pub(crate) fn get_or_build_into(
         &self,
         user: usize,
         candidates: &[usize],
         kernel: &LowRankKernel,
-        capacity: usize,
+        budget: usize,
+        form: EntryForm,
         out: &mut Matrix,
     ) -> bool {
-        debug_assert!(capacity > 0, "capacity 0 bypasses the shared cache");
-        let bound = self.shard_bound(capacity);
+        debug_assert!(budget > 0, "budget 0 bypasses the shared cache");
+        let bound = self.shard_bound(budget);
         let shard = &self.shards[self.shard_of(user)];
         {
             let mut guard = shard.lock().expect("shard lock");
             guard.tick += 1;
             let tick = guard.tick;
             if let Some(entry) = guard.entries.get_mut(&user) {
-                if entry.candidates == candidates {
+                if entry.candidates == candidates && entry.form == form {
                     entry.last_used = tick;
-                    out.copy_from(&entry.k_sub);
+                    out.copy_from(&entry.block);
                     guard.hits += 1;
                     return true;
                 }
             }
             guard.misses += 1;
         }
-        // Miss: assemble outside the lock, then publish a copy.
-        kernel
-            .submatrix_into(candidates, out)
-            .expect("candidates validated by caller");
+        // Miss: build outside the lock, then publish a copy.
+        match form {
+            EntryForm::Dense => kernel.submatrix_into(candidates, out),
+            EntryForm::Factor => kernel.gather_rows_into(candidates, out),
+        }
+        .expect("candidates validated by caller");
         let mut guard = shard.lock().expect("shard lock");
         guard.tick += 1;
         let tick = guard.tick;
         let entry = guard.entries.entry(user).or_insert_with(CacheEntry::empty);
-        entry.candidates.clear();
-        entry.candidates.extend_from_slice(candidates);
-        entry.k_sub.copy_from(out);
-        entry.last_used = tick;
+        let old = entry.bytes();
+        entry.fill_from(candidates, out, form, tick);
+        let new = entry.bytes();
+        guard.bytes = guard.bytes - old + new;
         let Shard {
-            entries, evicted, ..
+            entries,
+            bytes,
+            evicted,
+            ..
         } = &mut *guard;
-        evict_lru(entries, bound, evicted);
+        evict_lru(entries, bytes, bound, evicted);
         false
     }
 
     /// Inserts `(user, candidates)` ahead of traffic. Counts as a prewarm,
     /// not a miss, and is strictly *monotone*: it only fills empty shard
-    /// capacity (touching an already-resident matching entry), never
+    /// budget (touching an already-resident matching entry), never
     /// evicting or overwriting a resident entry — a full shard refuses new
     /// users and a resident user with a different pool keeps its pool.
     /// Anything else would silently break the "first request hits"
     /// guarantee for a pair an earlier prewarm already reported warmed.
-    /// Returns whether the pair is warm (resident with exactly these
-    /// candidates) when the call returns — assembled now or already
-    /// resident; only fresh assemblies bump the `prewarmed` counter.
+    /// The prospective entry is sized *before* assembly, so a refusal costs
+    /// `O(1)` under the lock. Returns whether the pair is warm (resident
+    /// with exactly these candidates in `form`) when the call returns —
+    /// built now or already resident; only fresh builds bump the
+    /// `prewarmed` counter.
     pub(crate) fn prewarm(
         &self,
         user: usize,
         candidates: &[usize],
         kernel: &LowRankKernel,
-        capacity: usize,
+        budget: usize,
+        form: EntryForm,
     ) -> bool {
-        if capacity == 0 {
+        if budget == 0 {
             return false;
         }
-        let bound = self.shard_bound(capacity);
+        let bound = self.shard_bound(budget);
         let mut guard = self.shards[self.shard_of(user)].lock().expect("shard lock");
         guard.tick += 1;
         let tick = guard.tick;
         if let Some(entry) = guard.entries.get_mut(&user) {
-            if entry.candidates == candidates {
+            if entry.candidates == candidates && entry.form == form {
                 entry.last_used = tick;
                 return true;
             }
             return false;
         }
-        if guard.entries.len() >= bound {
+        let need = entry_bytes(form, candidates.len(), kernel.dim());
+        if guard.bytes + need > bound {
             return false;
         }
         guard.prewarmed += 1;
-        guard
-            .entries
-            .entry(user)
-            .or_insert_with(CacheEntry::empty)
-            .fill(candidates, kernel, tick);
-        let Shard {
-            entries, evicted, ..
-        } = &mut *guard;
-        evict_lru(entries, bound, evicted);
+        let entry = guard.entries.entry(user).or_insert_with(CacheEntry::empty);
+        entry.fill(candidates, kernel, form, tick);
+        let added = entry.bytes();
+        guard.bytes += added;
         true
     }
 
@@ -159,7 +165,7 @@ impl SharedKernelCache {
     /// one — hit/miss/prewarm totals describe the service's lifetime, not
     /// one artifact generation, so reporting must survive a swap — and
     /// returns how many old-generation entries are being retired with it.
-    /// Entries are *not* carried over: they were assembled from the old
+    /// Entries are *not* carried over: they were built from the old
     /// artifact's kernel.
     pub(crate) fn carry_stats_from(&self, old: &SharedKernelCache) -> usize {
         let mut retired = 0;
@@ -190,6 +196,7 @@ impl SharedKernelCache {
                     bypasses: 0,
                     prewarmed: guard.prewarmed,
                     resident: guard.entries.len(),
+                    resident_bytes: guard.bytes,
                 }
             })
             .collect()
@@ -213,48 +220,99 @@ mod tests {
         LowRankKernel::new(v).normalized()
     }
 
+    /// Byte budget that fits exactly `n` dense entries of `c` candidates
+    /// *per shard* of a `shards`-way cache.
+    fn dense_budget(n: usize, c: usize, shards: usize) -> usize {
+        n * entry_bytes(EntryForm::Dense, c, 0) * shards
+    }
+
     #[test]
     fn hit_is_bit_exact_across_shards() {
         let kern = kernel();
         let cache = SharedKernelCache::new(4);
+        let budget = dense_budget(16, 3, 4);
         let mut out = Matrix::zeros(0, 0);
         for user in 0..16 {
             let cands = vec![user % 5, user % 5 + 3, user % 5 + 9];
-            assert!(!cache.get_or_assemble_into(user, &cands, &kern, 64, &mut out));
+            assert!(!cache.get_or_build_into(
+                user,
+                &cands,
+                &kern,
+                budget,
+                EntryForm::Dense,
+                &mut out
+            ));
             let fresh = kern.submatrix(&cands).unwrap();
             assert_eq!(out.as_slice(), fresh.as_slice());
             let mut again = Matrix::zeros(0, 0);
-            assert!(cache.get_or_assemble_into(user, &cands, &kern, 64, &mut again));
+            assert!(cache.get_or_build_into(
+                user,
+                &cands,
+                &kern,
+                budget,
+                EntryForm::Dense,
+                &mut again
+            ));
             assert_eq!(again.as_slice(), fresh.as_slice());
         }
         let stats = super::super::CacheStats::from_shards(cache.stats());
         assert_eq!(stats.aggregate.hits, 16);
         assert_eq!(stats.aggregate.misses, 16);
         assert_eq!(stats.aggregate.resident, 16);
+        assert_eq!(
+            stats.aggregate.resident_bytes,
+            16 * entry_bytes(EntryForm::Dense, 3, 0)
+        );
+    }
+
+    #[test]
+    fn factor_hit_is_bit_exact() {
+        let kern = kernel();
+        let cache = SharedKernelCache::new(2);
+        let mut out = Matrix::zeros(0, 0);
+        let cands = vec![4, 17, 2, 30];
+        assert!(!cache.get_or_build_into(5, &cands, &kern, 1 << 16, EntryForm::Factor, &mut out));
+        assert_eq!((out.rows(), out.cols()), (4, kern.dim()));
+        let first = out.clone();
+        assert!(cache.get_or_build_into(5, &cands, &kern, 1 << 16, EntryForm::Factor, &mut out));
+        assert_eq!(first.as_slice(), out.as_slice());
+        for (r, &i) in cands.iter().enumerate() {
+            assert_eq!(out.row(r), kern.factor().row(i));
+        }
+        // A form flip on the same pair rebuilds instead of serving V_C as K_C.
+        assert!(!cache.get_or_build_into(5, &cands, &kern, 1 << 16, EntryForm::Dense, &mut out));
+        assert_eq!(out.as_slice(), kern.submatrix(&cands).unwrap().as_slice());
     }
 
     #[test]
     fn changed_candidates_invalidate_entry() {
         let kern = kernel();
         let cache = SharedKernelCache::new(2);
+        let budget = dense_budget(4, 2, 2);
         let mut out = Matrix::zeros(0, 0);
-        cache.get_or_assemble_into(7, &[1, 2], &kern, 8, &mut out);
-        assert!(!cache.get_or_assemble_into(7, &[2, 3], &kern, 8, &mut out));
+        cache.get_or_build_into(7, &[1, 2], &kern, budget, EntryForm::Dense, &mut out);
+        assert!(!cache.get_or_build_into(7, &[2, 3], &kern, budget, EntryForm::Dense, &mut out));
         assert_eq!(out.as_slice(), kern.submatrix(&[2, 3]).unwrap().as_slice());
     }
 
     #[test]
-    fn capacity_is_distributed_and_enforced_per_shard() {
+    fn budget_is_distributed_and_enforced_per_shard() {
         let kern = kernel();
         let cache = SharedKernelCache::new(2);
         let mut out = Matrix::zeros(0, 0);
-        // Total capacity 4 → 2 per shard; 20 distinct users can leave at
-        // most 2 residents per shard.
+        // Total budget = 2 dense 1-candidate entries per shard; 20 distinct
+        // users can leave at most 2 residents (32 bytes) per shard.
+        let budget = dense_budget(2, 1, 2);
         for user in 0..20 {
-            cache.get_or_assemble_into(user, &[user % 7], &kern, 4, &mut out);
+            cache.get_or_build_into(user, &[user % 7], &kern, budget, EntryForm::Dense, &mut out);
         }
+        let per_shard = entry_bytes(EntryForm::Dense, 1, 0) * 2;
         for s in cache.stats() {
             assert!(s.resident <= 2, "shard over bound: {s:?}");
+            assert!(
+                s.resident_bytes <= per_shard,
+                "shard over byte bound: {s:?}"
+            );
         }
     }
 
@@ -262,18 +320,19 @@ mod tests {
     fn prewarmed_pairs_hit_on_first_lookup() {
         let kern = kernel();
         let cache = SharedKernelCache::new(3);
+        let budget = dense_budget(16, 3, 3);
         let pairs: Vec<(usize, Vec<usize>)> = (0..6).map(|u| (u, vec![u, u + 2, u + 11])).collect();
         for (user, cands) in &pairs {
-            assert!(cache.prewarm(*user, cands, &kern, 16));
+            assert!(cache.prewarm(*user, cands, &kern, budget, EntryForm::Dense));
             // Idempotent: a resident pair reports warm, no re-assembly.
-            assert!(cache.prewarm(*user, cands, &kern, 16));
+            assert!(cache.prewarm(*user, cands, &kern, budget, EntryForm::Dense));
             // A resident user is never overwritten by a different pool.
-            assert!(!cache.prewarm(*user, &[37, 38], &kern, 16));
+            assert!(!cache.prewarm(*user, &[37, 38], &kern, budget, EntryForm::Dense));
         }
         let mut out = Matrix::zeros(0, 0);
         for (user, cands) in &pairs {
             assert!(
-                cache.get_or_assemble_into(*user, cands, &kern, 16, &mut out),
+                cache.get_or_build_into(*user, cands, &kern, budget, EntryForm::Dense, &mut out),
                 "prewarmed pair must hit on first traffic"
             );
             assert_eq!(out.as_slice(), kern.submatrix(cands).unwrap().as_slice());
@@ -286,18 +345,20 @@ mod tests {
 
     #[test]
     fn prewarm_overflow_refuses_instead_of_evicting() {
-        // Single shard → shard bound == total capacity: a 10-pair plan
-        // against capacity 4 must warm the first 4 pairs and keep them.
+        // Single shard → shard bound == total budget: a 10-pair plan
+        // against a 4-entry budget must warm the first 4 pairs and keep
+        // them.
         let kern = kernel();
         let cache = SharedKernelCache::new(1);
+        let budget = dense_budget(4, 2, 1);
         let warmed = (0..10)
-            .filter(|&u| cache.prewarm(u, &[u, u + 1], &kern, 4))
+            .filter(|&u| cache.prewarm(u, &[u, u + 1], &kern, budget, EntryForm::Dense))
             .count();
-        assert_eq!(warmed, 4, "only the first `capacity` pairs are accepted");
+        assert_eq!(warmed, 4, "only the first `budget / entry` pairs fit");
         let mut out = Matrix::zeros(0, 0);
         for u in 0..4 {
             assert!(
-                cache.get_or_assemble_into(u, &[u, u + 1], &kern, 4, &mut out),
+                cache.get_or_build_into(u, &[u, u + 1], &kern, budget, EntryForm::Dense, &mut out),
                 "accepted pair {u} must keep its first-request hit"
             );
         }
@@ -307,9 +368,46 @@ mod tests {
     }
 
     #[test]
+    fn mixed_forms_share_the_byte_budget() {
+        // Satellite regression, shared backend: a factor entry only charges
+        // its own `8·(c + c·d)` bytes, so a budget sized for 2 dense
+        // entries holds one dense + several factor entries at once.
+        let kern = kernel();
+        let cache = SharedKernelCache::new(1);
+        let c = 10;
+        let budget = 2 * entry_bytes(EntryForm::Dense, c, 0); // 1760
+        let pool = |u: usize| -> Vec<usize> { (0..c).map(|i| (u * c + i) % 40).collect() };
+        let mut out = Matrix::zeros(0, 0);
+        cache.get_or_build_into(0, &pool(0), &kern, budget, EntryForm::Dense, &mut out);
+        let spare = budget - entry_bytes(EntryForm::Dense, c, 0);
+        let factor_fits = spare / entry_bytes(EntryForm::Factor, c, kern.dim());
+        assert!(factor_fits >= 2, "budget math drifted: {factor_fits}");
+        for u in 1..=factor_fits {
+            cache.get_or_build_into(u, &pool(u), &kern, budget, EntryForm::Factor, &mut out);
+        }
+        let stats = super::super::CacheStats::from_shards(cache.stats());
+        assert_eq!(stats.aggregate.resident, 1 + factor_fits);
+        assert!(stats.aggregate.resident_bytes <= budget);
+        // Everything still hits — nothing was evicted to "make room" in
+        // entry-count terms.
+        assert!(cache.get_or_build_into(0, &pool(0), &kern, budget, EntryForm::Dense, &mut out));
+        for u in 1..=factor_fits {
+            assert!(cache.get_or_build_into(
+                u,
+                &pool(u),
+                &kern,
+                budget,
+                EntryForm::Factor,
+                &mut out
+            ));
+        }
+    }
+
+    #[test]
     fn concurrent_mixed_traffic_stays_bit_exact() {
         let kern = kernel();
         let cache = SharedKernelCache::new(4);
+        let budget = dense_budget(2, 3, 4);
         std::thread::scope(|scope| {
             for t in 0..4 {
                 let cache = &cache;
@@ -319,9 +417,23 @@ mod tests {
                     for round in 0..50 {
                         let user = (t * 13 + round * 7) % 10;
                         let cands = vec![user, user + 5, user + 20];
-                        cache.get_or_assemble_into(user, &cands, kern, 8, &mut out);
-                        let fresh = kern.submatrix(&cands).unwrap();
-                        assert_eq!(out.as_slice(), fresh.as_slice());
+                        let form = if round % 3 == 0 {
+                            EntryForm::Factor
+                        } else {
+                            EntryForm::Dense
+                        };
+                        cache.get_or_build_into(user, &cands, kern, budget, form, &mut out);
+                        match form {
+                            EntryForm::Dense => {
+                                let fresh = kern.submatrix(&cands).unwrap();
+                                assert_eq!(out.as_slice(), fresh.as_slice());
+                            }
+                            EntryForm::Factor => {
+                                for (r, &i) in cands.iter().enumerate() {
+                                    assert_eq!(out.row(r), kern.factor().row(i));
+                                }
+                            }
+                        }
                     }
                 });
             }

@@ -8,19 +8,26 @@
 //!    immutable serving artifact (scores and kernel entries can never drift
 //!    under a concurrent trainer).
 //! 2. [`Ranker`] drives batched [`RankRequest`]s through the shared
-//!    [`lkp_runtime::WorkerPool`]: per request it assembles the user's
-//!    tailored low-rank kernel `L_C = Diag(q)·K_C·Diag(q) + ε·I` over the
-//!    candidate set (exactly the kernel the LkP criterion trained against —
-//!    same quality map `q = exp(clamp(ŷ))`, same L-space jitter) and runs
-//!    incremental-Cholesky greedy MAP ([`lkp_dpp::greedy_map_with`]) to pick
-//!    the top-N list — `O(|C|·N²)` per request after the `O(|C|²·d)` kernel
-//!    assembly.
-//! 3. The dominant assembly is amortized by a **bounded per-user kernel
+//!    [`lkp_runtime::WorkerPool`]: per request it forms the user's tailored
+//!    low-rank kernel `L_C = Diag(q)·K_C·Diag(q) + ε·I` over the candidate
+//!    set (exactly the kernel the LkP criterion trained against — same
+//!    quality map `q = exp(clamp(ŷ))`, same L-space jitter) and runs
+//!    incremental-Cholesky greedy MAP to pick the top-N list. Two kernel
+//!    forms ([`ServeConfig::kernel_form`]): the **dense** path materializes
+//!    `L_C` and runs [`lkp_dpp::greedy_map_with`] — `O(|C|²·d)` assembly +
+//!    `O(|C|·N²)` selection; the **low-rank dual** path keeps the factored
+//!    `B = Diag(q)·V_C` and runs [`lkp_dpp::greedy_map_dual_with`] directly
+//!    on it — `O(|C|·N·(d + N))` total, never materializing `L_C`, with an
+//!    automatic dense fallback on numerical breakdown.
+//! 3. The dominant kernel work is amortized by a **bounded per-user kernel
 //!    cache** in one of two backends ([`ServeConfig::cache_mode`]): private
 //!    per-worker caches (default, lock-free) or one cache for the whole
 //!    pool, sharded by user hash — the latter removes both the `threads×`
 //!    memory multiplier and the per-worker cold-start tax, and can be
-//!    pre-warmed with popular pairs via [`Ranker::prewarm`].
+//!    pre-warmed with popular pairs via [`Ranker::prewarm`]. Capacity is a
+//!    **byte budget** ([`ServeConfig::kernel_cache_bytes`]): dense entries
+//!    cost `O(|C|²)` bytes, dual factor entries `O(|C|·d)` — so the dual
+//!    form also multiplies effective cache capacity by ~`|C|/d`.
 //! 4. [`ServeFrontend`] accepts individually submitted requests into a
 //!    bounded queue and cuts micro-batches by size/deadline
 //!    ([`FrontendConfig`]), so callers that see one request at a time still
@@ -37,7 +44,10 @@
 //! Serving results are **identical at any pool width, in either cache
 //! mode, and through the frontend**: requests are independent, both cache
 //! backends store bit-exact copies of what a cache miss would recompute,
-//! and greedy MAP breaks ties by candidate order.
+//! and greedy MAP breaks ties by candidate order. Across kernel *forms* the
+//! guarantee is item-for-item list equality on well-conditioned kernels
+//! (the dual path reassociates the same arithmetic, so `log_det` agrees to
+//! rounding, not bitwise).
 
 mod artifact;
 mod cache;
@@ -53,19 +63,19 @@ pub use frontend::{
 };
 pub use ranker::{RankOutcome, RankRequest, RankResponse, Ranker, ServeWorkspace, StagedSwap};
 
-/// Which backend amortizes the `O(|C|²·d)` candidate-kernel assembly.
+/// Which backend amortizes the per-candidate-set kernel work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CacheMode {
     /// Every pool worker owns a private cache (lock-free; the default).
-    /// A user's kernel is re-assembled once per worker that serves them,
+    /// A user's kernel block is rebuilt once per worker that serves them,
     /// and each worker's cache is bounded by
-    /// [`ServeConfig::kernel_cache_capacity`] on its own.
+    /// [`ServeConfig::kernel_cache_bytes`] on its own.
     #[default]
     PerWorker,
     /// One cache for the whole pool, sharded `shards` ways by user hash
-    /// with one lock per shard. [`ServeConfig::kernel_cache_capacity`] is
-    /// the *total* entry budget (each shard holds at most
-    /// `ceil(capacity / shards)`); a user's kernel is assembled once per
+    /// with one lock per shard. [`ServeConfig::kernel_cache_bytes`] is
+    /// the *total* byte budget (each shard holds at most
+    /// `ceil(bytes / shards)`); a user's kernel block is built once per
     /// process and hit from any worker. `shards` is clamped to ≥ 1; size it
     /// at or above the pool width so concurrent lookups rarely contend on
     /// one lock.
@@ -75,33 +85,69 @@ pub enum CacheMode {
     },
 }
 
+/// Which representation of the tailored kernel the ranker serves from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelForm {
+    /// Materialize the dense `|C| × |C|` kernel `L_C` and run the dense
+    /// incremental-Cholesky greedy MAP (the pre-dual behavior; the
+    /// default). Wins when `|C|` is small or `d` approaches `|C|` — the
+    /// dense assembly is then cheap and cache hits skip it entirely.
+    #[default]
+    Dense,
+    /// Keep the kernel in factored form `B = Diag(q)·V_C` (`|C| × d`) and
+    /// run greedy MAP incrementally against `B·Bᵀ` without materializing
+    /// `L_C`: `O(|C|·N·(d + N))` per request instead of `O(|C|²·d)`
+    /// assembly + `O(|C|·N²)` selection, and `O(|C|·d)`-byte cache entries
+    /// instead of `O(|C|²)`. Selected lists match the dense path
+    /// item-for-item on well-conditioned kernels; a numerical breakdown in
+    /// the dual recursion (guarded by [`ServeConfig::dual_guard`]) falls
+    /// back to the dense path for that request, bit-identical to
+    /// [`KernelForm::Dense`] serving.
+    LowRankDual {
+        /// Candidate sets smaller than this stay on the dense path, where
+        /// the `O(|C|²·d)` assembly is too small to beat and a cached dense
+        /// block skips even that. Applied to the *effective* reranked set
+        /// (the head size for degraded requests). 0 sends everything dual.
+        min_candidates: usize,
+    },
+}
+
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads of the ranker's pool (0 = host parallelism).
     pub threads: usize,
-    /// L-space jitter `ε` added to the assembled candidate kernel. Defaults
-    /// to the training-side [`lkp_core::KERNEL_JITTER`] so served lists rank
-    /// by exactly the distribution the model was trained under.
+    /// L-space jitter `ε` added to the tailored candidate kernel's diagonal.
+    /// Defaults to the training-side [`lkp_core::KERNEL_JITTER`] so served
+    /// lists rank by exactly the distribution the model was trained under.
     pub jitter: f64,
     /// Score clamp applied before `exp` in the quality map (defaults to the
     /// training-side [`lkp_core::SCORE_CLAMP`]).
     pub score_clamp: f64,
-    /// Kernel-cache capacity in users (0 disables caching).
+    /// Kernel-cache budget in **bytes** (0 disables caching).
     ///
-    /// The bound is an entry count, not a byte budget: each entry holds a
-    /// `|C| × |C|` f64 matrix, i.e. `|C|²·8` bytes (~80 KB at `|C| = 100`,
-    /// ~2 MB at `|C| = 500`). In [`CacheMode::PerWorker`] every pool worker
-    /// owns its own cache of this capacity — size it as
-    /// `capacity ≈ budget_bytes / (threads · |C|² · 8)`; in
-    /// [`CacheMode::Sharded`] this is the total budget across shards —
-    /// `capacity ≈ budget_bytes / (|C|² · 8)`, a `threads×` larger resident
-    /// set for the same bytes. The default (256 entries ≈ 20 MB/worker at
-    /// `|C| = 100`) favors small candidate pools.
-    pub kernel_cache_capacity: usize,
+    /// Entries are charged their actual size: `8·(|C| + |C|²)` bytes for a
+    /// dense entry (~81 KB at `|C| = 100`, ~20 MB at `|C| = 1600`),
+    /// `8·(|C| + |C|·d)` for a dual factor entry (~26 KB at `|C| = 100`,
+    /// `d = 32`) — so mixed workloads fit ~`|C|/d` more dual entries in the
+    /// same budget. In [`CacheMode::PerWorker`] every pool worker owns its
+    /// own budget of this size (total resident ≈ `threads ×` this); in
+    /// [`CacheMode::Sharded`] this is the total budget across shards. The
+    /// default, 20 MiB, holds ~256 dense entries at `|C| = 100` per
+    /// worker — the pre-byte-budget default capacity.
+    pub kernel_cache_bytes: usize,
     /// Kernel-cache backend (default [`CacheMode::PerWorker`], the exact
     /// pre-sharding behavior).
     pub cache_mode: CacheMode,
+    /// Kernel representation served from (default [`KernelForm::Dense`],
+    /// the exact pre-dual behavior).
+    pub kernel_form: KernelForm,
+    /// Relative negative-drift tolerance of the dual MAP recursion before
+    /// it abandons a request to the dense fallback (defaults to
+    /// [`lkp_dpp::DUAL_BREAKDOWN_GUARD`]). A *negative* guard trips the
+    /// breakdown check on the first update — deterministic fault injection
+    /// for exercising the fallback in tests. Ignored on the dense path.
+    pub dual_guard: f64,
 }
 
 impl Default for ServeConfig {
@@ -110,8 +156,10 @@ impl Default for ServeConfig {
             threads: 0,
             jitter: lkp_core::KERNEL_JITTER,
             score_clamp: lkp_core::SCORE_CLAMP,
-            kernel_cache_capacity: 256,
+            kernel_cache_bytes: 20 * 1024 * 1024,
             cache_mode: CacheMode::PerWorker,
+            kernel_form: KernelForm::Dense,
+            dual_guard: lkp_dpp::DUAL_BREAKDOWN_GUARD,
         }
     }
 }

@@ -1,8 +1,8 @@
 //! The batched ranker: requests in, diversified top-N lists out.
 
-use crate::cache::{CacheStats, KernelCache, ShardStats, SharedKernelCache};
-use crate::{CacheMode, RankingArtifact, ServeConfig};
-use lkp_dpp::{greedy_map_with, MapWorkspace};
+use crate::cache::{CacheStats, EntryForm, KernelCache, ShardStats, SharedKernelCache};
+use crate::{CacheMode, KernelForm, RankingArtifact, ServeConfig};
+use lkp_dpp::{greedy_map_dual_with, greedy_map_with, DualMapWorkspace, MapWorkspace};
 use lkp_linalg::Matrix;
 use lkp_models::Recommender;
 use lkp_runtime::WorkerPool;
@@ -123,9 +123,18 @@ pub struct ServeWorkspace {
     l: Matrix,
     map: MapWorkspace,
     cache: KernelCache,
-    /// Staging copy of a shared-cache submatrix (held while the shard lock
+    /// Staging copy of a shared-cache block (held while the shard lock
     /// is already released).
     shared_sub: Matrix,
+    /// Factor rows `V_C` for the dual path: the shared-cache staging copy,
+    /// the degraded-head gather target, and the dense-fallback re-gather.
+    vc: Matrix,
+    /// The dual factor `B = Diag(q)·V_C` fed to the dual MAP.
+    b: Matrix,
+    dual_map: DualMapWorkspace,
+    /// Requests this worker abandoned to the dense fallback after a dual
+    /// numerical breakdown.
+    dual_fallbacks: u64,
     /// Duplicate-candidate scratch: index permutation sorted by
     /// `(item, position)`, per-position duplicate mask, and the rebuilt
     /// first-occurrence list when duplicates are present.
@@ -182,12 +191,12 @@ impl<M: Recommender> StagedSwap<M> {
         artifact: RankingArtifact<M>,
         plan: &[(usize, Vec<usize>)],
     ) -> Self {
-        let capacity = config.kernel_cache_capacity;
+        let budget = config.kernel_cache_bytes;
         let (mut order, mut dup, mut dedup) = (Vec::new(), Vec::new(), Vec::new());
         let mut warmed = 0;
         let mut shared = None;
         let mut per_worker = None;
-        if capacity > 0 {
+        if budget > 0 {
             match config.cache_mode {
                 CacheMode::Sharded { shards } => {
                     let cache = SharedKernelCache::new(shards);
@@ -197,7 +206,8 @@ impl<M: Recommender> StagedSwap<M> {
                         }
                         let key =
                             dedup_first_occurrence(candidates, &mut order, &mut dup, &mut dedup);
-                        if cache.prewarm(*user, key, artifact.kernel(), capacity) {
+                        let form = entry_form(config, key.len());
+                        if cache.prewarm(*user, key, artifact.kernel(), budget, form) {
                             warmed += 1;
                         }
                     }
@@ -214,7 +224,8 @@ impl<M: Recommender> StagedSwap<M> {
                         }
                         let key =
                             dedup_first_occurrence(candidates, &mut order, &mut dup, &mut dedup);
-                        if cache.prewarm(*user, key, artifact.kernel(), capacity) {
+                        let form = entry_form(config, key.len());
+                        if cache.prewarm(*user, key, artifact.kernel(), budget, form) {
                             warmed += 1;
                         }
                     }
@@ -246,7 +257,7 @@ impl<M: Recommender + Sync> Ranker<M> {
     pub fn new(artifact: RankingArtifact<M>, config: ServeConfig) -> Self {
         let pool = WorkerPool::new(config.threads);
         let shared = match config.cache_mode {
-            CacheMode::Sharded { shards } if config.kernel_cache_capacity > 0 => {
+            CacheMode::Sharded { shards } if config.kernel_cache_bytes > 0 => {
                 Some(SharedKernelCache::new(shards))
             }
             _ => None,
@@ -374,7 +385,7 @@ impl<M: Recommender + Sync> Ranker<M> {
             });
             retired += fresh.carry_stats_from(&old);
             self.shared = Some(fresh);
-        } else if self.config.kernel_cache_capacity > 0 {
+        } else if self.config.kernel_cache_bytes > 0 {
             let template = per_worker.unwrap_or_default();
             let retired_pw = AtomicUsize::new(0);
             self.pool.run(|_, state| {
@@ -399,45 +410,48 @@ impl<M: Recommender + Sync> Ranker<M> {
         self.commit_swap(staged)
     }
 
-    /// Assembles popular `(user, candidates)` pairs into the kernel cache
+    /// Builds popular `(user, candidates)` pairs into the kernel cache
     /// before traffic, so their first request already hits. Candidate lists
-    /// are deduplicated exactly like the serving path (entries must match
-    /// the key a request will look up); pairs with unknown users or
-    /// out-of-catalog items are skipped, and a disabled cache
-    /// (`kernel_cache_capacity = 0`) warms nothing.
+    /// are deduplicated exactly like the serving path, and each entry is
+    /// built in the form the serving path will look up
+    /// ([`ServeConfig::kernel_form`] applied to the pool size); pairs with
+    /// unknown users or out-of-catalog items are skipped, and a disabled
+    /// cache (`kernel_cache_bytes = 0`) warms nothing.
     ///
-    /// In [`CacheMode::Sharded`] mode each pair is assembled once into the
+    /// In [`CacheMode::Sharded`] mode each pair is built once into the
     /// shared cache. In [`CacheMode::PerWorker`] mode every pool worker
-    /// assembles every pair into its own cache — chunk assignment depends
+    /// builds every pair into its own cache — chunk assignment depends
     /// on future batch shapes, so all workers must hold a pair for its
-    /// first request to be a guaranteed hit. Prewarm assemblies are counted
+    /// first request to be a guaranteed hit. Prewarm builds are counted
     /// as `prewarmed` in [`Ranker::cache_stats_detailed`], never as misses.
     ///
-    /// Prewarming is strictly *monotone*: it fills empty cache capacity
+    /// Prewarming is strictly *monotone*: it fills empty cache budget
     /// and never evicts or overwrites a resident entry. A full cache (or
     /// hash shard) refuses further pairs rather than churning earlier
-    /// ones, and a user already resident with a different candidate pool
+    /// ones — the prospective entry is sized in bytes *before* assembly —
+    /// and a user already resident with a different candidate pool
     /// keeps that pool (the new pool refreshes via its first, missing,
-    /// request). Plans larger than `kernel_cache_capacity` (or whose users
+    /// request). Plans larger than `kernel_cache_bytes` (or whose users
     /// hash unevenly across shards) therefore warm only a prefix; compare
     /// the returned count against `pairs.len()` to detect that. Warm
     /// entries stay warm as long as the working set fits the budget —
     /// *traffic* eviction is still plain LRU, so if enough cold-user
     /// misses land between prewarm and a warm pair's first request, that
-    /// pair can be evicted before it hits; size the capacity for the
+    /// pair can be evicted before it hits; size the budget for the
     /// prewarm plan plus the expected cold interleave.
     ///
     /// Returns the number of pairs that are warm (resident with exactly
-    /// the requested pool) when the call returns — whether assembled now
+    /// the requested pool) when the call returns — whether built now
     /// or already resident. In `PerWorker` mode this is the minimum across
     /// workers, i.e. the number of pairs guaranteed warm on *every*
     /// worker, so the `pairs.len()` comparison is valid in both modes.
     pub fn prewarm(&mut self, pairs: &[(usize, Vec<usize>)]) -> usize {
-        if self.config.kernel_cache_capacity == 0 {
+        if self.config.kernel_cache_bytes == 0 {
             return 0;
         }
-        let capacity = self.config.kernel_cache_capacity;
+        let budget = self.config.kernel_cache_bytes;
         let artifact = &self.artifact;
+        let config = &self.config;
         match &self.shared {
             Some(cache) => {
                 let (mut order, mut dup, mut dedup) = (Vec::new(), Vec::new(), Vec::new());
@@ -447,7 +461,8 @@ impl<M: Recommender + Sync> Ranker<M> {
                         continue;
                     }
                     let key = dedup_first_occurrence(candidates, &mut order, &mut dup, &mut dedup);
-                    if cache.prewarm(*user, key, artifact.kernel(), capacity) {
+                    let form = entry_form(config, key.len());
+                    if cache.prewarm(*user, key, artifact.kernel(), budget, form) {
                         warmed += 1;
                     }
                 }
@@ -470,7 +485,11 @@ impl<M: Recommender + Sync> Ranker<M> {
                             &mut ws.dup,
                             &mut ws.dedup,
                         );
-                        if ws.cache.prewarm(*user, key, artifact.kernel(), capacity) {
+                        let form = entry_form(config, key.len());
+                        if ws
+                            .cache
+                            .prewarm(*user, key, artifact.kernel(), budget, form)
+                        {
                             local += 1;
                         }
                     }
@@ -484,7 +503,7 @@ impl<M: Recommender + Sync> Ranker<M> {
     /// Aggregate `(hits, misses)` of the kernel cache (per-worker caches
     /// summed, or the shared cache's shards summed, per
     /// [`ServeConfig::cache_mode`]). Disabled-cache passthroughs
-    /// (`kernel_cache_capacity = 0`) are **not** misses — they are counted
+    /// (`kernel_cache_bytes = 0`) are **not** misses — they are counted
     /// separately in [`Ranker::cache_bypasses`], so a hit rate derived from
     /// this pair reflects only lookups the cache was allowed to serve.
     /// Reading stats never materializes serving state on idle workers.
@@ -493,10 +512,27 @@ impl<M: Recommender + Sync> Ranker<M> {
         (stats.aggregate.hits, stats.aggregate.misses)
     }
 
-    /// Aggregate count of kernel assemblies that deliberately bypassed the
-    /// cache because it was disabled (`kernel_cache_capacity = 0`).
+    /// Aggregate count of kernel builds that deliberately bypassed the
+    /// cache because it was disabled (`kernel_cache_bytes = 0`).
     pub fn cache_bypasses(&mut self) -> u64 {
         self.cache_stats_detailed().aggregate.bypasses
+    }
+
+    /// How many requests fell back from the dual MAP path to the dense one
+    /// after a numerical breakdown (summed across workers; always 0 in
+    /// [`KernelForm::Dense`] mode). Fallback responses are bit-identical to
+    /// what dense-mode serving would have produced, so a non-zero count is
+    /// a performance signal, not a correctness one.
+    pub fn dual_fallbacks(&mut self) -> u64 {
+        // The caller is worker 0, so `run` also covers the un-batched
+        // `rank_one` path (which serves from the caller's state).
+        let count = std::sync::atomic::AtomicU64::new(0);
+        self.pool.run(|_, state| {
+            if let Some(ws) = state.get_mut::<ServeWorkspace>() {
+                count.fetch_add(ws.dual_fallbacks, Ordering::Relaxed);
+            }
+        });
+        count.into_inner()
     }
 
     /// Full per-shard + aggregate kernel-cache counters. In `PerWorker`
@@ -543,6 +579,40 @@ impl<M> std::fmt::Debug for Ranker<M> {
             .field("cache_mode", &self.config.cache_mode)
             .field("generation", &self.generation)
             .finish()
+    }
+}
+
+/// Which cache-entry/kernel form the configured [`KernelForm`] selects for
+/// an effective reranked set of `len` candidates. The decision is applied to
+/// the *effective* set (the head size for degraded requests), so a degraded
+/// frontend request and the equivalent direct capped request route — and
+/// serve — identically.
+fn entry_form(config: &ServeConfig, len: usize) -> EntryForm {
+    match config.kernel_form {
+        KernelForm::LowRankDual { min_candidates } if len >= min_candidates => EntryForm::Factor,
+        _ => EntryForm::Dense,
+    }
+}
+
+/// Assembles the tailored dense kernel `L = Diag(q)·K_C·Diag(q) + ε·I` into
+/// `l` from factor rows `vc` (`m × d`), computing each `K_C` entry as the
+/// factor-row dot product. This is bit-identical to assembling from a
+/// materialized `K_C` block ([`lkp_dpp::LowRankKernel::submatrix_into`]
+/// computes the same dot on the same rows), which makes the dual path's
+/// dense *fallback* indistinguishable from dense-mode serving.
+fn tailored_from_factor(vc: &Matrix, q: &[f64], jitter: f64, l: &mut Matrix) {
+    let m = vc.rows();
+    l.reset(m, m);
+    for i in 0..m {
+        let qi = q[i];
+        l[(i, i)] = qi * lkp_linalg::ops::dot(vc.row(i), vc.row(i)) * qi + jitter;
+        for j in (i + 1)..m {
+            let qj = q[j];
+            let kij = lkp_linalg::ops::dot(vc.row(i), vc.row(j));
+            let avg = 0.5 * (qi * kij * qj + qj * kij * qi);
+            l[(i, j)] = avg;
+            l[(j, i)] = avg;
+        }
     }
 }
 
@@ -675,13 +745,14 @@ fn serve_one<M: Recommender>(
             .map(|&s| s.clamp(-config.score_clamp, config.score_clamp).exp()),
     );
 
-    // Degraded mode: rerank only the `head` highest-quality candidates.
-    // Ordering is by (score desc, position asc) via `total_cmp`, then the
-    // survivors are re-sorted back into candidate order so greedy-MAP
-    // tie-breaks match what the same head would produce as a direct
-    // request. The head kernel is assembled directly — bypassing both
-    // cache backends — so a transient overload cannot churn the warm set
-    // keyed on full candidate pools.
+    // Degraded mode: rerank only the `head` highest-quality candidates
+    // (quality-sorting the full set is `O(|C| log |C|)`; only the head pays
+    // kernel work). Ordering is by (score desc, position asc) via
+    // `total_cmp`, then the survivors are re-sorted back into candidate
+    // order so greedy-MAP tie-breaks match what the same head would produce
+    // as a direct request. The head's kernel block is built directly —
+    // bypassing both cache backends — so a transient overload cannot churn
+    // the warm set keyed on full candidate pools.
     let degraded = req.rerank_head > 0 && req.rerank_head < c;
     if degraded {
         ws.head_order.clear();
@@ -699,64 +770,150 @@ fn serve_one<M: Recommender>(
             ws.head_cands.push(candidates[i as usize]);
             ws.head_q.push(ws.q[i as usize]);
         }
-        artifact
-            .kernel()
-            .submatrix_into(&ws.head_cands, &mut ws.head_sub)
-            .expect("candidates validated above");
         resp.degraded = true;
     }
 
-    // Diversity submatrix K_C (cached per user — worker-private or shared
-    // per `cache_mode`), then the tailored kernel
-    // L = Diag(q)·K_C·Diag(q) + ε·I assembled into the reused buffer. The
-    // off-diagonal entries average the two factorization orders — the same
-    // arithmetic as `DppKernel::from_quality_diversity` + `symmetrize` —
-    // so the serve-side kernel matches the offline
-    // `lkp_core::objective::tailored_kernel` bit for bit, not merely up to
-    // round-off. Both cache backends store bit-exact copies of what a miss
-    // recomputes, so the mode can never change a served list.
-    let (cands_used, q_used, k_sub, hit): (&[usize], &[f64], &Matrix, bool) = if degraded {
-        (&ws.head_cands, &ws.head_q, &ws.head_sub, false)
+    // Effective reranked set: the head for degraded requests, the full
+    // deduplicated pool otherwise. The kernel-form decision keys on its
+    // size, so a degraded frontend request routes exactly like the
+    // equivalent direct capped request.
+    let (cands_used, q_used): (&[usize], &[f64]) = if degraded {
+        (&ws.head_cands, &ws.head_q)
     } else {
-        let (k_sub, hit) = match shared {
-            Some(cache) => {
-                let hit = cache.get_or_assemble_into(
-                    req.user,
-                    candidates,
-                    artifact.kernel(),
-                    config.kernel_cache_capacity,
-                    &mut ws.shared_sub,
-                );
-                (&ws.shared_sub, hit)
-            }
-            None => ws.cache.get_or_assemble(
-                req.user,
-                candidates,
-                artifact.kernel(),
-                config.kernel_cache_capacity,
-            ),
-        };
-        (candidates, &ws.q, k_sub, hit)
+        (candidates, &ws.q)
     };
-    resp.cache_hit = hit;
     let m = cands_used.len();
-    ws.l.reset(m, m);
-    for i in 0..m {
-        let qi = q_used[i];
-        ws.l[(i, i)] = qi * k_sub[(i, i)] * qi + config.jitter;
-        for j in (i + 1)..m {
-            let qj = q_used[j];
-            let kij = k_sub[(i, j)];
-            let avg = 0.5 * (qi * kij * qj + qj * kij * qi);
-            ws.l[(i, j)] = avg;
-            ws.l[(j, i)] = avg;
+    let k = req.top_n.min(m);
+    let budget = config.kernel_cache_bytes;
+
+    if entry_form(config, m) == EntryForm::Factor {
+        // Dual path: fetch the factor rows V_C (cached per user, or
+        // gathered directly for a degraded head), scale into
+        // B = Diag(q)·V_C, and run greedy MAP against B·Bᵀ without ever
+        // materializing L_C — O(m·N·(d + N)) instead of O(m²·d) assembly.
+        let (v_c, hit): (&Matrix, bool) = if degraded {
+            artifact
+                .kernel()
+                .gather_rows_into(cands_used, &mut ws.vc)
+                .expect("candidates validated above");
+            (&ws.vc, false)
+        } else {
+            match shared {
+                Some(cache) => {
+                    let hit = cache.get_or_build_into(
+                        req.user,
+                        cands_used,
+                        artifact.kernel(),
+                        budget,
+                        EntryForm::Factor,
+                        &mut ws.vc,
+                    );
+                    (&ws.vc, hit)
+                }
+                None => ws.cache.get_or_build(
+                    req.user,
+                    cands_used,
+                    artifact.kernel(),
+                    budget,
+                    EntryForm::Factor,
+                ),
+            }
+        };
+        resp.cache_hit = hit;
+        let d = v_c.cols();
+        ws.b.reset(m, d);
+        for (i, &qi) in q_used.iter().enumerate() {
+            for (o, &v) in ws.b.row_mut(i).iter_mut().zip(v_c.row(i)) {
+                *o = qi * v;
+            }
+        }
+        ws.dual_map.guard = config.dual_guard;
+        match greedy_map_dual_with(&ws.b, config.jitter, k, &mut ws.dual_map) {
+            Ok(()) => {
+                if !ws.dual_map.log_det().is_finite() {
+                    resp.items.clear();
+                    resp.outcome = RankOutcome::Failed;
+                    return;
+                }
+                resp.items
+                    .extend(ws.dual_map.items().iter().map(|&idx| cands_used[idx]));
+                resp.log_det = ws.dual_map.log_det();
+                return;
+            }
+            Err(_) => {
+                // Numerical breakdown: abandon the dual recursion for this
+                // request and serve it on the dense path. L is assembled
+                // from freshly gathered factor rows with the dense path's
+                // exact arithmetic, so the fallback response is
+                // bit-identical to dense-mode serving (the factor cache
+                // entry, if any, stays resident — the kernel didn't change,
+                // the recursion did).
+                ws.dual_fallbacks += 1;
+                artifact
+                    .kernel()
+                    .gather_rows_into(cands_used, &mut ws.vc)
+                    .expect("candidates validated above");
+                tailored_from_factor(&ws.vc, q_used, config.jitter, &mut ws.l);
+            }
+        }
+    } else {
+        // Dense path: diversity submatrix K_C (cached per user —
+        // worker-private or shared per `cache_mode`; built directly for a
+        // degraded head), then the tailored kernel
+        // L = Diag(q)·K_C·Diag(q) + ε·I assembled into the reused buffer.
+        // The off-diagonal entries average the two factorization orders —
+        // the same arithmetic as `DppKernel::from_quality_diversity` +
+        // `symmetrize` — so the serve-side kernel matches the offline
+        // `lkp_core::objective::tailored_kernel` bit for bit, not merely up
+        // to round-off. Both cache backends store bit-exact copies of what
+        // a miss recomputes, so the mode can never change a served list.
+        let (k_sub, hit): (&Matrix, bool) = if degraded {
+            artifact
+                .kernel()
+                .submatrix_into(cands_used, &mut ws.head_sub)
+                .expect("candidates validated above");
+            (&ws.head_sub, false)
+        } else {
+            match shared {
+                Some(cache) => {
+                    let hit = cache.get_or_build_into(
+                        req.user,
+                        cands_used,
+                        artifact.kernel(),
+                        budget,
+                        EntryForm::Dense,
+                        &mut ws.shared_sub,
+                    );
+                    (&ws.shared_sub, hit)
+                }
+                None => ws.cache.get_or_build(
+                    req.user,
+                    cands_used,
+                    artifact.kernel(),
+                    budget,
+                    EntryForm::Dense,
+                ),
+            }
+        };
+        resp.cache_hit = hit;
+        ws.l.reset(m, m);
+        for i in 0..m {
+            let qi = q_used[i];
+            ws.l[(i, i)] = qi * k_sub[(i, i)] * qi + config.jitter;
+            for j in (i + 1)..m {
+                let qj = q_used[j];
+                let kij = k_sub[(i, j)];
+                let avg = 0.5 * (qi * kij * qj + qj * kij * qi);
+                ws.l[(i, j)] = avg;
+                ws.l[(j, i)] = avg;
+            }
         }
     }
 
-    // Greedy MAP under the tailored kernel; selection order is the list. A
-    // factorization error or a non-finite objective (a NaN/degenerate
-    // diversity block) fails this request only.
-    let k = req.top_n.min(m);
+    // Dense greedy MAP under the tailored kernel — the dense path and the
+    // dual path's breakdown fallback both land here; selection order is the
+    // list. A factorization error or a non-finite objective (a
+    // NaN/degenerate diversity block) fails this request only.
     if greedy_map_with(&ws.l, k, &mut ws.map).is_err() {
         resp.outcome = RankOutcome::Failed;
         return;

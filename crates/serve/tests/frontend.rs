@@ -274,7 +274,9 @@ fn oversized_prewarm_plan_warms_a_stable_prefix() {
         RankingArtifact::snapshot(&model, &kernel),
         ServeConfig {
             threads: 2,
-            kernel_cache_capacity: 8,
+            // Exactly 8 dense entries of the 20-candidate pools:
+            // 8 · 8·(20 + 20²) bytes.
+            kernel_cache_bytes: 8 * 8 * (20 + 20 * 20),
             cache_mode: CacheMode::Sharded { shards: 1 },
             ..Default::default()
         },
