@@ -24,18 +24,28 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter increment has no allocator-visible
+// side effects.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: contract (layout validity) is forwarded unchanged to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, passed through untouched.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: contract (ptr/layout pairing) is forwarded unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `System.alloc` with this `layout`,
+        // because `alloc`/`realloc` above never substitute pointers.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: contract (ptr/layout/new_size validity) is forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same pass-through argument as `dealloc`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

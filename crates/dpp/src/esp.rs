@@ -26,6 +26,8 @@ pub fn elementary_symmetric(eigenvalues: &[f64], k: usize) -> f64 {
     }
     // e[l] holds e_l^{(m')} as m' grows; iterate l downward so each λ_m is
     // used exactly once per step.
+    // lint:allow(hotpath-alloc): convenience entry point; the training loop
+    // uses `elementary_symmetric_all_into` with a reused buffer.
     let mut e = vec![0.0; k + 1];
     e[0] = 1.0;
     for &lambda in eigenvalues {
@@ -38,6 +40,8 @@ pub fn elementary_symmetric(eigenvalues: &[f64], k: usize) -> f64 {
 
 /// Computes all of `e_0 … e_k` in a single pass.
 pub fn elementary_symmetric_all(eigenvalues: &[f64], k: usize) -> Vec<f64> {
+    // lint:allow(hotpath-alloc): owned-return convenience wrapper over the
+    // `_into` variant; not called from the training loop.
     let mut e = Vec::new();
     elementary_symmetric_all_into(eigenvalues, k, &mut e);
     e
@@ -65,6 +69,8 @@ pub fn elementary_symmetric_all_into(eigenvalues: &[f64], k: usize, e: &mut Vec<
 /// this table backwards).
 pub fn esp_table(eigenvalues: &[f64], k: usize) -> Vec<Vec<f64>> {
     let m = eigenvalues.len();
+    // lint:allow(hotpath-alloc): the DP table is built once per sampling
+    // call, not per training instance; exact sampling is offline-only.
     let mut table = vec![vec![0.0; m + 1]; k + 1];
     for col in table[0].iter_mut() {
         *col = 1.0;
@@ -91,6 +97,8 @@ pub struct LeaveOneOutScratch {
 /// Used by the k-DPP normalizer gradient,
 /// `∂ e_k(λ)/∂ λ_i = e_{k-1}(λ_{-i})` — call with `k-1` for that purpose.
 pub fn leave_one_out(eigenvalues: &[f64], k: usize) -> Vec<f64> {
+    // lint:allow(hotpath-alloc): owned-return convenience wrapper; the
+    // gradient path calls `leave_one_out_into` with pooled scratch.
     let mut out = Vec::new();
     let mut scratch = LeaveOneOutScratch::default();
     leave_one_out_into(eigenvalues, k, &mut scratch, &mut out);
@@ -186,6 +194,8 @@ pub fn log_elementary_symmetric(eigenvalues: &[f64], k: usize) -> f64 {
     if max <= 0.0 {
         return f64::NEG_INFINITY;
     }
+    // lint:allow(hotpath-alloc): log-normalizer is a diagnostics/eval API;
+    // the training loss uses the scaled in-place path in `batch.rs`.
     let scaled: Vec<f64> = eigenvalues.iter().map(|&l| l / max).collect();
     let e = elementary_symmetric(&scaled, k);
     if e <= 0.0 {

@@ -68,13 +68,16 @@ pub struct DualMapWorkspace {
 impl Default for DualMapWorkspace {
     fn default() -> Self {
         DualMapWorkspace {
+            // lint:allow(hotpath-alloc): workspace construction is the cold
+            // one-time site; every `Vec::new` below is a buffer that grows
+            // once and is reused allocation-free on the hot path.
             d2: Vec::new(),
             c: Matrix::zeros(0, 0),
-            cj: Vec::new(),
-            bj: Vec::new(),
-            in_set: Vec::new(),
-            selected: Vec::new(),
-            gains: Vec::new(),
+            cj: Vec::new(),       // lint:allow(hotpath-alloc): one-time construction
+            bj: Vec::new(),       // lint:allow(hotpath-alloc): one-time construction
+            in_set: Vec::new(),   // lint:allow(hotpath-alloc): one-time construction
+            selected: Vec::new(), // lint:allow(hotpath-alloc): one-time construction
+            gains: Vec::new(),    // lint:allow(hotpath-alloc): one-time construction
             log_det: 0.0,
             guard: DUAL_BREAKDOWN_GUARD,
         }

@@ -320,6 +320,8 @@ impl SpectralCache {
         while self.entries.len() > self.capacity {
             let evict = self
                 .entries
+                // lint:allow(determinism): LRU ticks are unique per entry, so
+                // `min_by_key` has a single minimum whatever the hash order.
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(&k, _)| k)

@@ -60,6 +60,8 @@ impl SymmetricEigen {
     /// round-off asymmetry from upstream kernel assembly.
     pub fn new(a: &Matrix) -> Result<Self> {
         let mut out = SymmetricEigen {
+            // lint:allow(hotpath-alloc): one-time construction; steady-state
+            // callers hold a `SymmetricEigen` and use `compute_into`.
             values: Vec::new(),
             vectors: Matrix::zeros(0, 0),
         };
@@ -340,6 +342,8 @@ impl SymmetricEigen {
     /// Eigenvalues clamped below at zero — the PSD projection used for DPP
     /// kernels whose tiny negative eigenvalues are numerical noise.
     pub fn clamped_nonnegative_values(&self) -> Vec<f64> {
+        // lint:allow(hotpath-alloc): owned-return convenience wrapper over
+        // the `_into` variant used by the hot path.
         let mut out = Vec::new();
         self.clamped_nonnegative_values_into(&mut out);
         out

@@ -1,0 +1,373 @@
+//! A small Rust source scanner: strips comments and string/char-literal
+//! contents out of the code channel (so lint token matches can never fire on
+//! documentation or literal text) while collecting the comment text per line
+//! (where `// SAFETY:` justifications and `lint:allow` suppressions live).
+//!
+//! This is deliberately *not* a parser — the vendored-stub build environment
+//! rules out `syn`/`proc-macro2` — but it is a real lexical pass: nested
+//! block comments, raw strings (`r"…"`, `r#"…"#`, `br##"…"##`), escaped
+//! quotes, byte/char literals, and lifetimes are all handled, so the
+//! downstream analyzers see one clean "code" channel with source structure
+//! (brace depth, statement boundaries) intact.
+
+/// One file split into per-line code and comment channels. Both vectors have
+/// one entry per source line; blanked spans keep their delimiters (`""`,
+/// `' '`) so statement structure survives, but their contents are gone.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Source lines with comments removed and literal contents blanked.
+    pub code: Vec<String>,
+    /// All comment text on each line (markers included, contents verbatim).
+    pub comments: Vec<String>,
+}
+
+impl Scanned {
+    /// Number of lines scanned.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment {
+        depth: usize,
+    },
+    /// A string literal; `raw` carries the `#` count for raw strings
+    /// (`None` = cooked string with escape processing).
+    Str {
+        raw: Option<usize>,
+    },
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `src` into per-line code and comment channels.
+pub fn scan(src: &str) -> Scanned {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Scanned::default();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            out.code.push(std::mem::take(&mut code));
+            out.comments.push(std::mem::take(&mut comment));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    mode = Mode::LineComment;
+                    comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment { depth: 1 };
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str { raw: None };
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !code.chars().last().is_some_and(is_ident)
+                    && raw_string_hashes(&chars, i).is_some()
+                {
+                    let (hashes, skip) = raw_string_hashes(&chars, i).expect("checked above");
+                    if c == 'b' {
+                        code.push('b');
+                    }
+                    code.push('"');
+                    mode = Mode::Str { raw: Some(hashes) };
+                    i += skip;
+                } else if c == '\'' {
+                    // Lifetime or char literal. An escape or a close quote
+                    // two characters out means a literal; anything else
+                    // (`'a`, `'_`, `'static`) is a lifetime marker.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        code.push_str("' '");
+                        i += 2;
+                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                            i += 1;
+                        }
+                        if chars.get(i) == Some(&'\'') {
+                            i += 1;
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment { depth } => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    comment.push_str("*/");
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment { depth: depth - 1 };
+                    }
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    mode = Mode::BlockComment { depth: depth + 1 };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str { raw } => {
+                match raw {
+                    None => {
+                        if c == '\\' {
+                            i += 2; // escape: skip the escaped character
+                        } else if c == '"' {
+                            code.push('"');
+                            mode = Mode::Code;
+                            i += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    Some(hashes) => {
+                        if c == '"' && (i + 1..=i + hashes).all(|j| chars.get(j) == Some(&'#')) {
+                            code.push('"');
+                            mode = Mode::Code;
+                            i += 1 + hashes;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.code.push(code);
+    out.comments.push(comment);
+    out
+}
+
+/// If `chars[at..]` starts a raw string literal (`r"`, `r#"`, `br##"`, …),
+/// returns `(hash_count, chars_to_skip_including_open_quote)`.
+fn raw_string_hashes(chars: &[char], at: usize) -> Option<(usize, usize)> {
+    let mut j = at;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j + 1 - at))
+    } else {
+        None
+    }
+}
+
+/// Per-line brace depth: `starts[i]` is the depth at the beginning of line
+/// `i`, computed from the code channel (string/comment braces never count).
+pub fn brace_depths(code: &[String]) -> Vec<usize> {
+    let mut starts = Vec::with_capacity(code.len());
+    let mut depth = 0usize;
+    for line in code {
+        starts.push(depth);
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    starts
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` / `#[test]` items. The
+/// hot-path, lock-scope, and determinism lints skip these regions (test code
+/// is not the hot path); the unsafe-audit lint does not.
+pub fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut line = 0;
+    while line < code.len() {
+        let l = &code[line];
+        if !(l.contains("#[cfg(test)]") || l.contains("#[test]")) {
+            line += 1;
+            continue;
+        }
+        // The attribute covers the next item: scan forward for its opening
+        // `{`. A `;` first means a brace-less item (e.g. `#[cfg(test)] use
+        // …;`) — nothing to mark.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut end = line;
+        'outer: for (j, scan_line) in code.iter().enumerate().skip(line) {
+            let start = if j == line {
+                scan_line.find(']').map_or(0, |p| p + 1)
+            } else {
+                0
+            };
+            for c in scan_line[start..].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            end = j;
+                            break 'outer;
+                        }
+                    }
+                    ';' if !opened => {
+                        end = j;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        if opened {
+            for flag in in_test.iter_mut().take(end + 1).skip(line) {
+                *flag = true;
+            }
+        }
+        line = end + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_leave_the_code_channel() {
+        let s = scan("let x = 1; // Vec::new() in a comment\n");
+        assert_eq!(s.code[0], "let x = 1; ");
+        assert!(s.comments[0].contains("Vec::new()"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let s = scan("let s = \"Vec::new() .lock() unsafe\";\n");
+        assert_eq!(s.code[0], "let s = \"\";");
+        assert!(s.comments[0].is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = scan(r#"let s = "a\"b unsafe \\"; let t = 1;"#);
+        assert_eq!(s.code[0], r#"let s = ""; let t = 1;"#);
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes() {
+        let s = scan("let s = r#\"back\\slash \" inner\"#; let t = r\"x\\\";\n");
+        assert_eq!(s.code[0], "let s = \"\"; let t = \"\";");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let s = scan("a /* outer /* inner */ still */ b\n");
+        assert_eq!(s.code[0].split_whitespace().collect::<Vec<_>>(), ["a", "b"]);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let s = scan("before /* unsafe\n .lock() */ after\n");
+        assert_eq!(s.code[0], "before ");
+        assert_eq!(s.code[1], " after");
+        assert!(s.comments[0].contains("unsafe"));
+        assert!(s.comments[1].contains(".lock()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }\n");
+        assert_eq!(
+            s.code[0],
+            "fn f<'a>(x: &'a str) { let c = ' '; let d = ' '; }"
+        );
+        // The blanked `{` char literal must not skew brace depth.
+        let depths = brace_depths(&s.code);
+        assert_eq!(depths, vec![0, 0]);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let s = scan("let b = b\"unsafe bytes\"; let r = br#\"raw \" bytes\"#;\n");
+        assert_eq!(s.code[0], "let b = b\"\"; let r = b\"\";", "{:?}", s.code);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let s = scan("/// uses Vec::new() internally\nfn f() {}\n");
+        assert_eq!(s.code[0], "");
+        assert!(s.comments[0].contains("Vec::new()"));
+        assert_eq!(s.code[1], "fn f() {}");
+    }
+
+    #[test]
+    fn brace_depths_track_nesting() {
+        let s = scan("fn f() {\n    if x {\n        y();\n    }\n}\n");
+        assert_eq!(brace_depths(&s.code), vec![0, 1, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let s = scan(src);
+        let regions = test_regions(&s.code);
+        // (the trailing entry is the empty line after the final `\n`)
+        assert_eq!(regions, vec![false, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_marks_nothing_beyond_itself() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {\n    body();\n}\n";
+        let s = scan(src);
+        let regions = test_regions(&s.code);
+        assert!(regions.iter().all(|&r| !r), "{regions:?}");
+    }
+
+    #[test]
+    fn test_attribute_marks_one_fn() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn live() {}\n";
+        let s = scan(src);
+        let regions = test_regions(&s.code);
+        assert_eq!(regions, vec![true, true, true, true, false, false]);
+    }
+}

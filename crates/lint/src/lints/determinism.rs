@@ -1,0 +1,193 @@
+//! L3 `determinism`: the bitwise-pinned core (`dpp`, `linalg`, `eval`, and
+//! the frontend's pure state machine) must not read clocks or iterate hash
+//! containers in unspecified order. The epoch-plan and golden-artifact gates
+//! assume the same inputs always produce the same bytes; a `SipHash`-ordered
+//! loop or a wall-clock read silently breaks that guarantee across runs and
+//! across hosts.
+//!
+//! Two sub-rules:
+//!
+//! 1. **Clock reads** — any `Instant::now` call or `SystemTime` mention
+//!    (including imports: the deterministic core has no business naming it).
+//! 2. **Hash-order iteration** — identifiers declared as `HashMap`/`HashSet`
+//!    (`name: HashMap<…>`, `name = HashMap::new()`, …) later used with an
+//!    iteration method (`iter`, `keys`, `values`, `drain`, `retain`, …) or
+//!    as a `for … in` source. Chains split across lines
+//!    (`self.entries\n    .iter()`) are matched on the joined code text.
+
+use super::{ident_before, is_ident, next_nonspace_in, token_matches};
+use crate::{FileView, Finding, Lint, LintConfig};
+
+/// Methods whose visit order follows the hasher.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// Runs L3 over one deterministic-core file.
+pub fn check(view: &FileView<'_>, _config: &LintConfig, findings: &mut Vec<Finding>) {
+    let code = &view.scanned.code;
+
+    // Sub-rule 1: clock reads.
+    for (idx, line) in code.iter().enumerate() {
+        if view.in_test[idx] {
+            continue;
+        }
+        for at in token_matches(line, "Instant::now") {
+            if !next_nonspace_in(line, at + "Instant::now".len(), &['(']) {
+                continue;
+            }
+            findings.push(finding(
+                view,
+                idx,
+                "clock read `Instant::now()` in the deterministic core — inject a \
+                 `Clock` instead, or justify with `lint:allow(determinism): <reason>`",
+            ));
+        }
+        if !token_matches(line, "SystemTime").is_empty() {
+            findings.push(finding(
+                view,
+                idx,
+                "`SystemTime` in the deterministic core — wall-clock values are not \
+                 reproducible; inject a `Clock` or justify with \
+                 `lint:allow(determinism): <reason>`",
+            ));
+        }
+    }
+
+    // Sub-rule 2: hash-order iteration.
+    let names = hash_container_names(code);
+    if names.is_empty() {
+        return;
+    }
+
+    // Joined code text with a start-offset per line, so `.iter()` on the
+    // line after its receiver still matches.
+    let mut joined = String::new();
+    let mut line_starts = Vec::with_capacity(code.len());
+    for line in code {
+        line_starts.push(joined.len());
+        joined.push_str(line);
+        joined.push('\n');
+    }
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    };
+
+    for name in &names {
+        for at in token_matches(&joined, name) {
+            let after = at + name.len();
+            if let Some((method, method_off)) = chained_method(&joined, after) {
+                if ITER_METHODS.contains(&method.as_str()) {
+                    let idx = line_of(method_off);
+                    if !view.in_test[idx] {
+                        findings.push(finding(
+                            view,
+                            idx,
+                            &format!(
+                                "hash-order iteration `{name}.{method}()` in the \
+                                 deterministic core — visit order follows the hasher; \
+                                 sort keys first or justify with \
+                                 `lint:allow(determinism): <reason>`"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // `for … in &name` / `for … in name` — IntoIterator on the map itself.
+    for (idx, line) in code.iter().enumerate() {
+        if view.in_test[idx] {
+            continue;
+        }
+        if token_matches(line, "for").is_empty() {
+            continue;
+        }
+        let Some(in_at) = token_matches(line, "in").into_iter().next() else {
+            continue;
+        };
+        for name in &names {
+            if !token_matches(&line[in_at..], name).is_empty() {
+                findings.push(finding(
+                    view,
+                    idx,
+                    &format!(
+                        "hash-order iteration `for … in {name}` in the deterministic \
+                         core — visit order follows the hasher; sort keys first or \
+                         justify with `lint:allow(determinism): <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn finding(view: &FileView<'_>, idx: usize, message: &str) -> Finding {
+    Finding {
+        path: view.rel_path.to_string(),
+        line: idx + 1,
+        lint: Lint::Determinism,
+        message: message.to_string(),
+    }
+}
+
+/// Identifiers declared in this file as `HashMap`/`HashSet`: the ident
+/// before `: HashMap<…>` (field/binding type ascription) or before
+/// `= HashMap::…` (constructor assignment).
+fn hash_container_names(code: &[String]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in code {
+        for ty in ["HashMap", "HashSet"] {
+            for at in token_matches(line, ty) {
+                let head = line[..at].trim_end();
+                let name = if let Some(head) = head.strip_suffix(':') {
+                    // `name: HashMap<…>`
+                    ident_before(head, head.len())
+                } else if let Some(head) = head.strip_suffix('=') {
+                    // `let name = HashMap::new()` / `name = HashMap::new()`
+                    ident_before(head, head.len())
+                } else {
+                    None
+                };
+                if let Some(name) = name {
+                    if name != "mut" && name != "let" && !names.iter().any(|n| n == name) {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// If the text at `from` (after skipping whitespace, including newlines) is
+/// `.method` followed by `(`, returns the method name and its byte offset.
+fn chained_method(joined: &str, from: usize) -> Option<(String, usize)> {
+    let rest = &joined[from..];
+    let dot_rel = rest.find(|c: char| !c.is_whitespace())?;
+    if !rest[dot_rel..].starts_with('.') {
+        return None;
+    }
+    let after_dot = from + dot_rel + 1;
+    let rest = &joined[after_dot..];
+    let name_rel = rest.find(|c: char| !c.is_whitespace())?;
+    let start = after_dot + name_rel;
+    let name: String = joined[start..]
+        .chars()
+        .take_while(|&c| is_ident(c))
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let end = start + name.len();
+    next_nonspace_in(joined, end, &['(']).then_some((name, start))
+}

@@ -1,0 +1,52 @@
+//! L1 `hotpath-alloc`: the configured hot-path modules must not call
+//! allocating constructors/adaptors outside test code. The dynamic
+//! complement is the counting-allocator tests (`crates/core/tests/
+//! alloc_free.rs`, `crates/serve/tests/alloc_free_serving.rs`); this lint
+//! catches the pattern *statically*, including on code paths no test
+//! exercises.
+//!
+//! `Vec::new()` itself performs no heap allocation — it is denied anyway
+//! because a fresh `Vec` on a hot path almost always means a per-call buffer
+//! that will grow where a reused workspace buffer should be; cold
+//! construction sites carry a reasoned `lint:allow`.
+
+use super::token_matches;
+use crate::{FileView, Finding, Lint, LintConfig};
+
+/// Tokens that allocate only when *called* — require `(` or a `::` turbofish
+/// after the match so a stray identifier (a field named `collect`, which is
+/// followed by a single `:`) cannot fire.
+fn requires_call_site(token: &str) -> bool {
+    !token.ends_with('!')
+}
+
+fn is_call_site(line: &str, from: usize) -> bool {
+    let rest = line[from..].trim_start();
+    rest.starts_with('(') || rest.starts_with("::")
+}
+
+/// Runs L1 over one hot-path file.
+pub fn check(view: &FileView<'_>, config: &LintConfig, findings: &mut Vec<Finding>) {
+    for (idx, line) in view.scanned.code.iter().enumerate() {
+        if view.in_test[idx] {
+            continue;
+        }
+        for token in &config.alloc_tokens {
+            for at in token_matches(line, token) {
+                if requires_call_site(token) && !is_call_site(line, at + token.len()) {
+                    continue;
+                }
+                findings.push(Finding {
+                    path: view.rel_path.to_string(),
+                    line: idx + 1,
+                    lint: Lint::HotpathAlloc,
+                    message: format!(
+                        "allocating call `{token}` in hot-path module (use a reused \
+                         workspace buffer, or justify with \
+                         `lint:allow(hotpath-alloc): <reason>`)"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The four analyzers. Each operates on the lexer's code channel — comments
+//! and literal contents are already gone — plus the shared per-line
+//! structure in [`crate::FileView`].
+
+pub mod determinism;
+pub mod hotpath_alloc;
+pub mod lock_scope;
+pub mod unsafe_audit;
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of every occurrence of `token` in `line` that sits on
+/// identifier boundaries: not preceded by an identifier character, and (for
+/// tokens ending in one) not followed by one — so `unsafe_code` never
+/// matches `unsafe`, and `recompute` never matches `compute`.
+pub(crate) fn token_matches(line: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(token) {
+        let at = from + rel;
+        let before_ok = at == 0 || !line[..at].chars().next_back().is_some_and(is_ident);
+        let end = at + token.len();
+        let token_ends_ident = token.chars().next_back().is_some_and(is_ident);
+        let after_ok = !token_ends_ident || !line[end..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + token.len();
+    }
+    out
+}
+
+/// Like [`token_matches`] but only the *leading* boundary is enforced: the
+/// match may continue into a longer identifier. This is the L2 semantics —
+/// `compute` catches `compute_into`, while `recompute` still does not match.
+pub(crate) fn prefix_matches(line: &str, prefix: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(prefix) {
+        let at = from + rel;
+        let before_ok = at == 0 || !line[..at].chars().next_back().is_some_and(is_ident);
+        if before_ok {
+            out.push(at);
+        }
+        from = at + prefix.len();
+    }
+    out
+}
+
+/// Whether the first non-whitespace character at or after `from` is in
+/// `expected`.
+pub(crate) fn next_nonspace_in(line: &str, from: usize, expected: &[char]) -> bool {
+    line[from..]
+        .chars()
+        .find(|c| !c.is_whitespace())
+        .is_some_and(|c| expected.contains(&c))
+}
+
+/// The identifier ending immediately before byte `at` (used to pull a guard
+/// binding's name out of `let mut guard = …`).
+pub(crate) fn ident_before(line: &str, at: usize) -> Option<&str> {
+    let head = &line[..at];
+    let trimmed = head.trim_end();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| is_ident(c))
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &trimmed[start..];
+    ident
+        .chars()
+        .next()
+        .is_some_and(|c| !c.is_numeric())
+        .then_some(ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_boundaries_hold() {
+        assert_eq!(token_matches("unsafe { }", "unsafe"), vec![0]);
+        assert!(token_matches("unsafe_code", "unsafe").is_empty());
+        assert!(token_matches("AssertUnwindSafe", "unsafe").is_empty());
+        assert!(token_matches("recompute(", "compute").is_empty());
+        assert!(token_matches("a.compute_into(b)", "compute").is_empty());
+        assert_eq!(token_matches("vec![0.0; n]", "vec!"), vec![0]);
+        assert!(token_matches("my_vec!", "vec!").is_empty());
+    }
+
+    #[test]
+    fn prefix_matches_extend_into_longer_idents() {
+        assert_eq!(prefix_matches("a.compute_into(b)", "compute"), vec![2]);
+        assert_eq!(prefix_matches("compute(", "compute"), vec![0]);
+        assert!(prefix_matches("recompute_warm(", "compute").is_empty());
+    }
+
+    #[test]
+    fn ident_before_finds_bindings() {
+        assert_eq!(ident_before("let mut guard = ", 14), Some("guard"));
+        assert_eq!(ident_before("let x=", 5), Some("x"));
+        assert_eq!(ident_before("   ", 3), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! L4 `unsafe-audit`: every `unsafe` keyword — blocks, fns, impls, and
+//! `unsafe fn` pointer types alike — must carry a written justification: a
+//! `// SAFETY:` comment either trailing on the same line or in the
+//! contiguous comment-only block directly above. Unlike L1–L3 this rule also
+//! applies inside test code: a test's raw-pointer dance needs the same audit
+//! trail as production's.
+
+use super::token_matches;
+use crate::{FileView, Finding, Lint};
+
+const TAG: &str = "SAFETY:";
+
+/// Runs L4 over one file (any file — there is no module scoping).
+pub fn check(view: &FileView<'_>, findings: &mut Vec<Finding>) {
+    let code = &view.scanned.code;
+    let comments = &view.scanned.comments;
+    for (idx, line) in code.iter().enumerate() {
+        let hits = token_matches(line, "unsafe").len();
+        if hits == 0 {
+            continue;
+        }
+        if has_safety_comment(code, comments, idx) {
+            continue;
+        }
+        for _ in 0..hits {
+            findings.push(Finding {
+                path: view.rel_path.to_string(),
+                line: idx + 1,
+                lint: Lint::UnsafeAudit,
+                message: "`unsafe` without an immediately preceding `// SAFETY:` \
+                          comment — write one on the line above (or trailing) \
+                          explaining why the invariants hold"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether line `idx` is covered by a `SAFETY:` comment: on the line itself,
+/// or anywhere in the unbroken run of comment-only lines directly above it.
+fn has_safety_comment(code: &[String], comments: &[String], idx: usize) -> bool {
+    if comments[idx].contains(TAG) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let comment_only = code[j].trim().is_empty() && !comments[j].trim().is_empty();
+        if !comment_only {
+            return false;
+        }
+        if comments[j].contains(TAG) {
+            return true;
+        }
+    }
+    false
+}

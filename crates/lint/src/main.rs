@@ -1,0 +1,67 @@
+//! `lkp-lint` CLI. Walks the workspace and prints every finding as
+//! `file:line: [lint] message`.
+//!
+//! ```text
+//! cargo run -p lkp-lint                 # report findings, always exit 0
+//! cargo run -p lkp-lint -- --deny-all   # exit 1 if any finding (the CI gate)
+//! cargo run -p lkp-lint -- --root PATH  # lint a different tree
+//! ```
+
+use lkp_lint::{lint_tree, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "lkp-lint: workspace static analysis\n\n\
+                     usage: lkp-lint [--deny-all] [--root PATH]\n\n\
+                     lints: hotpath-alloc, lock-scope, determinism, unsafe-audit\n\
+                     suppress with: // lint:allow(<name>): <reason>\n\
+                     catalog: docs/LINTS.md"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace that contains this crate
+    // (crates/lint/../..), so `cargo run -p lkp-lint` works from any cwd.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let config = LintConfig::repo_default();
+    let (findings, scanned) = lint_tree(&root, &config);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    eprintln!(
+        "lkp-lint: {} finding(s) across {scanned} file(s)",
+        findings.len()
+    );
+    if deny_all && !findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,145 @@
+//! Inline suppressions: `// lint:allow(<name>): <reason>`.
+//!
+//! A suppression silences findings of lint `<name>` on its own line and on
+//! the first code line below it — intervening comment-only lines are skipped,
+//! so a multi-line justification ending directly above the offending code
+//! covers it, as does a trailing comment. The reason is mandatory and checked:
+//! a bare `lint:allow(<name>)` — or one naming an unknown lint — suppresses
+//! nothing and is itself a [`Lint::BadAllow`] finding, so suppressions can
+//! never silently rot into unexplained exemptions.
+
+use crate::lexer::Scanned;
+use crate::{Finding, Lint};
+
+const MARKER: &str = "lint:allow(";
+
+/// One parsed `lint:allow` occurrence.
+#[derive(Debug)]
+pub struct Allow {
+    /// The lint named inside the parentheses (may be unknown).
+    pub name: String,
+    /// Whether a non-empty `: <reason>` followed.
+    pub has_reason: bool,
+}
+
+/// Parses every `lint:allow(...)` in one line's comment text.
+pub fn parse_allows(comment: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find(MARKER) {
+        rest = &rest[at + MARKER.len()..];
+        let Some(close) = rest.find(')') else { break };
+        let name = rest[..close].trim().to_string();
+        rest = &rest[close + 1..];
+        // Documentation placeholders (`lint:allow(<name>)`, `lint:allow(…)`)
+        // are not attempted suppressions; a *typo'd* real name still is.
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            continue;
+        }
+        let after = rest.trim_start();
+        let has_reason = after
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim_start_matches([' ', ':']).trim().is_empty());
+        out.push(Allow { name, has_reason });
+    }
+    out
+}
+
+/// Resolves suppressions for one file: drops findings covered by a valid
+/// allow on their line or the line above, and appends a [`Lint::BadAllow`]
+/// finding for every malformed allow.
+pub fn apply(rel_path: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
+    // allowed[i] = lints validly suppressed for source line i+1.
+    let mut allowed: Vec<Vec<Lint>> = vec![Vec::new(); scanned.len()];
+    for (idx, comment) in scanned.comments.iter().enumerate() {
+        if !comment.contains(MARKER) {
+            continue;
+        }
+        for allow in parse_allows(comment) {
+            let lint = Lint::from_allow_name(&allow.name);
+            match (lint, allow.has_reason) {
+                (Some(lint), true) => {
+                    // Covers this line, any comment-only continuation lines,
+                    // and the first code line after the comment block.
+                    allowed[idx].push(lint);
+                    let mut j = idx + 1;
+                    while j < allowed.len() {
+                        allowed[j].push(lint);
+                        let comment_only = scanned.code[j].trim().is_empty()
+                            && !scanned.comments[j].trim().is_empty();
+                        if !comment_only {
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+                (None, _) => findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    lint: Lint::BadAllow,
+                    message: format!(
+                        "lint:allow names unknown lint `{}` (known: hotpath-alloc, \
+                         lock-scope, determinism, unsafe-audit)",
+                        allow.name
+                    ),
+                }),
+                (Some(_), false) => findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    lint: Lint::BadAllow,
+                    message: format!(
+                        "lint:allow({}) has no reason — write \
+                         `lint:allow({}): <why this is sound>`",
+                        allow.name, allow.name
+                    ),
+                }),
+            }
+        }
+    }
+    findings.retain(|f| {
+        f.lint == Lint::BadAllow
+            || f.line == 0
+            || f.line > allowed.len()
+            || !allowed[f.line - 1].contains(&f.lint)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allow_with_reason() {
+        let allows = parse_allows("// lint:allow(hotpath-alloc): cold constructor");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].name, "hotpath-alloc");
+        assert!(allows[0].has_reason);
+    }
+
+    #[test]
+    fn bare_allow_has_no_reason() {
+        let allows = parse_allows("// lint:allow(determinism)");
+        assert_eq!(allows.len(), 1);
+        assert!(!allows[0].has_reason);
+        let allows = parse_allows("// lint:allow(determinism):   ");
+        assert!(!allows[0].has_reason);
+    }
+
+    #[test]
+    fn doc_placeholders_are_not_allows() {
+        assert!(parse_allows("// justify with `lint:allow(<name>): <reason>`").is_empty());
+        assert!(parse_allows("// e.g. `lint:allow(...)`").is_empty());
+        // …but a typo'd real name is still an (invalid) attempt.
+        assert_eq!(parse_allows("// lint:allow(hotpath_alloc): x").len(), 1);
+    }
+
+    #[test]
+    fn multiple_allows_on_one_line() {
+        let allows = parse_allows("// lint:allow(hotpath-alloc): a lint:allow(lock-scope): b");
+        assert_eq!(allows.len(), 2);
+        assert!(allows.iter().all(|a| a.has_reason));
+    }
+}

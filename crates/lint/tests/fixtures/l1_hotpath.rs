@@ -1,0 +1,54 @@
+//! L1 fixture: seeded hot-path allocation violations. Linted under a
+//! pretend hot-path module path by `tests/engine.rs`, which asserts the
+//! exact `line` of every finding — renumbering this file breaks that test.
+
+pub fn hot(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new(); // line 6: Vec::new
+    for &x in xs {
+        out.push(x);
+    }
+    out
+}
+
+pub fn table(n: usize) -> Vec<f64> {
+    vec![0.0; n] // line 14: vec!
+}
+
+pub fn owned(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec() // line 18: to_vec
+}
+
+pub fn gathered(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|&x| x * 2.0).collect() // line 22: collect
+}
+
+pub fn boxed(x: f64) -> Box<f64> {
+    Box::new(x) // line 26: Box::new
+}
+
+pub fn label(user: usize) -> String {
+    format!("user-{user}") // line 30: format!
+}
+
+pub fn name() -> String {
+    String::from("ranker") // line 34: String::from
+}
+
+// A field *named* collect must not fire (no call site follows).
+pub struct Stats {
+    pub collect: usize,
+}
+
+pub fn read(s: &Stats) -> usize {
+    s.collect
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from L1: this must NOT be a finding.
+    #[test]
+    fn alloc_in_tests_is_fine() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.iter().copied().collect::<Vec<_>>().len(), 3);
+    }
+}

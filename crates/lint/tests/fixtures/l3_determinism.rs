@@ -1,0 +1,48 @@
+//! L3 fixture: seeded determinism violations. `tests/engine.rs` asserts the
+//! exact `line` of every finding — renumbering this file breaks that test.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime}; // line 5: SystemTime (import counts)
+
+pub struct Registry {
+    entries: HashMap<u64, f64>,
+}
+
+impl Registry {
+    pub fn elapsed(&self) -> f64 {
+        let start = Instant::now(); // line 13: clock read
+        start.elapsed().as_secs_f64()
+    }
+
+    pub fn stamp(&self) -> SystemTime {
+        SystemTime::now() // lines 17+18: SystemTime mentions
+    }
+
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        for (_, v) in &self.entries {
+            // line 23: for … in over a HashMap
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn keys_in_hash_order(&self) -> usize {
+        self.entries.keys().count() // line 31: .keys()
+    }
+
+    pub fn chained_over_lines(&self) -> usize {
+        self.entries
+            .iter() // line 36: .iter() with receiver on the line above
+            .count()
+    }
+
+    /// OK: sorted iteration — the names differ, and `Vec` iteration is fine.
+    pub fn total_sorted(&self, sorted_keys: &[u64]) -> f64 {
+        let mut sum = 0.0;
+        for k in sorted_keys {
+            sum += self.entries.get(k).copied().unwrap_or(0.0);
+        }
+        sum
+    }
+}

@@ -1,0 +1,45 @@
+//! L4 fixture: seeded unsafe-audit violations. `tests/engine.rs` asserts
+//! the exact `line` of every finding — renumbering this file breaks it.
+
+pub fn bad_block(p: *const f64) -> f64 {
+    unsafe { *p } // line 5: no SAFETY comment
+}
+
+// line 9: unsafe fn without a SAFETY contract comment
+pub unsafe fn bad_fn(p: *const f64) -> f64 {
+    // SAFETY: caller promises `p` is valid (this inner comment covers the
+    // deref below, not the fn declaration above).
+    unsafe { *p }
+}
+
+pub fn good_block(p: *const f64) -> f64 {
+    // SAFETY: `p` comes from a live reference in the caller.
+    unsafe { *p }
+}
+
+pub fn good_trailing(p: *const f64) -> f64 {
+    unsafe { *p } // SAFETY: `p` comes from a live reference in the caller.
+}
+
+pub fn good_multiline(p: *const f64) -> f64 {
+    // SAFETY: the pointer is created from a reference one frame up and the
+    // borrow is still live for the whole call.
+    // (A continuation line between the tag and the code is fine.)
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);
+
+// line 34: unsafe impl without a SAFETY comment
+unsafe impl Send for Wrapper {}
+
+// SAFETY: the wrapped pointer is never dereferenced; it is an opaque token.
+unsafe impl Sync for Wrapper {}
+
+#[cfg(test)]
+mod tests {
+    // L4 applies to test code too.
+    pub fn bad_in_test(p: *const f64) -> f64 {
+        unsafe { *p } // line 43: finding even under cfg(test)
+    }
+}

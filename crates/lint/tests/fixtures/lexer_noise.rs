@@ -1,0 +1,30 @@
+//! Lexer-noise fixture: every lint token appears here ONLY inside comments,
+//! string literals, and raw strings. The engine test asserts this file
+//! produces zero findings even when linted as a hot-path + deterministic
+//! module — proving the analyzers run on the stripped code channel.
+//!
+//! Tokens in doc text: Vec::new() vec![] to_vec collect Box::new format!
+//! String::from Instant::now SystemTime unsafe .lock() assemble compute
+
+pub fn strings() -> (&'static str, &'static str, &'static str) {
+    let cooked = "Vec::new() collect() unsafe { *p } Instant::now()";
+    let raw = r#"vec![0.0; n] Box::new(x) SystemTime::now() .lock()"#;
+    let escaped = "quote \" then unsafe and format! and String::from";
+    (cooked, raw, escaped)
+}
+
+/* Block comment: let g = mutex.lock(); assemble_kernel(); compute_scores();
+   /* nested: HashMap::new() .iter() .keys() to_vec() */
+   still inside the outer comment: unsafe impl Send for T {} */
+pub fn after_block_comment() -> usize {
+    let bytes = b"unsafe collect vec![] .lock()";
+    let raw_bytes = br##"format!("{}") Instant::now() "# not the end"##;
+    bytes.len() + raw_bytes.len()
+}
+
+// Char literals and lifetimes must not derail the scanner.
+pub fn chars<'a>(s: &'a str) -> (char, char, &'a str) {
+    let brace = '{';
+    let quote = '"';
+    (brace, quote, s)
+}

@@ -1,0 +1,29 @@
+//! Suppression fixture: valid allows silence findings; malformed allows are
+//! findings themselves AND suppress nothing. `tests/engine.rs` asserts the
+//! exact `line` of every finding — renumbering this file breaks it.
+
+pub fn suppressed_trailing(n: usize) -> Vec<f64> {
+    vec![0.0; n] // lint:allow(hotpath-alloc): fixture — cold constructor
+}
+
+pub fn suppressed_above(n: usize) -> Vec<f64> {
+    // lint:allow(hotpath-alloc): fixture — cold constructor, with a
+    // continuation line between the allow and the code it covers.
+    vec![0.0; n]
+}
+
+pub fn bare_allow(n: usize) -> Vec<f64> {
+    // lint:allow(hotpath-alloc)
+    vec![0.0; n] // lines 16+17: bad-allow AND the original finding survive
+}
+
+pub fn unknown_name(n: usize) -> Vec<f64> {
+    // lint:allow(hotpath-allocs): typo'd lint name
+    vec![0.0; n] // lines 21+22: bad-allow AND the original finding survive
+}
+
+pub fn not_adjacent(n: usize) -> Vec<f64> {
+    // lint:allow(hotpath-alloc): too far away — a code line intervenes
+    let _unused = n;
+    vec![0.0; n] // line 28: finding survives (allow only reaches line 27)
+}

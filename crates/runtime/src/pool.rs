@@ -15,19 +15,24 @@ use std::thread::JoinHandle;
 #[derive(Clone, Copy)]
 struct JobPtr {
     data: *const (),
+    // SAFETY: callers of `call` must pass a `data` created from a live `&F`
+    // whose `F` matches the trampoline's monomorphization (see `call_job`).
     call: unsafe fn(*const (), usize, &mut WorkerState),
 }
 
-// Safety: the pointee is `Sync` (enforced by `run`'s bounds), and the
-// pointer's lifetime is bracketed by the dispatch barrier.
+// SAFETY: the pointee is `Sync` (enforced by `run`'s bounds), and the
+// pointer's lifetime is bracketed by the dispatch barrier, so sending the
+// pointer to worker threads cannot outlive the closure it points at.
 unsafe impl Send for JobPtr {}
 
+// SAFETY: contract — `data` must point at a live `F`; upheld by `run`,
+// which builds the pair and blocks until every worker has finished.
 unsafe fn call_job<F: Fn(usize, &mut WorkerState) + Sync>(
     data: *const (),
     worker: usize,
     state: &mut WorkerState,
 ) {
-    // Safety: `data` was created from a live `&F` by `run`, which blocks
+    // SAFETY: `data` was created from a live `&F` by `run`, which blocks
     // until every worker has finished with it.
     unsafe { (*(data as *const F))(worker, state) }
 }
@@ -237,7 +242,7 @@ impl WorkerPool {
                 } else {
                     end
                 };
-                // Safety: [run_start, run_end) sub-ranges are disjoint both
+                // SAFETY: [run_start, run_end) sub-ranges are disjoint both
                 // across workers (chunks) and within a worker (runs), and
                 // `run` does not return before every worker is done, so each
                 // sub-slice is exclusively borrowed for the dispatch.
@@ -274,7 +279,7 @@ impl WorkerPool {
                 return;
             }
             let value = f(start, &input[start..end], state);
-            // Safety: each worker writes only its own pre-allocated slot.
+            // SAFETY: each worker writes only its own pre-allocated slot.
             unsafe { *res_ptr.get().add(worker) = Some(value) };
         });
         results.into_iter().flatten().collect()
@@ -319,7 +324,11 @@ impl<T> SendPtr<T> {
     }
 }
 
+// SAFETY: the wrapped pointer is only dereferenced at construction-site
+// argued disjoint offsets, never concurrently at the same location.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared references to the wrapper expose only the raw pointer
+// value; all dereferences go through the per-site disjointness arguments.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 fn worker_loop(shared: &Shared, index: usize) {
@@ -341,7 +350,7 @@ fn worker_loop(shared: &Shared, index: usize) {
                 guard = shared.start.wait(guard).expect("pool lock");
             }
         };
-        // Safety: the job pointer stays valid until `run`'s barrier, which
+        // SAFETY: the job pointer stays valid until `run`'s barrier, which
         // cannot pass before the `remaining` decrement below.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe {
             (job.call)(job.data, index, &mut state)

@@ -74,6 +74,8 @@ pub(crate) struct CacheEntry {
 impl CacheEntry {
     pub(crate) fn empty() -> Self {
         CacheEntry {
+            // lint:allow(hotpath-alloc): empty placeholder built once per
+            // cache slot; refills reuse the buffer via `fill`.
             candidates: Vec::new(),
             form: EntryForm::Dense,
             block: Matrix::zeros(0, 0),

@@ -43,6 +43,7 @@ impl SharedKernelCache {
     /// Creates a cache with `shards` shards (clamped to ≥ 1).
     pub(crate) fn new(shards: usize) -> Self {
         SharedKernelCache {
+            // lint:allow(hotpath-alloc): one-time cache construction.
             shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
         }
     }
@@ -199,6 +200,8 @@ impl SharedKernelCache {
                     resident_bytes: guard.bytes,
                 }
             })
+            // lint:allow(hotpath-alloc): observability endpoint, not on the
+            // request path.
             .collect()
     }
 }

@@ -30,6 +30,8 @@ pub struct MonotonicClock {
 impl Default for MonotonicClock {
     fn default() -> Self {
         MonotonicClock {
+            // lint:allow(determinism): this IS the injected clock — the one
+            // sanctioned wall-clock read; core logic only sees `Clock::now`.
             origin: Instant::now(),
         }
     }
@@ -303,6 +305,8 @@ impl<M: Recommender + Sync> ServeFrontend<M> {
         }
         let now = self.clock.now();
         let before = self.done.len();
+        // lint:allow(determinism): the retain predicate is per-entry (age vs
+        // TTL) — the surviving set is identical whatever the visit order.
         self.done.retain(|_, d| now.saturating_sub(d.at) < ttl);
         let swept = before - self.done.len();
         self.stats.ttl_expired += swept as u64;

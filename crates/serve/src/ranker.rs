@@ -48,6 +48,8 @@ impl RankRequest {
 
     /// A request ranking the full catalog (small catalogs / offline use).
     pub fn full_catalog(user: usize, n_items: usize, top_n: usize) -> Self {
+        // lint:allow(hotpath-alloc): request-construction convenience for
+        // small catalogs and offline use, not the serving loop.
         RankRequest::new(user, (0..n_items).collect(), top_n)
     }
 
@@ -192,6 +194,8 @@ impl<M: Recommender> StagedSwap<M> {
         plan: &[(usize, Vec<usize>)],
     ) -> Self {
         let budget = config.kernel_cache_bytes;
+        // lint:allow(hotpath-alloc): staging runs off the serving path — the
+        // live ranker keeps serving until the atomic swap.
         let (mut order, mut dup, mut dedup) = (Vec::new(), Vec::new(), Vec::new());
         let mut warmed = 0;
         let mut shared = None;
@@ -295,6 +299,8 @@ impl<M: Recommender + Sync> Ranker<M> {
     /// Serves one batch of requests, one response per request in request
     /// order.
     pub fn rank_batch(&mut self, requests: &[RankRequest]) -> Vec<RankResponse> {
+        // lint:allow(hotpath-alloc): owned-return convenience wrapper; the
+        // zero-alloc serving path is `rank_batch_into` with reused buffers.
         let mut out = Vec::new();
         self.rank_batch_into(requests, &mut out);
         out
@@ -454,6 +460,8 @@ impl<M: Recommender + Sync> Ranker<M> {
         let config = &self.config;
         match &self.shared {
             Some(cache) => {
+                // lint:allow(hotpath-alloc): prewarm is a cold warm-up pass
+                // that runs before traffic, not per request.
                 let (mut order, mut dup, mut dedup) = (Vec::new(), Vec::new(), Vec::new());
                 let mut warmed = 0;
                 for (user, candidates) in pairs {
@@ -544,6 +552,8 @@ impl<M: Recommender + Sync> Ranker<M> {
         match &self.shared {
             Some(cache) => CacheStats::from_shards(cache.stats()),
             None => {
+                // lint:allow(hotpath-alloc): observability endpoint, called by
+                // operators — not on the request path.
                 let rows = std::sync::Mutex::new(vec![ShardStats::default(); self.pool.threads()]);
                 self.pool.run(|worker, state| {
                     // Optional accessor: idle workers stay untouched instead
