@@ -1,0 +1,205 @@
+//! Deterministic uneven-work scheduling over the pool.
+//!
+//! [`crate::WorkerPool::zip_chunks`] splits work into contiguous equal-count
+//! chunks — the right shape when every element costs about the same. Sharded
+//! serving breaks that assumption: one batch turns into a bag of per-shard
+//! tasks whose costs differ by orders of magnitude (a shard holding 800 of a
+//! request's candidates vs one holding 3). A [`TaskPlan`] assigns such tasks
+//! to workers with the classic LPT (longest-processing-time-first) greedy —
+//! sort by declared cost, give each task to the least-loaded worker — made
+//! fully deterministic by tie-breaks on task index and worker index, so the
+//! same costs always produce the same assignment regardless of timing.
+//!
+//! The plan is data, not execution: build it on the caller, then hand it to
+//! [`crate::WorkerPool::run_plan_mut`] together with one `&mut` item per
+//! task. Determinism of the *assignment* is what lets consumers report
+//! per-task observability (which worker built which cache entry) without
+//! run-to-run noise; the task *results* must not depend on worker identity
+//! at all, which is the consumer's contract exactly as with `zip_chunks`.
+
+/// A deterministic assignment of variable-cost tasks to pool workers.
+///
+/// Reusable: [`TaskPlan::assign`] clears and refills every buffer, so a plan
+/// held across serving batches reaches a steady state where replanning
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct TaskPlan {
+    /// Flat per-worker task lists: worker `w`'s tasks are
+    /// `tasks[offsets[w]..offsets[w + 1]]`, in descending-cost order.
+    tasks: Vec<u32>,
+    offsets: Vec<u32>,
+    /// Scratch: task indices sorted by (cost desc, index asc).
+    order: Vec<u32>,
+    /// Scratch: per-worker accumulated load during assignment; kept after
+    /// for observability.
+    loads: Vec<u64>,
+    /// Scratch: per-worker list heads while bucketing.
+    cursor: Vec<u32>,
+    /// Assignment of each task to its worker.
+    worker_of: Vec<u32>,
+    workers: usize,
+}
+
+impl TaskPlan {
+    /// Creates an empty plan (buffers grow on first [`TaskPlan::assign`]).
+    pub fn new() -> Self {
+        TaskPlan::default()
+    }
+
+    /// Assigns tasks `0..costs.len()` to `workers` workers by deterministic
+    /// LPT: tasks in (cost desc, index asc) order each go to the currently
+    /// least-loaded worker (ties to the lowest worker index). Costs are
+    /// relative units — only their ratios matter for balance.
+    pub fn assign(&mut self, costs: &[u64], workers: usize) {
+        let workers = workers.max(1);
+        self.workers = workers;
+        let n = costs.len();
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        self.order
+            .sort_unstable_by(|&a, &b| costs[b as usize].cmp(&costs[a as usize]).then(a.cmp(&b)));
+        self.loads.clear();
+        self.loads.resize(workers, 0);
+        self.worker_of.clear();
+        self.worker_of.resize(n, 0);
+        self.cursor.clear();
+        self.cursor.resize(workers, 0);
+        for &t in &self.order {
+            let mut best = 0usize;
+            for w in 1..workers {
+                if self.loads[w] < self.loads[best] {
+                    best = w;
+                }
+            }
+            self.worker_of[t as usize] = best as u32;
+            self.loads[best] += costs[t as usize];
+            self.cursor[best] += 1;
+        }
+        // Bucket the sorted order into per-worker lists (counting sort over
+        // the assignment): each worker's list keeps descending-cost order.
+        self.offsets.clear();
+        self.offsets.resize(workers + 1, 0);
+        for w in 0..workers {
+            self.offsets[w + 1] = self.offsets[w] + self.cursor[w];
+        }
+        self.cursor.copy_from_slice(&self.offsets[..workers]);
+        self.tasks.clear();
+        self.tasks.resize(n, 0);
+        for &t in &self.order {
+            let w = self.worker_of[t as usize] as usize;
+            self.tasks[self.cursor[w] as usize] = t;
+            self.cursor[w] += 1;
+        }
+    }
+
+    /// Number of tasks in the plan.
+    pub fn len(&self) -> usize {
+        self.worker_of.len()
+    }
+
+    /// Whether the plan holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.worker_of.is_empty()
+    }
+
+    /// Workers the plan was built for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Task indices assigned to `worker`, in descending-cost order.
+    pub fn assigned(&self, worker: usize) -> &[u32] {
+        &self.tasks[self.offsets[worker] as usize..self.offsets[worker + 1] as usize]
+    }
+
+    /// The worker each task was assigned to.
+    pub fn worker_of(&self, task: usize) -> usize {
+        self.worker_of[task] as usize
+    }
+
+    /// Per-worker total declared cost of the last assignment.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn makespan(plan: &TaskPlan) -> u64 {
+        plan.loads().iter().copied().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn every_task_assigned_exactly_once() {
+        let mut plan = TaskPlan::new();
+        for workers in [1, 2, 4, 7] {
+            for n in [0usize, 1, 5, 16, 33] {
+                let costs: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 101 + 1).collect();
+                plan.assign(&costs, workers);
+                let mut seen = vec![false; n];
+                for w in 0..workers {
+                    for &t in plan.assigned(w) {
+                        assert!(!seen[t as usize], "task {t} assigned twice");
+                        seen[t as usize] = true;
+                        assert_eq!(plan.worker_of(t as usize), w);
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "workers={workers} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let costs: Vec<u64> = (0..40u64).map(|i| (i * 13) % 17 + 1).collect();
+        let mut a = TaskPlan::new();
+        let mut b = TaskPlan::new();
+        a.assign(&costs, 4);
+        // Drive `b` through other shapes first: reuse must not leak.
+        b.assign(&[5, 5, 5], 2);
+        b.assign(&costs, 4);
+        for w in 0..4 {
+            assert_eq!(a.assigned(w), b.assigned(w), "worker {w}");
+        }
+        assert_eq!(a.loads(), b.loads());
+    }
+
+    #[test]
+    fn equal_costs_tie_break_by_index_and_worker() {
+        // All-equal costs: LPT degenerates to round-robin in index order.
+        let mut plan = TaskPlan::new();
+        plan.assign(&[7; 6], 3);
+        assert_eq!(plan.assigned(0), &[0, 3]);
+        assert_eq!(plan.assigned(1), &[1, 4]);
+        assert_eq!(plan.assigned(2), &[2, 5]);
+    }
+
+    #[test]
+    fn lpt_balances_skewed_costs() {
+        // One huge task + many small: the huge task gets a worker almost to
+        // itself. LPT guarantees makespan ≤ ideal + max single cost.
+        let mut costs = vec![1000u64];
+        costs.extend(std::iter::repeat_n(10u64, 100));
+        let mut plan = TaskPlan::new();
+        for workers in [2, 4, 8] {
+            plan.assign(&costs, workers);
+            let total: u64 = costs.iter().sum();
+            let ideal = total.div_ceil(workers as u64);
+            assert!(
+                makespan(&plan) <= ideal + 1000,
+                "workers={workers}: makespan {} vs ideal {ideal}",
+                makespan(&plan)
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_takes_everything_in_cost_order() {
+        let mut plan = TaskPlan::new();
+        plan.assign(&[3, 9, 1], 1);
+        assert_eq!(plan.assigned(0), &[1, 0, 2]);
+        assert_eq!(plan.loads(), &[13]);
+    }
+}

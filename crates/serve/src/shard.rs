@@ -1,0 +1,1056 @@
+//! Sharded artifacts: parallel per-shard greedy MAP with a bit-exact merge.
+//!
+//! Unsharded serving assembles one `O(|C|²)` tailored kernel per request and
+//! runs one greedy MAP over it — a single task no pool can split. Sharding
+//! splits the *catalog* instead: a [`ShardPartition`] assigns every item to
+//! one of `N` shards, so each request's candidates fan out into per-shard
+//! slots whose tailored blocks are `O((|C|/N)²)` (dense) or `O((|C|/N)·d)`
+//! (dual) — quadratically smaller cache entries that raise resident-set hit
+//! rates under the same byte budget, and independently assemblable tasks the
+//! [`lkp_runtime::WorkerPool`] can balance ([`lkp_runtime::TaskPlan`]).
+//!
+//! Serving is two-phase:
+//!
+//! 1. **Per-shard prefixes** (parallel): each slot pulls its own kernel
+//!    block through the existing byte-budgeted caches (keyed per
+//!    `(user, shard)`), assembles its tailored block with the unsharded
+//!    path's exact arithmetic, and runs a local greedy MAP prefix of length
+//!    `min(k, |C_s|)`.
+//! 2. **Marginal-gain merge ladder** (per request): a lazy-greedy max-heap
+//!    over *all* of the request's candidates, seeded with the per-shard
+//!    diagonals and re-scored on demand against the globally selected set
+//!    ([`lkp_dpp::conditioned_greedy_merge`]). Same-shard kernel entries
+//!    come from the slot's assembled block; cross-shard entries are computed
+//!    from gathered factor rows — bitwise identical to the entries the full
+//!    assembly would have produced, because both are the same factor-row dot
+//!    products combined in the same IEEE operation order.
+//!
+//! The merged list is therefore **bitwise identical** to unsharded serving
+//! (`serving_sharded_equivalence` gates this in CI, in the style of the
+//! dual-serving gate). Whenever the lazy ladder cannot promise that —
+//! non-finite arithmetic, a dual guard trip, fault injection — the request
+//! is re-served on the stock unsharded path, which is bit-exact by
+//! definition ([`crate::Ranker::shard_fallbacks`] counts these). Requests
+//! that already bypass the kernel caches (degraded rerank heads) are served
+//! directly on the stock path: degradation caps the DPP ladder, not the
+//! shard partition — the shard state and its warm caches are untouched.
+
+use crate::cache::{EntryForm, SharedKernelCache};
+use crate::ranker::{dedup_first_occurrence, entry_form, serve_request, ServeWorkspace};
+use crate::{RankOutcome, RankRequest, RankResponse, RankingArtifact, ServeConfig};
+use lkp_dpp::{
+    conditioned_greedy_merge, greedy_map_dual_with, greedy_map_with, MergeGuard, MergeOutcome,
+};
+use lkp_linalg::{ops, Matrix};
+use lkp_models::Recommender;
+use lkp_runtime::{TaskPlan, WorkerPool, WorkerState};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Items a popularity probe samples to order the catalog (capped so
+/// partition construction stays `O(n_items · (32 + log n_items))`).
+const POPULARITY_SAMPLE_USERS: usize = 32;
+
+/// An item → shard assignment over a popularity-ordered permutation.
+///
+/// Items are ranked by a popularity proxy (summed `|score|` over a strided
+/// sample of users, most popular first), and rank `r` goes to shard
+/// `r mod N`: each shard owns a contiguous range of the shard-major
+/// permutation ([`ShardPartition::items`]) holding every `N`-th popularity
+/// rank, so hot items spread evenly instead of piling onto one shard.
+/// Construction is deterministic (ties break by item id; non-finite or
+/// panicking scores contribute zero popularity), so every ranker built from
+/// the same artifact partitions identically.
+#[derive(Debug, Clone)]
+pub struct ShardPartition {
+    /// Shard owning each item.
+    shard_of: Vec<u32>,
+    /// Items in shard-major order: shard `s` owns
+    /// `perm[offsets[s]..offsets[s + 1]]`.
+    perm: Vec<u32>,
+    offsets: Vec<usize>,
+}
+
+impl ShardPartition {
+    /// Partitions `artifact`'s catalog into `n_shards` shards (clamped to
+    /// `1..=n_items`). Runs off the serving path — once per ranker or
+    /// staged swap.
+    pub fn build<M: Recommender>(artifact: &RankingArtifact<M>, n_shards: usize) -> Self {
+        let n_items = artifact.n_items();
+        let n = n_shards.clamp(1, n_items.max(1));
+        // lint:allow(hotpath-alloc): partition construction is a one-time
+        // per-artifact cost, not the request path.
+        let mut pop = vec![0.0f64; n_items];
+        let all: Vec<usize> = (0..n_items).collect(); // lint:allow(hotpath-alloc): construction
+        let mut scores = Vec::new(); // lint:allow(hotpath-alloc): construction
+        let samples = artifact.n_users().min(POPULARITY_SAMPLE_USERS);
+        for t in 0..samples {
+            let u = t * artifact.n_users() / samples;
+            // A model that panics or NaNs for a sampled user must not make
+            // the partition unbuildable — that user just contributes no
+            // popularity signal (still deterministic).
+            let ok = catch_unwind(AssertUnwindSafe(|| {
+                artifact.model().score_items_into(u, &all, &mut scores)
+            }))
+            .is_ok();
+            if !ok || scores.len() != n_items {
+                scores.clear();
+                continue;
+            }
+            for (p, &s) in pop.iter_mut().zip(scores.iter()) {
+                if s.is_finite() {
+                    *p += s.abs();
+                }
+            }
+        }
+        let mut by_rank: Vec<u32> = (0..n_items as u32).collect(); // lint:allow(hotpath-alloc): construction
+        by_rank.sort_by(|&a, &b| pop[b as usize].total_cmp(&pop[a as usize]).then(a.cmp(&b)));
+        let mut shard_of = vec![0u32; n_items]; // lint:allow(hotpath-alloc): construction
+        let mut counts = vec![0usize; n]; // lint:allow(hotpath-alloc): construction
+        for (r, &item) in by_rank.iter().enumerate() {
+            let s = r % n;
+            shard_of[item as usize] = s as u32;
+            counts[s] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1]; // lint:allow(hotpath-alloc): construction
+        for s in 0..n {
+            offsets[s + 1] = offsets[s] + counts[s];
+        }
+        let mut cursor = offsets.clone(); // lint:allow(hotpath-alloc): construction
+        cursor.truncate(n);
+        let mut perm = vec![0u32; n_items]; // lint:allow(hotpath-alloc): construction
+        for (r, &item) in by_rank.iter().enumerate() {
+            let s = r % n;
+            perm[cursor[s]] = item;
+            cursor[s] += 1;
+        }
+        ShardPartition {
+            shard_of,
+            perm,
+            offsets,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The shard owning `item`.
+    pub fn shard_of(&self, item: usize) -> usize {
+        self.shard_of[item] as usize
+    }
+
+    /// The items shard `shard` owns (its contiguous range of the shard-major
+    /// popularity permutation, most popular first).
+    pub fn items(&self, shard: usize) -> &[u32] {
+        &self.perm[self.offsets[shard]..self.offsets[shard + 1]]
+    }
+
+    /// Per-shard item counts (balanced within 1 by construction).
+    pub fn count(&self, shard: usize) -> usize {
+        self.offsets[shard + 1] - self.offsets[shard]
+    }
+}
+
+/// A [`RankingArtifact`] paired with its [`ShardPartition`] — the
+/// transportable unit of sharded serving. [`crate::Ranker::from_sharded`]
+/// serves from the precomputed partition; splitting and serving separately
+/// is what a future cross-host deployment would ship per shard host.
+#[derive(Debug, Clone)]
+pub struct ShardedArtifact<M> {
+    artifact: RankingArtifact<M>,
+    partition: ShardPartition,
+}
+
+impl<M: Recommender> ShardedArtifact<M> {
+    /// Splits `artifact` into `n_shards` popularity-balanced item-range
+    /// shards (clamped to `1..=n_items`).
+    pub fn split(artifact: RankingArtifact<M>, n_shards: usize) -> Self {
+        let partition = ShardPartition::build(&artifact, n_shards);
+        ShardedArtifact {
+            artifact,
+            partition,
+        }
+    }
+
+    /// The underlying artifact.
+    pub fn artifact(&self) -> &RankingArtifact<M> {
+        &self.artifact
+    }
+
+    /// The item → shard assignment.
+    pub fn partition(&self) -> &ShardPartition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.partition.n_shards()
+    }
+
+    /// Decomposes into the artifact and its partition.
+    pub fn into_parts(self) -> (RankingArtifact<M>, ShardPartition) {
+        (self.artifact, self.partition)
+    }
+}
+
+/// The cache key for a `(user, shard)` kernel piece. Composed keys from
+/// different `(user, shard)` pairs never collide with each other; they can
+/// collide with a *raw* user key left by a stock-path fallback rerun, which
+/// entry validation (exact candidate list + form) turns into a rebuild, not
+/// a wrong answer.
+pub(crate) fn compose_key(user: usize, n_shards: usize, shard: usize) -> usize {
+    user.wrapping_mul(n_shards).wrapping_add(shard)
+}
+
+/// Splits a deduplicated candidate list into per-shard sublists (reusing
+/// `per_shard`'s buffers) — the prewarm-side mirror of request planning.
+pub(crate) fn split_candidates(
+    partition: &ShardPartition,
+    candidates: &[usize],
+    per_shard: &mut Vec<Vec<usize>>,
+) {
+    let n = partition.n_shards();
+    if per_shard.len() < n {
+        per_shard.resize_with(n, Vec::new);
+    }
+    for list in per_shard.iter_mut() {
+        list.clear();
+    }
+    for &item in candidates {
+        per_shard[partition.shard_of(item)].push(item);
+    }
+}
+
+/// How a request leaves planning (phase 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ReqStatus {
+    /// Response fully written in phase 0 (invalid / empty / failed /
+    /// panicked): later phases skip it.
+    #[default]
+    Done,
+    /// Served by the stock unsharded path in phase 2 (degraded rerank
+    /// heads, which bypass the kernel caches by design).
+    Direct,
+    /// Fanned out into per-shard slots; merged in phase 2.
+    Sharded,
+}
+
+/// One request's plan: the deduplicated pool, its quality map, and the
+/// position → slot routing the merge ladder reads.
+#[derive(Default)]
+struct ReqPlan {
+    status: ReqStatus,
+    /// Deduplicated candidates (first occurrences, request order).
+    cands: Vec<usize>,
+    /// Quality `q = exp(clamp(ŷ))` per deduplicated position — one scoring
+    /// pass over the full pool, bitwise the unsharded path's.
+    q: Vec<f64>,
+    /// Selection length, already clamped to the pool.
+    k: usize,
+    /// Global slot ids of this request's non-empty shards.
+    slots: Vec<u32>,
+    /// Per deduplicated position: index into `slots`.
+    slot_of: Vec<u32>,
+    /// Per deduplicated position: index within its slot.
+    local_of: Vec<u32>,
+    /// Declared phase-2 cost for the task plan.
+    cost: u64,
+}
+
+/// One (request, shard) unit of phase-1 work: the shard's candidates, its
+/// kernel block and tailored assembly, and its local greedy MAP prefix.
+struct ShardSlot {
+    req: u32,
+    shard: u32,
+    user: usize,
+    form: EntryForm,
+    /// Whether this slot holds the request's whole pool (its local prefix
+    /// is then the exact unsharded answer and no merge runs).
+    solo: bool,
+    k_local: usize,
+    cands: Vec<usize>,
+    /// Global deduplicated position of each slot candidate.
+    pos: Vec<u32>,
+    q: Vec<f64>,
+    /// Shared-cache staging copy of the kernel block.
+    sub: Matrix,
+    /// Factor rows `V_C` for cross-shard dense entries.
+    vc: Matrix,
+    /// Dual factor `B = Diag(q)·V_C`.
+    b: Matrix,
+    /// Tailored dense kernel block.
+    l: Matrix,
+    /// Tailored diagonal (the merge ladder's gain seeds).
+    diag: Vec<f64>,
+    map: lkp_dpp::MapWorkspace,
+    dual_map: lkp_dpp::DualMapWorkspace,
+    hit: bool,
+    /// Dual recursion error in the local prefix.
+    broke: bool,
+    /// Dense MAP error in the local prefix.
+    map_err: bool,
+    panicked: bool,
+}
+
+impl Default for ShardSlot {
+    fn default() -> Self {
+        ShardSlot {
+            req: 0,
+            shard: 0,
+            user: 0,
+            form: EntryForm::Dense,
+            solo: false,
+            k_local: 0,
+            // lint:allow(hotpath-alloc): slot construction happens only
+            // while the slot pool grows to its high-water mark; steady-state
+            // batches reuse resident slots.
+            cands: Vec::new(),
+            pos: Vec::new(), // lint:allow(hotpath-alloc): slot-pool growth only
+            q: Vec::new(),   // lint:allow(hotpath-alloc): slot-pool growth only
+            sub: Matrix::default(),
+            vc: Matrix::default(),
+            b: Matrix::default(),
+            l: Matrix::default(),
+            diag: Vec::new(), // lint:allow(hotpath-alloc): slot-pool growth only
+            map: lkp_dpp::MapWorkspace::default(),
+            dual_map: lkp_dpp::DualMapWorkspace::default(),
+            hit: false,
+            broke: false,
+            map_err: false,
+            panicked: false,
+        }
+    }
+}
+
+/// All sharded-serving state a [`crate::Ranker`] owns: the partition plus
+/// every reusable buffer of the two-phase path. Slots and plans are pooled
+/// and clear-and-refilled, so steady-state batches of a stable shape
+/// allocate only on kernel-cache insertions — the same contract as the
+/// unsharded path.
+pub(crate) struct ShardState {
+    pub(crate) partition: ShardPartition,
+    slots: Vec<ShardSlot>,
+    slots_used: usize,
+    plans: Vec<ReqPlan>,
+    costs1: Vec<u64>,
+    costs2: Vec<u64>,
+    plan1: TaskPlan,
+    plan2: TaskPlan,
+    /// Phase-0 caller scratch (dedup permutation, duplicate mask, rebuilt
+    /// list, raw scores, per-shard slot lookup).
+    order: Vec<u32>,
+    dup: Vec<bool>,
+    dedup: Vec<usize>,
+    scores: Vec<f64>,
+    slot_at: Vec<u32>,
+}
+
+impl ShardState {
+    pub(crate) fn new(partition: ShardPartition) -> Self {
+        ShardState {
+            partition,
+            // lint:allow(hotpath-alloc): ranker construction; every buffer
+            // below is pooled and reused across batches.
+            slots: Vec::new(),
+            slots_used: 0,
+            plans: Vec::new(),  // lint:allow(hotpath-alloc): construction
+            costs1: Vec::new(), // lint:allow(hotpath-alloc): construction
+            costs2: Vec::new(), // lint:allow(hotpath-alloc): construction
+            plan1: TaskPlan::new(),
+            plan2: TaskPlan::new(),
+            order: Vec::new(),   // lint:allow(hotpath-alloc): construction
+            dup: Vec::new(),     // lint:allow(hotpath-alloc): construction
+            dedup: Vec::new(),   // lint:allow(hotpath-alloc): construction
+            scores: Vec::new(),  // lint:allow(hotpath-alloc): construction
+            slot_at: Vec::new(), // lint:allow(hotpath-alloc): construction
+        }
+    }
+
+    /// Serves one batch on the two-phase sharded path. Output order matches
+    /// request order and responses are bitwise identical to the unsharded
+    /// path at any pool width.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rank_batch<M: Recommender + Sync>(
+        &mut self,
+        artifact: &RankingArtifact<M>,
+        config: &ServeConfig,
+        shared: Option<&SharedKernelCache>,
+        pool: &mut WorkerPool,
+        requests: &[RankRequest],
+        out: &mut [RankResponse],
+        generation: u64,
+    ) {
+        if requests.is_empty() {
+            return;
+        }
+        // Phase 0 (serial, caller): validate, dedup, score, fan out.
+        self.slots_used = 0;
+        self.costs1.clear();
+        if self.plans.len() < requests.len() {
+            self.plans.resize_with(requests.len(), ReqPlan::default);
+        }
+        for (r, (req, resp)) in requests.iter().zip(out.iter_mut()).enumerate() {
+            self.plan_one(artifact, config, r, req, resp, generation);
+        }
+        let threads = pool.threads();
+        let ShardState {
+            partition,
+            slots,
+            slots_used,
+            plans,
+            costs1,
+            costs2,
+            plan1,
+            plan2,
+            ..
+        } = self;
+        let n_shards = partition.n_shards();
+        // Phase 1 (parallel): per-shard kernel blocks + greedy MAP prefixes,
+        // LPT-balanced over the pool by declared cost — slot sizes differ by
+        // orders of magnitude, so equal-count chunking would leave most
+        // workers idle behind the biggest shard.
+        plan1.assign(costs1, threads);
+        pool.run_plan_mut(plan1, &mut slots[..*slots_used], |_, slot, state| {
+            run_slot(artifact, config, shared, state, slot, n_shards);
+        });
+        // Phase 2 (parallel): merge ladders / direct serves, one task per
+        // request.
+        costs2.clear();
+        let plans = &plans[..requests.len()];
+        costs2.extend(plans.iter().map(|p| p.cost));
+        plan2.assign(costs2, threads);
+        let slots = &slots[..*slots_used];
+        pool.run_plan_mut(plan2, out, |r, resp, state| {
+            finish_request(
+                artifact,
+                config,
+                shared,
+                state,
+                &plans[r],
+                slots,
+                &requests[r],
+                resp,
+                generation,
+            );
+        });
+    }
+
+    /// [`ShardState::rank_batch`] for a single request on the caller thread
+    /// (no pool dispatch) — the sharded `rank_one`. Runs the same three
+    /// phases sequentially against the caller's worker state, so the
+    /// response is bitwise identical to the batched path's.
+    pub(crate) fn rank_one<M: Recommender>(
+        &mut self,
+        artifact: &RankingArtifact<M>,
+        config: &ServeConfig,
+        shared: Option<&SharedKernelCache>,
+        state: &mut WorkerState,
+        req: &RankRequest,
+        generation: u64,
+    ) -> RankResponse {
+        let mut resp = RankResponse::default();
+        self.slots_used = 0;
+        self.costs1.clear();
+        if self.plans.is_empty() {
+            self.plans.resize_with(1, ReqPlan::default);
+        }
+        self.plan_one(artifact, config, 0, req, &mut resp, generation);
+        let n_shards = self.partition.n_shards();
+        for gid in 0..self.slots_used {
+            run_slot(
+                artifact,
+                config,
+                shared,
+                state,
+                &mut self.slots[gid],
+                n_shards,
+            );
+        }
+        finish_request(
+            artifact,
+            config,
+            shared,
+            state,
+            &self.plans[0],
+            &self.slots[..self.slots_used],
+            req,
+            &mut resp,
+            generation,
+        );
+        resp
+    }
+
+    /// Phase 0 for one request, behind the same per-request panic shield as
+    /// the stock path (a panicking scorer poisons only this response; slots
+    /// appended before the panic are rolled back).
+    fn plan_one<M: Recommender>(
+        &mut self,
+        artifact: &RankingArtifact<M>,
+        config: &ServeConfig,
+        r: usize,
+        req: &RankRequest,
+        resp: &mut RankResponse,
+        generation: u64,
+    ) {
+        let slots_before = self.slots_used;
+        let costs_before = self.costs1.len();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.plan_one_inner(artifact, config, r, req, resp, generation)
+        }));
+        if result.is_err() {
+            self.slots_used = slots_before;
+            self.costs1.truncate(costs_before);
+            self.plans[r].status = ReqStatus::Done;
+            self.plans[r].cost = 1;
+            resp.user = req.user;
+            resp.items.clear();
+            resp.log_det = 0.0;
+            resp.cache_hit = false;
+            resp.degraded = false;
+            resp.generation = generation;
+            resp.outcome = RankOutcome::Panicked;
+        }
+    }
+
+    fn plan_one_inner<M: Recommender>(
+        &mut self,
+        artifact: &RankingArtifact<M>,
+        config: &ServeConfig,
+        r: usize,
+        req: &RankRequest,
+        resp: &mut RankResponse,
+        generation: u64,
+    ) {
+        // Response defaults and validation mirror `serve_one` exactly.
+        resp.user = req.user;
+        resp.items.clear();
+        resp.log_det = 0.0;
+        resp.cache_hit = false;
+        resp.outcome = RankOutcome::Served;
+        resp.degraded = false;
+        resp.generation = generation;
+        self.plans[r].status = ReqStatus::Done;
+        self.plans[r].cost = 1;
+
+        let n_items = artifact.n_items();
+        if req.candidates.is_empty()
+            || req.user >= artifact.n_users()
+            || req.candidates.iter().any(|&i| i >= n_items)
+        {
+            resp.outcome = RankOutcome::Invalid;
+            return;
+        }
+        if req.top_n == 0 {
+            return;
+        }
+        let candidates = dedup_first_occurrence(
+            &req.candidates,
+            &mut self.order,
+            &mut self.dup,
+            &mut self.dedup,
+        );
+        let c = candidates.len();
+        if req.rerank_head > 0 && req.rerank_head < c {
+            // Degraded: the stock path serves it in phase 2 (it bypasses the
+            // kernel caches anyway) — bit-exact with unsharded degraded
+            // serving. The cap limits the DPP ladder, never the shard state.
+            self.plans[r].status = ReqStatus::Direct;
+            self.plans[r].cost = (req.rerank_head as u64) * (req.rerank_head as u64) + 1;
+            return;
+        }
+
+        // One scoring pass over the full deduplicated pool — the same single
+        // `score_items_into` call as the unsharded path, so `q` is bitwise
+        // identical no matter how the pool later splits.
+        artifact
+            .model()
+            .score_items_into(req.user, candidates, &mut self.scores);
+        if self.scores.iter().any(|s| s.is_nan()) {
+            resp.outcome = RankOutcome::Failed;
+            return;
+        }
+        let plan = &mut self.plans[r];
+        plan.cands.clear();
+        plan.cands.extend_from_slice(candidates);
+        plan.q.clear();
+        plan.q.extend(
+            self.scores
+                .iter()
+                .map(|&s| s.clamp(-config.score_clamp, config.score_clamp).exp()),
+        );
+        plan.k = req.top_n.min(c);
+        // The form decision keys on the *full* effective pool, so every
+        // shard routes exactly like the unsharded request would.
+        let form = entry_form(config, c);
+
+        // Fan out by shard, preserving deduplicated order within each slot.
+        let n_shards = self.partition.n_shards();
+        self.slot_at.clear();
+        self.slot_at.resize(n_shards, u32::MAX);
+        plan.slots.clear();
+        plan.slot_of.clear();
+        plan.local_of.clear();
+        for (p, &item) in plan.cands.iter().enumerate() {
+            let s = self.partition.shard_of(item);
+            let mut sl = self.slot_at[s];
+            if sl == u32::MAX {
+                sl = plan.slots.len() as u32;
+                self.slot_at[s] = sl;
+                let gid = self.slots_used;
+                if self.slots.len() == gid {
+                    self.slots.push(ShardSlot::default());
+                }
+                self.slots_used += 1;
+                let slot = &mut self.slots[gid];
+                slot.req = r as u32;
+                slot.shard = s as u32;
+                slot.user = req.user;
+                slot.form = form;
+                slot.solo = false;
+                slot.k_local = 0;
+                slot.cands.clear();
+                slot.pos.clear();
+                slot.q.clear();
+                slot.hit = false;
+                slot.broke = false;
+                slot.map_err = false;
+                slot.panicked = false;
+                plan.slots.push(gid as u32);
+            }
+            let gid = plan.slots[sl as usize] as usize;
+            let slot = &mut self.slots[gid];
+            plan.slot_of.push(sl);
+            plan.local_of.push(slot.cands.len() as u32);
+            slot.cands.push(item);
+            slot.pos.push(p as u32);
+            slot.q.push(plan.q[p]);
+        }
+        let solo = plan.slots.len() == 1;
+        let d = artifact.kernel().dim() as u64;
+        for &gid in &plan.slots {
+            let slot = &mut self.slots[gid as usize];
+            slot.solo = solo;
+            slot.k_local = plan.k.min(slot.cands.len());
+            let cs = slot.cands.len() as u64;
+            // Declared phase-1 cost: dominated by block assembly — quadratic
+            // dense, linear-in-d dual. Shape-only, so planning stays
+            // deterministic.
+            self.costs1.push(match form {
+                EntryForm::Dense => cs * cs + 1,
+                EntryForm::Factor => cs * d + 1,
+            });
+        }
+        plan.status = ReqStatus::Sharded;
+        plan.cost = (plan.k as u64) * (c as u64) + 1;
+    }
+}
+
+/// Phase 1 for one slot, panic-shielded per slot (a poisoned slot poisons
+/// only its owning request, in phase 2).
+fn run_slot<M: Recommender>(
+    artifact: &RankingArtifact<M>,
+    config: &ServeConfig,
+    shared: Option<&SharedKernelCache>,
+    state: &mut WorkerState,
+    slot: &mut ShardSlot,
+    n_shards: usize,
+) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_slot_inner(artifact, config, shared, state, slot, n_shards)
+    }));
+    if result.is_err() {
+        slot.panicked = true;
+    }
+}
+
+fn run_slot_inner<M: Recommender>(
+    artifact: &RankingArtifact<M>,
+    config: &ServeConfig,
+    shared: Option<&SharedKernelCache>,
+    state: &mut WorkerState,
+    slot: &mut ShardSlot,
+    n_shards: usize,
+) {
+    let ws = state.get_or_default::<ServeWorkspace>();
+    let key = compose_key(slot.user, n_shards, slot.shard as usize);
+    let budget = config.kernel_cache_bytes;
+    let kernel = artifact.kernel();
+    let m = slot.cands.len();
+    match slot.form {
+        EntryForm::Factor => {
+            // Dual slot: factor rows through the cache, then
+            // B = Diag(q_s)·V_s — per-row arithmetic identical to the
+            // unsharded B rows (same q values, same factor rows).
+            let (v_c, hit): (&Matrix, bool) = match shared {
+                Some(cache) => {
+                    let hit = cache.get_or_build_into(
+                        key,
+                        &slot.cands,
+                        kernel,
+                        budget,
+                        EntryForm::Factor,
+                        &mut slot.sub,
+                    );
+                    (&slot.sub, hit)
+                }
+                None => ws
+                    .cache
+                    .get_or_build(key, &slot.cands, kernel, budget, EntryForm::Factor),
+            };
+            slot.hit = hit;
+            let d = v_c.cols();
+            slot.b.reset(m, d);
+            for (i, &qi) in slot.q.iter().enumerate() {
+                for (o, &v) in slot.b.row_mut(i).iter_mut().zip(v_c.row(i)) {
+                    *o = qi * v;
+                }
+            }
+            slot.diag.clear();
+            slot.diag
+                .extend((0..m).map(|i| ops::dot(slot.b.row(i), slot.b.row(i)) + config.jitter));
+            // Solo slots run under the serving guard — they ARE the
+            // unsharded recursion, trips included. Multi-shard prefixes
+            // disable the drift floor (∞ guard keeps only the non-finite
+            // check): their residuals condition on local prefixes the
+            // unsharded run never sees, so a local floor trip would not
+            // correspond to any eager trip — the *merge* re-applies the
+            // serving guard to every globally-conditioned residual.
+            slot.dual_map.guard = if slot.solo {
+                config.dual_guard
+            } else {
+                f64::INFINITY
+            };
+            slot.broke =
+                greedy_map_dual_with(&slot.b, config.jitter, slot.k_local, &mut slot.dual_map)
+                    .is_err();
+            slot.map_err = false;
+        }
+        EntryForm::Dense => {
+            // Dense slot: the shard's K block through the cache, then the
+            // tailored assembly with `serve_one`'s exact expression — the
+            // block's entries are the same factor-row dot products the full
+            // `|C| × |C|` assembly computes, so every same-shard L entry is
+            // bitwise the unsharded one.
+            let (k_sub, hit): (&Matrix, bool) = match shared {
+                Some(cache) => {
+                    let hit = cache.get_or_build_into(
+                        key,
+                        &slot.cands,
+                        kernel,
+                        budget,
+                        EntryForm::Dense,
+                        &mut slot.sub,
+                    );
+                    (&slot.sub, hit)
+                }
+                None => ws
+                    .cache
+                    .get_or_build(key, &slot.cands, kernel, budget, EntryForm::Dense),
+            };
+            slot.hit = hit;
+            slot.l.reset(m, m);
+            for i in 0..m {
+                let qi = slot.q[i];
+                slot.l[(i, i)] = qi * k_sub[(i, i)] * qi + config.jitter;
+                for j in (i + 1)..m {
+                    let qj = slot.q[j];
+                    let kij = k_sub[(i, j)];
+                    let avg = 0.5 * (qi * kij * qj + qj * kij * qi);
+                    slot.l[(i, j)] = avg;
+                    slot.l[(j, i)] = avg;
+                }
+            }
+            slot.diag.clear();
+            slot.diag.extend((0..m).map(|i| slot.l[(i, i)]));
+            if !slot.solo {
+                // Cross-shard merge entries are factor-row dots; gather the
+                // rows once per slot (O(|C_s|·d), beside the O(|C_s|²·d)
+                // block the cache already paid).
+                kernel
+                    .gather_rows_into(&slot.cands, &mut slot.vc)
+                    .expect("candidates validated in planning");
+            }
+            slot.map_err = greedy_map_with(&slot.l, slot.k_local, &mut slot.map).is_err();
+            slot.broke = false;
+        }
+    }
+}
+
+/// Phase 2 for one request: copy out a solo prefix, run the merge ladder,
+/// or serve directly/fall back on the stock path.
+#[allow(clippy::too_many_arguments)]
+fn finish_request<M: Recommender>(
+    artifact: &RankingArtifact<M>,
+    config: &ServeConfig,
+    shared: Option<&SharedKernelCache>,
+    state: &mut WorkerState,
+    plan: &ReqPlan,
+    slots: &[ShardSlot],
+    req: &RankRequest,
+    resp: &mut RankResponse,
+    generation: u64,
+) {
+    match plan.status {
+        ReqStatus::Done => {}
+        ReqStatus::Direct => {
+            let ws = state.get_or_default::<ServeWorkspace>();
+            serve_request(artifact, config, shared, ws, req, resp, generation);
+        }
+        ReqStatus::Sharded => {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                merge_request(
+                    artifact, config, shared, state, plan, slots, req, resp, generation,
+                )
+            }));
+            if result.is_err() {
+                resp.user = req.user;
+                resp.items.clear();
+                resp.log_det = 0.0;
+                resp.cache_hit = false;
+                resp.degraded = false;
+                resp.generation = generation;
+                resp.outcome = RankOutcome::Panicked;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_request<M: Recommender>(
+    artifact: &RankingArtifact<M>,
+    config: &ServeConfig,
+    shared: Option<&SharedKernelCache>,
+    state: &mut WorkerState,
+    plan: &ReqPlan,
+    slots: &[ShardSlot],
+    req: &RankRequest,
+    resp: &mut RankResponse,
+    generation: u64,
+) {
+    // A phase-1 panic poisons only this request — same contract and shield
+    // fields as `serve_request`.
+    if plan.slots.iter().any(|&g| slots[g as usize].panicked) {
+        resp.user = req.user;
+        resp.items.clear();
+        resp.log_det = 0.0;
+        resp.cache_hit = false;
+        resp.degraded = false;
+        resp.generation = generation;
+        resp.outcome = RankOutcome::Panicked;
+        return;
+    }
+    let ws = state.get_or_default::<ServeWorkspace>();
+    if plan.slots.len() == 1 {
+        // Solo slot: the local prefix ran over the whole pool under the
+        // serving guard — it IS the unsharded run; copy it out with the
+        // stock path's exact failure semantics.
+        let slot = &slots[plan.slots[0] as usize];
+        if slot.broke {
+            // Dual breakdown: the stock path re-serves (re-tripping its own
+            // dual attempt and taking its dense fallback), bit-exact with
+            // what unsharded serving does for this request.
+            ws.shard_fallbacks += 1;
+            serve_request(artifact, config, shared, ws, req, resp, generation);
+            return;
+        }
+        resp.cache_hit = slot.hit;
+        match slot.form {
+            EntryForm::Factor => {
+                if !slot.dual_map.log_det().is_finite() {
+                    resp.items.clear();
+                    resp.outcome = RankOutcome::Failed;
+                    return;
+                }
+                resp.items
+                    .extend(slot.dual_map.items().iter().map(|&i| slot.cands[i]));
+                resp.log_det = slot.dual_map.log_det();
+            }
+            EntryForm::Dense => {
+                if slot.map_err {
+                    resp.outcome = RankOutcome::Failed;
+                    return;
+                }
+                if !slot.map.log_det().is_finite() {
+                    resp.items.clear();
+                    resp.outcome = RankOutcome::Failed;
+                    return;
+                }
+                resp.items
+                    .extend(slot.map.items().iter().map(|&i| slot.cands[i]));
+                resp.log_det = slot.map.log_det();
+            }
+        }
+        return;
+    }
+
+    // Multi-shard: any local anomaly (a dual non-finite, an impossible
+    // dense factorization error) means the lazy ladder cannot promise
+    // bitwise parity — hand the request to the stock path, which is the
+    // parity definition.
+    if plan
+        .slots
+        .iter()
+        .any(|&g| slots[g as usize].broke || slots[g as usize].map_err)
+    {
+        ws.shard_fallbacks += 1;
+        serve_request(artifact, config, shared, ws, req, resp, generation);
+        return;
+    }
+    // All shards hit ⇒ the request's kernel work was served entirely from
+    // cache (the sharded analogue of the unsharded single-lookup flag).
+    resp.cache_hit = plan.slots.iter().all(|&g| slots[g as usize].hit);
+
+    // Gain seeds in global (deduplicated) position order — bitwise the
+    // diagonal the unsharded assembly would have produced.
+    let m = plan.cands.len();
+    ws.merge_diag.clear();
+    ws.merge_diag.resize(m, 0.0);
+    for &g in &plan.slots {
+        let slot = &slots[g as usize];
+        for (li, &p) in slot.pos.iter().enumerate() {
+            ws.merge_diag[p as usize] = slot.diag[li];
+        }
+    }
+    let form = slots[plan.slots[0] as usize].form;
+    let guard = match form {
+        EntryForm::Dense => MergeGuard::Dense,
+        EntryForm::Factor => MergeGuard::Dual {
+            guard: config.dual_guard,
+        },
+    };
+    // Tailored kernel entry between two global positions, routed through
+    // the owning slots. Same-shard dense entries read the assembled block;
+    // cross-shard dense entries recompute the factor-row dot and the exact
+    // `0.5·(q_a·k·q_b + q_b·k·q_a)` average — operand roles commute bitwise
+    // (both products keep the `(q_x·k)·q_y` association and IEEE addition
+    // is commutative), so entry(j, i) equals the full assembly's L_ji no
+    // matter which side was selected first. Dual entries are the same
+    // `⟨b_j, b_i⟩` the eager dual recursion reads.
+    let entry = |j: usize, i: usize| -> f64 {
+        let (sj, lj) = (plan.slot_of[j] as usize, plan.local_of[j] as usize);
+        let (si, li) = (plan.slot_of[i] as usize, plan.local_of[i] as usize);
+        let a = &slots[plan.slots[sj] as usize];
+        let b = &slots[plan.slots[si] as usize];
+        match form {
+            EntryForm::Factor => ops::dot(a.b.row(lj), b.b.row(li)),
+            EntryForm::Dense => {
+                if sj == si {
+                    a.l[(lj, li)]
+                } else {
+                    let kij = ops::dot(a.vc.row(lj), b.vc.row(li));
+                    let (qa, qb) = (a.q[lj], b.q[li]);
+                    0.5 * (qa * kij * qb + qb * kij * qa)
+                }
+            }
+        }
+    };
+    match conditioned_greedy_merge(&ws.merge_diag, plan.k, guard, entry, &mut ws.merge) {
+        MergeOutcome::Fallback => {
+            // The ladder declined (non-finite arithmetic, guard trip, fault
+            // injection): re-serve on the stock path — bit-exact by
+            // definition, at unsharded cost for this request only.
+            ws.shard_fallbacks += 1;
+            serve_request(artifact, config, shared, ws, req, resp, generation);
+        }
+        MergeOutcome::Merged => {
+            if !ws.merge.log_det().is_finite() {
+                resp.items.clear();
+                resp.outcome = RankOutcome::Failed;
+                return;
+            }
+            resp.items
+                .extend(ws.merge.items().iter().map(|&p| plan.cands[p as usize]));
+            resp.log_det = ws.merge.log_det();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkp_dpp::LowRankKernel;
+    use lkp_models::MatrixFactorization;
+    use lkp_nn::AdamConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn artifact(n_users: usize, n_items: usize, d: usize) -> RankingArtifact<MatrixFactorization> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = MatrixFactorization::new(n_users, n_items, d, AdamConfig::default(), &mut rng);
+        let v = Matrix::from_fn(n_items, d, |r, c| {
+            (((r * 13 + c * 5) % 11) as f64) * 0.2 - 1.0
+        });
+        RankingArtifact::new(model, LowRankKernel::new(v).normalized())
+    }
+
+    #[test]
+    fn partition_covers_every_item_exactly_once() {
+        let art = artifact(6, 37, 4);
+        for n in [1, 2, 5, 8, 37, 100] {
+            let p = ShardPartition::build(&art, n);
+            let eff = n.min(37);
+            assert_eq!(p.n_shards(), eff);
+            let mut seen = [false; 37];
+            for s in 0..eff {
+                for &item in p.items(s) {
+                    assert!(!seen[item as usize], "item {item} in two shards");
+                    seen[item as usize] = true;
+                    assert_eq!(p.shard_of(item as usize), s);
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced_and_deterministic() {
+        let art = artifact(9, 40, 5);
+        let a = ShardPartition::build(&art, 7);
+        let b = ShardPartition::build(&art, 7);
+        assert_eq!(a.shard_of, b.shard_of);
+        assert_eq!(a.perm, b.perm);
+        let (min, max) = (0..7)
+            .map(|s| a.count(s))
+            .fold((usize::MAX, 0), |(lo, hi), c| (lo.min(c), hi.max(c)));
+        assert!(max - min <= 1, "counts spread: {min}..{max}");
+    }
+
+    #[test]
+    fn sharded_artifact_split_round_trips() {
+        let art = artifact(5, 20, 3);
+        let sharded = ShardedArtifact::split(art, 4);
+        assert_eq!(sharded.n_shards(), 4);
+        assert_eq!(sharded.artifact().n_items(), 20);
+        let (art, partition) = sharded.into_parts();
+        assert_eq!(art.n_items(), partition.shard_of.len());
+    }
+
+    #[test]
+    fn composed_keys_are_distinct_within_a_user_population() {
+        // (user, shard) composed keys collide only if user ids collide.
+        let n_shards = 8;
+        let mut seen = std::collections::HashSet::new();
+        for user in 0..100 {
+            for s in 0..n_shards {
+                assert!(seen.insert(compose_key(user, n_shards, s)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_candidates_mirrors_shard_of() {
+        let art = artifact(4, 30, 3);
+        let p = ShardPartition::build(&art, 3);
+        let cands: Vec<usize> = (0..30).step_by(2).collect();
+        let mut per_shard = Vec::new();
+        split_candidates(&p, &cands, &mut per_shard);
+        let total: usize = per_shard.iter().map(|l| l.len()).sum();
+        assert_eq!(total, cands.len());
+        for (s, list) in per_shard.iter().enumerate() {
+            for &item in list {
+                assert_eq!(p.shard_of(item), s);
+            }
+        }
+    }
+}

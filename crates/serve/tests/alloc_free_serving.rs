@@ -123,8 +123,10 @@ fn dedup(mut xs: Vec<usize>) -> Vec<usize> {
     xs
 }
 
-/// Warm-path zero-allocation assertion for one kernel form.
-fn assert_warm_path_alloc_free(form: KernelForm, label: &str) {
+/// Warm-path zero-allocation assertion for one kernel form and shard count
+/// (`shards = 1` is the stock path; `shards > 1` exercises the two-phase
+/// sharded path — per-shard prefix loops and the merge ladder included).
+fn assert_warm_path_alloc_free(form: KernelForm, shards: usize, label: &str) {
     let data = data();
     let (model, kernel) = trained(&data);
     // threads: 1 → the caller is the only worker; dispatch is inline with
@@ -134,6 +136,7 @@ fn assert_warm_path_alloc_free(form: KernelForm, label: &str) {
         ServeConfig {
             threads: 1,
             kernel_form: form,
+            artifact_shards: shards,
             ..Default::default()
         },
     );
@@ -166,13 +169,28 @@ fn assert_warm_path_alloc_free(form: KernelForm, label: &str) {
 
 #[test]
 fn warm_dense_serving_does_not_allocate() {
-    assert_warm_path_alloc_free(KernelForm::Dense, "dense");
+    assert_warm_path_alloc_free(KernelForm::Dense, 1, "dense");
 }
 
 #[test]
 fn warm_dual_serving_does_not_allocate() {
     assert_warm_path_alloc_free(
         KernelForm::LowRankDual { min_candidates: 0 },
+        1,
         "low-rank dual",
+    );
+}
+
+#[test]
+fn warm_sharded_dense_serving_does_not_allocate() {
+    assert_warm_path_alloc_free(KernelForm::Dense, 3, "sharded dense");
+}
+
+#[test]
+fn warm_sharded_dual_serving_does_not_allocate() {
+    assert_warm_path_alloc_free(
+        KernelForm::LowRankDual { min_candidates: 0 },
+        3,
+        "sharded low-rank dual",
     );
 }

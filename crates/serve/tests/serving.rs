@@ -398,6 +398,41 @@ fn stats_reads_never_materialize_workspaces() {
     assert!(resident > 0);
     ranker.cache_stats();
     assert_eq!(ranker.resident_workspaces(), resident);
+
+    // The sharded path aggregates per-(user, shard) entries through the same
+    // optional-state accessors: idle stats reads (including the new
+    // shard_fallbacks counter) still create nothing, and post-traffic
+    // accounting sums real per-shard lookups across workers.
+    let mut sharded = Ranker::new(
+        RankingArtifact::snapshot(&model, &kernel),
+        ServeConfig {
+            threads: 4,
+            artifact_shards: 3,
+            ..Default::default()
+        },
+    );
+    assert_eq!(sharded.resident_workspaces(), 0);
+    assert_eq!(sharded.cache_stats(), (0, 0));
+    assert_eq!(sharded.shard_fallbacks(), 0);
+    assert_eq!(sharded.dual_fallbacks(), 0);
+    assert_eq!(
+        sharded.resident_workspaces(),
+        0,
+        "sharded stats reads must not create serving state on idle workers"
+    );
+    sharded.rank_batch(&reqs);
+    let resident = sharded.resident_workspaces();
+    assert!(resident > 0);
+    let (hits, misses) = sharded.cache_stats();
+    // Every request fans into per-shard lookups, so the sharded ranker sees
+    // at least as many cache events as requests.
+    assert!(
+        hits + misses >= reqs.len() as u64,
+        "per-shard lookups must aggregate: {hits} + {misses}"
+    );
+    sharded.cache_stats();
+    sharded.shard_fallbacks();
+    assert_eq!(sharded.resident_workspaces(), resident);
 }
 
 #[test]

@@ -1,0 +1,491 @@
+//! The `sharded_serving_equivalence` gate: sharded serving (per-shard greedy
+//! MAP prefixes + the lazy marginal-gain merge ladder) must produce lists
+//! **bitwise identical** to unsharded serving — across shard counts, kernel
+//! forms, pool widths, cold vs prewarmed caches, and frontend vs direct
+//! batching — with zero merge fallbacks on well-conditioned kernels.
+//!
+//! Unlike the dense-vs-dual gate (which compares across a reassociated
+//! recursion and therefore checks lists only), sharding *within* a form is
+//! an exactness claim: every kernel entry, gain, and tie-break the merge
+//! ladder evaluates is the same f64 the unsharded run evaluates, so
+//! `log_det` must match to the bit and every assertion here uses
+//! `assert_same_bits`.
+
+use lkp_core::objective::{LkpKind, LkpObjective};
+use lkp_core::{train_diversity_kernel, DiversityKernelConfig, TrainConfig, Trainer};
+use lkp_data::{Dataset, SyntheticConfig};
+use lkp_dpp::LowRankKernel;
+use lkp_models::MatrixFactorization;
+use lkp_nn::AdamConfig;
+use lkp_serve::{
+    CacheMode, FrontendConfig, KernelForm, ManualClock, RankOutcome, RankRequest, RankResponse,
+    Ranker, RankingArtifact, ServeConfig, ServeFrontend, Ticket,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn data() -> Dataset {
+    lkp_data::synthetic::generate(&SyntheticConfig {
+        n_users: 24,
+        n_items: 70,
+        n_categories: 7,
+        mean_interactions: 14.0,
+        ..Default::default()
+    })
+}
+
+fn trained(data: &Dataset) -> (MatrixFactorization, LowRankKernel) {
+    let kernel = train_diversity_kernel(
+        data,
+        &DiversityKernelConfig {
+            epochs: 3,
+            pairs_per_epoch: 40,
+            dim: 6,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut model = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        10,
+        AdamConfig {
+            lr: 0.02,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let mut obj = LkpObjective::new(LkpKind::NegativeAware, kernel.clone());
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 2,
+        eval_every: 0,
+        patience: 0,
+        k: 4,
+        n: 4,
+        threads: 2,
+        ..Default::default()
+    });
+    trainer.fit(&mut model, &mut obj, data);
+    (model, kernel)
+}
+
+/// One trained fixture for the whole file (training dominates test time and
+/// every test serves from snapshots of the same artifact).
+fn fixture() -> &'static (Dataset, MatrixFactorization, LowRankKernel) {
+    static FIXTURE: OnceLock<(Dataset, MatrixFactorization, LowRankKernel)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = data();
+        let (model, kernel) = trained(&data);
+        (data, model, kernel)
+    })
+}
+
+/// 20-candidate pools, `top_n` under the kernel rank (6) — the
+/// well-conditioned regime where zero fallbacks are expected.
+fn requests(data: &Dataset, top_n: usize) -> Vec<RankRequest> {
+    (0..data.n_users())
+        .map(|u| {
+            let candidates: Vec<usize> = (0..20)
+                .map(|j| (u * 31 + j * 17 + 7) % data.n_items())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            RankRequest::new(u, candidates, top_n)
+        })
+        .collect()
+}
+
+fn config(threads: usize, shards: usize, form: KernelForm) -> ServeConfig {
+    ServeConfig {
+        threads,
+        artifact_shards: shards,
+        kernel_form: form,
+        ..Default::default()
+    }
+}
+
+/// Bitwise response check: user, items in order, and `log_det` to the bit.
+fn assert_same_bits(got: &RankResponse, want: &RankResponse, context: &str) {
+    assert_eq!(got.user, want.user, "{context}: user");
+    assert_eq!(got.items, want.items, "{context}: items");
+    assert_eq!(
+        got.log_det.to_bits(),
+        want.log_det.to_bits(),
+        "{context}: log_det"
+    );
+}
+
+const FORMS: [KernelForm; 2] = [
+    KernelForm::Dense,
+    KernelForm::LowRankDual { min_candidates: 0 },
+];
+
+/// Acceptance criterion (the named CI gate): sharded lists are bitwise
+/// identical to unsharded ones across shards {1, 2, 4, 8} × Dense/dual ×
+/// pool widths {1, 2, 4} × cold/prewarmed × frontend-vs-direct, with zero
+/// shard fallbacks and zero dual fallbacks.
+#[test]
+fn sharded_vs_unsharded_equivalence_matrix() {
+    let (data, model, kernel) = fixture();
+    let reqs = requests(data, 5);
+    let prewarm_pairs: Vec<(usize, Vec<usize>)> = reqs
+        .iter()
+        .map(|r| (r.user, r.candidates.clone()))
+        .collect();
+
+    for form in FORMS {
+        // Unsharded reference of the same form, width 1, cold.
+        let mut reference =
+            Ranker::new(RankingArtifact::snapshot(model, kernel), config(1, 1, form));
+        let want = reference.rank_batch(&reqs);
+        assert!(want.iter().all(|r| r.outcome == RankOutcome::Served));
+
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 2, 4] {
+                for prewarmed in [false, true] {
+                    for frontend_path in [false, true] {
+                        let context = format!(
+                            "form {form:?} shards {shards} threads {threads} \
+                             prewarmed {prewarmed} frontend {frontend_path}"
+                        );
+                        let ranker = Ranker::new(
+                            RankingArtifact::snapshot(model, kernel),
+                            config(threads, shards, form),
+                        );
+                        let got: Vec<RankResponse> = if frontend_path {
+                            let mut frontend = ServeFrontend::with_clock(
+                                ranker,
+                                FrontendConfig {
+                                    max_batch: 7,
+                                    ..Default::default()
+                                },
+                                Box::new(ManualClock::new()),
+                            );
+                            if prewarmed {
+                                assert_eq!(
+                                    frontend.prewarm(&prewarm_pairs),
+                                    reqs.len(),
+                                    "{context}: prewarm"
+                                );
+                            }
+                            let tickets: Vec<Ticket> =
+                                reqs.iter().map(|r| frontend.submit(r.clone())).collect();
+                            frontend.flush();
+                            let got: Vec<RankResponse> = tickets
+                                .iter()
+                                .map(|t| {
+                                    frontend
+                                        .try_take(*t)
+                                        .unwrap_or_else(|| panic!("{context}: unserved ticket"))
+                                })
+                                .collect();
+                            if prewarmed {
+                                let stats = frontend.ranker().cache_stats_detailed();
+                                assert_eq!(
+                                    stats.aggregate.misses, 0,
+                                    "{context}: prewarmed misses"
+                                );
+                            }
+                            assert_eq!(frontend.ranker().shard_fallbacks(), 0, "{context}");
+                            assert_eq!(frontend.ranker().dual_fallbacks(), 0, "{context}");
+                            got
+                        } else {
+                            let mut ranker = ranker;
+                            if prewarmed {
+                                assert_eq!(
+                                    ranker.prewarm(&prewarm_pairs),
+                                    reqs.len(),
+                                    "{context}: prewarm"
+                                );
+                            }
+                            let got = ranker.rank_batch(&reqs);
+                            if prewarmed {
+                                let stats = ranker.cache_stats_detailed();
+                                assert_eq!(
+                                    stats.aggregate.misses, 0,
+                                    "{context}: prewarmed misses"
+                                );
+                            }
+                            assert_eq!(ranker.shard_fallbacks(), 0, "{context}");
+                            assert_eq!(ranker.dual_fallbacks(), 0, "{context}");
+                            got
+                        };
+                        for (g, w) in got.iter().zip(&want) {
+                            assert_same_bits(g, w, &context);
+                            if prewarmed {
+                                assert!(g.cache_hit, "{context}: all shard pieces warm");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The shared (cross-worker) cache backend composes `(user, shard)` keys
+/// through its hash shards; serving stays bitwise identical and per-shard
+/// entries aggregate in the detailed stats.
+#[test]
+fn sharded_artifact_over_shared_cache_backend() {
+    let (data, model, kernel) = fixture();
+    let reqs = requests(data, 5);
+    for form in FORMS {
+        let mut reference =
+            Ranker::new(RankingArtifact::snapshot(model, kernel), config(1, 1, form));
+        let want = reference.rank_batch(&reqs);
+        for shards in [2usize, 8] {
+            let context = format!("shared-cache form {form:?} shards {shards}");
+            let mut ranker = Ranker::new(
+                RankingArtifact::snapshot(model, kernel),
+                ServeConfig {
+                    cache_mode: CacheMode::Sharded { shards: 4 },
+                    ..config(3, shards, form)
+                },
+            );
+            let got = ranker.rank_batch(&reqs);
+            for (g, w) in got.iter().zip(&want) {
+                assert_same_bits(g, w, &context);
+            }
+            // Replay: every (user, shard) piece is now resident, so the
+            // second pass is all hits.
+            let (_, misses_before) = ranker.cache_stats();
+            let replay = ranker.rank_batch(&reqs);
+            let (_, misses_after) = ranker.cache_stats();
+            assert_eq!(misses_after, misses_before, "{context}: replay misses");
+            for (g, w) in replay.iter().zip(&want) {
+                assert_same_bits(g, w, &context);
+                assert!(g.cache_hit, "{context}: replay hit");
+            }
+            assert_eq!(ranker.shard_fallbacks(), 0, "{context}");
+        }
+    }
+}
+
+/// `rank_one` takes the same sharded phases on the caller thread; responses
+/// are bitwise the batched path's.
+#[test]
+fn sharded_rank_one_matches_batched() {
+    let (data, model, kernel) = fixture();
+    let reqs = requests(data, 5);
+    for form in FORMS {
+        let mut batched = Ranker::new(RankingArtifact::snapshot(model, kernel), config(2, 4, form));
+        let want = batched.rank_batch(&reqs);
+        let mut one = Ranker::new(RankingArtifact::snapshot(model, kernel), config(2, 4, form));
+        for (req, w) in reqs.iter().zip(&want) {
+            let g = one.rank_one(req);
+            assert_same_bits(&g, w, &format!("rank_one form {form:?}"));
+        }
+    }
+}
+
+/// Fault injection: a negative `dual_guard` trips solo-slot prefixes and
+/// the merge ladder's guard alike, so every dual request re-serves on the
+/// stock path (which itself breaks down and takes its dense fallback) —
+/// bitwise identical to dense-mode serving, with both counters recording
+/// every request.
+#[test]
+fn injected_breakdown_falls_back_bitwise_to_dense() {
+    let (data, model, kernel) = fixture();
+    let reqs = requests(data, 5);
+    let mut dense = Ranker::new(
+        RankingArtifact::snapshot(model, kernel),
+        config(2, 1, KernelForm::Dense),
+    );
+    let want = dense.rank_batch(&reqs);
+    let mut broken = Ranker::new(
+        RankingArtifact::snapshot(model, kernel),
+        ServeConfig {
+            dual_guard: -1.0,
+            ..config(2, 4, KernelForm::LowRankDual { min_candidates: 0 })
+        },
+    );
+    let got = broken.rank_batch(&reqs);
+    for (g, w) in got.iter().zip(&want) {
+        assert_same_bits(g, w, "injected breakdown");
+    }
+    assert_eq!(
+        broken.shard_fallbacks(),
+        reqs.len() as u64,
+        "every request must abandon the sharded path"
+    );
+    assert_eq!(
+        broken.dual_fallbacks(),
+        reqs.len() as u64,
+        "every stock re-serve must record its own dual breakdown"
+    );
+}
+
+/// Degraded requests (capped rerank head) bypass the kernel caches by
+/// design, so the sharded ranker routes them to the stock path directly:
+/// bitwise identical to unsharded degraded serving, with no shard fallbacks
+/// counted (degradation caps the ladder, not the shards).
+#[test]
+fn degraded_requests_serve_bitwise_through_sharded_ranker() {
+    let (data, model, kernel) = fixture();
+    let reqs: Vec<RankRequest> = requests(data, 4)
+        .into_iter()
+        .map(|r| r.with_rerank_head(8))
+        .collect();
+    for form in FORMS {
+        let mut reference =
+            Ranker::new(RankingArtifact::snapshot(model, kernel), config(1, 1, form));
+        let want = reference.rank_batch(&reqs);
+        assert!(want.iter().all(|r| r.degraded), "heads must actually cap");
+        let mut sharded = Ranker::new(RankingArtifact::snapshot(model, kernel), config(2, 4, form));
+        let got = sharded.rank_batch(&reqs);
+        for (g, w) in got.iter().zip(&want) {
+            assert_same_bits(g, w, &format!("degraded form {form:?}"));
+            assert!(g.degraded);
+        }
+        assert_eq!(sharded.shard_fallbacks(), 0, "degraded is not a fallback");
+    }
+}
+
+/// Invalid, empty-list, and duplicate-heavy requests cross the sharded path
+/// with the stock path's exact semantics.
+#[test]
+fn sharded_edge_requests_match_unsharded() {
+    let (data, model, kernel) = fixture();
+    let n = data.n_items();
+    let reqs = vec![
+        RankRequest::new(0, vec![], 3),              // no candidates
+        RankRequest::new(999, vec![1, 2, 3], 3),     // unknown user
+        RankRequest::new(1, vec![0, n + 5], 3),      // out-of-catalog item
+        RankRequest::new(2, vec![4, 4, 9, 4, 9], 3), // duplicates only
+        RankRequest::new(3, vec![7], 5),             // pool smaller than top_n
+        RankRequest::new(4, vec![1, 2, 3], 0),       // top_n = 0
+    ];
+    for form in FORMS {
+        let mut reference =
+            Ranker::new(RankingArtifact::snapshot(model, kernel), config(1, 1, form));
+        let want = reference.rank_batch(&reqs);
+        let mut sharded = Ranker::new(RankingArtifact::snapshot(model, kernel), config(2, 4, form));
+        let got = sharded.rank_batch(&reqs);
+        for (g, w) in got.iter().zip(&want) {
+            assert_same_bits(g, w, &format!("edge form {form:?}"));
+            assert_eq!(g.outcome, w.outcome, "edge form {form:?}");
+        }
+    }
+}
+
+/// Zero-downtime artifact swap under sharded traffic: the staged swap
+/// carries the *new* artifact's partition, installed by the same commit
+/// that bumps the generation — queued requests serve on generation 2 from
+/// per-shard prewarmed entries with zero misses, bitwise equal to a fresh
+/// sharded ranker on the new artifact.
+#[test]
+fn sharded_swap_under_traffic_commits_all_shards_atomically() {
+    let (data, model_a, kernel) = fixture();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model_b = MatrixFactorization::new(
+        data.n_users(),
+        data.n_items(),
+        10,
+        AdamConfig::default(),
+        &mut rng,
+    );
+    let reqs = requests(data, 5);
+    let plan: Vec<(usize, Vec<usize>)> = reqs
+        .iter()
+        .map(|r| (r.user, r.candidates.clone()))
+        .collect();
+
+    for form in FORMS {
+        let cfg = config(2, 4, form);
+        let mut ranker_a = Ranker::new(RankingArtifact::snapshot(model_a, kernel), cfg.clone());
+        let want_a = ranker_a.rank_batch(&reqs);
+        let mut ranker_b = Ranker::new(RankingArtifact::snapshot(&model_b, kernel), cfg.clone());
+        let want_b = ranker_b.rank_batch(&reqs);
+
+        let mut frontend = ServeFrontend::with_clock(
+            Ranker::new(RankingArtifact::snapshot(model_a, kernel), cfg.clone()),
+            FrontendConfig {
+                max_batch: reqs.len(),
+                ..Default::default()
+            },
+            Box::new(ManualClock::new()),
+        );
+
+        // Generation 1 sharded traffic.
+        let tickets: Vec<Ticket> = reqs
+            .iter()
+            .map(|r| frontend.try_submit(r.clone()).unwrap())
+            .collect();
+        frontend.flush();
+        for (ticket, want) in tickets.iter().zip(&want_a) {
+            let resp = frontend.try_take(*ticket).expect("gen-1 ticket");
+            assert_same_bits(&resp, want, &format!("form {form:?} gen 1"));
+        }
+
+        // Queue traffic, swap between cuts (new partition + per-shard
+        // prewarm staged off-path, committed with one generation bump),
+        // then serve.
+        let queued: Vec<Ticket> = reqs
+            .iter()
+            .map(|r| frontend.try_submit(r.clone()).unwrap())
+            .collect();
+        let report = frontend.swap_artifact(RankingArtifact::snapshot(&model_b, kernel), &plan);
+        assert_eq!(
+            report.warmed,
+            plan.len(),
+            "form {form:?}: every pair's shard pieces staged warm"
+        );
+        assert!(report.retired > 0, "form {form:?}: old entries retired");
+        let (_, misses_before) = frontend.ranker().cache_stats();
+        frontend.flush();
+        let (_, misses_after) = frontend.ranker().cache_stats();
+        assert_eq!(
+            misses_after - misses_before,
+            0,
+            "form {form:?}: post-swap batch must hit the staged per-shard \
+             entries — a stale partition would miss on every composed key"
+        );
+        for (ticket, want) in queued.iter().zip(&want_b) {
+            let resp = frontend.try_take(*ticket).expect("gen-2 ticket");
+            assert_eq!(resp.generation, 2, "form {form:?}");
+            assert!(resp.cache_hit, "form {form:?}: prewarmed shard hits");
+            assert_same_bits(&resp, want, &format!("form {form:?} gen 2"));
+        }
+        assert_eq!(frontend.ranker().shard_fallbacks(), 0, "form {form:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Randomized pools — arbitrary sizes, duplicates straddling shard
+    // boundaries, top_n above and below the pool — serve bitwise
+    // identically sharded and unsharded, in both kernel forms, for
+    // coprime-ish shard counts {2, 3, 5}.
+    #[test]
+    fn random_pools_merge_bitwise(
+        raw in proptest::collection::vec(0usize..70, 1..64),
+        user in 0usize..24,
+        top_n in 1usize..10,
+        shard_pick in 0usize..3,
+        form_pick in 0usize..2,
+    ) {
+        let (_, model, kernel) = fixture();
+        let shards = [2usize, 3, 5][shard_pick];
+        let form = FORMS[form_pick];
+        let req = RankRequest::new(user, raw, top_n);
+        let mut reference = Ranker::new(
+            RankingArtifact::snapshot(model, kernel),
+            config(1, 1, form),
+        );
+        let want = reference.rank_one(&req);
+        let mut sharded = Ranker::new(
+            RankingArtifact::snapshot(model, kernel),
+            config(1, shards, form),
+        );
+        let got = sharded.rank_one(&req);
+        prop_assert_eq!(got.user, want.user);
+        prop_assert_eq!(&got.items, &want.items);
+        prop_assert_eq!(got.log_det.to_bits(), want.log_det.to_bits());
+        prop_assert_eq!(got.outcome, want.outcome);
+        prop_assert_eq!(sharded.shard_fallbacks(), 0);
+    }
+}

@@ -23,7 +23,7 @@ CRITERION_JSON="$tmp" cargo bench -p lkp-bench >&2
 echo "==> hotpath probe" >&2
 cargo run --release -p lkp-bench --bin hotpath_probe >> "$tmp"
 
-echo "==> serving probe (direct + dual-path grid + cache-mode replay + frontend rows)" >&2
+echo "==> serving probe (direct + dual-path + sharded grids + cache-mode replay + frontend rows)" >&2
 cargo run --release -p lkp-bench --bin serve_probe >> "$tmp"
 
 echo "==> spectral-cache probe" >&2

@@ -94,7 +94,7 @@ pub mod prelude {
     pub use lkp_serve::{
         CacheMode, DriverClient, FrontendConfig, FrontendDriver, KernelForm, RankOutcome,
         RankRequest, RankResponse, Ranker, RankingArtifact, ServeConfig, ServeFrontend,
-        SubmitError,
+        ShardPartition, ShardedArtifact, SubmitError,
     };
 
     /// Convenience: generate a synthetic dataset from its config in one call.
