@@ -16,7 +16,9 @@
 //!   [`objective::Objective`] trait, plus the standard-DPP ablation the
 //!   paper discusses (normalizing over all cardinalities instead of k).
 //! * [`trainer`] — epoch loop with mini-batch accumulation, validation-based
-//!   early stopping, and epoch callbacks (used by the Fig. 2/4 probes).
+//!   early stopping, and epoch callbacks (used by the Fig. 2/4 probes);
+//!   plus the incremental refresh pipeline (`Trainer::update`) that
+//!   delta-fits a trained model from a [`trainer::TrainedState`] warm start.
 //! * [`probes`] — the ranking-interpretation diagnostics behind Fig. 4
 //!   (k-DPP probability by target count) and the diversity comparison of
 //!   Section IV-B2.
@@ -32,7 +34,7 @@ pub mod variants;
 
 pub use diversity::{train_diversity_kernel, DiversityKernelConfig};
 pub use objective::{LkpObjective, LkpRbfObjective, Objective};
-pub use trainer::{TrainConfig, TrainReport, Trainer};
+pub use trainer::{RefreshReport, TrainConfig, TrainReport, TrainedState, Trainer, UpdateRule};
 pub use variants::LkpVariant;
 
 /// Scores are clamped to this magnitude before `exp` when building kernel

@@ -1,0 +1,169 @@
+//! Training-loop configuration: [`TrainConfig`] and the incremental-refresh
+//! [`UpdateRule`].
+
+use lkp_data::{SamplingPolicy, TargetSelection};
+
+/// Training-loop configuration, shared by [`crate::trainer::Trainer::fit`]
+/// and the incremental [`crate::trainer::Trainer::update`] pass.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Instances per optimizer step.
+    pub batch_size: usize,
+    /// Ground-set target cardinality `k` (objectives may override).
+    pub k: usize,
+    /// Ground-set negative count `n` (objectives may override).
+    pub n: usize,
+    /// Target construction (S vs R).
+    pub mode: TargetSelection,
+    /// When epoch plans are (re)sampled. The default,
+    /// [`SamplingPolicy::ResampleEachEpoch`], draws fresh negatives every
+    /// epoch and keeps trajectories bitwise identical to the historical
+    /// inline sampler. [`SamplingPolicy::FrozenNegatives`] samples once and
+    /// reuses the identical plan — same instances, same order — for the
+    /// whole run, so with `spectral_tol > 0` every revisit from epoch 2
+    /// onward hits the per-worker spectral cache (each instance lands on the
+    /// same worker every epoch; see `TrainReport::spectral_cache`).
+    /// [`SamplingPolicy::PeriodicRefresh`] resamples every `period` epochs.
+    ///
+    /// [`crate::trainer::Trainer::update`] ignores this field: a refresh
+    /// samples its delta plan once and reuses it for every update epoch
+    /// (the frozen-negatives discipline is what lets unchanged users keep
+    /// their worker affinity and spectral-cache entries).
+    pub sampling_policy: SamplingPolicy,
+    /// Validate every this many epochs (0 disables validation entirely).
+    pub eval_every: usize,
+    /// Early-stopping patience: stop after this many non-improving
+    /// validations (0 disables early stopping).
+    pub patience: usize,
+    /// Validation metric cutoff (NDCG@cutoff).
+    pub eval_cutoff: usize,
+    /// Worker-thread budget for the run's persistent pool, shared by batch
+    /// gradient computation and validation passes (1 = fully serial;
+    /// values are clamped to ≥ 1).
+    ///
+    /// Gradient computation and accumulation are **bitwise identical** at
+    /// any value. Validation metrics are bitwise reproducible run-to-run
+    /// at a fixed value, but their per-chunk merge order follows the pool
+    /// width, so across *different* values they can differ in the last ulp
+    /// — which near a patience boundary may shift the early-stopping epoch.
+    /// Disable validation (`eval_every = 0`) where exact cross-width
+    /// trajectory equality matters.
+    ///
+    /// Unlike `ServeConfig::threads` / `WorkerPool::new`, `0` does **not**
+    /// mean host parallelism — it is clamped to 1; pass
+    /// `lkp_runtime::resolve_threads(0)` to request host width explicitly.
+    pub threads: usize,
+    /// Quality-drift tolerance of the epoch-persistent spectral cache
+    /// (∞-norm on the per-instance quality vector `q = exp(clamp(ŷ))`).
+    ///
+    /// `0.0` (the default) **disables the cache entirely**: every instance
+    /// recomputes its eigendecomposition and training trajectories are
+    /// bitwise identical to the pre-cache trainer at any thread count. With
+    /// a positive tolerance, each pool worker keeps the spectra of recently
+    /// seen `(user, ground set)` pairs across batches and epochs: a revisit
+    /// whose `q` moved at most this much reuses the cached spectrum outright
+    /// (the `O(m³)` eigen stage is skipped), and a larger drift warm-starts
+    /// the solver from the cached basis. Spectra then differ from exact
+    /// recomputation by `O(tol)` (skips) / solver round-off (warm starts),
+    /// so trajectories are no longer bitwise pinned — validation metrics
+    /// remain within tolerance of the exact run (see
+    /// `crates/core/tests/spectral_cache_equivalence.rs`).
+    ///
+    /// Only objectives that override `Objective::compute_cached_into`
+    /// (the frozen-kernel LkP criteria) consult the cache; baselines and
+    /// trainable-kernel criteria are unaffected at any value.
+    ///
+    /// A positive tolerance additionally lets
+    /// [`crate::trainer::Trainer::update`] carry cache entries *across* the
+    /// fit boundary: the base run's exported spectra are adopted into the
+    /// refresh pool's workers, so unchanged users skip or warm-start their
+    /// eigendecompositions from the very first update epoch.
+    pub spectral_tol: f64,
+    /// Epochs for one incremental [`crate::trainer::Trainer::update`] pass.
+    /// `0` (the default) falls back to [`TrainConfig::epochs`]. A refresh
+    /// typically needs far fewer epochs than a cold fit — the model starts
+    /// at the base optimum and only the delta's users moved — which is
+    /// where the refresh-vs-retrain wall-time win comes from.
+    pub update_epochs: usize,
+    /// Parameter-update rule used by [`crate::trainer::Trainer::update`]
+    /// (full fits always use [`UpdateRule::Sgd`]).
+    pub update_rule: UpdateRule,
+    /// Seed for instance sampling.
+    pub seed: u64,
+    /// Print per-epoch progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            k: 5,
+            n: 5,
+            mode: TargetSelection::Sequential,
+            sampling_policy: SamplingPolicy::ResampleEachEpoch,
+            eval_every: 5,
+            patience: 3,
+            eval_cutoff: 10,
+            threads: 4,
+            spectral_tol: 0.0,
+            update_epochs: 0,
+            update_rule: UpdateRule::Sgd,
+            seed: 17,
+            verbose: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The effective worker-thread budget: [`TrainConfig::threads`] clamped
+    /// to at least one worker. (The deprecated `train_threads` /
+    /// `eval_threads` per-phase knobs this once deferred to are gone — one
+    /// pool serves training, evaluation, and refresh.)
+    pub fn thread_budget(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Epochs one [`crate::trainer::Trainer::update`] pass runs:
+    /// [`TrainConfig::update_epochs`] when set, else [`TrainConfig::epochs`].
+    pub fn refresh_epochs(&self) -> usize {
+        if self.update_epochs > 0 {
+            self.update_epochs
+        } else {
+            self.epochs
+        }
+    }
+}
+
+/// How [`crate::trainer::Trainer::update`] moves the model's parameters on
+/// each refreshed instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateRule {
+    /// The fit loop's rule: instance gradients are accumulated through the
+    /// objective (`Objective::accumulate`) in plan order and the model's
+    /// optimizer applies one step per mini-batch. An update under this rule
+    /// runs the *same* code path as `Trainer::fit`, so a full-delta refresh
+    /// is bitwise identical to a frozen-negatives fit on the merged data.
+    Sgd,
+    /// A Gillenwater-style **fixed-point EM step** applied per instance:
+    /// given `g = ∂loss/∂score`, the model immediately damps the instance's
+    /// scores `ŷ ← ŷ − rate·g` — equivalently the multiplicative quality
+    /// update `q ← q·exp(−rate·g)` that EM performs on DPP kernel
+    /// parameters, keeping `q` positive by construction. No optimizer
+    /// moments are consulted; `rate` is the damping factor.
+    ///
+    /// Models with closed-form score parameterizations override
+    /// `Recommender::em_score_step` with a direct simultaneous update
+    /// (e.g. matrix factorization updates `p_u` and the touched `q_i` rows
+    /// in one shot); the default falls back to gradient accumulation, in
+    /// which case the batch-end optimizer step still applies the move.
+    /// Intended for frozen-kernel criteria — trainable-kernel (E-type)
+    /// embedding gradients are not applied under this rule.
+    EmStyle {
+        /// Damping factor of the fixed-point step (`0.0` freezes the model).
+        rate: f64,
+    },
+}

@@ -233,24 +233,20 @@ fn pool_path_matches_retired_scoped_thread_path_bitwise() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_thread_knobs_still_steer_the_budget() {
-    // The deprecated per-phase fields keep compiling and feed the unified
-    // budget when `threads` is unset; `threads` wins when both are given.
-    let legacy = TrainConfig {
-        threads: 0,
-        train_threads: 2,
-        eval_threads: 3,
-        ..Default::default()
-    };
-    assert_eq!(legacy.thread_budget(), 3);
+fn unified_thread_knob_steers_the_budget() {
+    // The deprecated `train_threads`/`eval_threads` per-phase fields are
+    // gone: `threads` is the single knob, clamped to at least one worker,
+    // and the default budget stays at the historical 4.
     let unified = TrainConfig {
         threads: 5,
-        train_threads: 1,
-        eval_threads: 1,
         ..Default::default()
     };
     assert_eq!(unified.thread_budget(), 5);
+    let clamped = TrainConfig {
+        threads: 0,
+        ..Default::default()
+    };
+    assert_eq!(clamped.thread_budget(), 1);
     assert_eq!(TrainConfig::default().thread_budget(), 4);
 }
 

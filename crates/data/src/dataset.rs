@@ -257,6 +257,61 @@ impl Dataset {
         }
     }
 
+    /// Applies a [`crate::delta::DatasetDelta`], returning the merged
+    /// dataset and a [`crate::delta::DeltaSummary`] of what changed.
+    ///
+    /// Accepted events append to the **train split only**, in arrival order
+    /// (the sliding-window sampler keeps seeing interactions "in the order
+    /// they occurred"); validation and test stay frozen so metrics computed
+    /// before and after a refresh rank the same held-out items. Events whose
+    /// item the user already observed in *any* split are dropped — implicit
+    /// feedback is binary. User ids past the current population extend it
+    /// (ids in a gap become empty users); the item catalog is fixed because
+    /// the serving artifact's kernel shape must survive the refresh.
+    ///
+    /// # Panics
+    /// If an event references an item outside the catalog.
+    pub fn merge_delta(
+        &self,
+        delta: &crate::delta::DatasetDelta,
+    ) -> (Dataset, crate::delta::DeltaSummary) {
+        let mut merged = self.clone();
+        let mut changed: Vec<usize> = Vec::new();
+        let mut accepted = 0usize;
+        if let Some(max_user) = delta.events().iter().map(|&(u, _)| u).max() {
+            while merged.n_users <= max_user {
+                merged.train.push(Vec::new());
+                merged.validation.push(Vec::new());
+                merged.test.push(Vec::new());
+                merged.observed_sorted.push(Vec::new());
+                merged.n_users += 1;
+            }
+        }
+        let new_users = merged.n_users - self.n_users;
+        for &(user, item) in delta.events() {
+            assert!(
+                item < merged.n_items,
+                "delta references item {item} outside the catalog of {} — the refresh \
+                 pipeline preserves the artifact's catalog shape",
+                merged.n_items
+            );
+            let observed = &mut merged.observed_sorted[user];
+            if let Err(pos) = observed.binary_search(&item) {
+                observed.insert(pos, item);
+                merged.train[user].push(item);
+                accepted += 1;
+                changed.push(user);
+            }
+        }
+        changed.extend(self.n_users..merged.n_users);
+        changed.sort_unstable();
+        changed.dedup();
+        (
+            merged,
+            crate::delta::DeltaSummary::from_parts(changed, new_users, accepted),
+        )
+    }
+
     /// Number of distinct categories covered by a set of items.
     pub fn category_coverage(&self, items: &[usize]) -> usize {
         let mut seen = vec![false; self.n_categories];

@@ -20,11 +20,16 @@
 //!   produced under a [`plan::SamplingPolicy`] (resample / frozen /
 //!   periodic negatives) and cut into size-bucketed
 //!   [`plan::BatchSchedule`]s for uniform-size pool dispatches.
+//! * [`delta`] — interaction deltas for incremental refresh:
+//!   [`delta::DatasetDelta`] events merged by [`dataset::Dataset::merge_delta`]
+//!   into the train split, and a [`delta::DeltaPlanner`] that freezes
+//!   unchanged users' plan records while sampling changed users fresh.
 //! * [`diverse`] — `(T⁺, T⁻)` set pairs for pre-training the diversity
 //!   kernel (Eq. 3).
 //! * [`stats`] — dataset statistics (Table I).
 
 pub mod dataset;
+pub mod delta;
 pub mod diverse;
 pub mod instances;
 pub mod plan;
@@ -32,6 +37,7 @@ pub mod stats;
 pub mod synthetic;
 
 pub use dataset::{Dataset, NegativeMask, Split};
+pub use delta::{DatasetDelta, DeltaPlanner, DeltaSummary, RefreshPlanStats};
 pub use instances::{GroundSetInstance, InstanceRef, InstanceSampler, TargetSelection};
 pub use plan::{
     BatchSchedule, EpochPlan, EpochPlanner, InstanceBlock, InstanceRecord, PlanStats,

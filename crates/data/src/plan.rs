@@ -156,6 +156,21 @@ impl EpochPlan {
         &self.records
     }
 
+    /// The full ground set of instance `idx` — positives then negatives, as
+    /// one contiguous arena span (the identity the spectral cache keys on).
+    pub fn ground_set(&self, idx: usize) -> &[usize] {
+        let rec = self.records[idx];
+        &self.items[rec.offset..rec.offset + rec.len]
+    }
+
+    /// Shuffles the record tail `[from..]` with the trainer's historical
+    /// Fisher–Yates. With `from = 0` this is exactly the full-plan epoch
+    /// shuffle; the delta planner uses it to shuffle only freshly sampled
+    /// records while frozen records keep their base order.
+    pub(crate) fn shuffle_records_from<R: Rng + ?Sized>(&mut self, from: usize, rng: &mut R) {
+        shuffle(&mut self.records[from..], rng);
+    }
+
     /// Resolves instance `idx` to a zero-copy view over the arena.
     pub fn instance(&self, idx: usize) -> InstanceRef<'_> {
         let rec = self.records[idx];
@@ -415,6 +430,13 @@ impl EpochPlanner {
         (&self.plan, &self.schedule)
     }
 
+    /// The most recent plan (empty until the first
+    /// [`EpochPlanner::plan_for_epoch`] call). `Trainer::fit_state` snapshots
+    /// this as the frozen base a later delta refresh replays.
+    pub fn plan(&self) -> &EpochPlan {
+        &self.plan
+    }
+
     /// Counters accumulated since construction.
     pub fn stats(&self) -> PlanStats {
         PlanStats {
@@ -471,8 +493,10 @@ impl EpochPlanner {
 }
 
 /// Appends one `(window, fresh negatives)` instance to the plan, sampling
-/// the negatives straight into the arena tail.
-fn push_window<R: Rng + ?Sized>(
+/// the negatives straight into the arena tail. Shared with the delta
+/// planner, whose fresh-user path must consume the RNG draw-for-draw as a
+/// full resample does.
+pub(crate) fn push_window<R: Rng + ?Sized>(
     plan: &mut EpochPlan,
     data: &Dataset,
     user: usize,

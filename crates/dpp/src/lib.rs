@@ -58,7 +58,9 @@ pub use lowrank::LowRankKernel;
 pub use map::{greedy_map_with, MapResult, MapWorkspace};
 pub use map_dual::{greedy_map_dual_with, DualMapWorkspace, DUAL_BREAKDOWN_GUARD};
 pub use map_merge::{conditioned_greedy_merge, MergeGuard, MergeLadderWorkspace, MergeOutcome};
-pub use spectral_cache::{SpectralCache, SpectralCacheStats, SpectralDecision};
+pub use spectral_cache::{
+    SpectralCache, SpectralCacheEntry, SpectralCacheStats, SpectralDecision, SpectralSnapshot,
+};
 pub use workspace::{DppWorkspace, SpectrumPath, TailoredResult};
 
 /// Errors raised by DPP construction and inference.

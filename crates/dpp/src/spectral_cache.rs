@@ -112,6 +112,69 @@ struct Entry {
     last_used: u64,
 }
 
+/// One exported cache entry — the owned form a spectrum takes while
+/// crossing a trainer generation (fit → update). Opaque outside this crate:
+/// holders only need the `(user, ground set)` identity to route the entry
+/// to the pool worker whose chunk will revisit it.
+#[derive(Debug, Clone)]
+pub struct SpectralCacheEntry {
+    user: usize,
+    items: Vec<usize>,
+    q: Vec<f64>,
+    path: SpectrumPath,
+    jitter: f64,
+    lambda: Vec<f64>,
+    eigen: SymmetricEigen,
+    item_vectors: Matrix,
+}
+
+impl SpectralCacheEntry {
+    /// The entry's user.
+    pub fn user(&self) -> usize {
+        self.user
+    }
+
+    /// The entry's ground set (positives then negatives, as cached).
+    pub fn items(&self) -> &[usize] {
+        &self.items
+    }
+}
+
+/// A deterministic snapshot of spectral-cache entries, merged across a
+/// run's pool workers and carried into the next trainer generation.
+///
+/// Entries are kept sorted by `(user, ground set)` and deduped, so the
+/// snapshot's byte layout is independent of hash order and pool width —
+/// the same run always exports the same snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct SpectralSnapshot {
+    entries: Vec<SpectralCacheEntry>,
+}
+
+impl SpectralSnapshot {
+    /// Builds a snapshot from exported entries (sorts + dedupes).
+    pub fn from_entries(mut entries: Vec<SpectralCacheEntry>) -> Self {
+        entries.sort_by(|a, b| (a.user, &a.items).cmp(&(b.user, &b.items)));
+        entries.dedup_by(|a, b| a.user == b.user && a.items == b.items);
+        SpectralSnapshot { entries }
+    }
+
+    /// The entries, sorted by `(user, ground set)`.
+    pub fn entries(&self) -> &[SpectralCacheEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Bounded per-worker cache of tailored-kernel spectra, keyed by
 /// `(user, ground set)` identity.
 ///
@@ -313,6 +376,60 @@ impl SpectralCache {
         self.shrink_to_capacity();
     }
 
+    /// Exports every valid resident entry as an owned
+    /// [`SpectralCacheEntry`], sorted by `(user, ground set)` so the result
+    /// is deterministic regardless of hash order. Invalidated decompositions
+    /// (solver failures) are not exported — adopting one would only force a
+    /// cold recompute anyway.
+    pub fn export_entries(&self) -> Vec<SpectralCacheEntry> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        // lint:allow(determinism): hash order is erased by the sort below —
+        // the exported list is keyed and ordered by (user, ground set).
+        for e in self.entries.values() {
+            if !e.eigen.is_valid() {
+                continue;
+            }
+            out.push(SpectralCacheEntry {
+                user: e.user,
+                items: e.items.clone(),
+                q: e.q.clone(),
+                path: e.path,
+                jitter: e.jitter,
+                lambda: e.lambda.clone(),
+                eigen: e.eigen.clone(),
+                item_vectors: e.item_vectors.clone(),
+            });
+        }
+        out.sort_by(|a, b| (a.user, &a.items).cmp(&(b.user, &b.items)));
+        out
+    }
+
+    /// Adopts an exported entry into this cache (LRU position: newest).
+    ///
+    /// The trainer's update path seeds each pool worker's cache with the
+    /// entries whose ground sets that worker's chunk will revisit, so the
+    /// first visit after a warm-started refresh classifies as a skip or
+    /// warm start instead of a cold recompute — cache reuse across the fit
+    /// boundary, not just across epochs. No-op when caching is disabled.
+    pub fn adopt(&mut self, entry: &SpectralCacheEntry) {
+        let item_vectors = if entry.item_vectors.rows() > 0 {
+            Some(&entry.item_vectors)
+        } else {
+            None
+        };
+        self.store(
+            SpectralCache::key_of(entry.user, &entry.items),
+            entry.user,
+            &entry.items,
+            &entry.q,
+            entry.path,
+            entry.jitter,
+            &entry.lambda,
+            &entry.eigen,
+            item_vectors,
+        );
+    }
+
     /// Evicts least-recently-used entries until `len() ≤ capacity`. The
     /// entry touched most recently (the one just stored or classified) has
     /// the newest tick and therefore survives any `capacity ≥ 1`.
@@ -504,6 +621,122 @@ mod tests {
             cache.classify(key, 9, &items, &[1.0, 1.0], SpectrumPath::Dense, 1e-6),
             SpectralDecision::Skip
         );
+    }
+
+    #[test]
+    fn export_adopt_round_trips_entries_across_caches() {
+        let mut cache = SpectralCache::new(1e-6, 8);
+        for u in 0..3usize {
+            let items = [u, u + 5];
+            let key = SpectralCache::key_of(u, &items);
+            cache.store(
+                key,
+                u,
+                &items,
+                &[1.0 + u as f64, 2.0],
+                SpectrumPath::Dense,
+                1e-6,
+                &[1.0, 3.0],
+                &eig2(),
+                None,
+            );
+        }
+        // One invalidated entry must not be exported.
+        let bad = [9usize, 10];
+        let bad_key = SpectralCache::key_of(9, &bad);
+        let mut eig = eig2();
+        eig.invalidate();
+        cache.store(
+            bad_key,
+            9,
+            &bad,
+            &[1.0, 1.0],
+            SpectrumPath::Dense,
+            1e-6,
+            &[],
+            &eig,
+            None,
+        );
+
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 3, "invalid entries are dropped");
+        // Sorted by (user, items) — deterministic regardless of hash order.
+        assert!(exported
+            .windows(2)
+            .all(|w| (w[0].user, &w[0].items) < (w[1].user, &w[1].items)));
+
+        // Adopting into a fresh cache makes the first revisit a skip.
+        let mut next = SpectralCache::new(1e-6, 8);
+        for entry in &exported {
+            next.adopt(entry);
+        }
+        assert_eq!(next.len(), 3);
+        for u in 0..3usize {
+            let items = [u, u + 5];
+            let key = SpectralCache::key_of(u, &items);
+            assert_eq!(
+                next.classify(
+                    key,
+                    u,
+                    &items,
+                    &[1.0 + u as f64, 2.0],
+                    SpectrumPath::Dense,
+                    1e-6
+                ),
+                SpectralDecision::Skip,
+                "adopted entry for user {u} must skip on an identical revisit"
+            );
+        }
+        // A drifted revisit warm-starts instead.
+        let key = SpectralCache::key_of(0, &[0, 5]);
+        assert_eq!(
+            next.classify(key, 0, &[0, 5], &[1.5, 2.0], SpectrumPath::Dense, 1e-6),
+            SpectralDecision::WarmStart
+        );
+    }
+
+    #[test]
+    fn snapshot_sorts_and_dedupes_merged_worker_exports() {
+        let mut a = SpectralCache::new(1e-6, 8);
+        let mut b = SpectralCache::new(1e-6, 8);
+        for (cache, user) in [(&mut a, 2usize), (&mut b, 1usize)] {
+            let items = [user, user + 1];
+            let key = SpectralCache::key_of(user, &items);
+            cache.store(
+                key,
+                user,
+                &items,
+                &[1.0, 1.0],
+                SpectrumPath::Dense,
+                1e-6,
+                &[1.0, 3.0],
+                &eig2(),
+                None,
+            );
+        }
+        // Duplicate identity on both workers (can only happen if an instance
+        // migrated workers mid-run): snapshot keeps one.
+        let dup = [7usize, 8];
+        for cache in [&mut a, &mut b] {
+            let key = SpectralCache::key_of(7, &dup);
+            cache.store(
+                key,
+                7,
+                &dup,
+                &[1.0, 1.0],
+                SpectrumPath::Dense,
+                1e-6,
+                &[1.0, 3.0],
+                &eig2(),
+                None,
+            );
+        }
+        let mut merged = a.export_entries();
+        merged.extend(b.export_entries());
+        let snapshot = SpectralSnapshot::from_entries(merged);
+        assert_eq!(snapshot.len(), 3);
+        let ids: Vec<usize> = snapshot.entries().iter().map(|e| e.user()).collect();
+        assert_eq!(ids, vec![1, 2, 7], "sorted by (user, items)");
     }
 
     #[test]

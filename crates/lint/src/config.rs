@@ -48,6 +48,8 @@ impl LintConfig {
                 "crates/serve/src/shard.rs",
                 "crates/runtime/src/plan.rs",
                 "crates/linalg/src/eigen.rs",
+                "crates/core/src/trainer/update.rs",
+                "crates/data/src/delta.rs",
             ]),
             lock_scope_modules: strings(&["crates/", "src/"]),
             deterministic_modules: strings(&[
@@ -55,6 +57,8 @@ impl LintConfig {
                 "crates/linalg/src/",
                 "crates/eval/src/",
                 "crates/serve/src/frontend/core.rs",
+                "crates/core/src/trainer/update.rs",
+                "crates/data/src/delta.rs",
             ]),
             alloc_tokens: strings(&[
                 "Vec::new",
@@ -121,5 +125,14 @@ mod tests {
         assert!(!c.is_deterministic_core("crates/serve/src/frontend/driver.rs"));
         assert!(c.is_lock_scope("crates/serve/src/ranker.rs"));
         assert!(!c.is_lock_scope("crates/serve/tests/robustness.rs"));
+        // The refresh pipeline's hot halves: delta planning and the
+        // warm-start update engine are both allocation-free and
+        // bitwise-pinned.
+        assert!(c.is_hot_path("crates/core/src/trainer/update.rs"));
+        assert!(c.is_deterministic_core("crates/core/src/trainer/update.rs"));
+        assert!(c.is_hot_path("crates/data/src/delta.rs"));
+        assert!(c.is_deterministic_core("crates/data/src/delta.rs"));
+        assert!(!c.is_hot_path("crates/core/src/trainer/fit.rs"));
+        assert!(!c.is_deterministic_core("crates/core/src/trainer/mod.rs"));
     }
 }

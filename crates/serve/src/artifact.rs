@@ -51,6 +51,36 @@ impl<M: Recommender> RankingArtifact<M> {
         RankingArtifact::snapshot(model, objective.kernel())
     }
 
+    /// Rebuilds the artifact around a refreshed model, **reusing this
+    /// artifact's kernel** — the delta-fit serving handoff.
+    ///
+    /// An incremental `lkp_core::Trainer::update` pass moves the relevance
+    /// model but leaves the pre-trained diversity kernel untouched, so the
+    /// refreshed artifact clones the already-normalized kernel verbatim
+    /// instead of re-normalizing: a refresh from an *unchanged* model is
+    /// bitwise identical to this artifact, and per-user kernel-cache
+    /// contents (keyed on candidate sets over `K`) stay valid across the
+    /// swap.
+    ///
+    /// # Panics
+    /// If the refreshed model's catalog size differs from this artifact's
+    /// (the refresh pipeline preserves catalog shape; see
+    /// `Dataset::merge_delta`).
+    pub fn refresh_from(&self, model: &M) -> Self
+    where
+        M: Clone,
+    {
+        assert_eq!(
+            model.n_items(),
+            self.model.n_items(),
+            "refreshed model changed the catalog size"
+        );
+        RankingArtifact {
+            model: model.clone(),
+            kernel: self.kernel.clone(),
+        }
+    }
+
     /// The frozen relevance model.
     pub fn model(&self) -> &M {
         &self.model

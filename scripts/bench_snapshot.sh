@@ -17,6 +17,14 @@ fi
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$cores" -le 1 ]; then
+  echo "WARNING: host_cores == 1 — parallel speedups (pool widths, shard" >&2
+  echo "grids, refresh-vs-retrain ratios) will not show on this host; the" >&2
+  echo "snapshot is still valid but compare it only against other 1-core" >&2
+  echo "points of the trajectory." >&2
+fi
+
 echo "==> criterion suite (this takes a few minutes)" >&2
 CRITERION_JSON="$tmp" cargo bench -p lkp-bench >&2
 
@@ -32,12 +40,21 @@ cargo run --release -p lkp-bench --bin spectral_probe >> "$tmp"
 echo "==> sampling-policy probe" >&2
 cargo run --release -p lkp-bench --bin sampler_probe >> "$tmp"
 
+echo "==> training-refresh probe (delta-fit vs full retrain)" >&2
+cargo run --release -p lkp-bench --bin refresh_probe >> "$tmp"
+
 {
   printf '{"snapshot_meta":{"date":"%s","host_cores":%s,"rustc":"%s"}}\n' \
     "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    "$(nproc 2>/dev/null || echo 1)" \
+    "$cores" \
     "$(rustc --version | tr -d '"')"
-  cat "$tmp"
+  # Stamp host_cores into every row: criterion rows (and any probe that
+  # predates the field) carry no core count of their own, which makes
+  # cross-host trajectory comparison silently misleading.
+  awk -v cores="$cores" '{
+    if ($0 !~ /"host_cores":/) sub(/}[[:space:]]*$/, ",\"host_cores\":" cores "}")
+    print
+  }' "$tmp"
 } > "$out"
 
 echo "wrote $out ($(wc -l < "$out") rows)" >&2

@@ -80,14 +80,18 @@ pub mod prelude {
         InstanceGrad, LkpKind, LkpObjective, LkpRbfObjective, Objective,
     };
     pub use lkp_core::{
-        train_diversity_kernel, DiversityKernelConfig, LkpVariant, TrainConfig, Trainer,
+        train_diversity_kernel, DiversityKernelConfig, LkpVariant, RefreshReport, TrainConfig,
+        TrainReport, TrainedState, Trainer, UpdateRule,
     };
     pub use lkp_data::{
-        Dataset, EpochPlan, EpochPlanner, GroundSetInstance, InstanceRef, InstanceSampler,
-        PlanStats, SamplingPolicy, Split, SyntheticConfig, SyntheticPreset, TargetSelection,
+        Dataset, DatasetDelta, DeltaPlanner, DeltaSummary, EpochPlan, EpochPlanner,
+        GroundSetInstance, InstanceRef, InstanceSampler, PlanStats, SamplingPolicy, Split,
+        SyntheticConfig, SyntheticPreset, TargetSelection,
     };
     pub use lkp_dpp::{DppBatchArena, DppWorkspace};
-    pub use lkp_dpp::{DppKernel, KDpp, LowRankKernel, SpectralCache, SpectralCacheStats};
+    pub use lkp_dpp::{
+        DppKernel, KDpp, LowRankKernel, SpectralCache, SpectralCacheStats, SpectralSnapshot,
+    };
     pub use lkp_models::{Gcmc, Gcn, ItemEmbeddings, MatrixFactorization, NeuMf, Recommender};
     pub use lkp_nn::AdamConfig;
     pub use lkp_runtime::WorkerPool;
